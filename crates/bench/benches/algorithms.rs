@@ -1,0 +1,32 @@
+//! End-to-end blocker selection: AdvancedGreedy vs GreedyReplace vs the
+//! degree heuristic (and BaselineGreedy on a deliberately tiny instance).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::ProbabilityModel;
+use imin_graph::VertexId;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocker_selection");
+    group.sample_size(10);
+    let (topology, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Tiny)
+        .unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let problem = ImninProblem::new(&graph, vec![VertexId::new(0), VertexId::new(1)]).unwrap();
+    let config = AlgorithmConfig::default().with_theta(500).with_mcs_rounds(200).with_threads(2);
+    for alg in [
+        Algorithm::OutDegree,
+        Algorithm::AdvancedGreedy,
+        Algorithm::GreedyReplace,
+        Algorithm::BaselineGreedy,
+    ] {
+        group.bench_with_input(BenchmarkId::new(alg.label(), "b5"), &alg, |b, &alg| {
+            b.iter(|| problem.solve(alg, 5, &config).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Dominator-tree construction: Lengauer–Tarjan (production) vs the
+//! iterative data-flow algorithm (oracle) across graph sizes — the ablation
+//! for the paper's choice of [53].
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imin_domtree::iterative::iterative_dominator_tree;
+use imin_domtree::lengauer_tarjan::dominator_tree;
+use imin_graph::{generators, VertexId};
+
+fn bench_domtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominator_tree");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000, 8_000] {
+        let g = generators::power_law_digraph(n, n * 4, 2.3, n / 10, 1.0, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("lengauer_tarjan", n), &g, |b, g| {
+            b.iter(|| dominator_tree(g, VertexId::new(0)))
+        });
+        group.bench_with_input(BenchmarkId::new("iterative", n), &g, |b, g| {
+            b.iter(|| iterative_dominator_tree(g, VertexId::new(0)))
+        });
+        let dt = dominator_tree(&g, VertexId::new(0));
+        group.bench_with_input(BenchmarkId::new("subtree_sizes", n), &dt, |b, dt| {
+            b.iter(|| dt.subtree_sizes())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_domtree);
+criterion_main!(benches);

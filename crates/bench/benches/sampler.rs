@@ -1,0 +1,45 @@
+//! Live-edge sampling cost per sample (the inner loop of Algorithm 2) under
+//! the TR and WC probability models.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imin_core::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::ProbabilityModel;
+use imin_graph::VertexId;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_edge_sampling");
+    group.sample_size(10);
+    for model in [
+        ProbabilityModel::Trivalency { seed: 1 },
+        ProbabilityModel::WeightedCascade,
+    ] {
+        let (topology, _) = Dataset::EmailCore
+            .load_or_generate(DatasetScale::Bench)
+            .unwrap();
+        let graph = model.apply(&topology).unwrap();
+        let source = graph
+            .vertices()
+            .max_by_key(|&v| graph.out_degree(v))
+            .unwrap();
+        let blocked = vec![false; graph.num_vertices()];
+        group.bench_with_input(
+            BenchmarkId::new("email_core", model.label()),
+            &graph,
+            |b, g| {
+                let mut rng = SmallRng::seed_from_u64(3);
+                let mut sample = CompactSample::new(g.num_vertices());
+                b.iter(|| {
+                    IcLiveEdgeSampler.sample(g, source, &blocked, &mut rng, &mut sample);
+                    sample.num_reached()
+                })
+            },
+        );
+        let _ = VertexId::new(0);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampler);
+criterion_main!(benches);

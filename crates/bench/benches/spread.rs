@@ -1,0 +1,31 @@
+//! Monte-Carlo spread estimation: sequential vs multi-threaded (ablation for
+//! the parallel estimator used to evaluate blocker sets).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::montecarlo::MonteCarloEstimator;
+use imin_diffusion::ProbabilityModel;
+use imin_graph::VertexId;
+
+fn bench_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monte_carlo_spread");
+    group.sample_size(10);
+    let (topology, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Bench)
+        .unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 2 }.apply(&topology).unwrap();
+    let seeds: Vec<VertexId> = (0..10).map(VertexId::new).collect();
+    for &threads in &[1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("r1000", format!("{threads}threads")),
+            &threads,
+            |b, &t| {
+                let est = MonteCarloEstimator::new(1_000).with_threads(t).with_seed(1);
+                b.iter(|| est.expected_spread(&graph, &seeds).unwrap().mean)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spread);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the §V-E extension experiment: GreedyReplace under the
+//! linear-threshold triggering model.
+use imin_bench::BenchSettings;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Extension (§V-E): GreedyReplace under the LT triggering model ==");
+    imin_bench::experiments::triggering_extension(&settings).emit("ext_triggering");
+}

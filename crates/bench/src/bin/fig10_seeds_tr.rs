@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: GreedyReplace running time as the number of seeds
+//! grows (1, 10, 100, 1000) under the TR model, budget 100.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Figure 10: running time vs number of seeds (TR model) ==");
+    imin_bench::experiments::seeds_scalability(
+        ProbabilityModel::Trivalency { seed: settings.seed },
+        &[1, 10, 100, 1000],
+        &settings,
+    )
+    .emit("fig10_seeds_tr");
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 11: GreedyReplace running time as the number of seeds
+//! grows (1, 10, 100, 1000) under the WC model, budget 100.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Figure 11: running time vs number of seeds (WC model) ==");
+    imin_bench::experiments::seeds_scalability(
+        ProbabilityModel::WeightedCascade,
+        &[1, 10, 100, 1000],
+        &settings,
+    )
+    .emit("fig11_seeds_wc");
+}

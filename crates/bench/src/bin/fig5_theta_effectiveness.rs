@@ -1,0 +1,9 @@
+//! Regenerates Figure 5: expected spread of GreedyReplace as the number of
+//! sampled graphs θ varies (TR model, b = 20, 10 seeds).
+use imin_bench::BenchSettings;
+fn main() {
+    let settings = BenchSettings::from_env();
+    let thetas = imin_bench::experiments::default_thetas(&settings);
+    println!("== Figure 5: spread vs number of sampled graphs θ ==");
+    imin_bench::experiments::theta_sweep(&settings, &thetas, 20).emit("fig5_theta_effectiveness");
+}

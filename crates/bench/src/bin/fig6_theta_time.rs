@@ -1,0 +1,9 @@
+//! Regenerates Figure 6: running time of GreedyReplace as θ varies
+//! (same sweep as Figure 5; the time column is the figure's y-axis).
+use imin_bench::BenchSettings;
+fn main() {
+    let settings = BenchSettings::from_env();
+    let thetas = imin_bench::experiments::default_thetas(&settings);
+    println!("== Figure 6: running time vs number of sampled graphs θ ==");
+    imin_bench::experiments::theta_sweep(&settings, &thetas, 20).emit("fig6_theta_time");
+}

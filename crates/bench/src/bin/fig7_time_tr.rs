@@ -1,0 +1,13 @@
+//! Regenerates Figure 7: selection time of BG / AG / GR (budget 10) on all
+//! datasets under the TR model.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Figure 7: time cost of BG / AG / GR (TR model, b = 10) ==");
+    imin_bench::experiments::time_comparison(
+        ProbabilityModel::Trivalency { seed: settings.seed },
+        &settings,
+    )
+    .emit("fig7_time_tr");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 8: selection time of BG / AG / GR (budget 10) on all
+//! datasets under the WC model.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Figure 8: time cost of BG / AG / GR (WC model, b = 10) ==");
+    imin_bench::experiments::time_comparison(ProbabilityModel::WeightedCascade, &settings)
+        .emit("fig8_time_wc");
+}

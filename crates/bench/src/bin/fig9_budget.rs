@@ -1,0 +1,26 @@
+//! Regenerates Figure 9: running time of AG and GR as the budget grows, on
+//! the Facebook and DBLP stand-ins under both probability models.
+use imin_bench::{paper_models, BenchSettings};
+use imin_datasets::Dataset;
+fn main() {
+    let settings = BenchSettings::from_env();
+    for model in paper_models(settings.seed) {
+        for (dataset, budgets) in [
+            (Dataset::Facebook, vec![1usize, 100, 200, 300, 400]),
+            (Dataset::Dblp, vec![1usize, 20, 40, 60, 80, 100]),
+        ] {
+            println!(
+                "== Figure 9: running time vs budget ({} under {}) ==",
+                dataset.spec().name,
+                model.label()
+            );
+            imin_bench::experiments::budget_sweep(dataset, model, &budgets, &settings).emit(
+                &format!(
+                    "fig9_budget_{}_{}",
+                    dataset.spec().abbrev.to_lowercase(),
+                    model.label().to_lowercase()
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table III: blockers and expected spreads of Greedy,
+//! OutNeighbors and GreedyReplace on the Figure-1 toy graph.
+fn main() {
+    println!("== Table III: toy graph of Figure 1 ==");
+    imin_bench::experiments::table3_toy().emit("table3_toy");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table V: Exact vs GreedyReplace on ~100-vertex extracts of
+//! EmailCore under the Trivalency (TR) model, budgets 1..=4.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Table V: Exact vs GreedyReplace (TR model) ==");
+    imin_bench::experiments::exact_vs_gr(
+        ProbabilityModel::Trivalency { seed: settings.seed },
+        &settings,
+    )
+    .emit("table5_exact_tr");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table VI: Exact vs GreedyReplace on ~100-vertex extracts of
+//! EmailCore under the Weighted-Cascade (WC) model, budgets 1..=4.
+use imin_bench::BenchSettings;
+use imin_diffusion::ProbabilityModel;
+fn main() {
+    let settings = BenchSettings::from_env();
+    println!("== Table VI: Exact vs GreedyReplace (WC model) ==");
+    imin_bench::experiments::exact_vs_gr(ProbabilityModel::WeightedCascade, &settings)
+        .emit("table6_exact_wc");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Table VII: expected spread of RA / OD / AG / GR for budgets
+//! 20..100 on all eight datasets under both the TR and WC models.
+use imin_bench::{paper_models, BenchSettings};
+fn main() {
+    let settings = BenchSettings::from_env();
+    let budgets: Vec<usize> = std::env::var("IMIN_BUDGETS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![20, 40, 60, 80, 100]);
+    for model in paper_models(settings.seed) {
+        println!("== Table VII ({} model): RA / OD / AG / GR ==", model.label());
+        imin_bench::experiments::heuristics_comparison(model, &budgets, &settings)
+            .emit(&format!("table7_heuristics_{}", model.label().to_lowercase()));
+    }
+}

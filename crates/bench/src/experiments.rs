@@ -1,0 +1,407 @@
+//! Shared experiment runners. Every `src/bin/*` binary is a thin wrapper
+//! around one of these functions, so the logic that regenerates a table or
+//! figure lives in exactly one place and is unit-testable.
+
+use crate::{draw_seeds, fmt_secs, prepare_instance, BenchSettings, Table};
+use imin_core::exact_blocker::{exact_blocker_search, ExactSearchConfig, SpreadEvaluator};
+use imin_core::triggering::{
+    evaluate_triggering_spread, greedy_replace_triggering,
+};
+use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+use imin_datasets::extract::extract_many;
+use imin_datasets::toy::{figure1_graph, V};
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::triggering::LtTriggering;
+use imin_diffusion::ProbabilityModel;
+use std::time::Instant;
+
+/// Table III: the toy graph of Figure 1 — Greedy (AG), OutNeighbors and
+/// GreedyReplace for budgets 1 and 2, with exactly computed spreads.
+pub fn table3_toy() -> Table {
+    let (graph, seed) = figure1_graph();
+    let problem = ImninProblem::new(&graph, vec![seed]).expect("toy problem");
+    let config = AlgorithmConfig::fast_for_tests().with_theta(2_000);
+    let mut table = Table::new(&["algorithm", "b", "blockers", "expected_spread"]);
+    for b in [1usize, 2] {
+        for (label, algorithm) in [
+            ("Greedy", Algorithm::AdvancedGreedy),
+            ("OutNeighbors", Algorithm::OutNeighbors),
+            ("GreedyReplace", Algorithm::GreedyReplace),
+        ] {
+            let sel = problem.solve(algorithm, b, &config).expect("toy run");
+            let spread = problem
+                .evaluate_spread_exact(&sel.blockers, 20)
+                .expect("toy evaluation");
+            let blockers = sel
+                .blockers
+                .iter()
+                .map(|v| format!("v{}", v.index() + 1))
+                .collect::<Vec<_>>()
+                .join("+");
+            table.add_row(vec![
+                label.to_string(),
+                b.to_string(),
+                blockers,
+                format!("{spread:.2}"),
+            ]);
+        }
+    }
+    // Sanity anchor from Example 1: blocking v5 leaves a spread of 3.
+    let mask_spread = problem
+        .evaluate_spread_exact(&[V(5)], 20)
+        .expect("toy evaluation");
+    table.add_row(vec![
+        "paper anchor: block v5".into(),
+        "1".into(),
+        "v5".into(),
+        format!("{mask_spread:.2}"),
+    ]);
+    table
+}
+
+/// Tables V and VI: Exact vs GreedyReplace on ~100-vertex extracts of
+/// EmailCore, budgets 1..=4, under the given probability model.
+pub fn exact_vs_gr(model: ProbabilityModel, settings: &BenchSettings) -> Table {
+    let (topology, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Tiny)
+        .expect("dataset");
+    let graph = model.apply(&topology).expect("probability model");
+    let extracts = extract_many(&graph, 3, 60, settings.seed).expect("extraction");
+    let config = settings.algorithm_config();
+    let mut table = Table::new(&[
+        "b",
+        "exact_spread",
+        "gr_spread",
+        "ratio_%",
+        "exact_time_s",
+        "gr_time_s",
+    ]);
+    for b in 1..=4usize {
+        let mut exact_spread = 0.0;
+        let mut gr_spread = 0.0;
+        let mut exact_time = 0.0;
+        let mut gr_time = 0.0;
+        let mut used = 0usize;
+        for extract in &extracts {
+            let g = &extract.graph;
+            let seeds = draw_seeds(g, 1, settings.seed);
+            let problem = match ImninProblem::new(g, seeds.clone()) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let merged = problem.merged();
+            let forbidden: Vec<bool> = (0..merged.graph.num_vertices())
+                .map(|i| !merged.is_valid_blocker(imin_graph::VertexId::new(i)))
+                .collect();
+            // Exact search with Monte-Carlo evaluation (the paper's Exact).
+            let t0 = Instant::now();
+            let exact = exact_blocker_search(
+                &merged.graph,
+                merged.super_seed,
+                &forbidden,
+                b,
+                &ExactSearchConfig {
+                    max_combinations: 500_000,
+                    evaluator: SpreadEvaluator::MonteCarlo {
+                        rounds: settings.mcs_rounds.min(500),
+                    },
+                    threads: config.threads,
+                    seed: settings.seed,
+                },
+            );
+            let exact = match exact {
+                Ok(sel) => sel,
+                Err(_) => continue,
+            };
+            exact_time += t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let gr = problem
+                .solve(Algorithm::GreedyReplace, b, &config)
+                .expect("GR run");
+            gr_time += t1.elapsed().as_secs_f64();
+            exact_spread += problem
+                .evaluate_spread(&exact.blockers, settings.mcs_rounds, settings.seed)
+                .expect("evaluation");
+            gr_spread += problem
+                .evaluate_spread(&gr.blockers, settings.mcs_rounds, settings.seed)
+                .expect("evaluation");
+            used += 1;
+        }
+        if used == 0 {
+            continue;
+        }
+        let (e, g) = (exact_spread / used as f64, gr_spread / used as f64);
+        table.add_row(vec![
+            b.to_string(),
+            format!("{e:.3}"),
+            format!("{g:.3}"),
+            format!("{:.2}", 100.0 * e / g.max(1e-9)),
+            format!("{:.3}", exact_time / used as f64),
+            format!("{:.3}", gr_time / used as f64),
+        ]);
+    }
+    table
+}
+
+/// Figures 5 and 6: effect of θ on GreedyReplace quality and running time.
+/// One row per (dataset, θ) with the evaluated spread and the wall-clock
+/// selection time.
+pub fn theta_sweep(settings: &BenchSettings, thetas: &[usize], budget: usize) -> Table {
+    let mut table = Table::new(&["dataset", "theta", "spread", "time_s"]);
+    for &dataset in Dataset::all() {
+        let instance = prepare_instance(
+            dataset,
+            ProbabilityModel::Trivalency {
+                seed: settings.seed,
+            },
+            settings,
+        );
+        for &theta in thetas {
+            let mut s = settings.clone();
+            s.theta = theta;
+            let run = crate::run_algorithm(&instance, Algorithm::GreedyReplace, budget, &s);
+            table.add_row(vec![
+                dataset.spec().abbrev.to_string(),
+                theta.to_string(),
+                format!("{:.3}", run.spread),
+                fmt_secs(run.elapsed),
+            ]);
+        }
+    }
+    table
+}
+
+/// Table VII: expected spread of RA / OD / AG / GR for several budgets on
+/// every dataset under one probability model.
+pub fn heuristics_comparison(
+    model: ProbabilityModel,
+    budgets: &[usize],
+    settings: &BenchSettings,
+) -> Table {
+    let mut table = Table::new(&["dataset", "model", "b", "RA", "OD", "AG", "GR"]);
+    for &dataset in Dataset::all() {
+        let instance = prepare_instance(dataset, model, settings);
+        for &b in budgets {
+            let mut cells = vec![
+                dataset.spec().abbrev.to_string(),
+                instance.model.to_string(),
+                b.to_string(),
+            ];
+            for algorithm in [
+                Algorithm::Random,
+                Algorithm::OutDegree,
+                Algorithm::AdvancedGreedy,
+                Algorithm::GreedyReplace,
+            ] {
+                let run = crate::run_algorithm(&instance, algorithm, b, settings);
+                cells.push(format!("{:.3}", run.spread));
+            }
+            table.add_row(cells);
+        }
+    }
+    table
+}
+
+/// Figures 7 and 8: selection time of BG / AG / GR with budget 10.
+///
+/// BaselineGreedy is only attempted when its estimated cost
+/// (`b · n · r` cascade simulations) stays below a threshold derived from
+/// the soft timeout; otherwise the row reports `TIMEOUT`, mirroring the
+/// ">24h" entries of the paper.
+pub fn time_comparison(model: ProbabilityModel, settings: &BenchSettings) -> Table {
+    let budget = 10usize;
+    let bg_rounds = settings.mcs_rounds.min(500);
+    let mut table = Table::new(&["dataset", "model", "BG_time_s", "AG_time_s", "GR_time_s"]);
+    for &dataset in Dataset::all() {
+        let instance = prepare_instance(dataset, model, settings);
+        let n = instance.problem.graph().num_vertices();
+        let bg_cell = {
+            let estimated_cascades = budget as u64 * n as u64 * bg_rounds as u64;
+            let limit = 8_000_000u64 * settings.timeout.as_secs().max(1) / 120;
+            if estimated_cascades <= limit {
+                let mut s = settings.clone();
+                s.mcs_rounds = bg_rounds;
+                let run =
+                    crate::run_algorithm(&instance, Algorithm::BaselineGreedy, budget, &s);
+                format!("{} (r={bg_rounds})", fmt_secs(run.elapsed))
+            } else {
+                "TIMEOUT".to_string()
+            }
+        };
+        let ag = crate::run_algorithm(&instance, Algorithm::AdvancedGreedy, budget, settings);
+        let gr = crate::run_algorithm(&instance, Algorithm::GreedyReplace, budget, settings);
+        table.add_row(vec![
+            dataset.spec().abbrev.to_string(),
+            instance.model.to_string(),
+            bg_cell,
+            fmt_secs(ag.elapsed),
+            fmt_secs(gr.elapsed),
+        ]);
+    }
+    table
+}
+
+/// Figure 9: running time of AG and GR as the budget grows, on one dataset.
+pub fn budget_sweep(
+    dataset: Dataset,
+    model: ProbabilityModel,
+    budgets: &[usize],
+    settings: &BenchSettings,
+) -> Table {
+    let instance = prepare_instance(dataset, model, settings);
+    let mut table = Table::new(&["dataset", "model", "b", "AG_time_s", "GR_time_s"]);
+    for &b in budgets {
+        let ag = crate::run_algorithm(&instance, Algorithm::AdvancedGreedy, b, settings);
+        let gr = crate::run_algorithm(&instance, Algorithm::GreedyReplace, b, settings);
+        table.add_row(vec![
+            dataset.spec().abbrev.to_string(),
+            instance.model.to_string(),
+            b.to_string(),
+            fmt_secs(ag.elapsed),
+            fmt_secs(gr.elapsed),
+        ]);
+    }
+    table
+}
+
+/// Figures 10 and 11: GreedyReplace running time as the number of seeds
+/// grows (1, 10, 100, 1000), with budget 100.
+pub fn seeds_scalability(
+    model: ProbabilityModel,
+    seed_counts: &[usize],
+    settings: &BenchSettings,
+) -> Table {
+    let budget = 100usize;
+    let mut table = Table::new(&["dataset", "model", "num_seeds", "GR_time_s", "spread"]);
+    for &dataset in Dataset::all() {
+        let (topology, _) = dataset
+            .load_or_generate(settings.scale)
+            .expect("dataset generation");
+        let graph = model.apply(&topology).expect("probability model");
+        for &k in seed_counts {
+            let k = k.min(graph.num_vertices() / 2);
+            let seeds = draw_seeds(&graph, k, settings.seed ^ k as u64);
+            let problem = ImninProblem::new(&graph, seeds).expect("problem");
+            let config = settings.algorithm_config();
+            let start = Instant::now();
+            let sel = problem
+                .solve(Algorithm::GreedyReplace, budget, &config)
+                .expect("GR run");
+            let elapsed = start.elapsed();
+            let spread = problem
+                .evaluate_spread(&sel.blockers, settings.mcs_rounds, settings.seed)
+                .expect("evaluation");
+            table.add_row(vec![
+                dataset.spec().abbrev.to_string(),
+                model.label().to_string(),
+                k.to_string(),
+                fmt_secs(elapsed),
+                format!("{spread:.3}"),
+            ]);
+        }
+    }
+    table
+}
+
+/// §V-E extension: GreedyReplace under the LT triggering model on the toy
+/// graph and the EmailCore stand-in, reporting spread before/after blocking.
+pub fn triggering_extension(settings: &BenchSettings) -> Table {
+    let mut table = Table::new(&["graph", "model", "b", "spread_before", "spread_after"]);
+    let config = settings.algorithm_config();
+    let mut run = |name: &str, graph: &imin_graph::DiGraph, seed: imin_graph::VertexId, b: usize| {
+        let forbidden: Vec<bool> = (0..graph.num_vertices())
+            .map(|i| i == seed.index())
+            .collect();
+        let sel = greedy_replace_triggering(&LtTriggering, graph, seed, &forbidden, b, &config)
+            .expect("triggering GR");
+        let before =
+            evaluate_triggering_spread(&LtTriggering, graph, &[seed], &[], 4_000, settings.seed)
+                .expect("evaluation");
+        let after = evaluate_triggering_spread(
+            &LtTriggering,
+            graph,
+            &[seed],
+            &sel.blockers,
+            4_000,
+            settings.seed,
+        )
+        .expect("evaluation");
+        table.add_row(vec![
+            name.to_string(),
+            "LT".to_string(),
+            b.to_string(),
+            format!("{before:.3}"),
+            format!("{after:.3}"),
+        ]);
+    };
+    let (toy, toy_seed) = figure1_graph();
+    run("figure1-toy", &toy, toy_seed, 2);
+    let (ec, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Tiny)
+        .expect("dataset");
+    let ec = ProbabilityModel::WeightedCascade.apply(&ec).expect("WC");
+    let ec_seed = draw_seeds(&ec, 1, settings.seed)[0];
+    run("email-core(tiny)", &ec, ec_seed, 10);
+    table
+}
+
+/// Convenience wrapper used by `fig5`/`fig6`: GreedyReplace under TR, the
+/// paper's three θ values scaled down by default.
+pub fn default_thetas(settings: &BenchSettings) -> Vec<usize> {
+    vec![
+        (settings.theta / 10).max(10),
+        settings.theta,
+        settings.theta * 10,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_settings() -> BenchSettings {
+        BenchSettings {
+            scale: DatasetScale::Tiny,
+            theta: 100,
+            mcs_rounds: 150,
+            num_seeds: 2,
+            timeout: Duration::from_secs(5),
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn toy_table_matches_paper_values() {
+        let table = table3_toy();
+        let rendered = table.render();
+        // GreedyReplace with b = 2 must reach the optimum spread of 1.00.
+        assert!(rendered.contains("GreedyReplace"));
+        assert!(rendered.contains("3.00"), "blocking v5 leaves spread 3:\n{rendered}");
+        assert!(rendered.contains("1.00"), "b=2 optimum is spread 1:\n{rendered}");
+    }
+
+    #[test]
+    fn exact_vs_gr_produces_rows_with_ratio_near_100() {
+        let table = exact_vs_gr(
+            ProbabilityModel::WeightedCascade,
+            &tiny_settings(),
+        );
+        let rendered = table.render();
+        assert!(rendered.lines().count() > 2, "no rows produced:\n{rendered}");
+    }
+
+    #[test]
+    fn triggering_extension_reduces_spread() {
+        let table = triggering_extension(&tiny_settings());
+        let rendered = table.render();
+        assert!(rendered.contains("figure1-toy"));
+        assert!(rendered.contains("LT"));
+    }
+
+    #[test]
+    fn default_thetas_are_increasing() {
+        let t = default_thetas(&tiny_settings());
+        assert!(t[0] < t[1] && t[1] < t[2]);
+    }
+}

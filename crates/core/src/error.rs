@@ -1,0 +1,138 @@
+//! Error types for the IMIN algorithms.
+
+use std::fmt;
+
+/// Errors produced by problem construction and the blocking algorithms.
+#[derive(Debug)]
+pub enum IminError {
+    /// A seed vertex does not exist in the graph.
+    SeedOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Number of vertices of the graph.
+        num_vertices: usize,
+    },
+    /// The seed set is empty.
+    EmptySeedSet,
+    /// The blocking budget is zero (nothing to do) where a positive budget
+    /// is required.
+    ZeroBudget,
+    /// The algorithm configuration requests zero samples or zero Monte-Carlo
+    /// rounds.
+    ZeroSamples,
+    /// A supplied candidate/blocker vertex is invalid (out of range or a
+    /// seed).
+    InvalidBlocker {
+        /// The offending vertex index.
+        vertex: usize,
+        /// Explanation of why it cannot be blocked.
+        reason: &'static str,
+    },
+    /// The exhaustive exact search was asked to enumerate more combinations
+    /// than its configured limit.
+    SearchSpaceTooLarge {
+        /// Number of candidate blockers.
+        candidates: usize,
+        /// Requested budget.
+        budget: usize,
+        /// Maximum number of combinations the configuration allows.
+        limit: u64,
+    },
+    /// An error bubbled up from the diffusion layer.
+    Diffusion(imin_diffusion::DiffusionError),
+    /// An error bubbled up from the graph layer.
+    Graph(imin_graph::GraphError),
+}
+
+impl fmt::Display for IminError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IminError::SeedOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "seed vertex {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            IminError::EmptySeedSet => write!(f, "the seed set must not be empty"),
+            IminError::ZeroBudget => write!(f, "the blocking budget must be positive"),
+            IminError::ZeroSamples => {
+                write!(f, "the number of samples/rounds must be positive")
+            }
+            IminError::InvalidBlocker { vertex, reason } => {
+                write!(f, "vertex {vertex} cannot be blocked: {reason}")
+            }
+            IminError::SearchSpaceTooLarge {
+                candidates,
+                budget,
+                limit,
+            } => write!(
+                f,
+                "exhaustive search over C({candidates}, {budget}) blocker sets exceeds the limit of {limit} combinations"
+            ),
+            IminError::Diffusion(err) => write!(f, "diffusion error: {err}"),
+            IminError::Graph(err) => write!(f, "graph error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for IminError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IminError::Diffusion(err) => Some(err),
+            IminError::Graph(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<imin_diffusion::DiffusionError> for IminError {
+    fn from(err: imin_diffusion::DiffusionError) -> Self {
+        IminError::Diffusion(err)
+    }
+}
+
+impl From<imin_graph::GraphError> for IminError {
+    fn from(err: imin_graph::GraphError) -> Self {
+        IminError::Graph(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(IminError::EmptySeedSet.to_string().contains("seed"));
+        assert!(IminError::ZeroBudget.to_string().contains("budget"));
+        assert!(IminError::ZeroSamples.to_string().contains("positive"));
+        let e = IminError::SeedOutOfRange {
+            vertex: 7,
+            num_vertices: 3,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = IminError::InvalidBlocker {
+            vertex: 2,
+            reason: "it is a seed",
+        };
+        assert!(e.to_string().contains("cannot be blocked"));
+        let e = IminError::SearchSpaceTooLarge {
+            candidates: 100,
+            budget: 10,
+            limit: 1_000_000,
+        };
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let d: IminError = imin_diffusion::DiffusionError::EmptySeedSet.into();
+        assert!(matches!(d, IminError::Diffusion(_)));
+        assert!(std::error::Error::source(&d).is_some());
+        let g: IminError =
+            imin_graph::GraphError::InvalidProbability { probability: 3.0 }.into();
+        assert!(matches!(g, IminError::Graph(_)));
+        assert!(std::error::Error::source(&g).is_some());
+    }
+}

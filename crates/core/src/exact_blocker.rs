@@ -1,0 +1,359 @@
+//! Exhaustive ("Exact") blocker search.
+//!
+//! The paper's Exact comparator (§VI-B) enumerates every possible set of `b`
+//! blockers and evaluates the expected spread of each candidate set. It is
+//! only feasible on the ~100-vertex extracts used for Tables V and VI and is
+//! implemented here as the optimality oracle the heuristics are measured
+//! against.
+//!
+//! Candidates are restricted to the vertices reachable from the source —
+//! blocking an unreachable vertex can never change the spread, so every
+//! optimal solution over the full vertex set has an equivalent inside the
+//! reachable region (padding with arbitrary unreachable vertices if fewer
+//! than `b` reachable candidates exist).
+
+use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
+use crate::{IminError, Result};
+use imin_diffusion::exact::{exact_expected_spread, ExactSpreadConfig};
+use imin_diffusion::montecarlo::MonteCarloEstimator;
+use imin_graph::traversal::reachable_mask;
+use imin_graph::{DiGraph, VertexId};
+use std::time::Instant;
+
+/// How candidate blocker sets are evaluated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SpreadEvaluator {
+    /// Monte-Carlo simulation with the given number of rounds — what the
+    /// paper's Exact baseline uses (r = 10 000).
+    MonteCarlo {
+        /// Simulation rounds per candidate set.
+        rounds: usize,
+    },
+    /// Exact possible-world enumeration (only viable when few uncertain
+    /// edges are reachable; used for the final Exact-vs-GR comparison).
+    Exact {
+        /// Maximum number of uncertain edges to enumerate.
+        max_uncertain_edges: usize,
+    },
+}
+
+/// Configuration of the exhaustive search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExactSearchConfig {
+    /// Upper bound on the number of candidate sets to evaluate; the search
+    /// refuses to start if `C(candidates, b)` exceeds it.
+    pub max_combinations: u64,
+    /// How each candidate set is evaluated.
+    pub evaluator: SpreadEvaluator,
+    /// Threads and seed for Monte-Carlo evaluation.
+    pub threads: usize,
+    /// RNG seed for Monte-Carlo evaluation.
+    pub seed: u64,
+}
+
+impl Default for ExactSearchConfig {
+    fn default() -> Self {
+        ExactSearchConfig {
+            max_combinations: 2_000_000,
+            evaluator: SpreadEvaluator::MonteCarlo { rounds: 10_000 },
+            threads: imin_diffusion::montecarlo::default_threads(),
+            seed: 0xEC0DE,
+        }
+    }
+}
+
+impl ExactSearchConfig {
+    /// Derives an exact-search configuration from a generic
+    /// [`AlgorithmConfig`], using its Monte-Carlo round count and seed.
+    pub fn from_algorithm_config(config: &AlgorithmConfig) -> Self {
+        ExactSearchConfig {
+            evaluator: SpreadEvaluator::MonteCarlo {
+                rounds: config.mcs_rounds,
+            },
+            threads: config.threads,
+            seed: config.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// Number of `k`-combinations of `n` items, saturating at `u64::MAX`.
+pub fn combinations(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = match result.checked_mul((n - i) as u64) {
+            Some(v) => v / (i as u64 + 1),
+            None => return u64::MAX,
+        };
+    }
+    result
+}
+
+/// Exhaustively searches for the blocker set of size `min(b, #candidates)`
+/// minimising the evaluated spread.
+///
+/// # Errors
+/// Returns [`IminError::SearchSpaceTooLarge`] when the number of candidate
+/// combinations exceeds the configured limit, plus the usual validation
+/// errors.
+pub fn exact_blocker_search(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+    config: &ExactSearchConfig,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    let n = graph.num_vertices();
+    if budget == 0 {
+        return Err(IminError::ZeroBudget);
+    }
+    if source.index() >= n {
+        return Err(IminError::SeedOutOfRange {
+            vertex: source.index(),
+            num_vertices: n,
+        });
+    }
+
+    let reachable = reachable_mask(graph, &[source]);
+    let candidates: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| v != source && !forbidden[v.index()] && reachable[v.index()])
+        .collect();
+    let k = budget.min(candidates.len());
+    if k == 0 {
+        let mut sel = BlockerSelection::new(Vec::new());
+        sel.stats.elapsed = start.elapsed();
+        return Ok(sel);
+    }
+    let combos = combinations(candidates.len(), k);
+    if combos > config.max_combinations {
+        return Err(IminError::SearchSpaceTooLarge {
+            candidates: candidates.len(),
+            budget: k,
+            limit: config.max_combinations,
+        });
+    }
+
+    let mcs = MonteCarloEstimator {
+        rounds: match config.evaluator {
+            SpreadEvaluator::MonteCarlo { rounds } => rounds,
+            SpreadEvaluator::Exact { .. } => 0,
+        },
+        threads: config.threads,
+        seed: config.seed,
+    };
+    let evaluate = |mask: &[bool], stats: &mut SelectionStats| -> Result<f64> {
+        match config.evaluator {
+            SpreadEvaluator::MonteCarlo { rounds } => {
+                stats.mcs_rounds_run += rounds;
+                Ok(mcs
+                    .expected_spread_blocked(graph, &[source], Some(mask))?
+                    .mean)
+            }
+            SpreadEvaluator::Exact {
+                max_uncertain_edges,
+            } => Ok(exact_expected_spread(
+                graph,
+                &[source],
+                Some(mask),
+                ExactSpreadConfig {
+                    max_uncertain_edges,
+                },
+            )?),
+        }
+    };
+
+    let mut stats = SelectionStats::default();
+    let mut mask = vec![false; n];
+    // Lexicographic enumeration of k-combinations by index.
+    let mut indices: Vec<usize> = (0..k).collect();
+    let mut best_spread = f64::INFINITY;
+    let mut best_set: Vec<VertexId> = Vec::new();
+    loop {
+        for &i in &indices {
+            mask[candidates[i].index()] = true;
+        }
+        let spread = evaluate(&mask, &mut stats)?;
+        stats.rounds += 1;
+        if spread < best_spread {
+            best_spread = spread;
+            best_set = indices.iter().map(|&i| candidates[i]).collect();
+        }
+        for &i in &indices {
+            mask[candidates[i].index()] = false;
+        }
+        // Advance to the next combination.
+        let mut pos = k;
+        loop {
+            if pos == 0 {
+                break;
+            }
+            pos -= 1;
+            if indices[pos] != pos + candidates.len() - k {
+                indices[pos] += 1;
+                for j in pos + 1..k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+                break;
+            }
+            if pos == 0 {
+                indices.clear();
+                break;
+            }
+        }
+        if indices.is_empty() {
+            break;
+        }
+        // Detect completion: when the first index passed its maximum.
+        if indices[0] > candidates.len() - k {
+            break;
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers: best_set,
+        estimated_spread: Some(best_spread),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy_replace::greedy_replace;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn combination_counts() {
+        assert_eq!(combinations(5, 2), 10);
+        assert_eq!(combinations(10, 0), 1);
+        assert_eq!(combinations(10, 10), 1);
+        assert_eq!(combinations(3, 5), 0);
+        assert_eq!(combinations(60, 30), 118_264_581_564_861_424);
+        assert_eq!(combinations(200, 100), u64::MAX, "saturates instead of overflowing");
+    }
+
+    fn funnel_graph() -> DiGraph {
+        let mut edges = vec![
+            (vid(0), vid(1), 1.0),
+            (vid(0), vid(2), 1.0),
+            (vid(1), vid(3), 1.0),
+            (vid(2), vid(3), 1.0),
+        ];
+        for i in 0..4 {
+            edges.push((vid(3), vid(4 + i), 1.0));
+        }
+        DiGraph::from_edges(8, edges).unwrap()
+    }
+
+    fn search_config() -> ExactSearchConfig {
+        ExactSearchConfig {
+            evaluator: SpreadEvaluator::Exact {
+                max_uncertain_edges: 20,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn finds_the_true_optimum_on_the_funnel() {
+        let g = funnel_graph();
+        let sel =
+            exact_blocker_search(&g, vid(0), &vec![false; 8], 1, &search_config()).unwrap();
+        assert_eq!(sel.blockers, vec![vid(3)]);
+        assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+
+        let sel2 =
+            exact_blocker_search(&g, vid(0), &vec![false; 8], 2, &search_config()).unwrap();
+        let mut blockers = sel2.blockers.clone();
+        blockers.sort_unstable();
+        assert_eq!(blockers, vec![vid(1), vid(2)]);
+        assert!((sel2.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_replace_matches_exact_on_small_graphs() {
+        let g = funnel_graph();
+        for b in 1..=2 {
+            let exact =
+                exact_blocker_search(&g, vid(0), &vec![false; 8], b, &search_config()).unwrap();
+            let gr = greedy_replace(
+                &g,
+                vid(0),
+                &vec![false; 8],
+                b,
+                &AlgorithmConfig::fast_for_tests().with_theta(300),
+            )
+            .unwrap();
+            assert!(
+                (gr.estimated_spread.unwrap() - exact.estimated_spread.unwrap()).abs() < 1e-6,
+                "b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_evaluator_also_works() {
+        let g = funnel_graph();
+        let cfg = ExactSearchConfig {
+            evaluator: SpreadEvaluator::MonteCarlo { rounds: 300 },
+            threads: 1,
+            ..Default::default()
+        };
+        let sel = exact_blocker_search(&g, vid(0), &vec![false; 8], 1, &cfg).unwrap();
+        assert_eq!(sel.blockers, vec![vid(3)]);
+        assert!(sel.stats.mcs_rounds_run >= 300);
+    }
+
+    #[test]
+    fn search_space_limit_is_enforced() {
+        let g = imin_graph::generators::complete(30, 1.0).unwrap();
+        let cfg = ExactSearchConfig {
+            max_combinations: 100,
+            evaluator: SpreadEvaluator::MonteCarlo { rounds: 10 },
+            threads: 1,
+            seed: 1,
+        };
+        assert!(matches!(
+            exact_blocker_search(&g, vid(0), &vec![false; 30], 5, &cfg),
+            Err(IminError::SearchSpaceTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn no_reachable_candidates_returns_empty_selection() {
+        let g = DiGraph::from_edges(3, vec![(vid(1), vid(2), 1.0)]).unwrap();
+        let sel =
+            exact_blocker_search(&g, vid(0), &vec![false; 3], 2, &search_config()).unwrap();
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn budget_capped_at_candidate_count() {
+        let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 1.0)]).unwrap();
+        let sel =
+            exact_blocker_search(&g, vid(0), &vec![false; 2], 5, &search_config()).unwrap();
+        assert_eq!(sel.blockers, vec![vid(1)]);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let g = funnel_graph();
+        assert!(matches!(
+            exact_blocker_search(&g, vid(0), &vec![false; 8], 0, &search_config()),
+            Err(IminError::ZeroBudget)
+        ));
+        assert!(
+            exact_blocker_search(&g, vid(50), &vec![false; 8], 1, &search_config()).is_err()
+        );
+    }
+}

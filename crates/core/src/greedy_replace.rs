@@ -1,0 +1,313 @@
+//! The GreedyReplace algorithm (Algorithm 4) — the paper's most effective
+//! heuristic.
+//!
+//! Motivation (§V-D, Example 3): with an unlimited budget the optimal
+//! blocker set is exactly the out-neighbourhood of the seed, yet a plain
+//! greedy can spend its budget on "deep" vertices and miss that plateau.
+//! GreedyReplace therefore proceeds in two phases:
+//!
+//! 1. **Out-neighbour phase** — greedily pick blockers among the seed's
+//!    out-neighbours only (up to `min(d_out(s), b)` of them), using the
+//!    dominator-tree estimator of Algorithm 2 to rank them.
+//! 2. **Replacement phase** — revisit the chosen blockers in reverse
+//!    insertion order; temporarily un-block each one and ask the estimator
+//!    for the best blocker among *all* candidates. If the best vertex is the
+//!    one just removed, the procedure terminates early; otherwise the better
+//!    vertex replaces it.
+//!
+//! The resulting spread is never worse than blocking out-neighbours only,
+//! and the replacement step recovers the "deep blocker" wins of plain greedy
+//! when the budget is small — the best of both behaviours (Table III,
+//! Table VII).
+
+use crate::decrease::{decrease_es_computation_with, DecreaseConfig};
+use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
+use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
+use crate::{IminError, Result};
+use imin_graph::{DiGraph, VertexId};
+use std::time::Instant;
+
+/// Options specific to GreedyReplace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GreedyReplaceOptions {
+    /// When the seed has fewer than `b` out-neighbours, Algorithm 4 as
+    /// written returns fewer than `b` blockers. With this flag enabled (the
+    /// default) the remaining budget is filled with AdvancedGreedy-style
+    /// picks over all candidates before the replacement phase, so the full
+    /// budget is always used.
+    pub fill_to_budget: bool,
+}
+
+impl Default for GreedyReplaceOptions {
+    fn default() -> Self {
+        GreedyReplaceOptions {
+            fill_to_budget: true,
+        }
+    }
+}
+
+/// Runs GreedyReplace with the standard IC live-edge sampler and default
+/// options.
+pub fn greedy_replace(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+    config: &AlgorithmConfig,
+) -> Result<BlockerSelection> {
+    greedy_replace_with(
+        &IcLiveEdgeSampler,
+        graph,
+        source,
+        forbidden,
+        budget,
+        config,
+        GreedyReplaceOptions::default(),
+    )
+}
+
+/// Runs GreedyReplace with an arbitrary sample source and explicit options.
+///
+/// # Errors
+/// Returns an error on a zero budget, zero θ, or an invalid source.
+#[allow(clippy::too_many_arguments)]
+pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
+    sampler: &S,
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+    config: &AlgorithmConfig,
+    options: GreedyReplaceOptions,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    let n = graph.num_vertices();
+    if budget == 0 {
+        return Err(IminError::ZeroBudget);
+    }
+    if source.index() >= n {
+        return Err(IminError::SeedOutOfRange {
+            vertex: source.index(),
+            num_vertices: n,
+        });
+    }
+
+    let mut blocked = vec![false; n];
+    let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    let mut estimated_spread: Option<f64> = None;
+    let mut round_seed = config.seed;
+    let mut next_cfg = |stats: &mut SelectionStats| {
+        round_seed = round_seed.wrapping_add(0x9E3779B9);
+        stats.rounds += 1;
+        DecreaseConfig {
+            theta: config.theta,
+            threads: config.threads,
+            seed: round_seed,
+        }
+    };
+    let eligible = |v: VertexId, blocked: &[bool]| {
+        v != source && !blocked[v.index()] && !forbidden[v.index()]
+    };
+
+    // ---- Phase 1: pick blockers among the seed's out-neighbours -----------
+    let mut candidate_pool: Vec<VertexId> = graph
+        .out_edges(source)
+        .map(|(v, _)| v)
+        .filter(|&v| eligible(v, &blocked))
+        .collect();
+    candidate_pool.sort_unstable();
+    candidate_pool.dedup();
+
+    let out_rounds = candidate_pool.len().min(budget);
+    for _ in 0..out_rounds {
+        let cfg = next_cfg(&mut stats);
+        let estimate =
+            decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| {
+            candidate_pool.contains(&v) && eligible(v, &blocked)
+        });
+        let Some(chosen) = chosen else { break };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers.push(chosen);
+        candidate_pool.retain(|&v| v != chosen);
+    }
+
+    // ---- Optional fill: spend any remaining budget on global greedy picks --
+    if options.fill_to_budget {
+        while blockers.len() < budget {
+            let cfg = next_cfg(&mut stats);
+            let estimate =
+                decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+            stats.samples_drawn += estimate.samples;
+            let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
+            let Some(chosen) = chosen else { break };
+            estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+            blocked[chosen.index()] = true;
+            blockers.push(chosen);
+        }
+    }
+
+    // ---- Phase 2: replacement in reverse insertion order -------------------
+    for idx in (0..blockers.len()).rev() {
+        let u = blockers[idx];
+        // Temporarily remove u from the blocker set.
+        blocked[u.index()] = false;
+        let cfg = next_cfg(&mut stats);
+        let estimate =
+            decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
+        let Some(chosen) = chosen else {
+            // No candidate at all — put u back and stop replacing.
+            blocked[u.index()] = true;
+            break;
+        };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers[idx] = chosen;
+        if chosen == u {
+            // Early termination: the vertex under replacement is already the
+            // best choice (Algorithm 4, lines 19–20).
+            break;
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers,
+        estimated_spread,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advanced_greedy::advanced_greedy;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn config() -> AlgorithmConfig {
+        AlgorithmConfig::fast_for_tests().with_theta(400)
+    }
+
+    /// The "deep blocker" topology of Example 3: the seed has two
+    /// out-neighbours that funnel into one hub which fans out widely.
+    /// For b = 1 the hub is the right blocker; for b = 2 the two
+    /// out-neighbours are.
+    fn funnel_graph() -> DiGraph {
+        let mut edges = vec![
+            (vid(0), vid(1), 1.0),
+            (vid(0), vid(2), 1.0),
+            (vid(1), vid(3), 1.0),
+            (vid(2), vid(3), 1.0),
+        ];
+        for i in 0..5 {
+            edges.push((vid(3), vid(4 + i), 1.0));
+        }
+        DiGraph::from_edges(9, edges).unwrap()
+    }
+
+    #[test]
+    fn budget_one_replaces_out_neighbor_with_the_hub() {
+        let g = funnel_graph();
+        let sel = greedy_replace(&g, vid(0), &vec![false; 9], 1, &config()).unwrap();
+        assert_eq!(sel.blockers, vec![vid(3)], "the hub must replace the out-neighbour");
+        // Spread left: seed + its two out-neighbours.
+        assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_two_keeps_both_out_neighbors() {
+        let g = funnel_graph();
+        let sel = greedy_replace(&g, vid(0), &vec![false; 9], 2, &config()).unwrap();
+        let mut chosen = sel.blockers.clone();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![vid(1), vid(2)]);
+        assert!((sel.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_worse_than_advanced_greedy_on_funnel() {
+        let g = funnel_graph();
+        for b in 1..=3 {
+            let gr = greedy_replace(&g, vid(0), &vec![false; 9], b, &config()).unwrap();
+            let ag = advanced_greedy(&g, vid(0), &vec![false; 9], b, &config()).unwrap();
+            assert!(
+                gr.estimated_spread.unwrap() <= ag.estimated_spread.unwrap() + 1e-9,
+                "b={b}: GR {} must be ≤ AG {}",
+                gr.estimated_spread.unwrap(),
+                ag.estimated_spread.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn fill_to_budget_uses_whole_budget_when_out_degree_is_small() {
+        // Seed has a single out-neighbour but the budget is 3.
+        let g = DiGraph::from_edges(
+            5,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(2), vid(3), 1.0),
+                (vid(3), vid(4), 1.0),
+            ],
+        )
+        .unwrap();
+        let sel = greedy_replace(&g, vid(0), &vec![false; 5], 3, &config()).unwrap();
+        assert_eq!(sel.len(), 3);
+        // Pure Algorithm 4 (no fill) stops at one blocker.
+        let strict = greedy_replace_with(
+            &IcLiveEdgeSampler,
+            &g,
+            vid(0),
+            &vec![false; 5],
+            3,
+            &config(),
+            GreedyReplaceOptions {
+                fill_to_budget: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict.blockers, vec![vid(1)]);
+    }
+
+    #[test]
+    fn forbidden_out_neighbors_are_skipped() {
+        let g = funnel_graph();
+        let mut forbidden = vec![false; 9];
+        forbidden[1] = true;
+        forbidden[2] = true;
+        let sel = greedy_replace(&g, vid(0), &forbidden, 2, &config()).unwrap();
+        assert!(!sel.blockers.contains(&vid(1)));
+        assert!(!sel.blockers.contains(&vid(2)));
+        assert!(sel.blockers.contains(&vid(3)));
+    }
+
+    #[test]
+    fn source_with_no_out_neighbors_still_works() {
+        // Disconnected seed: nothing to block is useful, but the call
+        // must not fail; with fill enabled it may pick harmless vertices.
+        let g = DiGraph::from_edges(3, vec![(vid(1), vid(2), 1.0)]).unwrap();
+        let sel = greedy_replace(&g, vid(0), &vec![false; 3], 2, &config()).unwrap();
+        assert!(sel.len() <= 2);
+        assert!((sel.estimated_spread.unwrap_or(1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = funnel_graph();
+        assert!(matches!(
+            greedy_replace(&g, vid(0), &vec![false; 9], 0, &config()),
+            Err(IminError::ZeroBudget)
+        ));
+        assert!(greedy_replace(&g, vid(20), &vec![false; 9], 1, &config()).is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Simple blocker-selection heuristics.
+//!
+//! The paper compares against two of these directly (Rand and OutDegree,
+//! §VI-A / Table VII); the others are natural extensions used in the
+//! ablation benchmarks:
+//!
+//! * [`random_blockers`] — Rand (RA): `b` uniform random non-seed vertices.
+//! * [`out_degree_blockers`] — OutDegree (OD): the `b` non-seed vertices
+//!   with the highest out-degree [11, 12].
+//! * [`degree_blockers`] — same but ranked by total degree.
+//! * [`out_neighbor_blockers`] — the OutNeighbors strategy of Example 3:
+//!   block (up to) `b` out-neighbours of the seed, ranked by the
+//!   dominator-tree estimator.
+//! * [`pagerank_blockers`] — the `b` highest-PageRank non-seed vertices
+//!   (extension; PageRank is a classic proxy for structural importance).
+
+use crate::decrease::{decrease_es_computation, DecreaseConfig};
+use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
+use crate::{IminError, Result};
+use imin_graph::stats::{vertices_by_degree, vertices_by_out_degree};
+use imin_graph::{DiGraph, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn check_budget(budget: usize) -> Result<()> {
+    if budget == 0 {
+        Err(IminError::ZeroBudget)
+    } else {
+        Ok(())
+    }
+}
+
+/// Rand (RA): `b` vertices chosen uniformly at random among the vertices
+/// that are neither forbidden nor the source.
+pub fn random_blockers(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+    seed: u64,
+) -> Result<BlockerSelection> {
+    check_budget(budget)?;
+    let start = Instant::now();
+    let mut pool: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| v != source && !forbidden[v.index()])
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    pool.shuffle(&mut rng);
+    pool.truncate(budget);
+    let mut sel = BlockerSelection::new(pool);
+    sel.stats = SelectionStats {
+        elapsed: start.elapsed(),
+        ..Default::default()
+    };
+    Ok(sel)
+}
+
+/// OutDegree (OD): the `b` eligible vertices with the largest out-degree.
+pub fn out_degree_blockers(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+) -> Result<BlockerSelection> {
+    check_budget(budget)?;
+    let start = Instant::now();
+    let blockers: Vec<VertexId> = vertices_by_out_degree(graph)
+        .into_iter()
+        .filter(|&v| v != source && !forbidden[v.index()])
+        .take(budget)
+        .collect();
+    let mut sel = BlockerSelection::new(blockers);
+    sel.stats.elapsed = start.elapsed();
+    Ok(sel)
+}
+
+/// Total-degree variant of the degree heuristic.
+pub fn degree_blockers(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+) -> Result<BlockerSelection> {
+    check_budget(budget)?;
+    let start = Instant::now();
+    let blockers: Vec<VertexId> = vertices_by_degree(graph)
+        .into_iter()
+        .filter(|&v| v != source && !forbidden[v.index()])
+        .take(budget)
+        .collect();
+    let mut sel = BlockerSelection::new(blockers);
+    sel.stats.elapsed = start.elapsed();
+    Ok(sel)
+}
+
+/// OutNeighbors: block up to `b` out-neighbours of the source, ranked by
+/// their estimated spread decrease (one Algorithm-2 call).
+pub fn out_neighbor_blockers(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+    config: &AlgorithmConfig,
+) -> Result<BlockerSelection> {
+    check_budget(budget)?;
+    if source.index() >= graph.num_vertices() {
+        return Err(IminError::SeedOutOfRange {
+            vertex: source.index(),
+            num_vertices: graph.num_vertices(),
+        });
+    }
+    let start = Instant::now();
+    let blocked = vec![false; graph.num_vertices()];
+    let estimate = decrease_es_computation(
+        graph,
+        source,
+        &blocked,
+        &DecreaseConfig {
+            theta: config.theta,
+            threads: config.threads,
+            seed: config.seed,
+        },
+    )?;
+    let mut neighbors: Vec<VertexId> = graph
+        .out_edges(source)
+        .map(|(v, _)| v)
+        .filter(|&v| v != source && !forbidden[v.index()])
+        .collect();
+    neighbors.sort_unstable();
+    neighbors.dedup();
+    neighbors.sort_by(|a, b| {
+        estimate.delta[b.index()]
+            .partial_cmp(&estimate.delta[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.raw().cmp(&b.raw()))
+    });
+    neighbors.truncate(budget);
+    let mut sel = BlockerSelection::new(neighbors);
+    sel.stats = SelectionStats {
+        samples_drawn: estimate.samples,
+        rounds: 1,
+        elapsed: start.elapsed(),
+        ..Default::default()
+    };
+    Ok(sel)
+}
+
+/// PageRank scores computed by power iteration on the out-link structure
+/// (probabilities are ignored; dangling mass is redistributed uniformly).
+pub fn pagerank_scores(graph: &DiGraph, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0f64;
+        for u in graph.vertices() {
+            let dout = graph.out_degree(u);
+            if dout == 0 {
+                dangling += rank[u.index()];
+                continue;
+            }
+            let share = rank[u.index()] / dout as f64;
+            for &t in graph.out_neighbors(u) {
+                next[t as usize] += share;
+            }
+        }
+        let dangling_share = dangling / n as f64;
+        for x in next.iter_mut() {
+            *x = (1.0 - damping) * uniform + damping * (*x + dangling_share);
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// PageRank heuristic: the `b` eligible vertices with the highest PageRank.
+pub fn pagerank_blockers(
+    graph: &DiGraph,
+    source: VertexId,
+    forbidden: &[bool],
+    budget: usize,
+) -> Result<BlockerSelection> {
+    check_budget(budget)?;
+    let start = Instant::now();
+    let scores = pagerank_scores(graph, 0.85, 30);
+    let mut vertices: Vec<VertexId> = graph
+        .vertices()
+        .filter(|&v| v != source && !forbidden[v.index()])
+        .collect();
+    vertices.sort_by(|a, b| {
+        scores[b.index()]
+            .partial_cmp(&scores[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.raw().cmp(&b.raw()))
+    });
+    vertices.truncate(budget);
+    let mut sel = BlockerSelection::new(vertices);
+    sel.stats.elapsed = start.elapsed();
+    Ok(sel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// Seed 0 -> {1, 2}; 1 -> {3, 4, 5}; 2 -> 6. Vertex 1 has the highest
+    /// out-degree after the seed.
+    fn sample_graph() -> DiGraph {
+        DiGraph::from_edges(
+            7,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(0), vid(2), 1.0),
+                (vid(1), vid(3), 1.0),
+                (vid(1), vid(4), 1.0),
+                (vid(1), vid(5), 1.0),
+                (vid(2), vid(6), 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_respects_constraints() {
+        let g = sample_graph();
+        let forbidden = {
+            let mut f = vec![false; 7];
+            f[3] = true;
+            f
+        };
+        let a = random_blockers(&g, vid(0), &forbidden, 3, 42).unwrap();
+        let b = random_blockers(&g, vid(0), &forbidden, 3, 42).unwrap();
+        assert_eq!(a.blockers, b.blockers);
+        assert_eq!(a.len(), 3);
+        assert!(!a.blockers.contains(&vid(0)));
+        assert!(!a.blockers.contains(&vid(3)));
+        let c = random_blockers(&g, vid(0), &forbidden, 3, 43).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(random_blockers(&g, vid(0), &forbidden, 0, 1).is_err());
+    }
+
+    #[test]
+    fn out_degree_ranks_the_hub_first() {
+        let g = sample_graph();
+        let sel = out_degree_blockers(&g, vid(0), &vec![false; 7], 2).unwrap();
+        assert_eq!(sel.blockers[0], vid(1));
+        assert_eq!(sel.blockers[1], vid(2));
+        // The seed is excluded even though it has the joint-highest degree.
+        assert!(!sel.blockers.contains(&vid(0)));
+    }
+
+    #[test]
+    fn degree_heuristic_counts_in_plus_out() {
+        let g = sample_graph();
+        let sel = degree_blockers(&g, vid(0), &vec![false; 7], 1).unwrap();
+        assert_eq!(sel.blockers[0], vid(1)); // degree 4 (1 in + 3 out)
+    }
+
+    #[test]
+    fn out_neighbors_are_ranked_by_estimated_decrease() {
+        let g = sample_graph();
+        let cfg = AlgorithmConfig::fast_for_tests().with_theta(200);
+        let sel = out_neighbor_blockers(&g, vid(0), &vec![false; 7], 1, &cfg).unwrap();
+        // Blocking 1 removes 4 vertices; blocking 2 removes 2.
+        assert_eq!(sel.blockers, vec![vid(1)]);
+        let both = out_neighbor_blockers(&g, vid(0), &vec![false; 7], 5, &cfg).unwrap();
+        assert_eq!(both.len(), 2, "only two out-neighbours exist");
+        assert!(out_neighbor_blockers(&g, vid(9), &vec![false; 7], 1, &cfg).is_err());
+    }
+
+    #[test]
+    fn pagerank_scores_sum_to_one_and_favor_sinks_of_mass() {
+        let g = sample_graph();
+        let scores = pagerank_scores(&g, 0.85, 50);
+        let total: f64 = scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "PageRank must be a distribution");
+        // Leaves fed by the hub outrank the isolated-ish vertex 6's source.
+        assert!(scores[3] > scores[6] * 0.5);
+        assert!(pagerank_scores(&DiGraph::empty(0), 0.85, 10).is_empty());
+    }
+
+    #[test]
+    fn pagerank_blockers_respect_constraints() {
+        let g = sample_graph();
+        let mut forbidden = vec![false; 7];
+        forbidden[1] = true;
+        let sel = pagerank_blockers(&g, vid(0), &forbidden, 3).unwrap();
+        assert_eq!(sel.len(), 3);
+        assert!(!sel.blockers.contains(&vid(0)));
+        assert!(!sel.blockers.contains(&vid(1)));
+    }
+}

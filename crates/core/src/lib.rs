@@ -1,0 +1,62 @@
+//! # imin-core
+//!
+//! The influence-minimization (IMIN) algorithms of *"Minimizing the
+//! Influence of Misinformation via Vertex Blocking"* (ICDE 2023).
+//!
+//! Given a directed graph `G` with independent-cascade probabilities, a seed
+//! set `S` and a budget `b`, the IMIN problem asks for a blocker set
+//! `B ⊆ V \ S`, `|B| ≤ b`, minimising the expected spread
+//! `E(S, G[V \ B])`. The problem is NP-hard and APX-hard (Theorems 1 and 3),
+//! so the crate implements the paper's heuristic algorithms together with
+//! the baselines they are compared against:
+//!
+//! | Algorithm | Module | Paper |
+//! |---|---|---|
+//! | BaselineGreedy (greedy + Monte-Carlo, state of the art) | [`baseline_greedy`] | Alg. 1 |
+//! | Spread-decrease estimation via sampled graphs + dominator trees | [`decrease`] | Alg. 2, Thm. 4–6 |
+//! | AdvancedGreedy | [`advanced_greedy`] | Alg. 3 |
+//! | GreedyReplace | [`greedy_replace`] | Alg. 4 |
+//! | Rand / OutDegree / Degree / OutNeighbors / PageRank heuristics | [`heuristics`] | §VI-A |
+//! | Exact blocker search (exhaustive) | [`exact_blocker`] | §VI-B "Exact" |
+//! | Multi-seed → single-seed reduction | [`seed_merge`] | §V |
+//! | Triggering-model extension | [`triggering`] | §V-E |
+//!
+//! The easiest entry point is [`ImninProblem`], which owns the unified-seed
+//! reduction and exposes every algorithm behind a single [`Algorithm`] enum:
+//!
+//! ```
+//! use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+//! use imin_graph::generators;
+//! use imin_graph::VertexId;
+//!
+//! let graph = generators::preferential_attachment(300, 3, false, 0.1, 7).unwrap();
+//! let problem = ImninProblem::new(&graph, vec![VertexId::new(0)]).unwrap();
+//! let config = AlgorithmConfig::fast_for_tests();
+//! let result = problem
+//!     .solve(Algorithm::GreedyReplace, 5, &config)
+//!     .unwrap();
+//! assert!(result.blockers.len() <= 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advanced_greedy;
+pub mod baseline_greedy;
+pub mod decrease;
+pub mod error;
+pub mod exact_blocker;
+pub mod greedy_replace;
+pub mod heuristics;
+pub mod problem;
+pub mod sampler;
+pub mod seed_merge;
+pub mod triggering;
+pub mod types;
+
+pub use error::IminError;
+pub use problem::{Algorithm, ImninProblem};
+pub use types::{AlgorithmConfig, BlockerSelection, SelectionStats};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, IminError>;

@@ -1,0 +1,362 @@
+//! High-level facade for the IMIN problem.
+//!
+//! [`ImninProblem`] owns the unified-seed reduction (§V), keeps the original
+//! graph around for evaluation, knows which vertices are blockable
+//! (`V \ S`), and exposes every algorithm of the crate behind the
+//! [`Algorithm`] enum — the entry point used by the examples and the
+//! benchmark harness.
+
+use crate::advanced_greedy::advanced_greedy;
+use crate::baseline_greedy::baseline_greedy;
+use crate::exact_blocker::{exact_blocker_search, ExactSearchConfig};
+use crate::greedy_replace::greedy_replace;
+use crate::heuristics::{
+    degree_blockers, out_degree_blockers, out_neighbor_blockers, pagerank_blockers,
+    random_blockers,
+};
+use crate::seed_merge::{merge_seeds, MergedSeeds};
+use crate::types::{AlgorithmConfig, BlockerSelection};
+use crate::{IminError, Result};
+use imin_diffusion::exact::{exact_expected_spread, ExactSpreadConfig};
+use imin_diffusion::montecarlo::MonteCarloEstimator;
+use imin_graph::{DiGraph, VertexId};
+
+/// The blocker-selection algorithms available through [`ImninProblem::solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Algorithm 1 — greedy selection with Monte-Carlo evaluation (the
+    /// state-of-the-art baseline, `BG` in the figures).
+    BaselineGreedy,
+    /// Algorithm 3 — greedy selection with dominator-tree estimation (`AG`).
+    AdvancedGreedy,
+    /// Algorithm 4 — out-neighbour initialisation plus replacement (`GR`).
+    GreedyReplace,
+    /// Uniform random blockers (`RA`).
+    Random,
+    /// Highest out-degree blockers (`OD`).
+    OutDegree,
+    /// Highest total-degree blockers.
+    Degree,
+    /// Out-neighbours of the seed ranked by estimated decrease
+    /// (the `OutNeighbors` strategy of Example 3).
+    OutNeighbors,
+    /// Highest-PageRank blockers (extension).
+    PageRank,
+    /// Exhaustive search over all blocker sets (the `Exact` oracle; only
+    /// feasible on very small graphs).
+    Exact,
+}
+
+impl Algorithm {
+    /// Short identifier used in experiment tables (`BG`, `AG`, `GR`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::BaselineGreedy => "BG",
+            Algorithm::AdvancedGreedy => "AG",
+            Algorithm::GreedyReplace => "GR",
+            Algorithm::Random => "RA",
+            Algorithm::OutDegree => "OD",
+            Algorithm::Degree => "DEG",
+            Algorithm::OutNeighbors => "ON",
+            Algorithm::PageRank => "PR",
+            Algorithm::Exact => "EXACT",
+        }
+    }
+
+    /// All algorithms compared in the paper's Table VII plus this crate's
+    /// extensions, in presentation order.
+    pub fn all() -> &'static [Algorithm] {
+        &[
+            Algorithm::Random,
+            Algorithm::OutDegree,
+            Algorithm::Degree,
+            Algorithm::PageRank,
+            Algorithm::OutNeighbors,
+            Algorithm::BaselineGreedy,
+            Algorithm::AdvancedGreedy,
+            Algorithm::GreedyReplace,
+            Algorithm::Exact,
+        ]
+    }
+}
+
+/// An influence-minimization problem instance: a graph with IC
+/// probabilities and a seed set.
+#[derive(Clone, Debug)]
+pub struct ImninProblem {
+    original: DiGraph,
+    merged: MergedSeeds,
+    forbidden: Vec<bool>,
+}
+
+impl ImninProblem {
+    /// Creates a problem instance, performing the unified-seed reduction.
+    ///
+    /// # Errors
+    /// Returns an error if the seed set is empty or contains an out-of-range
+    /// vertex.
+    pub fn new(graph: &DiGraph, seeds: Vec<VertexId>) -> Result<Self> {
+        let merged = merge_seeds(graph, &seeds)?;
+        // Vertices that can never be blocked in the merged graph: the
+        // original seeds and the unified seed itself.
+        let mut forbidden = vec![false; merged.graph.num_vertices()];
+        for &s in &merged.original_seeds {
+            forbidden[s.index()] = true;
+        }
+        forbidden[merged.super_seed.index()] = true;
+        Ok(ImninProblem {
+            original: graph.clone(),
+            merged,
+            forbidden,
+        })
+    }
+
+    /// The original (pre-merge) graph.
+    pub fn graph(&self) -> &DiGraph {
+        &self.original
+    }
+
+    /// The original seed set (sorted, deduplicated).
+    pub fn seeds(&self) -> &[VertexId] {
+        &self.merged.original_seeds
+    }
+
+    /// The merged single-seed formulation (exposed for benchmarks and tests
+    /// that want to drive the low-level algorithms directly).
+    pub fn merged(&self) -> &MergedSeeds {
+        &self.merged
+    }
+
+    /// Returns `true` if `v` may be chosen as a blocker.
+    pub fn is_valid_blocker(&self, v: VertexId) -> bool {
+        self.merged.is_valid_blocker(v)
+    }
+
+    /// Number of candidate blockers (`|V \ S|`).
+    pub fn num_candidates(&self) -> usize {
+        self.merged.original_num_vertices - self.merged.original_seeds.len()
+    }
+
+    /// Runs the selected algorithm with the given budget.
+    ///
+    /// The returned blockers always refer to vertices of the original graph,
+    /// and `estimated_spread` (when present) is converted to original-graph
+    /// terms, i.e. it counts every seed as an active vertex — directly
+    /// comparable to the numbers in Table VII.
+    pub fn solve(
+        &self,
+        algorithm: Algorithm,
+        budget: usize,
+        config: &AlgorithmConfig,
+    ) -> Result<BlockerSelection> {
+        let g = &self.merged.graph;
+        let s = self.merged.super_seed;
+        let f = &self.forbidden;
+        let mut selection = match algorithm {
+            Algorithm::BaselineGreedy => baseline_greedy(g, s, f, budget, config)?,
+            Algorithm::AdvancedGreedy => advanced_greedy(g, s, f, budget, config)?,
+            Algorithm::GreedyReplace => greedy_replace(g, s, f, budget, config)?,
+            Algorithm::Random => random_blockers(g, s, f, budget, config.seed)?,
+            Algorithm::OutDegree => out_degree_blockers(g, s, f, budget)?,
+            Algorithm::Degree => degree_blockers(g, s, f, budget)?,
+            Algorithm::OutNeighbors => out_neighbor_blockers(g, s, f, budget, config)?,
+            Algorithm::PageRank => pagerank_blockers(g, s, f, budget)?,
+            Algorithm::Exact => exact_blocker_search(
+                g,
+                s,
+                f,
+                budget,
+                &ExactSearchConfig::from_algorithm_config(config),
+            )?,
+        };
+        // Heuristics run on the merged graph but must only return original
+        // vertices; the forbidden mask already excludes seeds and the
+        // unified seed, and every other merged vertex is an original vertex,
+        // so no id translation is required. Spread estimates, however, are
+        // in merged terms and need the |S| - 1 offset.
+        if let Some(spread) = selection.estimated_spread {
+            selection.estimated_spread = Some(self.merged.to_original_spread(spread));
+        }
+        debug_assert!(selection
+            .blockers
+            .iter()
+            .all(|&b| self.is_valid_blocker(b)));
+        Ok(selection)
+    }
+
+    /// Evaluates a blocker set by Monte-Carlo simulation **on the original
+    /// graph with the original seeds** — the procedure used to fill
+    /// Table VII (the paper evaluates final blocker sets with 10⁵ rounds).
+    ///
+    /// # Errors
+    /// Returns an error if a blocker is a seed or out of range.
+    pub fn evaluate_spread(
+        &self,
+        blockers: &[VertexId],
+        rounds: usize,
+        seed: u64,
+    ) -> Result<f64> {
+        let mask = self.original_blocker_mask(blockers)?;
+        let estimator = MonteCarloEstimator {
+            rounds,
+            threads: imin_diffusion::montecarlo::default_threads(),
+            seed,
+        };
+        Ok(estimator
+            .expected_spread_blocked(&self.original, self.seeds(), Some(&mask))?
+            .mean)
+    }
+
+    /// Evaluates a blocker set exactly by possible-world enumeration (only
+    /// feasible when few uncertain edges are reachable; used for the
+    /// Exact-vs-GR comparison of Tables V and VI).
+    pub fn evaluate_spread_exact(
+        &self,
+        blockers: &[VertexId],
+        max_uncertain_edges: usize,
+    ) -> Result<f64> {
+        let mask = self.original_blocker_mask(blockers)?;
+        Ok(exact_expected_spread(
+            &self.original,
+            self.seeds(),
+            Some(&mask),
+            ExactSpreadConfig {
+                max_uncertain_edges,
+            },
+        )?)
+    }
+
+    /// Builds a blocked-vertex mask over the original graph, validating that
+    /// no blocker is a seed.
+    pub fn original_blocker_mask(&self, blockers: &[VertexId]) -> Result<Vec<bool>> {
+        let n = self.original.num_vertices();
+        let mut mask = vec![false; n];
+        for &b in blockers {
+            if b.index() >= n {
+                return Err(IminError::InvalidBlocker {
+                    vertex: b.index(),
+                    reason: "vertex does not exist in the original graph",
+                });
+            }
+            if self.merged.is_original_seed(b) {
+                return Err(IminError::InvalidBlocker {
+                    vertex: b.index(),
+                    reason: "seed vertices cannot be blocked (B ⊆ V \\ S)",
+                });
+            }
+            mask[b.index()] = true;
+        }
+        Ok(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn funnel_graph() -> DiGraph {
+        let mut edges = vec![
+            (vid(0), vid(1), 1.0),
+            (vid(0), vid(2), 1.0),
+            (vid(1), vid(3), 1.0),
+            (vid(2), vid(3), 1.0),
+        ];
+        for i in 0..5 {
+            edges.push((vid(3), vid(4 + i), 1.0));
+        }
+        DiGraph::from_edges(9, edges).unwrap()
+    }
+
+    fn cfg() -> AlgorithmConfig {
+        AlgorithmConfig::fast_for_tests().with_theta(300).with_mcs_rounds(300)
+    }
+
+    #[test]
+    fn labels_and_listing() {
+        assert_eq!(Algorithm::GreedyReplace.label(), "GR");
+        assert_eq!(Algorithm::BaselineGreedy.label(), "BG");
+        assert!(Algorithm::all().contains(&Algorithm::Exact));
+        assert_eq!(Algorithm::all().len(), 9);
+    }
+
+    #[test]
+    fn problem_accessors() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        assert_eq!(p.seeds(), &[vid(0)]);
+        assert_eq!(p.num_candidates(), 8);
+        assert!(p.is_valid_blocker(vid(3)));
+        assert!(!p.is_valid_blocker(vid(0)));
+        assert_eq!(p.graph().num_vertices(), 9);
+        assert_eq!(p.merged().graph.num_vertices(), 10);
+        assert!(ImninProblem::new(&g, vec![]).is_err());
+        assert!(ImninProblem::new(&g, vec![vid(99)]).is_err());
+    }
+
+    #[test]
+    fn every_algorithm_produces_valid_blockers() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        for &alg in Algorithm::all() {
+            let sel = p.solve(alg, 2, &cfg()).unwrap();
+            assert!(sel.len() <= 2, "{alg:?} exceeded the budget");
+            for &b in &sel.blockers {
+                assert!(p.is_valid_blocker(b), "{alg:?} chose an invalid blocker {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_replace_reaches_the_optimum_on_the_funnel() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        let gr = p.solve(Algorithm::GreedyReplace, 1, &cfg()).unwrap();
+        assert_eq!(gr.blockers, vec![vid(3)]);
+        // Original-terms spread after blocking the hub: seed + 2 neighbours.
+        assert!((gr.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+        let eval = p.evaluate_spread(&gr.blockers, 400, 3).unwrap();
+        assert!((eval - 3.0).abs() < 1e-9);
+        let exact = p.evaluate_spread_exact(&gr.blockers, 20).unwrap();
+        assert!((exact - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_seed_problem_counts_all_seeds_in_the_spread() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0), vid(8)]).unwrap();
+        // Nothing blocked: everything reachable (9 vertices) is the spread.
+        let spread = p.evaluate_spread(&[], 400, 1).unwrap();
+        assert!((spread - 9.0).abs() < 1e-9);
+        let sel = p.solve(Algorithm::GreedyReplace, 2, &cfg()).unwrap();
+        // Blockers must avoid both seeds.
+        assert!(!sel.blockers.contains(&vid(0)));
+        assert!(!sel.blockers.contains(&vid(8)));
+        let est = sel.estimated_spread.unwrap();
+        let eval = p.evaluate_spread(&sel.blockers, 400, 2).unwrap();
+        assert!((est - eval).abs() < 1e-6, "estimate {est} vs evaluation {eval}");
+    }
+
+    #[test]
+    fn evaluate_rejects_invalid_blockers() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        assert!(p.evaluate_spread(&[vid(0)], 100, 1).is_err());
+        assert!(p.evaluate_spread(&[vid(50)], 100, 1).is_err());
+        assert!(p.original_blocker_mask(&[vid(3)]).is_ok());
+    }
+
+    #[test]
+    fn exact_algorithm_agrees_with_greedy_replace_here() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        let exact = p.solve(Algorithm::Exact, 2, &cfg()).unwrap();
+        let gr = p.solve(Algorithm::GreedyReplace, 2, &cfg()).unwrap();
+        let spread_exact = p.evaluate_spread(&exact.blockers, 500, 5).unwrap();
+        let spread_gr = p.evaluate_spread(&gr.blockers, 500, 5).unwrap();
+        assert!((spread_exact - spread_gr).abs() < 1e-9);
+    }
+}

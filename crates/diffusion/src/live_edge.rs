@@ -1,0 +1,193 @@
+//! Live-edge (possible-world) sampling of the IC model.
+//!
+//! Definition 4 of the paper: a *random sampled graph* `g` keeps every edge
+//! `(u, v)` of `G` independently with probability `p(u, v)`. Lemma 1 (due to
+//! Kempe et al.) states that the expected number of vertices reachable from
+//! the seed in `g` equals the expected spread `E({s}, G)` — this equivalence
+//! is what lets the core crate replace per-candidate Monte-Carlo simulation
+//! with dominator trees over sampled graphs.
+//!
+//! This module materialises full live-edge samples as adjacency lists. The
+//! core crate has a faster sampler that only explores the part reachable
+//! from the seed; the functions here are used by tests (to validate that
+//! sampler), by the triggering-model extension and by small examples.
+
+use crate::error::validate_seeds_and_mask;
+use crate::Result;
+use imin_graph::{DiGraph, VertexId};
+use rand::Rng;
+
+/// A materialised live-edge sample: `adjacency[u]` lists the targets of the
+/// edges of `u` that survived the coin flips.
+pub type LiveEdgeSample = Vec<Vec<u32>>;
+
+/// Draws one live-edge sample of the whole graph.
+pub fn sample_live_edges<R: Rng + ?Sized>(graph: &DiGraph, rng: &mut R) -> LiveEdgeSample {
+    let n = graph.num_vertices();
+    let mut adjacency: LiveEdgeSample = vec![Vec::new(); n];
+    for u in graph.vertices() {
+        let targets = graph.out_neighbors(u);
+        let probs = graph.out_probabilities(u);
+        let out = &mut adjacency[u.index()];
+        for (&t, &p) in targets.iter().zip(probs) {
+            let keep = if p >= 1.0 {
+                true
+            } else if p <= 0.0 {
+                false
+            } else {
+                rng.gen_bool(p)
+            };
+            if keep {
+                out.push(t);
+            }
+        }
+    }
+    adjacency
+}
+
+/// Number of vertices reachable from `seeds` in a live-edge sample,
+/// optionally skipping blocked vertices. One call corresponds to one
+/// Monte-Carlo round (Lemma 1).
+pub fn sample_reachable_count<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    blocked: Option<&[bool]>,
+    rng: &mut R,
+) -> Result<usize> {
+    validate_seeds_and_mask(graph.num_vertices(), seeds, blocked)?;
+    let sample = sample_live_edges(graph, rng);
+    Ok(reachable_in_sample(&sample, seeds, blocked))
+}
+
+/// BFS reachability inside a materialised sample.
+pub fn reachable_in_sample(
+    sample: &LiveEdgeSample,
+    seeds: &[VertexId],
+    blocked: Option<&[bool]>,
+) -> usize {
+    let n = sample.len();
+    let mut visited = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    let is_blocked = |v: usize| blocked.map(|m| m[v]).unwrap_or(false);
+    let mut count = 0usize;
+    for &s in seeds {
+        if s.index() < n && !visited[s.index()] && !is_blocked(s.index()) {
+            visited[s.index()] = true;
+            queue.push(s.raw());
+            count += 1;
+        }
+    }
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head] as usize;
+        head += 1;
+        for &t in &sample[u] {
+            let ti = t as usize;
+            if !visited[ti] && !is_blocked(ti) {
+                visited[ti] = true;
+                queue.push(t);
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Estimates the expected spread by averaging live-edge reachability over
+/// `samples` draws — functionally identical to Monte-Carlo simulation and
+/// used in tests to confirm Lemma 1 empirically.
+pub fn estimate_spread_by_sampling<R: Rng + ?Sized>(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    blocked: Option<&[bool]>,
+    samples: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    validate_seeds_and_mask(graph.num_vertices(), seeds, blocked)?;
+    if samples == 0 {
+        return Err(crate::DiffusionError::ZeroRounds);
+    }
+    let mut total = 0usize;
+    for _ in 0..samples {
+        total += sample_reachable_count(graph, seeds, blocked, rng)?;
+    }
+    Ok(total as f64 / samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::MonteCarloEstimator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn two_hop() -> DiGraph {
+        DiGraph::from_edges(
+            3,
+            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn deterministic_edges_always_survive() {
+        let g = DiGraph::from_edges(
+            3,
+            vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 0.0)],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let s = sample_live_edges(&g, &mut rng);
+            assert_eq!(s[0], vec![1]);
+            assert!(s[1].is_empty());
+        }
+    }
+
+    #[test]
+    fn sampling_estimate_agrees_with_monte_carlo_lemma1() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(9);
+        let by_sampling =
+            estimate_spread_by_sampling(&g, &[vid(0)], None, 30_000, &mut rng).unwrap();
+        let by_mcs = MonteCarloEstimator::new(30_000)
+            .with_threads(1)
+            .with_seed(10)
+            .expected_spread(&g, &[vid(0)])
+            .unwrap()
+            .mean;
+        assert!((by_sampling - 1.75).abs() < 0.04);
+        assert!((by_sampling - by_mcs).abs() < 0.05);
+    }
+
+    #[test]
+    fn blocking_in_samples_matches_definition() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut blocked = vec![false; 3];
+        blocked[1] = true;
+        let est =
+            estimate_spread_by_sampling(&g, &[vid(0)], Some(&blocked), 500, &mut rng).unwrap();
+        assert_eq!(est, 1.0);
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(sample_reachable_count(&g, &[], None, &mut rng).is_err());
+        assert!(estimate_spread_by_sampling(&g, &[vid(0)], None, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn reachable_in_sample_handles_blocked_seed_and_duplicates() {
+        let sample: LiveEdgeSample = vec![vec![1], vec![2], vec![]];
+        assert_eq!(reachable_in_sample(&sample, &[vid(0), vid(0)], None), 3);
+        let blocked = vec![true, false, false];
+        assert_eq!(reachable_in_sample(&sample, &[vid(0)], Some(&blocked)), 0);
+    }
+}

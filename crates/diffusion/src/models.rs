@@ -1,0 +1,176 @@
+//! Propagation-probability models (§VI-A of the paper).
+//!
+//! The paper evaluates under two standard probability assignments, both of
+//! which operate on an existing topology:
+//!
+//! * **Trivalency (TR)** — every edge independently draws its probability
+//!   uniformly from `{0.1, 0.01, 0.001}` [9, 21, 57].
+//! * **Weighted Cascade (WC)** — every edge `(u, v)` gets `p(u,v) = 1 /
+//!   d_in(v)` [7, 40].
+//!
+//! Two extra assignments, constant and uniform-range, are provided for tests
+//! and examples.
+
+use crate::Result;
+use imin_graph::DiGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The trivalency probability palette used by the TR model.
+pub const TRIVALENCY_VALUES: [f64; 3] = [0.1, 0.01, 0.001];
+
+/// A propagation-probability assignment strategy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ProbabilityModel {
+    /// Trivalency model: each edge uniformly picks one of
+    /// [`TRIVALENCY_VALUES`]. The `u64` is the RNG seed, making assignments
+    /// reproducible.
+    Trivalency {
+        /// RNG seed for the per-edge draws.
+        seed: u64,
+    },
+    /// Weighted-cascade model: `p(u, v) = 1 / d_in(v)`.
+    WeightedCascade,
+    /// Every edge gets the same probability.
+    Constant(f64),
+    /// Each edge draws uniformly from `[low, high]` (seeded).
+    Uniform {
+        /// Lower bound of the range.
+        low: f64,
+        /// Upper bound of the range.
+        high: f64,
+        /// RNG seed for the per-edge draws.
+        seed: u64,
+    },
+    /// Keep whatever probabilities the graph already carries.
+    Keep,
+}
+
+impl ProbabilityModel {
+    /// Short identifier used in experiment output (`TR`, `WC`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProbabilityModel::Trivalency { .. } => "TR",
+            ProbabilityModel::WeightedCascade => "WC",
+            ProbabilityModel::Constant(_) => "CONST",
+            ProbabilityModel::Uniform { .. } => "UNIF",
+            ProbabilityModel::Keep => "KEEP",
+        }
+    }
+
+    /// Returns a copy of `graph` with probabilities assigned by this model.
+    ///
+    /// # Errors
+    /// Propagates invalid-probability errors (e.g. a constant outside
+    /// `[0, 1]`).
+    pub fn apply(&self, graph: &DiGraph) -> Result<DiGraph> {
+        let out = match *self {
+            ProbabilityModel::Keep => graph.clone(),
+            ProbabilityModel::Constant(p) => graph.map_probabilities(|_, _, _| p)?,
+            ProbabilityModel::WeightedCascade => graph.map_probabilities(|_, v, _| {
+                let din = graph.in_degree(v);
+                if din == 0 {
+                    // Cannot happen for a real edge target, but stay total.
+                    0.0
+                } else {
+                    1.0 / din as f64
+                }
+            })?,
+            ProbabilityModel::Trivalency { seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                graph.map_probabilities(|_, _, _| {
+                    TRIVALENCY_VALUES[rng.gen_range(0..TRIVALENCY_VALUES.len())]
+                })?
+            }
+            ProbabilityModel::Uniform { low, high, seed } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                graph.map_probabilities(|_, _, _| rng.gen_range(low..=high))?
+            }
+        };
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imin_graph::{GraphBuilder, VertexId};
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn chain_with_fanin() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 2 (so d_in(2) = 2).
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(vid(0), vid(1), 0.5).unwrap();
+        b.add_edge(vid(0), vid(2), 0.5).unwrap();
+        b.add_edge(vid(1), vid(2), 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProbabilityModel::Trivalency { seed: 1 }.label(), "TR");
+        assert_eq!(ProbabilityModel::WeightedCascade.label(), "WC");
+        assert_eq!(ProbabilityModel::Constant(0.5).label(), "CONST");
+        assert_eq!(
+            ProbabilityModel::Uniform {
+                low: 0.0,
+                high: 1.0,
+                seed: 0
+            }
+            .label(),
+            "UNIF"
+        );
+        assert_eq!(ProbabilityModel::Keep.label(), "KEEP");
+    }
+
+    #[test]
+    fn trivalency_uses_only_palette_values_and_is_deterministic() {
+        let g = chain_with_fanin();
+        let a = ProbabilityModel::Trivalency { seed: 42 }.apply(&g).unwrap();
+        let b = ProbabilityModel::Trivalency { seed: 42 }.apply(&g).unwrap();
+        for e in a.edges() {
+            assert!(TRIVALENCY_VALUES.contains(&e.probability));
+            assert_eq!(
+                b.edge_probability(e.source, e.target),
+                Some(e.probability),
+                "same seed must give identical assignments"
+            );
+        }
+        let c = ProbabilityModel::Trivalency { seed: 43 }.apply(&g).unwrap();
+        // With a different seed at least the topology is unchanged.
+        assert_eq!(c.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn weighted_cascade_uses_in_degree() {
+        let g = chain_with_fanin();
+        let wc = ProbabilityModel::WeightedCascade.apply(&g).unwrap();
+        assert_eq!(wc.edge_probability(vid(0), vid(1)), Some(1.0));
+        assert_eq!(wc.edge_probability(vid(0), vid(2)), Some(0.5));
+        assert_eq!(wc.edge_probability(vid(1), vid(2)), Some(0.5));
+        assert!(wc.validate().is_ok());
+    }
+
+    #[test]
+    fn constant_and_keep_and_uniform() {
+        let g = chain_with_fanin();
+        let c = ProbabilityModel::Constant(0.2).apply(&g).unwrap();
+        assert!(c.edges().all(|e| e.probability == 0.2));
+        assert!(ProbabilityModel::Constant(1.5).apply(&g).is_err());
+
+        let k = ProbabilityModel::Keep.apply(&g).unwrap();
+        assert!(k.edges().all(|e| e.probability == 0.5));
+
+        let u = ProbabilityModel::Uniform {
+            low: 0.1,
+            high: 0.3,
+            seed: 7,
+        }
+        .apply(&g)
+        .unwrap();
+        assert!(u.edges().all(|e| e.probability >= 0.1 && e.probability <= 0.3));
+    }
+}

@@ -1,0 +1,291 @@
+//! Monte-Carlo estimation of the expected spread (MCS, §V-A).
+//!
+//! The baseline greedy algorithm of the paper repeatedly calls an estimator
+//! like this one — once per candidate blocker per round — which is exactly
+//! why it is so expensive (`O(b · n · r · m)`, §V-A). The estimator is also
+//! used to *evaluate* the blocker sets produced by every algorithm in the
+//! experiment harness (Table VII reports spreads computed by MCS).
+//!
+//! Rounds are split across threads with `crossbeam::scope`; every thread
+//! derives its own RNG stream from the base seed, so results are
+//! reproducible for a fixed configuration regardless of thread scheduling.
+
+use crate::error::validate_seeds_and_mask;
+use crate::ic::CascadeSimulator;
+use crate::spread::SpreadEstimate;
+use crate::{DiffusionError, Result};
+use imin_graph::{DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Configuration for Monte-Carlo spread estimation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MonteCarloEstimator {
+    /// Number of simulation rounds `r` (the paper uses 10 000 for selection
+    /// and 100 000 for final evaluation).
+    pub rounds: usize,
+    /// Number of worker threads (1 = fully sequential).
+    pub threads: usize,
+    /// Base RNG seed; per-thread streams are derived from it.
+    pub seed: u64,
+}
+
+impl Default for MonteCarloEstimator {
+    fn default() -> Self {
+        MonteCarloEstimator {
+            rounds: 10_000,
+            threads: default_threads(),
+            seed: 0x1C0FFEE,
+        }
+    }
+}
+
+/// Default parallelism: the number of available CPUs, capped at 16.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+impl MonteCarloEstimator {
+    /// Creates an estimator with the given number of rounds and default
+    /// threading/seed.
+    pub fn new(rounds: usize) -> Self {
+        MonteCarloEstimator {
+            rounds,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the number of threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Estimates `E(S, G)` (no blockers).
+    pub fn expected_spread(&self, graph: &DiGraph, seeds: &[VertexId]) -> Result<SpreadEstimate> {
+        self.expected_spread_blocked(graph, seeds, None)
+    }
+
+    /// Estimates `E(S, G[V \ B])` where `B` is given as a boolean mask.
+    ///
+    /// # Errors
+    /// Returns an error for an empty seed set, out-of-range seeds, a mask of
+    /// the wrong length, a blocked seed, or zero rounds.
+    pub fn expected_spread_blocked(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: Option<&[bool]>,
+    ) -> Result<SpreadEstimate> {
+        validate_seeds_and_mask(graph.num_vertices(), seeds, blocked)?;
+        if self.rounds == 0 {
+            return Err(DiffusionError::ZeroRounds);
+        }
+        let threads = self.threads.max(1).min(self.rounds);
+        if threads <= 1 {
+            let (sum, sum_sq) =
+                run_rounds(graph, seeds, blocked, self.rounds, self.seed)?;
+            return Ok(SpreadEstimate::from_sums(sum, sum_sq, self.rounds));
+        }
+
+        // Split rounds as evenly as possible across threads.
+        let base = self.rounds / threads;
+        let extra = self.rounds % threads;
+        let mut totals: Vec<std::result::Result<(f64, f64), DiffusionError>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for t in 0..threads {
+                let rounds_here = base + usize::from(t < extra);
+                let thread_seed = self
+                    .seed
+                    .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
+                handles.push(scope.spawn(move |_| {
+                    run_rounds(graph, seeds, blocked, rounds_here, thread_seed)
+                }));
+            }
+            for h in handles {
+                totals.push(h.join().expect("Monte-Carlo worker thread panicked"));
+            }
+        })
+        .expect("crossbeam scope failed");
+
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for r in totals {
+            let (s, sq) = r?;
+            sum += s;
+            sum_sq += sq;
+        }
+        Ok(SpreadEstimate::from_sums(sum, sum_sq, self.rounds))
+    }
+
+    /// Convenience wrapper returning only the estimated mean spread.
+    pub fn expected_spread_value(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: Option<&[bool]>,
+    ) -> Result<f64> {
+        Ok(self.expected_spread_blocked(graph, seeds, blocked)?.mean)
+    }
+
+    /// Estimates the *decrease* of expected spread caused by additionally
+    /// blocking `candidate` on top of the existing `blocked` mask — the
+    /// quantity the BaselineGreedy algorithm evaluates for every candidate
+    /// (Algorithm 1, line 5).
+    pub fn spread_decrease(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: &[bool],
+        candidate: VertexId,
+    ) -> Result<f64> {
+        let before = self.expected_spread_blocked(graph, seeds, Some(blocked))?;
+        let mut with_candidate = blocked.to_vec();
+        if candidate.index() < with_candidate.len() {
+            with_candidate[candidate.index()] = true;
+        }
+        let after = self.expected_spread_blocked(graph, seeds, Some(&with_candidate))?;
+        Ok(before.mean - after.mean)
+    }
+}
+
+/// Runs `rounds` independent cascades and returns the sum and sum of squares
+/// of the per-round spread.
+fn run_rounds(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    blocked: Option<&[bool]>,
+    rounds: usize,
+    seed: u64,
+) -> std::result::Result<(f64, f64), DiffusionError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut sim = CascadeSimulator::new(graph.num_vertices());
+    let mut sum = 0.0f64;
+    let mut sum_sq = 0.0f64;
+    for _ in 0..rounds {
+        let count = match blocked {
+            Some(mask) => sim.run_count(graph, seeds, |v| mask[v.index()], &mut rng),
+            None => sim.run_count(graph, seeds, |_| false, &mut rng),
+        };
+        let c = count as f64;
+        sum += c;
+        sum_sq += c * c;
+    }
+    Ok((sum, sum_sq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn two_hop() -> DiGraph {
+        // 0 -> 1 (0.5) -> 2 (0.5): E = 1 + 0.5 + 0.25 = 1.75.
+        DiGraph::from_edges(
+            3,
+            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn estimates_match_closed_form_sequential() {
+        let g = two_hop();
+        let est = MonteCarloEstimator::new(40_000).with_threads(1).with_seed(11);
+        let e = est.expected_spread(&g, &[vid(0)]).unwrap();
+        assert!(
+            (e.mean - 1.75).abs() < 0.03,
+            "sequential estimate {} too far from 1.75",
+            e.mean
+        );
+        assert!(e.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn estimates_match_closed_form_parallel_and_are_deterministic() {
+        let g = two_hop();
+        let est = MonteCarloEstimator::new(40_000).with_threads(4).with_seed(12);
+        let a = est.expected_spread(&g, &[vid(0)]).unwrap();
+        let b = est.expected_spread(&g, &[vid(0)]).unwrap();
+        assert!((a.mean - 1.75).abs() < 0.03);
+        assert_eq!(a.mean, b.mean, "same config must give identical results");
+    }
+
+    #[test]
+    fn blocking_reduces_spread() {
+        let g = two_hop();
+        let est = MonteCarloEstimator::new(20_000).with_threads(2).with_seed(5);
+        let mut blocked = vec![false; 3];
+        blocked[1] = true;
+        let e = est
+            .expected_spread_blocked(&g, &[vid(0)], Some(&blocked))
+            .unwrap();
+        assert!((e.mean - 1.0).abs() < 1e-9, "blocking v1 leaves only the seed");
+        let dec = est
+            .spread_decrease(&g, &[vid(0)], &vec![false; 3], vid(1))
+            .unwrap();
+        assert!((dec - 0.75).abs() < 0.03);
+    }
+
+    #[test]
+    fn deterministic_graph_has_zero_variance() {
+        let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 1.0)]).unwrap();
+        let est = MonteCarloEstimator::new(100).with_threads(2);
+        let e = est.expected_spread(&g, &[vid(0)]).unwrap();
+        assert_eq!(e.mean, 2.0);
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let g = two_hop();
+        let est = MonteCarloEstimator {
+            rounds: 0,
+            threads: 1,
+            seed: 0,
+        };
+        assert!(matches!(
+            est.expected_spread(&g, &[vid(0)]),
+            Err(DiffusionError::ZeroRounds)
+        ));
+        let est = MonteCarloEstimator::new(10);
+        assert!(est.expected_spread(&g, &[]).is_err());
+        assert!(est.expected_spread(&g, &[vid(7)]).is_err());
+        let mut mask = vec![false; 3];
+        mask[0] = true;
+        assert!(est
+            .expected_spread_blocked(&g, &[vid(0)], Some(&mask))
+            .is_err());
+    }
+
+    #[test]
+    fn more_threads_than_rounds_is_fine() {
+        let g = two_hop();
+        let est = MonteCarloEstimator::new(3).with_threads(16);
+        let e = est.expected_spread(&g, &[vid(0)]).unwrap();
+        assert_eq!(e.rounds, 3);
+        assert!(e.mean >= 1.0 && e.mean <= 3.0);
+    }
+
+    #[test]
+    fn multiple_seeds_count_each_once() {
+        let g = two_hop();
+        let est = MonteCarloEstimator::new(5_000).with_seed(3);
+        let e = est.expected_spread(&g, &[vid(0), vid(2)]).unwrap();
+        // v2 is now a seed: E = 1 (v0) + 0.5 (v1) + 1 (v2) = 2.5.
+        assert!((e.mean - 2.5).abs() < 0.05);
+    }
+}

@@ -1,0 +1,100 @@
+//! Spread-estimate statistics.
+
+/// A Monte-Carlo estimate of the expected spread `E(S, G[V \ B])`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpreadEstimate {
+    /// Sample mean of the spread over all simulation rounds.
+    pub mean: f64,
+    /// Unbiased sample variance of the per-round spread.
+    pub variance: f64,
+    /// Number of simulation rounds.
+    pub rounds: usize,
+}
+
+impl SpreadEstimate {
+    /// Builds an estimate from the sum and sum of squares of per-round
+    /// spreads.
+    pub fn from_sums(sum: f64, sum_sq: f64, rounds: usize) -> Self {
+        assert!(rounds > 0, "at least one round is required");
+        let mean = sum / rounds as f64;
+        let variance = if rounds > 1 {
+            ((sum_sq - sum * sum / rounds as f64) / (rounds as f64 - 1.0)).max(0.0)
+        } else {
+            0.0
+        };
+        SpreadEstimate {
+            mean,
+            variance,
+            rounds,
+        }
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        (self.variance / self.rounds as f64).sqrt()
+    }
+
+    /// Half-width of an approximate 95% confidence interval
+    /// (normal approximation).
+    pub fn confidence_95(&self) -> f64 {
+        1.96 * self.standard_error()
+    }
+
+    /// Returns `true` if `other` lies within this estimate's 95% interval
+    /// widened by `slack` — the tolerance check used by statistical tests.
+    pub fn is_consistent_with(&self, other: f64, slack: f64) -> bool {
+        (self.mean - other).abs() <= self.confidence_95() + slack
+    }
+}
+
+impl std::fmt::Display for SpreadEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.4} ± {:.4} ({} rounds)",
+            self.mean,
+            self.confidence_95(),
+            self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_sums_computes_mean_and_variance() {
+        // Samples: 1, 2, 3 → mean 2, variance 1.
+        let e = SpreadEstimate::from_sums(6.0, 14.0, 3);
+        assert!((e.mean - 2.0).abs() < 1e-12);
+        assert!((e.variance - 1.0).abs() < 1e-12);
+        assert!((e.standard_error() - (1.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!(e.confidence_95() > 0.0);
+        assert!(e.is_consistent_with(2.5, 0.0));
+        assert!(!e.is_consistent_with(10.0, 0.0));
+        assert!(e.to_string().contains("rounds"));
+    }
+
+    #[test]
+    fn single_round_has_zero_variance() {
+        let e = SpreadEstimate::from_sums(5.0, 25.0, 1);
+        assert_eq!(e.mean, 5.0);
+        assert_eq!(e.variance, 0.0);
+        assert_eq!(e.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn identical_samples_have_zero_variance_despite_rounding() {
+        // 10 samples all equal to 3: sum 30, sum_sq 90.
+        let e = SpreadEstimate::from_sums(30.0, 90.0, 10);
+        assert!((e.mean - 3.0).abs() < 1e-12);
+        assert_eq!(e.variance, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_panics() {
+        let _ = SpreadEstimate::from_sums(0.0, 0.0, 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The triggering model (§V-E) and its live-edge sampling.
+//!
+//! The triggering model generalises both IC and LT: every vertex `v` draws a
+//! *triggering set* `T(v)` from a distribution over subsets of its
+//! in-neighbours; `v` becomes active when any member of `T(v)` is active. A
+//! live-edge sample keeps the in-edge `(u, v)` exactly when `u ∈ T(v)`, and
+//! the spread equals the expected reachability from the seeds in that sample
+//! — so the AdvancedGreedy/GreedyReplace machinery runs unchanged on
+//! triggering-sampled graphs (the extension the paper describes in §V-E).
+
+use crate::error::validate_seeds_and_mask;
+use crate::live_edge::{reachable_in_sample, LiveEdgeSample};
+use crate::{DiffusionError, Result};
+use imin_graph::{DiGraph, VertexId};
+use rand::{Rng, RngCore};
+
+/// A distribution over triggering sets.
+pub trait TriggeringModel: Send + Sync {
+    /// Short identifier used in experiment output.
+    fn label(&self) -> &'static str;
+
+    /// Samples the triggering set of `v` and appends its members (which must
+    /// be in-neighbours of `v`) to `out`.
+    fn sample_triggering_set(
+        &self,
+        graph: &DiGraph,
+        v: VertexId,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VertexId>,
+    );
+}
+
+/// Independent-cascade triggering: each in-neighbour `u` of `v` joins `T(v)`
+/// independently with probability `p(u, v)`. Sampling under this model is
+/// distributionally identical to IC live-edge sampling (Definition 4).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IcTriggering;
+
+impl TriggeringModel for IcTriggering {
+    fn label(&self) -> &'static str {
+        "IC"
+    }
+
+    fn sample_triggering_set(
+        &self,
+        graph: &DiGraph,
+        v: VertexId,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VertexId>,
+    ) {
+        let sources = graph.in_neighbors(v);
+        let probs = graph.in_probabilities(v);
+        for (&s, &p) in sources.iter().zip(probs) {
+            let keep = if p >= 1.0 {
+                true
+            } else if p <= 0.0 {
+                false
+            } else {
+                (&mut *rng).gen_bool(p)
+            };
+            if keep {
+                out.push(VertexId::from_raw(s));
+            }
+        }
+    }
+}
+
+/// Linear-threshold triggering: `v` picks **at most one** in-neighbour, with
+/// `u` chosen with probability `w(u, v)` where the weights are the edge
+/// probabilities rescaled to sum to at most 1 (the standard LT live-edge
+/// construction of Kempe et al.).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LtTriggering;
+
+impl TriggeringModel for LtTriggering {
+    fn label(&self) -> &'static str {
+        "LT"
+    }
+
+    fn sample_triggering_set(
+        &self,
+        graph: &DiGraph,
+        v: VertexId,
+        rng: &mut dyn RngCore,
+        out: &mut Vec<VertexId>,
+    ) {
+        let sources = graph.in_neighbors(v);
+        let probs = graph.in_probabilities(v);
+        if sources.is_empty() {
+            return;
+        }
+        let total: f64 = probs.iter().sum();
+        let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
+        let mut draw: f64 = (&mut *rng).gen_range(0.0..1.0);
+        for (&s, &p) in sources.iter().zip(probs) {
+            let w = p * scale;
+            if draw < w {
+                out.push(VertexId::from_raw(s));
+                return;
+            }
+            draw -= w;
+        }
+        // Remaining mass: the empty triggering set.
+    }
+}
+
+/// Draws one triggering-model live-edge sample as an out-adjacency list
+/// (edge `u -> v` present iff `u ∈ T(v)`).
+pub fn sample_triggering_live_edges<M: TriggeringModel + ?Sized, R: Rng>(
+    graph: &DiGraph,
+    model: &M,
+    rng: &mut R,
+) -> LiveEdgeSample {
+    let n = graph.num_vertices();
+    let mut adjacency: LiveEdgeSample = vec![Vec::new(); n];
+    let mut set = Vec::new();
+    for v in graph.vertices() {
+        set.clear();
+        model.sample_triggering_set(graph, v, rng, &mut set);
+        for &u in &set {
+            adjacency[u.index()].push(v.raw());
+        }
+    }
+    adjacency
+}
+
+/// Estimates the expected spread under a triggering model by averaging
+/// live-edge reachability over `samples` draws.
+pub fn triggering_expected_spread<M: TriggeringModel + ?Sized, R: Rng>(
+    graph: &DiGraph,
+    model: &M,
+    seeds: &[VertexId],
+    blocked: Option<&[bool]>,
+    samples: usize,
+    rng: &mut R,
+) -> Result<f64> {
+    validate_seeds_and_mask(graph.num_vertices(), seeds, blocked)?;
+    if samples == 0 {
+        return Err(DiffusionError::ZeroRounds);
+    }
+    let mut total = 0usize;
+    for _ in 0..samples {
+        let sample = sample_triggering_live_edges(graph, model, rng);
+        total += reachable_in_sample(&sample, seeds, blocked);
+    }
+    Ok(total as f64 / samples as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn two_hop() -> DiGraph {
+        DiGraph::from_edges(
+            3,
+            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(IcTriggering.label(), "IC");
+        assert_eq!(LtTriggering.label(), "LT");
+    }
+
+    #[test]
+    fn ic_triggering_matches_ic_expected_spread() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(21);
+        let spread =
+            triggering_expected_spread(&g, &IcTriggering, &[vid(0)], None, 30_000, &mut rng)
+                .unwrap();
+        assert!((spread - 1.75).abs() < 0.04, "IC triggering spread {spread}");
+    }
+
+    #[test]
+    fn lt_triggering_picks_at_most_one_in_neighbor() {
+        // Vertex 2 has two in-edges with weights 0.6 and 0.6 (rescaled to 0.5
+        // each): exactly one of them is ever live per sample.
+        let g = DiGraph::from_edges(
+            3,
+            vec![(vid(0), vid(2), 0.6), (vid(1), vid(2), 0.6)],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let s = sample_triggering_live_edges(&g, &LtTriggering, &mut rng);
+            let live_in_edges = usize::from(s[0].contains(&2)) + usize::from(s[1].contains(&2));
+            assert!(live_in_edges <= 1);
+        }
+    }
+
+    #[test]
+    fn lt_spread_on_simple_chain() {
+        // 0 -> 1 with weight 0.4: under LT, T(1) = {0} with probability 0.4,
+        // so E = 1 + 0.4.
+        let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 0.4)]).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let spread =
+            triggering_expected_spread(&g, &LtTriggering, &[vid(0)], None, 40_000, &mut rng)
+                .unwrap();
+        assert!((spread - 1.4).abs() < 0.02, "LT spread {spread}");
+    }
+
+    #[test]
+    fn blocking_under_triggering() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut blocked = vec![false; 3];
+        blocked[1] = true;
+        let spread = triggering_expected_spread(
+            &g,
+            &IcTriggering,
+            &[vid(0)],
+            Some(&blocked),
+            2_000,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(spread, 1.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let g = two_hop();
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(
+            triggering_expected_spread(&g, &IcTriggering, &[], None, 10, &mut rng).is_err()
+        );
+        assert!(
+            triggering_expected_spread(&g, &IcTriggering, &[vid(0)], None, 0, &mut rng).is_err()
+        );
+    }
+}

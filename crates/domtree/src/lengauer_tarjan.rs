@@ -1,0 +1,419 @@
+//! The Lengauer–Tarjan dominator-tree algorithm.
+//!
+//! This is the algorithm the paper applies to every sampled graph
+//! (§V-B3, Algorithm 2 line 4, reference [53]). The implementation is the
+//! "simple" eval–link variant: path compression without balancing, which
+//! runs in `O(m log n)` and is the variant Lengauer and Tarjan themselves
+//! recommend for graphs that are not extremely large. The asymptotically
+//! optimal `O(m·α(m,n))` variant differs only in the link step; for the
+//! sampled graphs produced by influence sampling (typically a small fraction
+//! of the full graph) the simple variant is consistently faster in practice.
+//!
+//! The algorithm is generic over how successors are enumerated so that the
+//! sampler can run it directly on its compact per-sample adjacency without
+//! building an [`imin_graph::DiGraph`] per sample.
+
+use crate::tree::DomTree;
+use imin_graph::{DiGraph, VertexId};
+
+const NONE: u32 = u32::MAX;
+
+/// Computes the dominator tree of the vertices reachable from `root`.
+///
+/// `num_vertices` is the size of the vertex universe (ids `0..num_vertices`)
+/// and `successors(u, f)` must call `f(v)` for every out-neighbour `v` of
+/// `u`. Unreachable vertices simply end up outside the tree.
+pub fn compute_dominators<S>(num_vertices: usize, root: VertexId, mut successors: S) -> DomTree
+where
+    S: FnMut(u32, &mut dyn FnMut(u32)),
+{
+    let n = num_vertices;
+    assert!(root.index() < n, "root {root} out of range for {n} vertices");
+
+    // --- Phase 1: iterative DFS from the root -------------------------------
+    // dfn[v]   : preorder number + 1 (0 = unvisited)
+    // vertex[i]: vertex with preorder number i
+    // parent[v]: DFS-tree parent
+    let mut dfn = vec![0u32; n];
+    let mut vertex: Vec<u32> = Vec::new();
+    let mut parent = vec![NONE; n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    let root_raw = root.raw();
+    dfn[root_raw as usize] = 1;
+    vertex.push(root_raw);
+    // Explicit depth-first stack. Numbers are assigned at first visit in
+    // genuine DFS order (a prerequisite of Lengauer–Tarjan: a non-tree edge
+    // can never point from a smaller to a larger preorder number across
+    // subtrees). Every traversed edge is recorded as a predecessor entry of
+    // its target, which is exactly what the semidominator step needs.
+    struct Frame {
+        v: u32,
+        succs: Vec<u32>,
+        next: usize,
+    }
+    let collect = |u: u32, successors: &mut S| {
+        let mut s = Vec::new();
+        successors(u, &mut |v| s.push(v));
+        s
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    let root_succs = collect(root_raw, &mut successors);
+    stack.push(Frame {
+        v: root_raw,
+        succs: root_succs,
+        next: 0,
+    });
+    loop {
+        let step = {
+            let frame = match stack.last_mut() {
+                Some(f) => f,
+                None => break,
+            };
+            if frame.next < frame.succs.len() {
+                let v = frame.succs[frame.next];
+                frame.next += 1;
+                Some((frame.v, v))
+            } else {
+                None
+            }
+        };
+        match step {
+            None => {
+                stack.pop();
+            }
+            Some((u, v)) => {
+                debug_assert!((v as usize) < n, "successor {v} out of range");
+                preds[v as usize].push(u);
+                if dfn[v as usize] == 0 {
+                    dfn[v as usize] = vertex.len() as u32 + 1;
+                    vertex.push(v);
+                    parent[v as usize] = u;
+                    let succs = collect(v, &mut successors);
+                    stack.push(Frame { v, succs, next: 0 });
+                }
+            }
+        }
+    }
+    let reached = vertex.len();
+
+    // Preorder copy for the final DomTree (vertex[] is mutated below? no, it
+    // is not — keep a clone for clarity and cheapness).
+    let preorder: Vec<u32> = vertex.clone();
+    let mut reachable = vec![false; n];
+    for &v in &preorder {
+        reachable[v as usize] = true;
+    }
+
+    if reached <= 1 {
+        let idom = vec![NONE; n];
+        return DomTree::from_parts(root, idom, reachable, preorder);
+    }
+
+    // --- Phase 2: semidominators and implicit idoms --------------------------
+    // semi[v] : initially dfn(v); later the dfn of the semidominator of v.
+    // All comparisons are on dfn numbers.
+    let mut semi: Vec<u32> = dfn.clone();
+    let mut idom = vec![NONE; n];
+    let mut ancestor = vec![NONE; n];
+    let mut label: Vec<u32> = (0..n as u32).collect();
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+    // Iterative path-compression eval.
+    let mut compress_stack: Vec<u32> = Vec::new();
+    let eval = |v: u32,
+                    ancestor: &mut Vec<u32>,
+                    label: &mut Vec<u32>,
+                    semi: &Vec<u32>,
+                    compress_stack: &mut Vec<u32>|
+     -> u32 {
+        if ancestor[v as usize] == NONE {
+            return v;
+        }
+        // Collect the ancestor chain that still needs compression.
+        compress_stack.clear();
+        let mut cur = v;
+        while ancestor[ancestor[cur as usize] as usize] != NONE {
+            compress_stack.push(cur);
+            cur = ancestor[cur as usize];
+        }
+        // Compress from the top of the chain downwards.
+        while let Some(w) = compress_stack.pop() {
+            let anc = ancestor[w as usize];
+            if semi[label[anc as usize] as usize] < semi[label[w as usize] as usize] {
+                label[w as usize] = label[anc as usize];
+            }
+            ancestor[w as usize] = ancestor[anc as usize];
+        }
+        label[v as usize]
+    };
+
+    for i in (1..reached).rev() {
+        let w = vertex[i];
+        let p = parent[w as usize];
+        // Step 2: semidominator of w.
+        for pi in 0..preds[w as usize].len() {
+            let v = preds[w as usize][pi];
+            // Predecessors that were never reached cannot occur: an edge
+            // (v, w) is only recorded when v was expanded, i.e. reached.
+            let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
+            if semi[u as usize] < semi[w as usize] {
+                semi[w as usize] = semi[u as usize];
+            }
+        }
+        buckets[vertex[(semi[w as usize] - 1) as usize] as usize].push(w);
+        // link(parent(w), w)
+        ancestor[w as usize] = p;
+        // Step 3: implicit immediate dominators for the bucket of parent(w).
+        let bucket = std::mem::take(&mut buckets[p as usize]);
+        for v in bucket {
+            let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
+            idom[v as usize] = if semi[u as usize] < semi[v as usize] {
+                u
+            } else {
+                p
+            };
+        }
+    }
+
+    // --- Phase 3: explicit immediate dominators ------------------------------
+    for i in 1..reached {
+        let w = vertex[i];
+        if idom[w as usize] != vertex[(semi[w as usize] - 1) as usize] {
+            idom[w as usize] = idom[idom[w as usize] as usize];
+        }
+    }
+    idom[root_raw as usize] = NONE;
+
+    DomTree::from_parts(root, idom, reachable, preorder)
+}
+
+/// Dominator tree of `graph` rooted at `root` (over the full graph).
+pub fn dominator_tree(graph: &DiGraph, root: VertexId) -> DomTree {
+    compute_dominators(graph.num_vertices(), root, |u, f| {
+        for &v in graph.out_neighbors(VertexId::from_raw(u)) {
+            f(v);
+        }
+    })
+}
+
+/// Dominator tree of `graph` rooted at `root`, skipping every vertex for
+/// which `blocked[v]` is `true` (edges into and out of blocked vertices are
+/// ignored, matching the blocker semantics of Definition 2).
+///
+/// # Panics
+/// Panics if the root itself is blocked — callers must never block a seed.
+pub fn dominator_tree_masked(graph: &DiGraph, root: VertexId, blocked: &[bool]) -> DomTree {
+    assert!(
+        !blocked[root.index()],
+        "the root/seed vertex must not be blocked"
+    );
+    compute_dominators(graph.num_vertices(), root, |u, f| {
+        if blocked[u as usize] {
+            return;
+        }
+        for &v in graph.out_neighbors(VertexId::from_raw(u)) {
+            if !blocked[v as usize] {
+                f(v);
+            }
+        }
+    })
+}
+
+/// Dominator tree over a plain adjacency-list representation (used by the
+/// sampler, whose live-edge samples are stored as `Vec<Vec<u32>>`).
+pub fn dominator_tree_from_adjacency(adjacency: &[Vec<u32>], root: VertexId) -> DomTree {
+    compute_dominators(adjacency.len(), root, |u, f| {
+        for &v in &adjacency[u as usize] {
+            f(v);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        DiGraph::from_edges(
+            n,
+            edges
+                .iter()
+                .map(|&(u, v)| (vid(u), vid(v), 1.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3: idom(3) = 0.
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dt = dominator_tree(&g, vid(0));
+        assert!(dt.validate().is_ok());
+        assert_eq!(dt.idom(vid(1)), Some(vid(0)));
+        assert_eq!(dt.idom(vid(2)), Some(vid(0)));
+        assert_eq!(dt.idom(vid(3)), Some(vid(0)));
+        assert_eq!(dt.subtree_sizes(), vec![4, 1, 1, 1]);
+    }
+
+    #[test]
+    fn chain_idoms_and_sizes() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let dt = dominator_tree(&g, vid(0));
+        assert_eq!(dt.idom(vid(3)), Some(vid(2)));
+        assert_eq!(dt.subtree_sizes(), vec![4, 3, 2, 1]);
+        assert_eq!(dt.depth(vid(3)), Some(3));
+    }
+
+    #[test]
+    fn classic_lengauer_tarjan_example() {
+        // The textbook example from the original paper (Appel's rendering),
+        // vertices R,A..L mapped to 0..12:
+        // R=0 A=1 B=2 C=3 D=4 E=5 F=6 G=7 H=8 I=9 J=10 K=11 L=12
+        let g = graph(
+            13,
+            &[
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (2, 1),
+                (2, 4),
+                (2, 5),
+                (3, 6),
+                (3, 7),
+                (4, 12),
+                (5, 8),
+                (6, 9),
+                (7, 9),
+                (7, 10),
+                (8, 5),
+                (8, 11),
+                (9, 11),
+                (10, 9),
+                (11, 9),
+                (11, 0),
+                (12, 8),
+            ],
+        );
+        let dt = dominator_tree(&g, vid(0));
+        assert!(dt.validate().is_ok());
+        // Known immediate dominators for this flow graph.
+        let expected = [
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 0),
+            (5, 0),
+            (6, 3),
+            (7, 3),
+            (8, 0),
+            (9, 0),
+            (10, 7),
+            (11, 0),
+            (12, 4),
+        ];
+        for (v, d) in expected {
+            assert_eq!(
+                dt.idom(vid(v)),
+                Some(vid(d)),
+                "idom of vertex {v} should be {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_are_excluded() {
+        let g = graph(5, &[(0, 1), (1, 2), (3, 4)]);
+        let dt = dominator_tree(&g, vid(0));
+        assert_eq!(dt.num_reachable(), 3);
+        assert!(!dt.is_reachable(vid(3)));
+        assert_eq!(dt.idom(vid(4)), None);
+        assert_eq!(dt.subtree_sizes()[3], 0);
+        assert_eq!(dt.subtree_sizes()[0], 3);
+    }
+
+    #[test]
+    fn single_vertex_and_isolated_root() {
+        let g = DiGraph::empty(3);
+        let dt = dominator_tree(&g, vid(1));
+        assert_eq!(dt.num_reachable(), 1);
+        assert_eq!(dt.root(), vid(1));
+        assert_eq!(dt.subtree_sizes(), vec![0, 1, 0]);
+        assert!(dt.validate().is_ok());
+    }
+
+    #[test]
+    fn cycle_back_edges_do_not_confuse_dominators() {
+        // 0 -> 1 -> 2 -> 1 (cycle), 2 -> 3.
+        let g = graph(4, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let dt = dominator_tree(&g, vid(0));
+        assert_eq!(dt.idom(vid(1)), Some(vid(0)));
+        assert_eq!(dt.idom(vid(2)), Some(vid(1)));
+        assert_eq!(dt.idom(vid(3)), Some(vid(2)));
+    }
+
+    #[test]
+    fn multiple_paths_collapse_to_common_dominator() {
+        // Figure-1-like topology: the seed has two parallel branches that
+        // rejoin, so the rejoin vertex is dominated by the seed only.
+        let g = graph(
+            6,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5), (5, 4)],
+        );
+        let dt = dominator_tree(&g, vid(0));
+        assert_eq!(dt.idom(vid(3)), Some(vid(0)));
+        assert_eq!(dt.idom(vid(4)), Some(vid(0)));
+        assert_eq!(dt.subtree_sizes()[0], 6);
+    }
+
+    #[test]
+    fn masked_tree_skips_blocked_vertices() {
+        // 0 -> 1 -> 2, 0 -> 3 -> 2. Blocking 1 leaves 2 dominated by 3.
+        let g = graph(4, &[(0, 1), (1, 2), (0, 3), (3, 2)]);
+        let mut blocked = vec![false; 4];
+        blocked[1] = true;
+        let dt = dominator_tree_masked(&g, vid(0), &blocked);
+        assert!(!dt.is_reachable(vid(1)));
+        assert_eq!(dt.idom(vid(2)), Some(vid(3)));
+        assert_eq!(dt.subtree_sizes(), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be blocked")]
+    fn masked_tree_rejects_blocked_root() {
+        let g = graph(2, &[(0, 1)]);
+        let blocked = vec![true, false];
+        let _ = dominator_tree_masked(&g, vid(0), &blocked);
+    }
+
+    #[test]
+    fn adjacency_interface_matches_graph_interface() {
+        let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
+        let adj: Vec<Vec<u32>> = (0..5)
+            .map(|u| g.out_neighbors(vid(u)).to_vec())
+            .collect();
+        let a = dominator_tree(&g, vid(0));
+        let b = dominator_tree_from_adjacency(&adj, vid(0));
+        assert_eq!(a.idom_raw(), b.idom_raw());
+        assert_eq!(a.subtree_sizes(), b.subtree_sizes());
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_the_stack() {
+        // 50k-vertex path exercises the iterative DFS and iterative
+        // path compression.
+        let n = 50_000;
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let g = graph(n, &edges);
+        let dt = dominator_tree(&g, vid(0));
+        assert_eq!(dt.num_reachable(), n);
+        assert_eq!(dt.subtree_sizes()[0], n as u64);
+        assert_eq!(dt.idom(vid(n - 1)), Some(vid(n - 2)));
+    }
+}

@@ -1,0 +1,178 @@
+//! Brute-force dominators straight from the definition.
+//!
+//! Definition 5 of the paper: `u` dominates `v` when every path from the
+//! seed `s` to `v` passes through `u`. Equivalently, `v` is unreachable from
+//! `s` once `u` is removed. This module computes dominator sets by doing one
+//! BFS per removed vertex (`O(n·m)` per query set, cubic overall), which is
+//! hopeless for real graphs but perfect as a test oracle: it is a direct
+//! transcription of the definition and of Theorem 6's characterisation of
+//! `σ→u(s, g)`.
+
+use imin_graph::traversal::TraversalWorkspace;
+use imin_graph::{DiGraph, VertexId};
+
+/// Returns `dom[v]` = the set of dominators of `v` (vertices whose removal
+/// disconnects `v` from `root`, plus `v` itself) for every reachable `v`;
+/// unreachable vertices get an empty set.
+pub fn dominator_sets(graph: &DiGraph, root: VertexId) -> Vec<Vec<VertexId>> {
+    let n = graph.num_vertices();
+    let mut ws = TraversalWorkspace::new(n);
+    let mut reach = vec![false; n];
+    ws.bfs_reachable_count(graph, &[root], |_| false);
+    for v in graph.vertices() {
+        reach[v.index()] = ws.was_visited(v);
+    }
+
+    let mut doms: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for v in graph.vertices() {
+        if reach[v.index()] {
+            doms[v.index()].push(v);
+        }
+    }
+    for u in graph.vertices() {
+        if !reach[u.index()] || u == root {
+            continue;
+        }
+        // Which vertices become unreachable when u is removed?
+        ws.bfs_reachable_count(graph, &[root], |x| x == u);
+        for v in graph.vertices() {
+            if reach[v.index()] && v != u && !ws.was_visited(v) {
+                doms[v.index()].push(u);
+            }
+        }
+    }
+    // The root dominates every reachable vertex.
+    for v in graph.vertices() {
+        if reach[v.index()] && v != root {
+            doms[v.index()].push(root);
+        }
+    }
+    for d in &mut doms {
+        d.sort_unstable();
+        d.dedup();
+    }
+    doms
+}
+
+/// Immediate dominators computed from the brute-force dominator sets.
+///
+/// The dominators of a vertex form a chain under the dominance relation, so
+/// the immediate dominator is the proper dominator with the largest
+/// dominator set of its own (the deepest one).
+pub fn naive_immediate_dominators(graph: &DiGraph, root: VertexId) -> Vec<Option<VertexId>> {
+    let doms = dominator_sets(graph, root);
+    let n = graph.num_vertices();
+    let mut idom = vec![None; n];
+    for v in graph.vertices() {
+        if v == root || doms[v.index()].is_empty() {
+            continue;
+        }
+        let mut best: Option<VertexId> = None;
+        let mut best_depth = 0usize;
+        for &u in &doms[v.index()] {
+            if u == v {
+                continue;
+            }
+            let depth = doms[u.index()].len();
+            if best.is_none() || depth > best_depth {
+                best = Some(u);
+                best_depth = depth;
+            }
+        }
+        idom[v.index()] = best;
+    }
+    idom
+}
+
+/// Brute-force `σ→u(s, g)`: the number of vertices that become unreachable
+/// from `root` when `u` is removed, `u` included (Table II). This is the
+/// quantity Theorem 6 equates with the dominator-subtree size.
+pub fn sigma_through(graph: &DiGraph, root: VertexId, u: VertexId) -> usize {
+    if u == root {
+        // Removing the seed itself removes the entire reachable set; the
+        // algorithms never block a seed, but the oracle stays total.
+        return imin_graph::traversal::reachable_count(graph, &[root]);
+    }
+    let before = imin_graph::traversal::reachable_count(graph, &[root]);
+    let mut blocked = vec![false; graph.num_vertices()];
+    blocked[u.index()] = true;
+    let after = imin_graph::traversal::reachable_count_blocked(graph, &[root], &blocked);
+    before - after
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lengauer_tarjan::dominator_tree;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph {
+        DiGraph::from_edges(
+            n,
+            edges
+                .iter()
+                .map(|&(u, v)| (vid(u), vid(v), 1.0))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dominator_sets_on_chain() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let doms = dominator_sets(&g, vid(0));
+        assert_eq!(doms[2], vec![vid(0), vid(1), vid(2)]);
+        assert_eq!(doms[1], vec![vid(0), vid(1)]);
+        assert_eq!(doms[0], vec![vid(0)]);
+    }
+
+    #[test]
+    fn naive_idoms_match_lengauer_tarjan() {
+        let g = graph(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 4), (4, 6)],
+        );
+        let naive = naive_immediate_dominators(&g, vid(0));
+        let lt = dominator_tree(&g, vid(0));
+        for v in g.vertices() {
+            assert_eq!(naive[v.index()], lt.idom(v), "idom mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn sigma_through_equals_subtree_size() {
+        let g = graph(
+            6,
+            &[(0, 1), (1, 2), (1, 3), (0, 4), (4, 5), (3, 5)],
+        );
+        let dt = dominator_tree(&g, vid(0));
+        let sizes = dt.subtree_sizes();
+        for v in g.vertices().skip(1) {
+            assert_eq!(
+                sigma_through(&g, vid(0), v) as u64,
+                sizes[v.index()],
+                "σ→u mismatch at {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn unreachable_vertices_have_empty_sets() {
+        let g = graph(4, &[(0, 1), (2, 3)]);
+        let doms = dominator_sets(&g, vid(0));
+        assert!(doms[2].is_empty());
+        assert!(doms[3].is_empty());
+        let idom = naive_immediate_dominators(&g, vid(0));
+        assert_eq!(idom[2], None);
+        assert_eq!(idom[3], None);
+    }
+
+    #[test]
+    fn sigma_through_root_is_total_reachability() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        assert_eq!(sigma_through(&g, vid(0), vid(0)), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: the three dominator algorithms agree with each other and
+//! with the reachability-based definition on random directed graphs.
+
+use imin_domtree::iterative::iterative_dominator_tree;
+use imin_domtree::lengauer_tarjan::dominator_tree;
+use imin_domtree::naive::{naive_immediate_dominators, sigma_through};
+use imin_graph::{generators, DiGraph, GraphBuilder, VertexId};
+use proptest::prelude::*;
+
+fn build(n: usize, edges: &[(u32, u32)]) -> DiGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in edges {
+        b.add_edge(VertexId::from_raw(u), VertexId::from_raw(v), 1.0)
+            .unwrap();
+    }
+    b.build()
+}
+
+fn arb_digraph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n as u32, 0..n as u32);
+        (Just(n), proptest::collection::vec(edge, 0..=max_m))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lengauer–Tarjan, the iterative algorithm and the brute-force oracle
+    /// all compute the same immediate dominators.
+    #[test]
+    fn all_three_algorithms_agree((n, edges) in arb_digraph(18, 70), root in 0u32..18) {
+        let g = build(n, &edges);
+        let root = VertexId::from_raw(root % n as u32);
+        let lt = dominator_tree(&g, root);
+        let it = iterative_dominator_tree(&g, root);
+        let naive = naive_immediate_dominators(&g, root);
+        prop_assert!(lt.validate().is_ok());
+        prop_assert!(it.validate().is_ok());
+        for v in g.vertices() {
+            prop_assert_eq!(lt.idom(v), it.idom(v), "LT vs iterative mismatch at {}", v);
+            prop_assert_eq!(lt.idom(v), naive[v.index()], "LT vs naive mismatch at {}", v);
+        }
+    }
+
+    /// Theorem 6: the dominator-subtree size of `u` equals the number of
+    /// vertices that become unreachable when `u` is blocked.
+    #[test]
+    fn subtree_size_equals_sigma_through((n, edges) in arb_digraph(16, 60), root in 0u32..16) {
+        let g = build(n, &edges);
+        let root = VertexId::from_raw(root % n as u32);
+        let dt = dominator_tree(&g, root);
+        let sizes = dt.subtree_sizes();
+        for v in g.vertices() {
+            if v == root { continue; }
+            if dt.is_reachable(v) {
+                prop_assert_eq!(sizes[v.index()], sigma_through(&g, root, v) as u64);
+            } else {
+                prop_assert_eq!(sizes[v.index()], 0);
+            }
+        }
+    }
+
+    /// Structural sanity on random generator output: sizes are consistent
+    /// with reachability, dominance is reflexive/antisymmetric along chains.
+    #[test]
+    fn domtree_invariants_on_generated_graphs(seed in 0u64..500, n in 3usize..80) {
+        let g = generators::erdos_renyi(n, 3.0_f64.min(n as f64) / n as f64, 1.0, seed).unwrap();
+        let root = VertexId::new(0);
+        let dt = dominator_tree(&g, root);
+        prop_assert!(dt.validate().is_ok());
+        let sizes = dt.subtree_sizes();
+        prop_assert_eq!(sizes[root.index()] as usize, dt.num_reachable());
+        let total_leaf_mass: u64 = dt
+            .preorder()
+            .filter(|&v| dt.children()[v.index()].is_empty())
+            .map(|v| sizes[v.index()])
+            .sum();
+        // Every leaf has size exactly 1.
+        prop_assert_eq!(total_leaf_mass as usize, dt.preorder().filter(|&v| dt.children()[v.index()].is_empty()).count());
+        for v in dt.preorder() {
+            prop_assert!(dt.dominates(root, v));
+            prop_assert!(dt.dominates(v, v));
+        }
+    }
+}

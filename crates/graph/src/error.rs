@@ -1,0 +1,151 @@
+//! Error types for graph construction and I/O.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph construction, probability assignment and
+/// edge-list I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced an index outside `0..n`.
+    VertexOutOfRange {
+        /// The offending vertex index.
+        vertex: usize,
+        /// The number of vertices in the graph being built/queried.
+        num_vertices: usize,
+    },
+    /// A propagation probability was outside the closed interval `[0, 1]`
+    /// or was not a finite number.
+    InvalidProbability {
+        /// The offending probability value.
+        probability: f64,
+    },
+    /// A self loop `(u, u)` was supplied to a builder configured to reject
+    /// them.
+    SelfLoop {
+        /// The vertex with the self loop.
+        vertex: usize,
+    },
+    /// The graph would exceed the supported number of vertices (`u32::MAX - 1`).
+    TooManyVertices {
+        /// The requested number of vertices.
+        requested: usize,
+    },
+    /// An edge-list line could not be parsed.
+    ParseError {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// An underlying I/O error while reading or writing an edge list.
+    Io(io::Error),
+    /// A generator was asked for an impossible configuration
+    /// (e.g. more edges than the complete graph can hold).
+    InvalidGeneratorArgument {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} is out of range for a graph with {num_vertices} vertices"
+            ),
+            GraphError::InvalidProbability { probability } => write!(
+                f,
+                "propagation probability {probability} is not a finite value in [0, 1]"
+            ),
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self loop on vertex {vertex} is not allowed")
+            }
+            GraphError::TooManyVertices { requested } => write!(
+                f,
+                "requested {requested} vertices, which exceeds the supported maximum"
+            ),
+            GraphError::ParseError { line, message } => {
+                write!(f, "edge-list parse error on line {line}: {message}")
+            }
+            GraphError::Io(err) => write!(f, "I/O error: {err}"),
+            GraphError::InvalidGeneratorArgument { message } => {
+                write!(f, "invalid generator argument: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(err: io::Error) -> Self {
+        GraphError::Io(err)
+    }
+}
+
+/// Validates that a probability is finite and within `[0, 1]`.
+pub(crate) fn validate_probability(p: f64) -> Result<(), GraphError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(GraphError::InvalidProbability { probability: p })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_validation() {
+        assert!(validate_probability(0.0).is_ok());
+        assert!(validate_probability(1.0).is_ok());
+        assert!(validate_probability(0.5).is_ok());
+        assert!(validate_probability(-0.1).is_err());
+        assert!(validate_probability(1.1).is_err());
+        assert!(validate_probability(f64::NAN).is_err());
+        assert!(validate_probability(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfRange {
+            vertex: 9,
+            num_vertices: 5,
+        };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::InvalidProbability { probability: 2.0 };
+        assert!(e.to_string().contains("probability"));
+        let e = GraphError::SelfLoop { vertex: 3 };
+        assert!(e.to_string().contains("self loop"));
+        let e = GraphError::ParseError {
+            line: 12,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 12"));
+        let e = GraphError::InvalidGeneratorArgument {
+            message: "too many edges".into(),
+        };
+        assert!(e.to_string().contains("too many edges"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io_err = io::Error::new(io::ErrorKind::NotFound, "missing");
+        let e: GraphError = io_err.into();
+        assert!(matches!(e, GraphError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,541 @@
+//! Random and structured graph generators.
+//!
+//! The paper evaluates on eight SNAP social networks (Table IV). Those exact
+//! files cannot be redistributed with this repository, so the dataset crate
+//! synthesises stand-ins with matching size and degree skew using the
+//! generators below (see DESIGN.md, "Substitutions"). The same generators
+//! drive the property-based tests and the scaling micro-benchmarks.
+//!
+//! All generators are deterministic given the `seed` argument, produce
+//! simple directed graphs (no parallel edges; self loops dropped) and assign
+//! every edge the supplied `probability` — callers typically re-assign
+//! probabilities afterwards with the Trivalency or Weighted-Cascade model
+//! from `imin-diffusion`.
+
+use crate::{DiGraph, GraphBuilder, GraphError, Result, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn vid(i: usize) -> VertexId {
+    VertexId::new(i)
+}
+
+/// Directed Erdős–Rényi graph `G(n, p_edge)`: every ordered pair `(u, v)`,
+/// `u != v`, is an edge independently with probability `p_edge`.
+///
+/// For sparse graphs (`p_edge` small) the generator uses geometric skipping,
+/// so the cost is proportional to the number of generated edges rather than
+/// `n²`.
+pub fn erdos_renyi(
+    n: usize,
+    p_edge: f64,
+    probability: f64,
+    seed: u64,
+) -> Result<DiGraph> {
+    if !(0.0..=1.0).contains(&p_edge) || !p_edge.is_finite() {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("edge probability {p_edge} must be in [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 || p_edge == 0.0 {
+        return Ok(builder.build());
+    }
+    let total_pairs = (n as u128) * (n as u128 - 1);
+    if p_edge >= 1.0 {
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    builder.add_edge(vid(u), vid(v), probability)?;
+                }
+            }
+        }
+        return Ok(builder.build());
+    }
+    // Geometric skipping over the implicit ordered-pair index space.
+    let log_q = (1.0 - p_edge).ln();
+    let mut idx: i128 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (r.ln() / log_q).floor() as i128 + 1;
+        idx += skip;
+        if idx as u128 >= total_pairs {
+            break;
+        }
+        let flat = idx as u128;
+        let u = (flat / (n as u128 - 1)) as usize;
+        let mut v = (flat % (n as u128 - 1)) as usize;
+        if v >= u {
+            v += 1; // skip the diagonal
+        }
+        builder.add_edge(vid(u), vid(v), probability)?;
+    }
+    Ok(builder.build())
+}
+
+/// Directed `G(n, m)` graph: exactly `m` distinct ordered pairs chosen
+/// uniformly at random (self loops excluded).
+pub fn gnm_random(n: usize, m: usize, probability: f64, seed: u64) -> Result<DiGraph> {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    if m > max_edges {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("{m} edges requested but at most {max_edges} are possible"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    // Rejection sampling is fine while m is well below the maximum; fall back
+    // to a shuffle of all pairs when the graph is dense.
+    if m * 3 < max_edges || max_edges > 50_000_000 {
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            if chosen.insert((u as u32, v as u32)) {
+                builder.add_edge(vid(u), vid(v), probability)?;
+            }
+        }
+    } else {
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    pairs.push((u, v));
+                }
+            }
+        }
+        pairs.shuffle(&mut rng);
+        for &(u, v) in pairs.iter().take(m) {
+            builder.add_edge(VertexId::from_raw(u), VertexId::from_raw(v), probability)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Preferential-attachment graph (a directed Barabási–Albert variant).
+///
+/// Vertices arrive one by one; each new vertex issues `edges_per_vertex`
+/// out-edges whose targets are chosen proportionally to the targets' current
+/// (in-degree + 1). With `bidirectional = true` the reciprocal edge is also
+/// added, which mimics the undirected SNAP datasets. The result has a
+/// heavy-tailed in-degree distribution — the property that makes the
+/// OutDegree heuristic and the greedy algorithms behave as in the paper.
+pub fn preferential_attachment(
+    n: usize,
+    edges_per_vertex: usize,
+    bidirectional: bool,
+    probability: f64,
+    seed: u64,
+) -> Result<DiGraph> {
+    if n > 0 && edges_per_vertex >= n {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!(
+                "edges_per_vertex ({edges_per_vertex}) must be smaller than n ({n})"
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 {
+        return Ok(builder.build());
+    }
+    // `targets` holds one entry per (in-degree + 1) unit of attractiveness,
+    // so uniform sampling from it is preferential sampling.
+    let mut attractiveness: Vec<u32> = Vec::with_capacity(n * (edges_per_vertex + 1));
+    attractiveness.push(0);
+    for new in 1..n {
+        let k = edges_per_vertex.min(new);
+        let mut picked = std::collections::HashSet::with_capacity(k * 2);
+        let mut guard = 0usize;
+        while picked.len() < k && guard < 50 * (k + 1) {
+            guard += 1;
+            let t = attractiveness[rng.gen_range(0..attractiveness.len())] as usize;
+            if t != new {
+                picked.insert(t);
+            }
+        }
+        // If rejection failed to find enough distinct targets (tiny graphs),
+        // top up with uniform choices.
+        let mut fallback = 0usize;
+        while picked.len() < k {
+            if fallback != new {
+                picked.insert(fallback);
+            }
+            fallback += 1;
+        }
+        // Sort for determinism: HashSet iteration order varies per instance
+        // and would otherwise leak into the attractiveness sequence.
+        let mut picked: Vec<usize> = picked.into_iter().collect();
+        picked.sort_unstable();
+        for &t in &picked {
+            builder.add_edge(vid(new), vid(t), probability)?;
+            attractiveness.push(t as u32);
+            if bidirectional {
+                builder.add_edge(vid(t), vid(new), probability)?;
+                attractiveness.push(new as u32);
+            }
+        }
+        attractiveness.push(new as u32);
+    }
+    Ok(builder.build())
+}
+
+/// Directed configuration-model graph with power-law out-degrees.
+///
+/// Out-degrees are sampled from a discrete power law with the given
+/// `exponent` (typical social networks: 2.0–3.0), capped at `max_degree`,
+/// then scaled so the expected edge count is close to `target_edges`.
+/// Targets are chosen preferentially (proportional to in-degree + 1) so the
+/// in-degree distribution is heavy-tailed as well.
+pub fn power_law_digraph(
+    n: usize,
+    target_edges: usize,
+    exponent: f64,
+    max_degree: usize,
+    probability: f64,
+    seed: u64,
+) -> Result<DiGraph> {
+    if n == 0 {
+        return Ok(DiGraph::empty(0));
+    }
+    if exponent <= 1.0 || !exponent.is_finite() {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("power-law exponent {exponent} must be > 1"),
+        });
+    }
+    let max_degree = max_degree.max(1).min(n.saturating_sub(1).max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Sample raw power-law degrees via inverse transform on a Pareto-like
+    // distribution, then rescale to hit the requested edge budget.
+    let mut degrees: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            u.powf(-1.0 / (exponent - 1.0))
+        })
+        .collect();
+    let sum: f64 = degrees.iter().sum();
+    let scale = target_edges as f64 / sum;
+    let mut total = 0usize;
+    let int_degrees: Vec<usize> = degrees
+        .iter_mut()
+        .map(|d| {
+            let scaled = (*d * scale).round() as usize;
+            let clamped = scaled.min(max_degree);
+            total += clamped;
+            clamped
+        })
+        .collect();
+
+    let mut builder = GraphBuilder::with_capacity(n, total);
+    let mut attractiveness: Vec<u32> = (0..n as u32).collect();
+    for (u, &d) in int_degrees.iter().enumerate() {
+        let mut picked = std::collections::HashSet::with_capacity(d * 2);
+        let mut guard = 0usize;
+        while picked.len() < d && guard < 20 * (d + 1) {
+            guard += 1;
+            let t = attractiveness[rng.gen_range(0..attractiveness.len())] as usize;
+            if t != u {
+                picked.insert(t);
+            }
+        }
+        let mut picked: Vec<usize> = picked.into_iter().collect();
+        picked.sort_unstable();
+        for &t in &picked {
+            builder.add_edge(vid(u), vid(t), probability)?;
+            attractiveness.push(t as u32);
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Directed Watts–Strogatz small-world graph: a ring lattice where each
+/// vertex points to its `k` clockwise neighbours, with each edge's target
+/// rewired uniformly at random with probability `rewire`.
+pub fn watts_strogatz(
+    n: usize,
+    k: usize,
+    rewire: f64,
+    probability: f64,
+    seed: u64,
+) -> Result<DiGraph> {
+    if n > 0 && k >= n {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("k ({k}) must be smaller than n ({n})"),
+        });
+    }
+    if !(0.0..=1.0).contains(&rewire) {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("rewire probability {rewire} must be in [0, 1]"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for offset in 1..=k {
+            let mut v = (u + offset) % n;
+            if rng.gen_bool(rewire) {
+                // Rewire to a uniform random target distinct from u.
+                let mut guard = 0;
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u || guard > 20 {
+                        v = cand;
+                        break;
+                    }
+                    guard += 1;
+                }
+            }
+            builder.add_edge(vid(u), vid(v), probability)?;
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Complete directed graph on `n` vertices (every ordered pair, no loops).
+pub fn complete(n: usize, probability: f64) -> Result<DiGraph> {
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v {
+                builder.add_edge(vid(u), vid(v), probability)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Out-star: vertex 0 points to every other vertex.
+pub fn out_star(n: usize, probability: f64) -> Result<DiGraph> {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n {
+        builder.add_edge(vid(0), vid(v), probability)?;
+    }
+    Ok(builder.build())
+}
+
+/// Directed path `0 -> 1 -> ... -> n-1`.
+pub fn path(n: usize, probability: f64) -> Result<DiGraph> {
+    let mut builder = GraphBuilder::new(n);
+    for v in 1..n {
+        builder.add_edge(vid(v - 1), vid(v), probability)?;
+    }
+    Ok(builder.build())
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: usize, probability: f64) -> Result<DiGraph> {
+    let mut builder = GraphBuilder::new(n);
+    if n > 1 {
+        for v in 1..n {
+            builder.add_edge(vid(v - 1), vid(v), probability)?;
+        }
+        builder.add_edge(vid(n - 1), vid(0), probability)?;
+    }
+    Ok(builder.build())
+}
+
+/// Complete `arity`-ary out-tree with `depth` levels below the root
+/// (depth 0 = a single vertex). Edges point from parents to children.
+pub fn balanced_tree(arity: usize, depth: usize, probability: f64) -> Result<DiGraph> {
+    if arity == 0 {
+        return Ok(DiGraph::from_edges(1, Vec::new())?);
+    }
+    // Number of vertices: (arity^(depth+1) - 1) / (arity - 1), or depth+1 for arity 1.
+    let n: usize = if arity == 1 {
+        depth + 1
+    } else {
+        (arity.pow(depth as u32 + 1) - 1) / (arity - 1)
+    };
+    let mut builder = GraphBuilder::new(n);
+    for parent in 0..n {
+        for c in 0..arity {
+            let child = parent * arity + c + 1;
+            if child < n {
+                builder.add_edge(vid(parent), vid(child), probability)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Layered DAG: `layers` layers of `width` vertices each; every vertex of
+/// layer `i` points to each vertex of layer `i+1` independently with
+/// probability `density`.
+pub fn layered_dag(
+    layers: usize,
+    width: usize,
+    density: f64,
+    probability: f64,
+    seed: u64,
+) -> Result<DiGraph> {
+    if !(0.0..=1.0).contains(&density) {
+        return Err(GraphError::InvalidGeneratorArgument {
+            message: format!("density {density} must be in [0, 1]"),
+        });
+    }
+    let n = layers * width;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for layer in 0..layers.saturating_sub(1) {
+        for a in 0..width {
+            for b in 0..width {
+                if rng.gen_bool(density) {
+                    let u = layer * width + a;
+                    let v = (layer + 1) * width + b;
+                    builder.add_edge(vid(u), vid(v), probability)?;
+                }
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Two-dimensional directed grid (`rows × cols`): each cell points right and
+/// down. A simple planar topology used by tests and examples.
+pub fn grid(rows: usize, cols: usize, probability: f64) -> Result<DiGraph> {
+    let n = rows * cols;
+    let mut builder = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            let u = r * cols + c;
+            if c + 1 < cols {
+                builder.add_edge(vid(u), vid(u + 1), probability)?;
+            }
+            if r + 1 < rows {
+                builder.add_edge(vid(u), vid(u + cols), probability)?;
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::reachable_count;
+
+    #[test]
+    fn erdos_renyi_is_deterministic_and_valid() {
+        let a = erdos_renyi(200, 0.02, 0.1, 7).unwrap();
+        let b = erdos_renyi(200, 0.02, 0.1, 7).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.validate().is_ok());
+        // Expected edge count is p * n * (n-1) ≈ 796; allow generous slack.
+        let m = a.num_edges() as f64;
+        assert!(m > 500.0 && m < 1200.0, "unexpected edge count {m}");
+        assert!(erdos_renyi(10, 1.5, 0.1, 0).is_err());
+        assert_eq!(erdos_renyi(0, 0.5, 0.1, 0).unwrap().num_vertices(), 0);
+        assert_eq!(erdos_renyi(10, 0.0, 0.1, 0).unwrap().num_edges(), 0);
+        assert_eq!(erdos_renyi(5, 1.0, 0.1, 0).unwrap().num_edges(), 20);
+    }
+
+    #[test]
+    fn gnm_has_exact_edge_count() {
+        let g = gnm_random(100, 500, 0.5, 3).unwrap();
+        assert_eq!(g.num_edges(), 500);
+        assert!(g.validate().is_ok());
+        assert!(gnm_random(3, 100, 0.5, 3).is_err());
+        // Dense case goes through the shuffle path.
+        let dense = gnm_random(20, 300, 0.5, 3).unwrap();
+        assert_eq!(dense.num_edges(), 300);
+    }
+
+    #[test]
+    fn preferential_attachment_has_heavy_tail() {
+        let g = preferential_attachment(500, 3, false, 0.1, 11).unwrap();
+        assert!(g.validate().is_ok());
+        assert!(g.num_edges() >= 3 * 400);
+        // The most attractive vertex should collect far more than the
+        // average in-degree.
+        let max_in = g.vertices().map(|v| g.in_degree(v)).max().unwrap();
+        let avg_in = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_in as f64 > 4.0 * avg_in,
+            "max in-degree {max_in} not heavy-tailed vs avg {avg_in}"
+        );
+        assert!(preferential_attachment(3, 5, false, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn preferential_attachment_bidirectional_roughly_doubles_edges() {
+        let g1 = preferential_attachment(200, 2, false, 0.1, 5).unwrap();
+        let g2 = preferential_attachment(200, 2, true, 0.1, 5).unwrap();
+        assert!(g2.num_edges() > g1.num_edges());
+        // Every edge should have its reverse.
+        for e in g2.edges() {
+            assert!(g2.has_edge(e.target, e.source));
+        }
+    }
+
+    #[test]
+    fn power_law_hits_edge_budget_roughly() {
+        let g = power_law_digraph(1000, 5000, 2.3, 200, 0.1, 17).unwrap();
+        assert!(g.validate().is_ok());
+        let m = g.num_edges() as f64;
+        assert!(m > 2500.0 && m < 7500.0, "edge count {m} far from target 5000");
+        assert!(power_law_digraph(100, 500, 0.9, 50, 0.1, 0).is_err());
+        assert_eq!(power_law_digraph(0, 0, 2.0, 10, 0.1, 0).unwrap().num_vertices(), 0);
+    }
+
+    #[test]
+    fn watts_strogatz_degree_structure() {
+        let g = watts_strogatz(100, 4, 0.1, 0.2, 23).unwrap();
+        assert!(g.validate().is_ok());
+        // Each vertex issues exactly k out-edges (minus merged duplicates).
+        assert!(g.num_edges() <= 400);
+        assert!(g.num_edges() > 350);
+        assert!(watts_strogatz(10, 10, 0.1, 0.2, 0).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, 0.2, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_structures() {
+        let c = complete(4, 1.0).unwrap();
+        assert_eq!(c.num_edges(), 12);
+
+        let s = out_star(5, 1.0).unwrap();
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.out_degree(VertexId::new(0)), 4);
+
+        let p = path(5, 1.0).unwrap();
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(reachable_count(&p, &[VertexId::new(0)]), 5);
+
+        let cy = cycle(5, 1.0).unwrap();
+        assert_eq!(cy.num_edges(), 5);
+        assert_eq!(reachable_count(&cy, &[VertexId::new(2)]), 5);
+        assert_eq!(cycle(1, 1.0).unwrap().num_edges(), 0);
+
+        let t = balanced_tree(2, 3, 1.0).unwrap();
+        assert_eq!(t.num_vertices(), 15);
+        assert_eq!(t.num_edges(), 14);
+        assert_eq!(reachable_count(&t, &[VertexId::new(0)]), 15);
+        assert_eq!(balanced_tree(1, 4, 1.0).unwrap().num_vertices(), 5);
+        assert_eq!(balanced_tree(0, 4, 1.0).unwrap().num_vertices(), 1);
+
+        let g = grid(3, 4, 1.0).unwrap();
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(reachable_count(&g, &[VertexId::new(0)]), 12);
+    }
+
+    #[test]
+    fn layered_dag_is_acyclic_and_layered() {
+        let g = layered_dag(4, 5, 0.5, 1.0, 9).unwrap();
+        assert_eq!(g.num_vertices(), 20);
+        assert!(crate::traversal::topological_order(&g).is_some());
+        // No edges within a layer or skipping layers.
+        for e in g.edges() {
+            assert_eq!(e.target.index() / 5, e.source.index() / 5 + 1);
+        }
+        assert!(layered_dag(3, 3, 1.5, 1.0, 0).is_err());
+        let full = layered_dag(3, 3, 1.0, 1.0, 0).unwrap();
+        assert_eq!(full.num_edges(), 2 * 9);
+    }
+}

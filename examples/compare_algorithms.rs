@@ -1,0 +1,71 @@
+//! Side-by-side comparison of every algorithm in the crate on the paper's
+//! Figure-1 toy graph plus a mid-sized random network, including the
+//! Monte-Carlo baseline and the exhaustive Exact search where feasible.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p imin-examples --release --bin compare_algorithms
+//! ```
+
+use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+use imin_datasets::toy::figure1_graph;
+use imin_diffusion::ProbabilityModel;
+use imin_graph::{generators, VertexId};
+
+fn report(problem: &ImninProblem, budget: usize, config: &AlgorithmConfig, skip_slow: bool) {
+    println!(
+        "{:<16} {:>8} {:>12} {:>10}",
+        "algorithm", "budget", "spread", "time_s"
+    );
+    for &algorithm in Algorithm::all() {
+        if skip_slow
+            && matches!(algorithm, Algorithm::BaselineGreedy | Algorithm::Exact)
+        {
+            println!("{:<16} {:>8} {:>12} {:>10}", algorithm.label(), budget, "skipped", "-");
+            continue;
+        }
+        match problem.solve(algorithm, budget, config) {
+            Ok(selection) => {
+                let spread = problem
+                    .evaluate_spread(&selection.blockers, 3_000, 5)
+                    .expect("evaluation");
+                println!(
+                    "{:<16} {:>8} {:>12.3} {:>10.3}",
+                    algorithm.label(),
+                    budget,
+                    spread,
+                    selection.stats.elapsed.as_secs_f64()
+                );
+            }
+            Err(err) => println!(
+                "{:<16} {:>8} {:>12} {:>10}",
+                algorithm.label(),
+                budget,
+                format!("error: {err}"),
+                "-"
+            ),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let config = AlgorithmConfig::default().with_theta(1_000).with_mcs_rounds(1_000);
+
+    println!("== Toy graph of Figure 1 (seed v1, budget 2) ==");
+    let (toy, toy_seed) = figure1_graph();
+    let toy_problem = ImninProblem::new(&toy, vec![toy_seed]).expect("toy problem");
+    report(&toy_problem, 2, &config, false);
+
+    println!("== Random scale-free network (5 000 vertices, budget 20) ==");
+    let topology =
+        generators::preferential_attachment(5_000, 3, false, 1.0, 77).expect("generation");
+    let graph = ProbabilityModel::WeightedCascade
+        .apply(&topology)
+        .expect("probability model");
+    let problem =
+        ImninProblem::new(&graph, vec![VertexId::new(0), VertexId::new(1)]).expect("problem");
+    // BaselineGreedy and Exact are quadratic/exponential here — skip them,
+    // exactly the situation Figures 7 and 8 of the paper illustrate.
+    report(&problem, 20, &config, true);
+}

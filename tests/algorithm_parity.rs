@@ -1,0 +1,123 @@
+//! Parity and quality relationships between the algorithms, mirroring the
+//! comparisons the paper draws:
+//!
+//! * AdvancedGreedy matches BaselineGreedy's effectiveness (§V-C) while
+//!   using dominator-tree estimation instead of per-candidate Monte-Carlo.
+//! * GreedyReplace is never worse than blocking out-neighbours only (§V-D).
+//! * GreedyReplace matches the exhaustive Exact search on small instances
+//!   (Tables V and VI report ≥ 99.9% ratios).
+
+use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+use imin_datasets::extract::extract_neighborhood;
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::ProbabilityModel;
+use imin_graph::{generators, VertexId};
+
+fn cfg() -> AlgorithmConfig {
+    AlgorithmConfig::fast_for_tests().with_theta(1_500).with_mcs_rounds(1_500)
+}
+
+#[test]
+fn advanced_greedy_matches_baseline_greedy_quality() {
+    // A 60-vertex scale-free graph with WC probabilities: small enough for
+    // the baseline, random enough to be interesting.
+    let topology = generators::preferential_attachment(60, 2, false, 1.0, 13).unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let problem = ImninProblem::new(&graph, vec![VertexId::new(0)]).unwrap();
+    for budget in [1usize, 3] {
+        let bg = problem.solve(Algorithm::BaselineGreedy, budget, &cfg()).unwrap();
+        let ag = problem.solve(Algorithm::AdvancedGreedy, budget, &cfg()).unwrap();
+        let bg_spread = problem.evaluate_spread(&bg.blockers, 20_000, 1).unwrap();
+        let ag_spread = problem.evaluate_spread(&ag.blockers, 20_000, 1).unwrap();
+        assert!(
+            (ag_spread - bg_spread).abs() <= 0.15 * bg_spread.max(1.0),
+            "budget {budget}: AG spread {ag_spread} vs BG spread {bg_spread}"
+        );
+    }
+}
+
+#[test]
+fn greedy_replace_is_at_least_as_good_as_out_neighbors() {
+    let topology = generators::preferential_attachment(300, 3, false, 1.0, 29).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 4 }.apply(&topology).unwrap();
+    let problem = ImninProblem::new(&graph, vec![VertexId::new(2)]).unwrap();
+    for budget in [2usize, 5, 10] {
+        let on = problem.solve(Algorithm::OutNeighbors, budget, &cfg()).unwrap();
+        let gr = problem.solve(Algorithm::GreedyReplace, budget, &cfg()).unwrap();
+        let on_spread = problem.evaluate_spread(&on.blockers, 20_000, 2).unwrap();
+        let gr_spread = problem.evaluate_spread(&gr.blockers, 20_000, 2).unwrap();
+        assert!(
+            gr_spread <= on_spread + 0.1,
+            "budget {budget}: GR {gr_spread} must be ≤ OutNeighbors {on_spread}"
+        );
+    }
+}
+
+#[test]
+fn greedy_replace_matches_exact_on_an_extract() {
+    // The Tables V/VI setting: a small extract, tiny budgets, exact search
+    // as the oracle. GR's spread must stay within a few percent.
+    let (topology, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Tiny)
+        .unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let extract = extract_neighborhood(&graph, VertexId::new(0), 30).unwrap();
+    let sub = &extract.graph;
+    // Use a seed with out-edges inside the extract.
+    let seed = sub
+        .vertices()
+        .find(|&v| sub.out_degree(v) > 0)
+        .expect("extract has at least one edge");
+    let problem = ImninProblem::new(sub, vec![seed]).unwrap();
+    for budget in [1usize, 2] {
+        let exact = problem.solve(Algorithm::Exact, budget, &cfg()).unwrap();
+        let gr = problem.solve(Algorithm::GreedyReplace, budget, &cfg()).unwrap();
+        let exact_spread = problem.evaluate_spread(&exact.blockers, 30_000, 3).unwrap();
+        let gr_spread = problem.evaluate_spread(&gr.blockers, 30_000, 3).unwrap();
+        assert!(
+            gr_spread <= exact_spread * 1.05 + 0.1,
+            "budget {budget}: GR {gr_spread} vs Exact {exact_spread}"
+        );
+        // The exact optimum can never be worse than GR.
+        assert!(exact_spread <= gr_spread + 0.1);
+    }
+}
+
+#[test]
+fn spread_decreases_monotonically_with_budget_for_greedy_algorithms() {
+    let topology = generators::preferential_attachment(400, 3, false, 1.0, 31).unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let problem = ImninProblem::new(&graph, vec![VertexId::new(0), VertexId::new(5)]).unwrap();
+    for alg in [Algorithm::AdvancedGreedy, Algorithm::GreedyReplace] {
+        let mut previous = f64::INFINITY;
+        for budget in [1usize, 4, 8, 16] {
+            let sel = problem.solve(alg, budget, &cfg()).unwrap();
+            let spread = problem.evaluate_spread(&sel.blockers, 10_000, 4).unwrap();
+            assert!(
+                spread <= previous + 0.3,
+                "{alg:?}: spread {spread} at budget {budget} exceeds previous {previous}"
+            );
+            previous = spread;
+        }
+    }
+}
+
+#[test]
+fn large_budget_reaches_the_seed_only_plateau() {
+    // With a budget at least the seed's out-degree, GreedyReplace blocks the
+    // entire out-neighbourhood and the spread collapses to |S| — the plateau
+    // visible in Table VII (spread 10 for the 10-seed runs).
+    let topology = generators::preferential_attachment(200, 2, false, 1.0, 17).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 9 }.apply(&topology).unwrap();
+    let seed = VertexId::new(0);
+    let out_degree = graph.out_degree(seed);
+    let problem = ImninProblem::new(&graph, vec![seed]).unwrap();
+    let sel = problem
+        .solve(Algorithm::GreedyReplace, out_degree.max(1) + 2, &cfg())
+        .unwrap();
+    let spread = problem.evaluate_spread(&sel.blockers, 20_000, 5).unwrap();
+    assert!(
+        (spread - 1.0).abs() < 0.05,
+        "blocking the whole out-neighbourhood must leave only the seed, got {spread}"
+    );
+}

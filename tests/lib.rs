@@ -1,0 +1,13 @@
+//! Shared helpers for the cross-crate integration tests.
+//!
+//! The real test code lives in the sibling `*.rs` files declared as `[[test]]`
+//! targets in `Cargo.toml`; this library only exists so the package has a
+//! compilation unit and a place for helpers shared by those targets.
+
+/// Asserts that two floating-point spreads agree within `tol`.
+pub fn assert_close(a: f64, b: f64, tol: f64, context: &str) {
+    assert!(
+        (a - b).abs() <= tol,
+        "{context}: {a} vs {b} differ by more than {tol}"
+    );
+}

@@ -1,0 +1,94 @@
+//! Cross-crate property-based tests: the dominator-tree estimator agrees
+//! with Monte-Carlo simulation, blocking is monotone, and algorithms always
+//! produce valid selections on random problem instances.
+
+use imin_core::decrease::{decrease_es_computation, DecreaseConfig};
+use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
+use imin_diffusion::montecarlo::MonteCarloEstimator;
+use imin_diffusion::ProbabilityModel;
+use imin_graph::{generators, VertexId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 4/6 end to end: for random graphs and random candidates, the
+    /// dominator-tree estimate of the spread decrease matches an
+    /// independent Monte-Carlo estimate.
+    #[test]
+    fn dominator_estimate_matches_monte_carlo(seed in 0u64..1000, n in 10usize..40) {
+        let topology = generators::erdos_renyi(n, 2.5 / n as f64, 1.0, seed).unwrap();
+        let graph = ProbabilityModel::Uniform { low: 0.2, high: 0.9, seed }
+            .apply(&topology)
+            .unwrap();
+        let source = VertexId::new(0);
+        let blocked = vec![false; n];
+        let est = decrease_es_computation(
+            &graph,
+            source,
+            &blocked,
+            &DecreaseConfig { theta: 20_000, threads: 2, seed },
+        )
+        .unwrap();
+        let mcs = MonteCarloEstimator::new(20_000).with_seed(seed ^ 0xF00D);
+        // Check the three highest-impact candidates (the interesting ones).
+        let mut order: Vec<usize> = (1..n).collect();
+        order.sort_by(|&a, &b| est.delta[b].partial_cmp(&est.delta[a]).unwrap());
+        for &v in order.iter().take(3) {
+            let expected = mcs
+                .spread_decrease(&graph, &[source], &blocked, VertexId::new(v))
+                .unwrap();
+            prop_assert!(
+                (est.delta[v] - expected).abs() < 0.15 + 0.05 * expected.abs(),
+                "vertex {}: dominator {} vs MCS {}",
+                v,
+                est.delta[v],
+                expected
+            );
+        }
+    }
+
+    /// Blocking more vertices never increases the expected spread
+    /// (monotonicity, Theorem 2).
+    #[test]
+    fn blocking_is_monotone_in_expectation(seed in 0u64..1000, n in 8usize..30) {
+        let topology = generators::erdos_renyi(n, 3.0 / n as f64, 1.0, seed).unwrap();
+        let graph = ProbabilityModel::Uniform { low: 0.1, high: 0.8, seed }
+            .apply(&topology)
+            .unwrap();
+        let seeds = vec![VertexId::new(0)];
+        let mcs = MonteCarloEstimator::new(8_000).with_seed(seed);
+        let mut mask = vec![false; n];
+        let mut previous = mcs.expected_spread_blocked(&graph, &seeds, Some(&mask)).unwrap().mean;
+        // Block vertices 1, 2, 3 in turn; spread must not increase by more
+        // than the Monte-Carlo noise.
+        for v in 1..4.min(n) {
+            mask[v] = true;
+            let next = mcs.expected_spread_blocked(&graph, &seeds, Some(&mask)).unwrap().mean;
+            prop_assert!(next <= previous + 0.15, "spread rose from {} to {}", previous, next);
+            previous = next;
+        }
+    }
+
+    /// Every algorithm returns at most `b` valid blockers on random problem
+    /// instances, and their evaluated spread never exceeds doing nothing.
+    #[test]
+    fn algorithms_are_safe_on_random_instances(seed in 0u64..500, n in 20usize..80) {
+        let topology = generators::preferential_attachment(n, 2, false, 1.0, seed).unwrap();
+        let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+        let seeds = vec![VertexId::new((seed as usize) % n)];
+        let problem = ImninProblem::new(&graph, seeds.clone()).unwrap();
+        let config = AlgorithmConfig::fast_for_tests().with_theta(200).with_mcs_rounds(200);
+        let budget = 1 + (seed as usize % 5);
+        let nothing = problem.evaluate_spread(&[], 3_000, seed).unwrap();
+        for alg in [Algorithm::OutDegree, Algorithm::AdvancedGreedy, Algorithm::GreedyReplace] {
+            let sel = problem.solve(alg, budget, &config).unwrap();
+            prop_assert!(sel.len() <= budget);
+            for &b in &sel.blockers {
+                prop_assert!(problem.is_valid_blocker(b));
+            }
+            let spread = problem.evaluate_spread(&sel.blockers, 3_000, seed).unwrap();
+            prop_assert!(spread <= nothing + 0.3, "{:?}: {} vs {}", alg, spread, nothing);
+        }
+    }
+}
