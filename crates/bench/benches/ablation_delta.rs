@@ -15,7 +15,10 @@ fn bench_delta(c: &mut Criterion) {
         .load_or_generate(DatasetScale::Tiny)
         .unwrap();
     let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
-    let source = graph.vertices().max_by_key(|&v| graph.out_degree(v)).unwrap();
+    let source = graph
+        .vertices()
+        .max_by_key(|&v| graph.out_degree(v))
+        .unwrap();
     let blocked = vec![false; graph.num_vertices()];
 
     // Algorithm 2: every candidate priced from the same θ samples.
@@ -25,7 +28,11 @@ fn bench_delta(c: &mut Criterion) {
                 &graph,
                 source,
                 &blocked,
-                &DecreaseConfig { theta: 1_000, threads: 1, seed: 5 },
+                &DecreaseConfig {
+                    theta: 1_000,
+                    threads: 1,
+                    seed: 5,
+                },
             )
             .unwrap()
             .delta

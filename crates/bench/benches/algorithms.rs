@@ -14,7 +14,10 @@ fn bench_algorithms(c: &mut Criterion) {
         .unwrap();
     let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
     let problem = ImninProblem::new(&graph, vec![VertexId::new(0), VertexId::new(1)]).unwrap();
-    let config = AlgorithmConfig::default().with_theta(500).with_mcs_rounds(200).with_threads(2);
+    let config = AlgorithmConfig::default()
+        .with_theta(500)
+        .with_mcs_rounds(200)
+        .with_threads(2);
     for alg in [
         Algorithm::OutDegree,
         Algorithm::AdvancedGreedy,

@@ -7,14 +7,30 @@ fn bench_generators(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_generators");
     group.sample_size(10);
     for &n in &[2_000usize, 8_000] {
-        group.bench_with_input(BenchmarkId::new("preferential_attachment", n), &n, |b, &n| {
-            b.iter(|| generators::preferential_attachment(n, 4, false, 1.0, 3).unwrap().num_edges())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("preferential_attachment", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    generators::preferential_attachment(n, 4, false, 1.0, 3)
+                        .unwrap()
+                        .num_edges()
+                })
+            },
+        );
         group.bench_with_input(BenchmarkId::new("power_law", n), &n, |b, &n| {
-            b.iter(|| generators::power_law_digraph(n, n * 4, 2.3, n / 10, 1.0, 3).unwrap().num_edges())
+            b.iter(|| {
+                generators::power_law_digraph(n, n * 4, 2.3, n / 10, 1.0, 3)
+                    .unwrap()
+                    .num_edges()
+            })
         });
         group.bench_with_input(BenchmarkId::new("erdos_renyi", n), &n, |b, &n| {
-            b.iter(|| generators::erdos_renyi(n, 4.0 / n as f64, 1.0, 3).unwrap().num_edges())
+            b.iter(|| {
+                generators::erdos_renyi(n, 4.0 / n as f64, 1.0, 3)
+                    .unwrap()
+                    .num_edges()
+            })
         });
     }
     group.finish();

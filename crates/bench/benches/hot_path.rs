@@ -1,0 +1,105 @@
+//! The sampling→dominator hot path of Algorithm 2 end to end: arena-backed
+//! `CompactSample` + reusable `DomTreeWorkspace` versus the nested-adjacency
+//! compatibility shim, and the full `decrease_es_computation` at several θ.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imin_core::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
+use imin_core::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
+use imin_datasets::{Dataset, DatasetScale};
+use imin_diffusion::ProbabilityModel;
+use imin_domtree::{dominator_tree_from_adjacency, DomTreeWorkspace};
+use imin_graph::{DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_graph() -> (DiGraph, VertexId) {
+    let (topology, _) = Dataset::EmailCore
+        .load_or_generate(DatasetScale::Bench)
+        .unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let source = graph
+        .vertices()
+        .max_by_key(|&v| graph.out_degree(v))
+        .unwrap();
+    (graph, source)
+}
+
+/// One sample → one dominator tree → subtree sizes, flat versus shim.
+fn bench_per_sample(c: &mut Criterion) {
+    let (graph, source) = bench_graph();
+    let blocked = vec![false; graph.num_vertices()];
+    let mut group = c.benchmark_group("sample_to_subtree_sizes");
+    group.sample_size(10);
+
+    group.bench_function("flat_csr_workspace", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sample = CompactSample::new(graph.num_vertices());
+        let mut ws = DomTreeWorkspace::new();
+        let mut sizes = Vec::new();
+        b.iter(|| {
+            IcLiveEdgeSampler.sample(&graph, source, &blocked, &mut rng, &mut sample);
+            if sample.num_reached() > 1 {
+                let dt = ws.compute_csr(
+                    sample.num_reached(),
+                    sample.offsets(),
+                    sample.targets(),
+                    VertexId::new(0),
+                );
+                dt.subtree_sizes_into(&mut sizes);
+            }
+            sizes.len()
+        })
+    });
+
+    group.bench_function("nested_adjacency_shim", |b| {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut sample = CompactSample::new(graph.num_vertices());
+        b.iter(|| {
+            IcLiveEdgeSampler.sample(&graph, source, &blocked, &mut rng, &mut sample);
+            if sample.num_reached() > 1 {
+                let adjacency: Vec<Vec<u32>> = (0..sample.num_reached() as u32)
+                    .map(|l| sample.neighbors(l).to_vec())
+                    .collect();
+                let dt = dominator_tree_from_adjacency(&adjacency, VertexId::new(0));
+                dt.subtree_sizes().len()
+            } else {
+                0
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Full Algorithm 2 rounds with a persistent workspace across iterations —
+/// the exact shape of the greedy inner loop.
+fn bench_decrease(c: &mut Criterion) {
+    let (graph, source) = bench_graph();
+    let blocked = vec![false; graph.num_vertices()];
+    let mut group = c.benchmark_group("decrease_es_computation");
+    group.sample_size(10);
+    for theta in [200usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("theta", theta), &theta, |b, &theta| {
+            let mut ws = DecreaseWorkspace::new();
+            let cfg = DecreaseConfig {
+                theta,
+                threads: 1,
+                seed: 7,
+            };
+            b.iter(|| {
+                decrease_es_computation_in(
+                    &IcLiveEdgeSampler,
+                    &graph,
+                    source,
+                    &blocked,
+                    &cfg,
+                    &mut ws,
+                )
+                .unwrap()
+                .samples
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_per_sample, bench_decrease);
+criterion_main!(benches);

@@ -12,7 +12,9 @@ fn bench_spread(c: &mut Criterion) {
     let (topology, _) = Dataset::EmailCore
         .load_or_generate(DatasetScale::Bench)
         .unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 2 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 2 }
+        .apply(&topology)
+        .unwrap();
     let seeds: Vec<VertexId> = (0..10).map(VertexId::new).collect();
     for &threads in &[1usize, 4] {
         group.bench_with_input(

@@ -1,0 +1,387 @@
+//! PR 2 performance trajectory: wall time of `DecreaseESComputation`
+//! (Algorithm 2) at θ ∈ {1 000, 10 000} on a 50 000-vertex WC-model graph,
+//! comparing the arena-backed flat hot path against a faithful replica of
+//! the seed implementation (nested `Vec<Vec<u32>>` sample adjacency and a
+//! Lengauer–Tarjan with per-vertex predecessor/bucket vectors and a
+//! collected-successor DFS — the exact allocation behaviour this PR
+//! removed).
+//!
+//! Emits `BENCH_PR2.json` in the repository root (override the directory
+//! with `IMIN_BENCH_OUT`), seeding the repo's benchmark history.
+//!
+//! Run with: `cargo run --release -p imin-bench --bin bench_pr2`
+
+use imin_core::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
+use imin_core::sampler::IcLiveEdgeSampler;
+use imin_diffusion::ProbabilityModel;
+use imin_graph::{generators, DiGraph, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write;
+use std::time::Instant;
+
+/// The seed implementation of the sampling→dominator hot path, kept verbatim
+/// in spirit: every structure that used to be a nested vector still is.
+mod legacy {
+    use super::*;
+
+    const UNMAPPED: u32 = u32::MAX;
+    const NONE: u32 = u32::MAX;
+
+    pub struct LegacySample {
+        pub vertices: Vec<u32>,
+        pub adjacency: Vec<Vec<u32>>,
+        local_of: Vec<u32>,
+    }
+
+    impl LegacySample {
+        pub fn new(n: usize) -> Self {
+            LegacySample {
+                vertices: Vec::new(),
+                adjacency: Vec::new(),
+                local_of: vec![UNMAPPED; n],
+            }
+        }
+
+        fn reset(&mut self) {
+            for &v in &self.vertices {
+                self.local_of[v as usize] = UNMAPPED;
+            }
+            self.vertices.clear();
+            // Inner vectors keep their capacity, exactly like the seed code.
+        }
+
+        fn intern(&mut self, global: u32) -> u32 {
+            let slot = self.local_of[global as usize];
+            if slot != UNMAPPED {
+                return slot;
+            }
+            let local = self.vertices.len() as u32;
+            self.local_of[global as usize] = local;
+            self.vertices.push(global);
+            if self.adjacency.len() <= local as usize {
+                self.adjacency.push(Vec::new());
+            } else {
+                self.adjacency[local as usize].clear();
+            }
+            local
+        }
+
+        /// The seed IC sampler: identical coin-flip order to the flat one.
+        pub fn sample(
+            &mut self,
+            graph: &DiGraph,
+            source: VertexId,
+            blocked: &[bool],
+            rng: &mut SmallRng,
+        ) {
+            self.reset();
+            if blocked[source.index()] {
+                return;
+            }
+            self.intern(source.raw());
+            let mut head = 0usize;
+            while head < self.vertices.len() {
+                let u_global = self.vertices[head];
+                let u_local = head as u32;
+                head += 1;
+                let u = VertexId::from_raw(u_global);
+                let targets = graph.out_neighbors(u);
+                let probs = graph.out_probabilities(u);
+                for (&t, &p) in targets.iter().zip(probs) {
+                    if blocked[t as usize] {
+                        continue;
+                    }
+                    let live = if p >= 1.0 {
+                        true
+                    } else if p <= 0.0 {
+                        false
+                    } else {
+                        rng.gen_bool(p)
+                    };
+                    if !live {
+                        continue;
+                    }
+                    let t_local = self.intern(t);
+                    self.adjacency[u_local as usize].push(t_local);
+                }
+            }
+        }
+    }
+
+    /// The seed Lengauer–Tarjan: fresh `preds`/`buckets` nested vectors and
+    /// a collected-successor DFS stack, allocated anew on every call.
+    pub fn dominators_nested(adjacency: &[Vec<u32>], n: usize) -> (Vec<u32>, Vec<u32>) {
+        let root = 0u32;
+        let mut dfn = vec![0u32; n];
+        let mut vertex: Vec<u32> = Vec::new();
+        let mut parent = vec![NONE; n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+
+        dfn[root as usize] = 1;
+        vertex.push(root);
+        struct Frame {
+            v: u32,
+            succs: Vec<u32>,
+            next: usize,
+        }
+        let mut stack: Vec<Frame> = vec![Frame {
+            v: root,
+            succs: adjacency[root as usize].clone(),
+            next: 0,
+        }];
+        while let Some(frame) = stack.last_mut() {
+            if frame.next < frame.succs.len() {
+                let u = frame.v;
+                let v = frame.succs[frame.next];
+                frame.next += 1;
+                preds[v as usize].push(u);
+                if dfn[v as usize] == 0 {
+                    dfn[v as usize] = vertex.len() as u32 + 1;
+                    vertex.push(v);
+                    parent[v as usize] = u;
+                    stack.push(Frame {
+                        v,
+                        succs: adjacency[v as usize].clone(),
+                        next: 0,
+                    });
+                }
+            } else {
+                stack.pop();
+            }
+        }
+        let reached = vertex.len();
+        let mut idom = vec![NONE; n];
+        if reached <= 1 {
+            return (idom, vertex);
+        }
+
+        let mut semi: Vec<u32> = dfn.clone();
+        let mut ancestor = vec![NONE; n];
+        let mut label: Vec<u32> = (0..n as u32).collect();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut compress_stack: Vec<u32> = Vec::new();
+
+        let eval = |v: u32,
+                    ancestor: &mut Vec<u32>,
+                    label: &mut Vec<u32>,
+                    semi: &Vec<u32>,
+                    compress_stack: &mut Vec<u32>|
+         -> u32 {
+            if ancestor[v as usize] == NONE {
+                return v;
+            }
+            compress_stack.clear();
+            let mut cur = v;
+            while ancestor[ancestor[cur as usize] as usize] != NONE {
+                compress_stack.push(cur);
+                cur = ancestor[cur as usize];
+            }
+            while let Some(w) = compress_stack.pop() {
+                let anc = ancestor[w as usize];
+                if semi[label[anc as usize] as usize] < semi[label[w as usize] as usize] {
+                    label[w as usize] = label[anc as usize];
+                }
+                ancestor[w as usize] = ancestor[anc as usize];
+            }
+            label[v as usize]
+        };
+
+        for i in (1..reached).rev() {
+            let w = vertex[i];
+            let p = parent[w as usize];
+            #[allow(clippy::needless_range_loop)]
+            for pi in 0..preds[w as usize].len() {
+                let v = preds[w as usize][pi];
+                let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
+                if semi[u as usize] < semi[w as usize] {
+                    semi[w as usize] = semi[u as usize];
+                }
+            }
+            buckets[vertex[(semi[w as usize] - 1) as usize] as usize].push(w);
+            ancestor[w as usize] = p;
+            let bucket = std::mem::take(&mut buckets[p as usize]);
+            for v in bucket {
+                let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
+                idom[v as usize] = if semi[u as usize] < semi[v as usize] {
+                    u
+                } else {
+                    p
+                };
+            }
+        }
+        for i in 1..reached {
+            let w = vertex[i];
+            if idom[w as usize] != vertex[(semi[w as usize] - 1) as usize] {
+                idom[w as usize] = idom[idom[w as usize] as usize];
+            }
+        }
+        idom[root as usize] = NONE;
+        (idom, vertex)
+    }
+
+    /// The seed Algorithm 2 inner loop: fresh subtree-size vector per
+    /// sample, nested adjacency fed to the nested Lengauer–Tarjan.
+    pub fn decrease(
+        graph: &DiGraph,
+        source: VertexId,
+        blocked: &[bool],
+        theta: usize,
+        seed: u64,
+    ) -> (Vec<f64>, f64) {
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sample = LegacySample::new(n);
+        let mut delta_sum = vec![0.0f64; n];
+        let mut reached_sum = 0.0f64;
+        for _ in 0..theta {
+            sample.sample(graph, source, blocked, &mut rng);
+            let reached = sample.vertices.len();
+            reached_sum += reached as f64;
+            if reached <= 1 {
+                continue;
+            }
+            let (idom, preorder) = dominators_nested(&sample.adjacency[..reached], reached);
+            let mut sizes = vec![0u64; reached];
+            for &v in &preorder {
+                sizes[v as usize] = 1;
+            }
+            for &v in preorder.iter().rev() {
+                let d = idom[v as usize];
+                if d != NONE {
+                    sizes[d as usize] += sizes[v as usize];
+                }
+            }
+            for local in 1..reached {
+                delta_sum[sample.vertices[local] as usize] += sizes[local] as f64;
+            }
+        }
+        let inv = 1.0 / theta as f64;
+        for d in delta_sum.iter_mut() {
+            *d *= inv;
+        }
+        (delta_sum, reached_sum * inv)
+    }
+}
+
+struct Measurement {
+    theta: usize,
+    legacy_secs: f64,
+    flat_secs: f64,
+}
+
+fn time_best_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let n = 50_000usize;
+    eprintln!("generating {n}-vertex preferential-attachment topology …");
+    let topology =
+        generators::preferential_attachment(n, 4, true, 1.0, 20230227).expect("generator");
+    let graph = ProbabilityModel::WeightedCascade
+        .apply(&topology)
+        .expect("WC probabilities");
+    let source = graph
+        .vertices()
+        .max_by_key(|&v| graph.out_degree(v))
+        .expect("nonempty graph");
+    let blocked = vec![false; n];
+    eprintln!(
+        "graph ready: n={n}, m={}, source={source} (out-degree {})",
+        graph.num_edges(),
+        graph.out_degree(source)
+    );
+
+    // Sanity: both paths must price candidates identically before timing.
+    let (legacy_delta, legacy_avg) = legacy::decrease(&graph, source, &blocked, 200, 1);
+    let mut workspace = DecreaseWorkspace::new();
+    let check_cfg = DecreaseConfig {
+        theta: 200,
+        threads: 1,
+        seed: 1,
+    };
+    let flat = decrease_es_computation_in(
+        &IcLiveEdgeSampler,
+        &graph,
+        source,
+        &blocked,
+        &check_cfg,
+        &mut workspace,
+    )
+    .expect("flat estimator");
+    assert_eq!(flat.delta, legacy_delta, "legacy and flat paths diverged");
+    assert_eq!(flat.average_reached, legacy_avg);
+    eprintln!(
+        "parity check passed (θ=200, bit-identical deltas); average cascade size {:.1}",
+        flat.average_reached
+    );
+
+    let mut results = Vec::new();
+    for theta in [1_000usize, 10_000] {
+        let reps = if theta <= 1_000 { 3 } else { 2 };
+        let legacy_secs = time_best_of(reps, || {
+            let start = Instant::now();
+            let out = legacy::decrease(&graph, source, &blocked, theta, 7);
+            std::hint::black_box(out.1);
+            start.elapsed().as_secs_f64()
+        });
+        let flat_secs = time_best_of(reps, || {
+            let cfg = DecreaseConfig {
+                theta,
+                threads: 1,
+                seed: 7,
+            };
+            let start = Instant::now();
+            let out = decrease_es_computation_in(
+                &IcLiveEdgeSampler,
+                &graph,
+                source,
+                &blocked,
+                &cfg,
+                &mut workspace,
+            )
+            .expect("flat estimator");
+            std::hint::black_box(out.average_reached);
+            start.elapsed().as_secs_f64()
+        });
+        println!(
+            "theta {theta:>6}: legacy {legacy_secs:.4}s  flat {flat_secs:.4}s  speedup {:.2}x",
+            legacy_secs / flat_secs
+        );
+        results.push(Measurement {
+            theta,
+            legacy_secs,
+            flat_secs,
+        });
+    }
+
+    let out_dir = std::env::var("IMIN_BENCH_OUT").unwrap_or_else(|_| ".".into());
+    let path = std::path::Path::new(&out_dir).join("BENCH_PR2.json");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"pr\": 2,\n");
+    json.push_str("  \"benchmark\": \"decrease_es_computation\",\n");
+    json.push_str("  \"description\": \"Algorithm 2 wall time, seed nested-vector hot path vs arena-backed flat hot path\",\n");
+    json.push_str(&format!(
+        "  \"graph\": {{ \"generator\": \"preferential_attachment\", \"model\": \"WC\", \"vertices\": {n}, \"edges\": {} }},\n",
+        graph.num_edges()
+    ));
+    json.push_str("  \"threads\": 1,\n");
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"theta\": {}, \"legacy_secs\": {:.6}, \"flat_secs\": {:.6}, \"speedup\": {:.3} }}{}\n",
+            m.theta,
+            m.legacy_secs,
+            m.flat_secs,
+            m.legacy_secs / m.flat_secs,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(&path).expect("create BENCH_PR2.json");
+    file.write_all(json.as_bytes())
+        .expect("write BENCH_PR2.json");
+    println!("wrote {}", path.display());
+}

@@ -6,7 +6,9 @@ fn main() {
     let settings = BenchSettings::from_env();
     println!("== Figure 10: running time vs number of seeds (TR model) ==");
     imin_bench::experiments::seeds_scalability(
-        ProbabilityModel::Trivalency { seed: settings.seed },
+        ProbabilityModel::Trivalency {
+            seed: settings.seed,
+        },
         &[1, 10, 100, 1000],
         &settings,
     )

@@ -6,7 +6,9 @@ fn main() {
     let settings = BenchSettings::from_env();
     println!("== Figure 7: time cost of BG / AG / GR (TR model, b = 10) ==");
     imin_bench::experiments::time_comparison(
-        ProbabilityModel::Trivalency { seed: settings.seed },
+        ProbabilityModel::Trivalency {
+            seed: settings.seed,
+        },
         &settings,
     )
     .emit("fig7_time_tr");

@@ -10,7 +10,9 @@ fn main() {
     println!("settings: {settings:?}\n");
     imin_bench::experiments::table3_toy().emit("table3_toy");
     imin_bench::experiments::exact_vs_gr(
-        ProbabilityModel::Trivalency { seed: settings.seed },
+        ProbabilityModel::Trivalency {
+            seed: settings.seed,
+        },
         &settings,
     )
     .emit("table5_exact_tr");
@@ -19,15 +21,24 @@ fn main() {
     let thetas = imin_bench::experiments::default_thetas(&settings);
     imin_bench::experiments::theta_sweep(&settings, &thetas, 20).emit("fig5_6_theta");
     for model in paper_models(settings.seed) {
-        imin_bench::experiments::heuristics_comparison(model, &[20, 60, 100], &settings)
-            .emit(&format!("table7_heuristics_{}", model.label().to_lowercase()));
+        imin_bench::experiments::heuristics_comparison(model, &[20, 60, 100], &settings).emit(
+            &format!("table7_heuristics_{}", model.label().to_lowercase()),
+        );
         imin_bench::experiments::time_comparison(model, &settings)
             .emit(&format!("fig7_8_time_{}", model.label().to_lowercase()));
-        imin_bench::experiments::budget_sweep(Dataset::Facebook, model, &[1, 20, 60, 100], &settings)
-            .emit(&format!("fig9_budget_f_{}", model.label().to_lowercase()));
+        imin_bench::experiments::budget_sweep(
+            Dataset::Facebook,
+            model,
+            &[1, 20, 60, 100],
+            &settings,
+        )
+        .emit(&format!("fig9_budget_f_{}", model.label().to_lowercase()));
         imin_bench::experiments::seeds_scalability(model, &[1, 10, 100], &settings)
             .emit(&format!("fig10_11_seeds_{}", model.label().to_lowercase()));
     }
     imin_bench::experiments::triggering_extension(&settings).emit("ext_triggering");
-    println!("all experiment CSVs written under {:?}", imin_bench::experiments_dir());
+    println!(
+        "all experiment CSVs written under {:?}",
+        imin_bench::experiments_dir()
+    );
 }

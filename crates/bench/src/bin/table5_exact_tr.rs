@@ -6,7 +6,9 @@ fn main() {
     let settings = BenchSettings::from_env();
     println!("== Table V: Exact vs GreedyReplace (TR model) ==");
     imin_bench::experiments::exact_vs_gr(
-        ProbabilityModel::Trivalency { seed: settings.seed },
+        ProbabilityModel::Trivalency {
+            seed: settings.seed,
+        },
         &settings,
     )
     .emit("table5_exact_tr");

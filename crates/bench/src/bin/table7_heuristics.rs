@@ -8,8 +8,13 @@ fn main() {
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![20, 40, 60, 80, 100]);
     for model in paper_models(settings.seed) {
-        println!("== Table VII ({} model): RA / OD / AG / GR ==", model.label());
-        imin_bench::experiments::heuristics_comparison(model, &budgets, &settings)
-            .emit(&format!("table7_heuristics_{}", model.label().to_lowercase()));
+        println!(
+            "== Table VII ({} model): RA / OD / AG / GR ==",
+            model.label()
+        );
+        imin_bench::experiments::heuristics_comparison(model, &budgets, &settings).emit(&format!(
+            "table7_heuristics_{}",
+            model.label().to_lowercase()
+        ));
     }
 }

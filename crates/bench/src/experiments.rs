@@ -4,9 +4,7 @@
 
 use crate::{draw_seeds, fmt_secs, prepare_instance, BenchSettings, Table};
 use imin_core::exact_blocker::{exact_blocker_search, ExactSearchConfig, SpreadEvaluator};
-use imin_core::triggering::{
-    evaluate_triggering_spread, greedy_replace_triggering,
-};
+use imin_core::triggering::{evaluate_triggering_spread, greedy_replace_triggering};
 use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
 use imin_datasets::extract::extract_many;
 use imin_datasets::toy::{figure1_graph, V};
@@ -221,8 +219,7 @@ pub fn time_comparison(model: ProbabilityModel, settings: &BenchSettings) -> Tab
             if estimated_cascades <= limit {
                 let mut s = settings.clone();
                 s.mcs_rounds = bg_rounds;
-                let run =
-                    crate::run_algorithm(&instance, Algorithm::BaselineGreedy, budget, &s);
+                let run = crate::run_algorithm(&instance, Algorithm::BaselineGreedy, budget, &s);
                 format!("{} (r={bg_rounds})", fmt_secs(run.elapsed))
             } else {
                 "TIMEOUT".to_string()
@@ -308,7 +305,10 @@ pub fn seeds_scalability(
 pub fn triggering_extension(settings: &BenchSettings) -> Table {
     let mut table = Table::new(&["graph", "model", "b", "spread_before", "spread_after"]);
     let config = settings.algorithm_config();
-    let mut run = |name: &str, graph: &imin_graph::DiGraph, seed: imin_graph::VertexId, b: usize| {
+    let mut run = |name: &str,
+                   graph: &imin_graph::DiGraph,
+                   seed: imin_graph::VertexId,
+                   b: usize| {
         let forbidden: Vec<bool> = (0..graph.num_vertices())
             .map(|i| i == seed.index())
             .collect();
@@ -377,18 +377,24 @@ mod tests {
         let rendered = table.render();
         // GreedyReplace with b = 2 must reach the optimum spread of 1.00.
         assert!(rendered.contains("GreedyReplace"));
-        assert!(rendered.contains("3.00"), "blocking v5 leaves spread 3:\n{rendered}");
-        assert!(rendered.contains("1.00"), "b=2 optimum is spread 1:\n{rendered}");
+        assert!(
+            rendered.contains("3.00"),
+            "blocking v5 leaves spread 3:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("1.00"),
+            "b=2 optimum is spread 1:\n{rendered}"
+        );
     }
 
     #[test]
     fn exact_vs_gr_produces_rows_with_ratio_near_100() {
-        let table = exact_vs_gr(
-            ProbabilityModel::WeightedCascade,
-            &tiny_settings(),
-        );
+        let table = exact_vs_gr(ProbabilityModel::WeightedCascade, &tiny_settings());
         let rendered = table.render();
-        assert!(rendered.lines().count() > 2, "no rows produced:\n{rendered}");
+        assert!(
+            rendered.lines().count() > 2,
+            "no rows produced:\n{rendered}"
+        );
     }
 
     #[test]

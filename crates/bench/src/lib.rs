@@ -72,7 +72,14 @@ impl BenchSettings {
                 _ => DatasetScale::Bench,
             },
         };
-        let theta = env_usize("IMIN_THETA", if matches!(scale, DatasetScale::Tiny) { 500 } else { 2_000 });
+        let theta = env_usize(
+            "IMIN_THETA",
+            if matches!(scale, DatasetScale::Tiny) {
+                500
+            } else {
+                2_000
+            },
+        );
         BenchSettings {
             scale,
             theta,
@@ -197,7 +204,11 @@ pub fn run_algorithm(
     let elapsed = start.elapsed();
     let spread = instance
         .problem
-        .evaluate_spread(&selection.blockers, settings.mcs_rounds, settings.seed ^ 0xE7A1)
+        .evaluate_spread(
+            &selection.blockers,
+            settings.mcs_rounds,
+            settings.seed ^ 0xE7A1,
+        )
         .expect("evaluation failed");
     TimedRun {
         algorithm: algorithm.label(),

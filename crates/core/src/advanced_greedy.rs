@@ -9,7 +9,7 @@
 //! changing the greedy choices in expectation (§V-C, "Comparison with
 //! Baseline").
 
-use crate::decrease::{decrease_es_computation_with, DecreaseConfig};
+use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
@@ -61,6 +61,10 @@ pub fn advanced_greedy_with<S: SpreadSampler + ?Sized>(
     let mut blockers = Vec::with_capacity(budget);
     let mut stats = SelectionStats::default();
     let mut estimated_spread = None;
+    // One workspace for the whole run: every round's `budget × θ` sampling
+    // loop reuses the same per-thread sample arenas and dominator-tree
+    // scratch, so steady-state rounds never touch the allocator.
+    let mut workspace = DecreaseWorkspace::new();
 
     for round in 0..budget {
         let decrease_cfg = DecreaseConfig {
@@ -69,13 +73,18 @@ pub fn advanced_greedy_with<S: SpreadSampler + ?Sized>(
             // A fresh sample pool per round (deterministically derived).
             seed: config.seed.wrapping_add(round as u64),
         };
-        let estimate =
-            decrease_es_computation_with(sampler, graph, source, &blocked, &decrease_cfg)?;
+        let estimate = decrease_es_computation_in(
+            sampler,
+            graph,
+            source,
+            &blocked,
+            &decrease_cfg,
+            &mut workspace,
+        )?;
         stats.samples_drawn += estimate.samples;
 
-        let chosen = estimate.best_candidate(|v| {
-            v != source && !blocked[v.index()] && !forbidden[v.index()]
-        });
+        let chosen = estimate
+            .best_candidate(|v| v != source && !blocked[v.index()] && !forbidden[v.index()]);
         let Some(chosen) = chosen else {
             estimated_spread = Some(estimate.average_reached);
             break;
@@ -126,7 +135,7 @@ mod tests {
     #[test]
     fn picks_the_obvious_hub_first() {
         let g = hub_graph();
-        let sel = advanced_greedy(&g, vid(0), &vec![false; 6], 2, &config()).unwrap();
+        let sel = advanced_greedy(&g, vid(0), &[false; 6], 2, &config()).unwrap();
         assert_eq!(sel.blockers[0], vid(1));
         assert_eq!(sel.blockers[1], vid(5));
         assert!((sel.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
@@ -137,11 +146,11 @@ mod tests {
     #[test]
     fn matches_baseline_greedy_on_deterministic_graphs() {
         let g = hub_graph();
-        let ag = advanced_greedy(&g, vid(0), &vec![false; 6], 3, &config()).unwrap();
+        let ag = advanced_greedy(&g, vid(0), &[false; 6], 3, &config()).unwrap();
         let bg = baseline_greedy(
             &g,
             vid(0),
-            &vec![false; 6],
+            &[false; 6],
             3,
             &AlgorithmConfig::fast_for_tests().with_mcs_rounds(300),
         )
@@ -160,7 +169,7 @@ mod tests {
         assert!(sel.is_empty(), "the only candidate is forbidden");
         assert!((sel.estimated_spread.unwrap() - 2.0).abs() < 1e-9);
 
-        let sel = advanced_greedy(&g, vid(0), &vec![false; 2], 5, &config()).unwrap();
+        let sel = advanced_greedy(&g, vid(0), &[false; 2], 5, &config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
     }
 
@@ -174,7 +183,7 @@ mod tests {
             edges.push((vid(2), vid(9 + i), 1.0));
         }
         let g = DiGraph::from_edges(15, edges).unwrap();
-        let sel = advanced_greedy(&g, vid(0), &vec![false; 15], 1, &config()).unwrap();
+        let sel = advanced_greedy(&g, vid(0), &[false; 15], 1, &config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
     }
 
@@ -182,11 +191,11 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         let g = hub_graph();
         assert!(matches!(
-            advanced_greedy(&g, vid(0), &vec![false; 6], 0, &config()),
+            advanced_greedy(&g, vid(0), &[false; 6], 0, &config()),
             Err(IminError::ZeroBudget)
         ));
-        assert!(advanced_greedy(&g, vid(9), &vec![false; 6], 1, &config()).is_err());
+        assert!(advanced_greedy(&g, vid(9), &[false; 6], 1, &config()).is_err());
         let zero_theta = AlgorithmConfig::fast_for_tests().with_theta(0);
-        assert!(advanced_greedy(&g, vid(0), &vec![false; 6], 1, &zero_theta).is_err());
+        assert!(advanced_greedy(&g, vid(0), &[false; 6], 1, &zero_theta).is_err());
     }
 }

@@ -129,7 +129,7 @@ mod tests {
     #[test]
     fn picks_the_obvious_hub_first() {
         let g = hub_graph();
-        let sel = baseline_greedy(&g, vid(0), &vec![false; 6], 1, &config()).unwrap();
+        let sel = baseline_greedy(&g, vid(0), &[false; 6], 1, &config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
         // Remaining spread: the seed and vertex 5.
         assert!((sel.estimated_spread.unwrap() - 2.0).abs() < 1e-9);
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn respects_budget_and_selection_order() {
         let g = hub_graph();
-        let sel = baseline_greedy(&g, vid(0), &vec![false; 6], 2, &config()).unwrap();
+        let sel = baseline_greedy(&g, vid(0), &[false; 6], 2, &config()).unwrap();
         assert_eq!(sel.len(), 2);
         assert_eq!(sel.blockers[0], vid(1));
         assert_eq!(sel.blockers[1], vid(5));
@@ -162,7 +162,7 @@ mod tests {
     #[test]
     fn budget_larger_than_candidates_blocks_everything_blockable() {
         let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 1.0)]).unwrap();
-        let sel = baseline_greedy(&g, vid(0), &vec![false; 2], 10, &config()).unwrap();
+        let sel = baseline_greedy(&g, vid(0), &[false; 2], 10, &config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
         assert!((sel.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
     }
@@ -171,13 +171,13 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         let g = hub_graph();
         assert!(matches!(
-            baseline_greedy(&g, vid(0), &vec![false; 6], 0, &config()),
+            baseline_greedy(&g, vid(0), &[false; 6], 0, &config()),
             Err(IminError::ZeroBudget)
         ));
-        assert!(baseline_greedy(&g, vid(9), &vec![false; 6], 1, &config()).is_err());
+        assert!(baseline_greedy(&g, vid(9), &[false; 6], 1, &config()).is_err());
         let zero_rounds = AlgorithmConfig::fast_for_tests().with_mcs_rounds(0);
         assert!(matches!(
-            baseline_greedy(&g, vid(0), &vec![false; 6], 1, &zero_rounds),
+            baseline_greedy(&g, vid(0), &[false; 6], 1, &zero_rounds),
             Err(IminError::ZeroSamples)
         ));
     }

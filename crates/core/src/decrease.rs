@@ -10,10 +10,20 @@
 //!
 //! One pass therefore prices *every* candidate blocker simultaneously,
 //! instead of one Monte-Carlo evaluation per candidate as in the baseline.
+//!
+//! ## Allocation discipline
+//!
+//! The `budget × θ` inner loop — sample, dominator tree, subtree sizes,
+//! accumulate — runs entirely out of a [`DecreaseWorkspace`]: one
+//! [`CompactSample`] arena, one [`DomTreeWorkspace`] and one subtree-size
+//! buffer per worker thread, all reused across samples *and* across greedy
+//! rounds. After the first few samples have grown the buffers to the cascade
+//! high-water mark, drawing a sample and pricing every candidate allocates
+//! nothing.
 
 use crate::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
 use crate::{IminError, Result};
-use imin_domtree::dominator_tree_from_adjacency;
+use imin_domtree::DomTreeWorkspace;
 use imin_graph::{DiGraph, VertexId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -34,12 +44,13 @@ pub struct DecreaseEstimate {
 }
 
 impl DecreaseEstimate {
-    /// The candidate with the largest estimated decrease among vertices for
-    /// which `eligible` returns `true`; ties are broken towards the smaller
-    /// vertex id (deterministic). Returns `None` if no eligible vertex has a
-    /// positive estimate... or rather, returns the best eligible vertex even
-    /// if its estimate is zero, matching the paper's greedy loop which
-    /// always picks *some* vertex.
+    /// The eligible candidate with the largest estimated decrease.
+    ///
+    /// Considers every vertex for which `eligible` returns `true` — even
+    /// those whose estimate is zero, matching the paper's greedy loop, which
+    /// always blocks *some* vertex while budget remains. Ties are broken
+    /// towards the smaller vertex id, so the choice is deterministic.
+    /// Returns `None` only when no vertex at all is eligible.
     pub fn best_candidate<F: Fn(VertexId) -> bool>(&self, eligible: F) -> Option<VertexId> {
         let mut best: Option<(f64, VertexId)> = None;
         for (i, &d) in self.delta.iter().enumerate() {
@@ -81,6 +92,91 @@ impl Default for DecreaseConfig {
     }
 }
 
+/// Per-worker scratch state: everything one thread needs to draw samples and
+/// price candidates without touching the allocator.
+#[derive(Clone, Debug, Default)]
+struct WorkerScratch {
+    sample: CompactSample,
+    domtree: DomTreeWorkspace,
+    sizes: Vec<u64>,
+    delta_sum: Vec<f64>,
+}
+
+impl WorkerScratch {
+    /// Draws `samples` live-edge samples and accumulates raw subtree sizes
+    /// into `self.delta_sum`; returns the summed cascade sizes.
+    fn accumulate<S: SpreadSampler + ?Sized>(
+        &mut self,
+        sampler: &S,
+        graph: &DiGraph,
+        source: VertexId,
+        blocked: &[bool],
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Split borrows so the dominator workspace can run while the sample
+        // and size buffers stay borrowed.
+        let WorkerScratch {
+            sample,
+            domtree,
+            sizes,
+            delta_sum,
+        } = self;
+        delta_sum.clear();
+        delta_sum.resize(n, 0.0);
+        let mut reached_sum = 0.0f64;
+        for _ in 0..samples {
+            sampler.sample(graph, source, blocked, &mut rng, sample);
+            let reached = sample.num_reached();
+            reached_sum += reached as f64;
+            if reached <= 1 {
+                continue;
+            }
+            // Dominator tree of the compact sample, rooted at local vertex 0,
+            // straight off the CSR arena — no per-sample materialisation.
+            let dt = domtree.compute_csr(
+                reached,
+                sample.offsets(),
+                sample.targets(),
+                VertexId::new(0),
+            );
+            dt.subtree_sizes_into(sizes);
+            let globals = sample.vertices();
+            // Skip the source (local 0): blocking a seed is not allowed and
+            // its subtree is the whole sample by construction.
+            for local in 1..reached {
+                delta_sum[globals[local] as usize] += sizes[local] as f64;
+            }
+        }
+        reached_sum
+    }
+}
+
+/// Reusable state for [`decrease_es_computation_in`]: one [`WorkerScratch`]
+/// per worker thread, kept alive across greedy rounds so that the whole
+/// `budget × θ` loop of Algorithms 3 and 4 allocates nothing in steady
+/// state.
+#[derive(Clone, Debug, Default)]
+pub struct DecreaseWorkspace {
+    workers: Vec<WorkerScratch>,
+}
+
+impl DecreaseWorkspace {
+    /// Creates an empty workspace; per-thread scratch is added on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure_workers(&mut self, threads: usize) -> &mut [WorkerScratch] {
+        if self.workers.len() < threads {
+            self.workers.resize_with(threads, WorkerScratch::default);
+        }
+        &mut self.workers[..threads]
+    }
+}
+
 /// Algorithm 2 with the default IC live-edge sampler.
 pub fn decrease_es_computation(
     graph: &DiGraph,
@@ -93,6 +189,10 @@ pub fn decrease_es_computation(
 
 /// Algorithm 2 with an arbitrary sample source (IC or triggering).
 ///
+/// One-shot convenience over [`decrease_es_computation_in`] that allocates a
+/// fresh [`DecreaseWorkspace`]; callers in a greedy loop should hold a
+/// workspace and call the `_in` variant so buffers are reused across rounds.
+///
 /// # Errors
 /// Returns an error if θ is zero, the source is out of range or blocked, or
 /// the blocked mask has the wrong length.
@@ -102,6 +202,23 @@ pub fn decrease_es_computation_with<S: SpreadSampler + ?Sized>(
     source: VertexId,
     blocked: &[bool],
     config: &DecreaseConfig,
+) -> Result<DecreaseEstimate> {
+    let mut workspace = DecreaseWorkspace::new();
+    decrease_es_computation_in(sampler, graph, source, blocked, config, &mut workspace)
+}
+
+/// Algorithm 2, drawing every scratch buffer from `workspace`.
+///
+/// # Errors
+/// Returns an error if θ is zero, the source is out of range or blocked, or
+/// the blocked mask has the wrong length.
+pub fn decrease_es_computation_in<S: SpreadSampler + ?Sized>(
+    sampler: &S,
+    graph: &DiGraph,
+    source: VertexId,
+    blocked: &[bool],
+    config: &DecreaseConfig,
+    workspace: &mut DecreaseWorkspace,
 ) -> Result<DecreaseEstimate> {
     let n = graph.num_vertices();
     if config.theta == 0 {
@@ -130,90 +247,53 @@ pub fn decrease_es_computation_with<S: SpreadSampler + ?Sized>(
     }
 
     let threads = config.threads.max(1).min(config.theta);
+    let workers = workspace.ensure_workers(threads);
     if threads <= 1 {
-        let (delta_sum, reached_sum) = accumulate_samples(
-            sampler,
-            graph,
-            source,
-            blocked,
-            config.theta,
-            config.seed,
-        );
-        return Ok(finalise(delta_sum, reached_sum, config.theta));
+        let worker = &mut workers[0];
+        let reached_sum =
+            worker.accumulate(sampler, graph, source, blocked, config.theta, config.seed);
+        return Ok(finalise(&worker.delta_sum, reached_sum, config.theta));
     }
 
     let base = config.theta / threads;
     let extra = config.theta % threads;
-    let mut partials: Vec<(Vec<f64>, f64)> = Vec::with_capacity(threads);
+    let mut reached_sum = 0.0f64;
     crossbeam::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
-        for t in 0..threads {
+        for (t, worker) in workers.iter_mut().enumerate() {
             let samples_here = base + usize::from(t < extra);
             let seed_here = config
                 .seed
                 .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
             handles.push(scope.spawn(move |_| {
-                accumulate_samples(sampler, graph, source, blocked, samples_here, seed_here)
+                worker.accumulate(sampler, graph, source, blocked, samples_here, seed_here)
             }));
         }
+        // Handles join in spawn order, so the sum is deterministic for a
+        // fixed configuration.
         for h in handles {
-            partials.push(h.join().expect("decrease-estimation worker panicked"));
+            reached_sum += h.join().expect("decrease-estimation worker panicked");
         }
     })
     .expect("crossbeam scope failed");
 
-    let mut delta_sum = vec![0.0f64; n];
-    let mut reached_sum = 0.0f64;
-    for (partial, reached) in partials {
-        for (acc, d) in delta_sum.iter_mut().zip(partial) {
+    // Merge per-thread partial sums in thread order into worker 0's buffer
+    // (deterministic floating-point addition, and no per-round allocation —
+    // the buffer is workspace-owned and reset at the start of each round).
+    let (first, rest) = workers.split_at_mut(1);
+    let delta_sum = &mut first[0].delta_sum;
+    for worker in rest.iter() {
+        for (acc, &d) in delta_sum.iter_mut().zip(&worker.delta_sum) {
             *acc += d;
         }
-        reached_sum += reached;
     }
     Ok(finalise(delta_sum, reached_sum, config.theta))
 }
 
-/// Draws `samples` live-edge samples and accumulates raw subtree sizes.
-fn accumulate_samples<S: SpreadSampler + ?Sized>(
-    sampler: &S,
-    graph: &DiGraph,
-    source: VertexId,
-    blocked: &[bool],
-    samples: usize,
-    seed: u64,
-) -> (Vec<f64>, f64) {
-    let n = graph.num_vertices();
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sample = CompactSample::new(n);
-    let mut delta_sum = vec![0.0f64; n];
-    let mut reached_sum = 0.0f64;
-    for _ in 0..samples {
-        sampler.sample(graph, source, blocked, &mut rng, &mut sample);
-        let reached = sample.num_reached();
-        reached_sum += reached as f64;
-        if reached <= 1 {
-            continue;
-        }
-        // Dominator tree of the compact sample, rooted at local vertex 0.
-        let dt = dominator_tree_from_adjacency(sample.adjacency(), VertexId::new(0));
-        let sizes = dt.subtree_sizes();
-        let globals = sample.vertices();
-        // Skip the source (local 0): blocking a seed is not allowed and its
-        // subtree is the whole sample by construction.
-        for local in 1..reached {
-            delta_sum[globals[local] as usize] += sizes[local] as f64;
-        }
-    }
-    (delta_sum, reached_sum)
-}
-
-fn finalise(mut delta_sum: Vec<f64>, reached_sum: f64, theta: usize) -> DecreaseEstimate {
+fn finalise(delta_sum: &[f64], reached_sum: f64, theta: usize) -> DecreaseEstimate {
     let inv = 1.0 / theta as f64;
-    for d in delta_sum.iter_mut() {
-        *d *= inv;
-    }
     DecreaseEstimate {
-        delta: delta_sum,
+        delta: delta_sum.iter().map(|d| d * inv).collect(),
         average_reached: reached_sum * inv,
         samples: theta,
     }
@@ -265,8 +345,7 @@ mod tests {
     #[test]
     fn deterministic_graph_gives_exact_subtree_sizes() {
         let g = deterministic_tree();
-        let est =
-            decrease_es_computation(&g, vid(0), &vec![false; 4], &cfg(16)).unwrap();
+        let est = decrease_es_computation(&g, vid(0), &[false; 4], &cfg(16)).unwrap();
         assert_eq!(est.samples, 16);
         assert!((est.average_reached - 4.0).abs() < 1e-12);
         assert!((est.delta[1] - 3.0).abs() < 1e-12);
@@ -292,7 +371,7 @@ mod tests {
         let est = decrease_es_computation(
             &g,
             vid(0),
-            &vec![false; 4],
+            &[false; 4],
             &DecreaseConfig {
                 theta: 60_000,
                 threads: 1,
@@ -300,10 +379,12 @@ mod tests {
             },
         )
         .unwrap();
-        let mcs = MonteCarloEstimator::new(60_000).with_seed(9).with_threads(1);
+        let mcs = MonteCarloEstimator::new(60_000)
+            .with_seed(9)
+            .with_threads(1);
         for v in 1..4 {
             let expected = mcs
-                .spread_decrease(&g, &[vid(0)], &vec![false; 4], vid(v))
+                .spread_decrease(&g, &[vid(0)], &[false; 4], vid(v))
                 .unwrap();
             assert!(
                 (est.delta[v] - expected).abs() < 0.03,
@@ -351,6 +432,37 @@ mod tests {
     }
 
     #[test]
+    fn workspace_reuse_matches_fresh_workspace() {
+        let g = imin_graph::generators::erdos_renyi(60, 0.08, 0.4, 9).unwrap();
+        let blocked = vec![false; 60];
+        let mut ws = DecreaseWorkspace::new();
+        for threads in [1usize, 3] {
+            for round in 0..3u64 {
+                let cfg = DecreaseConfig {
+                    theta: 500,
+                    threads,
+                    seed: 100 + round,
+                };
+                let reused = decrease_es_computation_in(
+                    &IcLiveEdgeSampler,
+                    &g,
+                    vid(0),
+                    &blocked,
+                    &cfg,
+                    &mut ws,
+                )
+                .unwrap();
+                let fresh = decrease_es_computation(&g, vid(0), &blocked, &cfg).unwrap();
+                assert_eq!(
+                    reused.delta, fresh.delta,
+                    "threads={threads} round={round}: reused workspace must not change results"
+                );
+                assert_eq!(reused.average_reached, fresh.average_reached);
+            }
+        }
+    }
+
+    #[test]
     fn blocked_vertices_have_zero_delta_and_shrink_spread() {
         let g = deterministic_tree();
         let mut blocked = vec![false; 4];
@@ -365,11 +477,11 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         let g = deterministic_tree();
         assert!(matches!(
-            decrease_es_computation(&g, vid(0), &vec![false; 4], &cfg(0)),
+            decrease_es_computation(&g, vid(0), &[false; 4], &cfg(0)),
             Err(IminError::ZeroSamples)
         ));
-        assert!(decrease_es_computation(&g, vid(9), &vec![false; 4], &cfg(4)).is_err());
-        assert!(decrease_es_computation(&g, vid(0), &vec![false; 2], &cfg(4)).is_err());
+        assert!(decrease_es_computation(&g, vid(9), &[false; 4], &cfg(4)).is_err());
+        assert!(decrease_es_computation(&g, vid(0), &[false; 2], &cfg(4)).is_err());
         let mut blocked = vec![false; 4];
         blocked[0] = true;
         assert!(decrease_es_computation(&g, vid(0), &blocked, &cfg(4)).is_err());

@@ -130,8 +130,7 @@ mod tests {
         let d: IminError = imin_diffusion::DiffusionError::EmptySeedSet.into();
         assert!(matches!(d, IminError::Diffusion(_)));
         assert!(std::error::Error::source(&d).is_some());
-        let g: IminError =
-            imin_graph::GraphError::InvalidProbability { probability: 3.0 }.into();
+        let g: IminError = imin_graph::GraphError::InvalidProbability { probability: 3.0 }.into();
         assert!(matches!(g, IminError::Graph(_)));
         assert!(std::error::Error::source(&g).is_some());
     }

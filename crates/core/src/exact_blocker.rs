@@ -239,7 +239,11 @@ mod tests {
         assert_eq!(combinations(10, 10), 1);
         assert_eq!(combinations(3, 5), 0);
         assert_eq!(combinations(60, 30), 118_264_581_564_861_424);
-        assert_eq!(combinations(200, 100), u64::MAX, "saturates instead of overflowing");
+        assert_eq!(
+            combinations(200, 100),
+            u64::MAX,
+            "saturates instead of overflowing"
+        );
     }
 
     fn funnel_graph() -> DiGraph {
@@ -267,13 +271,11 @@ mod tests {
     #[test]
     fn finds_the_true_optimum_on_the_funnel() {
         let g = funnel_graph();
-        let sel =
-            exact_blocker_search(&g, vid(0), &vec![false; 8], 1, &search_config()).unwrap();
+        let sel = exact_blocker_search(&g, vid(0), &[false; 8], 1, &search_config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(3)]);
         assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
 
-        let sel2 =
-            exact_blocker_search(&g, vid(0), &vec![false; 8], 2, &search_config()).unwrap();
+        let sel2 = exact_blocker_search(&g, vid(0), &[false; 8], 2, &search_config()).unwrap();
         let mut blockers = sel2.blockers.clone();
         blockers.sort_unstable();
         assert_eq!(blockers, vec![vid(1), vid(2)]);
@@ -284,12 +286,11 @@ mod tests {
     fn greedy_replace_matches_exact_on_small_graphs() {
         let g = funnel_graph();
         for b in 1..=2 {
-            let exact =
-                exact_blocker_search(&g, vid(0), &vec![false; 8], b, &search_config()).unwrap();
+            let exact = exact_blocker_search(&g, vid(0), &[false; 8], b, &search_config()).unwrap();
             let gr = greedy_replace(
                 &g,
                 vid(0),
-                &vec![false; 8],
+                &[false; 8],
                 b,
                 &AlgorithmConfig::fast_for_tests().with_theta(300),
             )
@@ -309,7 +310,7 @@ mod tests {
             threads: 1,
             ..Default::default()
         };
-        let sel = exact_blocker_search(&g, vid(0), &vec![false; 8], 1, &cfg).unwrap();
+        let sel = exact_blocker_search(&g, vid(0), &[false; 8], 1, &cfg).unwrap();
         assert_eq!(sel.blockers, vec![vid(3)]);
         assert!(sel.stats.mcs_rounds_run >= 300);
     }
@@ -324,7 +325,7 @@ mod tests {
             seed: 1,
         };
         assert!(matches!(
-            exact_blocker_search(&g, vid(0), &vec![false; 30], 5, &cfg),
+            exact_blocker_search(&g, vid(0), &[false; 30], 5, &cfg),
             Err(IminError::SearchSpaceTooLarge { .. })
         ));
     }
@@ -332,16 +333,14 @@ mod tests {
     #[test]
     fn no_reachable_candidates_returns_empty_selection() {
         let g = DiGraph::from_edges(3, vec![(vid(1), vid(2), 1.0)]).unwrap();
-        let sel =
-            exact_blocker_search(&g, vid(0), &vec![false; 3], 2, &search_config()).unwrap();
+        let sel = exact_blocker_search(&g, vid(0), &[false; 3], 2, &search_config()).unwrap();
         assert!(sel.is_empty());
     }
 
     #[test]
     fn budget_capped_at_candidate_count() {
         let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 1.0)]).unwrap();
-        let sel =
-            exact_blocker_search(&g, vid(0), &vec![false; 2], 5, &search_config()).unwrap();
+        let sel = exact_blocker_search(&g, vid(0), &[false; 2], 5, &search_config()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
     }
 
@@ -349,11 +348,9 @@ mod tests {
     fn invalid_inputs() {
         let g = funnel_graph();
         assert!(matches!(
-            exact_blocker_search(&g, vid(0), &vec![false; 8], 0, &search_config()),
+            exact_blocker_search(&g, vid(0), &[false; 8], 0, &search_config()),
             Err(IminError::ZeroBudget)
         ));
-        assert!(
-            exact_blocker_search(&g, vid(50), &vec![false; 8], 1, &search_config()).is_err()
-        );
+        assert!(exact_blocker_search(&g, vid(50), &[false; 8], 1, &search_config()).is_err());
     }
 }

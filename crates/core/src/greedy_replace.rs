@@ -20,7 +20,7 @@
 //! when the budget is small — the best of both behaviours (Table III,
 //! Table VII).
 
-use crate::decrease::{decrease_es_computation_with, DecreaseConfig};
+use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
@@ -96,6 +96,10 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);
     let mut stats = SelectionStats::default();
     let mut estimated_spread: Option<f64> = None;
+    // Shared across the out-neighbour, fill and replacement phases: all
+    // estimator rounds of the whole run draw from the same per-thread
+    // sample arenas and dominator-tree scratch.
+    let mut workspace = DecreaseWorkspace::new();
     let mut round_seed = config.seed;
     let mut next_cfg = |stats: &mut SelectionStats| {
         round_seed = round_seed.wrapping_add(0x9E3779B9);
@@ -106,9 +110,8 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
             seed: round_seed,
         }
     };
-    let eligible = |v: VertexId, blocked: &[bool]| {
-        v != source && !blocked[v.index()] && !forbidden[v.index()]
-    };
+    let eligible =
+        |v: VertexId, blocked: &[bool]| v != source && !blocked[v.index()] && !forbidden[v.index()];
 
     // ---- Phase 1: pick blockers among the seed's out-neighbours -----------
     let mut candidate_pool: Vec<VertexId> = graph
@@ -123,11 +126,10 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     for _ in 0..out_rounds {
         let cfg = next_cfg(&mut stats);
         let estimate =
-            decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+            decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
         stats.samples_drawn += estimate.samples;
-        let chosen = estimate.best_candidate(|v| {
-            candidate_pool.contains(&v) && eligible(v, &blocked)
-        });
+        let chosen =
+            estimate.best_candidate(|v| candidate_pool.contains(&v) && eligible(v, &blocked));
         let Some(chosen) = chosen else { break };
         estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
         blocked[chosen.index()] = true;
@@ -140,7 +142,7 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
         while blockers.len() < budget {
             let cfg = next_cfg(&mut stats);
             let estimate =
-                decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+                decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
             stats.samples_drawn += estimate.samples;
             let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
             let Some(chosen) = chosen else { break };
@@ -157,7 +159,7 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
         blocked[u.index()] = false;
         let cfg = next_cfg(&mut stats);
         let estimate =
-            decrease_es_computation_with(sampler, graph, source, &blocked, &cfg)?;
+            decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
         stats.samples_drawn += estimate.samples;
         let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
         let Some(chosen) = chosen else {
@@ -216,8 +218,12 @@ mod tests {
     #[test]
     fn budget_one_replaces_out_neighbor_with_the_hub() {
         let g = funnel_graph();
-        let sel = greedy_replace(&g, vid(0), &vec![false; 9], 1, &config()).unwrap();
-        assert_eq!(sel.blockers, vec![vid(3)], "the hub must replace the out-neighbour");
+        let sel = greedy_replace(&g, vid(0), &[false; 9], 1, &config()).unwrap();
+        assert_eq!(
+            sel.blockers,
+            vec![vid(3)],
+            "the hub must replace the out-neighbour"
+        );
         // Spread left: seed + its two out-neighbours.
         assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
     }
@@ -225,7 +231,7 @@ mod tests {
     #[test]
     fn budget_two_keeps_both_out_neighbors() {
         let g = funnel_graph();
-        let sel = greedy_replace(&g, vid(0), &vec![false; 9], 2, &config()).unwrap();
+        let sel = greedy_replace(&g, vid(0), &[false; 9], 2, &config()).unwrap();
         let mut chosen = sel.blockers.clone();
         chosen.sort_unstable();
         assert_eq!(chosen, vec![vid(1), vid(2)]);
@@ -236,8 +242,8 @@ mod tests {
     fn never_worse_than_advanced_greedy_on_funnel() {
         let g = funnel_graph();
         for b in 1..=3 {
-            let gr = greedy_replace(&g, vid(0), &vec![false; 9], b, &config()).unwrap();
-            let ag = advanced_greedy(&g, vid(0), &vec![false; 9], b, &config()).unwrap();
+            let gr = greedy_replace(&g, vid(0), &[false; 9], b, &config()).unwrap();
+            let ag = advanced_greedy(&g, vid(0), &[false; 9], b, &config()).unwrap();
             assert!(
                 gr.estimated_spread.unwrap() <= ag.estimated_spread.unwrap() + 1e-9,
                 "b={b}: GR {} must be ≤ AG {}",
@@ -260,14 +266,14 @@ mod tests {
             ],
         )
         .unwrap();
-        let sel = greedy_replace(&g, vid(0), &vec![false; 5], 3, &config()).unwrap();
+        let sel = greedy_replace(&g, vid(0), &[false; 5], 3, &config()).unwrap();
         assert_eq!(sel.len(), 3);
         // Pure Algorithm 4 (no fill) stops at one blocker.
         let strict = greedy_replace_with(
             &IcLiveEdgeSampler,
             &g,
             vid(0),
-            &vec![false; 5],
+            &[false; 5],
             3,
             &config(),
             GreedyReplaceOptions {
@@ -296,7 +302,7 @@ mod tests {
         // Disconnected seed: nothing to block is useful, but the call
         // must not fail; with fill enabled it may pick harmless vertices.
         let g = DiGraph::from_edges(3, vec![(vid(1), vid(2), 1.0)]).unwrap();
-        let sel = greedy_replace(&g, vid(0), &vec![false; 3], 2, &config()).unwrap();
+        let sel = greedy_replace(&g, vid(0), &[false; 3], 2, &config()).unwrap();
         assert!(sel.len() <= 2);
         assert!((sel.estimated_spread.unwrap_or(1.0) - 1.0).abs() < 1e-9);
     }
@@ -305,9 +311,9 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         let g = funnel_graph();
         assert!(matches!(
-            greedy_replace(&g, vid(0), &vec![false; 9], 0, &config()),
+            greedy_replace(&g, vid(0), &[false; 9], 0, &config()),
             Err(IminError::ZeroBudget)
         ));
-        assert!(greedy_replace(&g, vid(20), &vec![false; 9], 1, &config()).is_err());
+        assert!(greedy_replace(&g, vid(20), &[false; 9], 1, &config()).is_err());
     }
 }

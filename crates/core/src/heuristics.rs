@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn out_degree_ranks_the_hub_first() {
         let g = sample_graph();
-        let sel = out_degree_blockers(&g, vid(0), &vec![false; 7], 2).unwrap();
+        let sel = out_degree_blockers(&g, vid(0), &[false; 7], 2).unwrap();
         assert_eq!(sel.blockers[0], vid(1));
         assert_eq!(sel.blockers[1], vid(2));
         // The seed is excluded even though it has the joint-highest degree.
@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn degree_heuristic_counts_in_plus_out() {
         let g = sample_graph();
-        let sel = degree_blockers(&g, vid(0), &vec![false; 7], 1).unwrap();
+        let sel = degree_blockers(&g, vid(0), &[false; 7], 1).unwrap();
         assert_eq!(sel.blockers[0], vid(1)); // degree 4 (1 in + 3 out)
     }
 
@@ -272,12 +272,12 @@ mod tests {
     fn out_neighbors_are_ranked_by_estimated_decrease() {
         let g = sample_graph();
         let cfg = AlgorithmConfig::fast_for_tests().with_theta(200);
-        let sel = out_neighbor_blockers(&g, vid(0), &vec![false; 7], 1, &cfg).unwrap();
+        let sel = out_neighbor_blockers(&g, vid(0), &[false; 7], 1, &cfg).unwrap();
         // Blocking 1 removes 4 vertices; blocking 2 removes 2.
         assert_eq!(sel.blockers, vec![vid(1)]);
-        let both = out_neighbor_blockers(&g, vid(0), &vec![false; 7], 5, &cfg).unwrap();
+        let both = out_neighbor_blockers(&g, vid(0), &[false; 7], 5, &cfg).unwrap();
         assert_eq!(both.len(), 2, "only two out-neighbours exist");
-        assert!(out_neighbor_blockers(&g, vid(9), &vec![false; 7], 1, &cfg).is_err());
+        assert!(out_neighbor_blockers(&g, vid(9), &[false; 7], 1, &cfg).is_err());
     }
 
     #[test]
@@ -285,7 +285,10 @@ mod tests {
         let g = sample_graph();
         let scores = pagerank_scores(&g, 0.85, 50);
         let total: f64 = scores.iter().sum();
-        assert!((total - 1.0).abs() < 1e-9, "PageRank must be a distribution");
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "PageRank must be a distribution"
+        );
         // Leaves fed by the hub outrank the isolated-ish vertex 6's source.
         assert!(scores[3] > scores[6] * 0.5);
         assert!(pagerank_scores(&DiGraph::empty(0), 0.85, 10).is_empty());

@@ -11,8 +11,7 @@ use crate::baseline_greedy::baseline_greedy;
 use crate::exact_blocker::{exact_blocker_search, ExactSearchConfig};
 use crate::greedy_replace::greedy_replace;
 use crate::heuristics::{
-    degree_blockers, out_degree_blockers, out_neighbor_blockers, pagerank_blockers,
-    random_blockers,
+    degree_blockers, out_degree_blockers, out_neighbor_blockers, pagerank_blockers, random_blockers,
 };
 use crate::seed_merge::{merge_seeds, MergedSeeds};
 use crate::types::{AlgorithmConfig, BlockerSelection};
@@ -177,10 +176,7 @@ impl ImninProblem {
         if let Some(spread) = selection.estimated_spread {
             selection.estimated_spread = Some(self.merged.to_original_spread(spread));
         }
-        debug_assert!(selection
-            .blockers
-            .iter()
-            .all(|&b| self.is_valid_blocker(b)));
+        debug_assert!(selection.blockers.iter().all(|&b| self.is_valid_blocker(b)));
         Ok(selection)
     }
 
@@ -190,12 +186,7 @@ impl ImninProblem {
     ///
     /// # Errors
     /// Returns an error if a blocker is a seed or out of range.
-    pub fn evaluate_spread(
-        &self,
-        blockers: &[VertexId],
-        rounds: usize,
-        seed: u64,
-    ) -> Result<f64> {
+    pub fn evaluate_spread(&self, blockers: &[VertexId], rounds: usize, seed: u64) -> Result<f64> {
         let mask = self.original_blocker_mask(blockers)?;
         let estimator = MonteCarloEstimator {
             rounds,
@@ -272,7 +263,9 @@ mod tests {
     }
 
     fn cfg() -> AlgorithmConfig {
-        AlgorithmConfig::fast_for_tests().with_theta(300).with_mcs_rounds(300)
+        AlgorithmConfig::fast_for_tests()
+            .with_theta(300)
+            .with_mcs_rounds(300)
     }
 
     #[test]
@@ -305,7 +298,10 @@ mod tests {
             let sel = p.solve(alg, 2, &cfg()).unwrap();
             assert!(sel.len() <= 2, "{alg:?} exceeded the budget");
             for &b in &sel.blockers {
-                assert!(p.is_valid_blocker(b), "{alg:?} chose an invalid blocker {b}");
+                assert!(
+                    p.is_valid_blocker(b),
+                    "{alg:?} chose an invalid blocker {b}"
+                );
             }
         }
     }
@@ -337,7 +333,10 @@ mod tests {
         assert!(!sel.blockers.contains(&vid(8)));
         let est = sel.estimated_spread.unwrap();
         let eval = p.evaluate_spread(&sel.blockers, 400, 2).unwrap();
-        assert!((est - eval).abs() < 1e-6, "estimate {est} vs evaluation {eval}");
+        assert!(
+            (est - eval).abs() < 1e-6,
+            "estimate {est} vs evaluation {eval}"
+        );
     }
 
     #[test]

@@ -10,28 +10,50 @@
 //! dominator tree, subtree sizes — is then proportional to the size of the
 //! sampled cascade, which is what makes AdvancedGreedy orders of magnitude
 //! faster than the Monte-Carlo baseline on large graphs (Figures 7 and 8).
+//!
+//! The sample adjacency is stored **flat**, CSR-style: one `targets` arena
+//! holding every live edge plus an `offsets` array delimiting each local
+//! vertex's slice. Because the BFS discovers edges strictly in order of the
+//! expanding vertex, the arena is filled append-only and a sample never
+//! allocates once the buffers have grown to the cascade high-water mark —
+//! the property the whole `budget × θ` hot loop of Algorithms 3 and 4 is
+//! built on.
 
 use imin_diffusion::triggering::TriggeringModel;
-use imin_graph::{DiGraph, VertexId};
+use imin_graph::{DiGraph, VertexId, THRESHOLD_ALWAYS};
 use rand::rngs::SmallRng;
-use rand::Rng;
+use rand::RngCore;
 
 const UNMAPPED: u32 = u32::MAX;
 
 /// A live-edge sample restricted to the vertices reachable from the source,
-/// with vertices renumbered into dense local ids.
+/// with vertices renumbered into dense local ids and the adjacency stored in
+/// a flat CSR arena.
 ///
 /// The buffer is designed for reuse: [`CompactSample::reset`] clears the
-/// previous sample in time proportional to its size, not to the graph size.
-#[derive(Clone, Debug, Default)]
+/// previous sample in time proportional to its size, not to the graph size,
+/// and steady-state sampling performs no heap allocation at all.
+#[derive(Clone, Debug)]
 pub struct CompactSample {
     /// Global vertex id of each local vertex; `vertices[0]` is the source.
     vertices: Vec<u32>,
-    /// Out-adjacency in local ids; `adjacency[i]` are the live out-edges of
-    /// local vertex `i` towards other reached vertices.
-    adjacency: Vec<Vec<u32>>,
+    /// CSR offsets: the live out-edges of local vertex `i` are
+    /// `targets[offsets[i] .. offsets[i + 1]]`. `offsets[0]` is always 0 and
+    /// one entry is appended per *sealed* vertex.
+    offsets: Vec<u32>,
+    /// Flat arena of live out-edges in local ids.
+    targets: Vec<u32>,
     /// Global → local mapping (sentinel [`UNMAPPED`] = not reached).
     local_of: Vec<u32>,
+    /// Number of local vertices whose adjacency has been sealed; during a
+    /// BFS this is exactly the local id of the vertex being expanded.
+    sealed: u32,
+}
+
+impl Default for CompactSample {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl CompactSample {
@@ -39,8 +61,10 @@ impl CompactSample {
     pub fn new(n: usize) -> Self {
         CompactSample {
             vertices: Vec::new(),
-            adjacency: Vec::new(),
+            offsets: vec![0],
+            targets: Vec::new(),
             local_of: vec![UNMAPPED; n],
+            sealed: 0,
         }
     }
 
@@ -49,15 +73,36 @@ impl CompactSample {
         self.vertices.len()
     }
 
+    /// Number of live edges recorded by this sample.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
     /// Global ids of the reached vertices (local id = position; the source
     /// is first).
     pub fn vertices(&self) -> &[u32] {
         &self.vertices
     }
 
-    /// Live out-adjacency in local ids.
-    pub fn adjacency(&self) -> &[Vec<u32>] {
-        &self.adjacency[..self.vertices.len()]
+    /// CSR offsets of the live adjacency (`num_reached() + 1` entries once
+    /// the sample is complete).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Flat live-edge arena in local ids.
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Live out-edges of the local vertex `local`, in local ids.
+    ///
+    /// # Panics
+    /// Panics if `local` is not a sealed local vertex of this sample.
+    pub fn neighbors(&self, local: u32) -> &[u32] {
+        let lo = self.offsets[local as usize] as usize;
+        let hi = self.offsets[local as usize + 1] as usize;
+        &self.targets[lo..hi]
     }
 
     /// Local id of a global vertex, if it was reached.
@@ -79,7 +124,10 @@ impl CompactSample {
             self.local_of.resize(n, UNMAPPED);
         }
         self.vertices.clear();
-        // Inner vectors keep their capacity for reuse.
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+        self.sealed = 0;
     }
 
     /// Interns a global vertex, returning its local id (allocating one if it
@@ -92,16 +140,22 @@ impl CompactSample {
         let local = self.vertices.len() as u32;
         self.local_of[global as usize] = local;
         self.vertices.push(global);
-        if self.adjacency.len() <= local as usize {
-            self.adjacency.push(Vec::new());
-        } else {
-            self.adjacency[local as usize].clear();
-        }
         local
     }
 
-    fn push_edge(&mut self, from_local: u32, to_local: u32) {
-        self.adjacency[from_local as usize].push(to_local);
+    /// Records a live edge from the vertex currently being expanded (the
+    /// next unsealed local vertex) to `to_local`.
+    fn push_edge(&mut self, to_local: u32) {
+        self.targets.push(to_local);
+    }
+
+    /// Seals the adjacency of the vertex currently being expanded. The BFS
+    /// must seal vertices in local-id order, which it does for free because
+    /// it expands the discovery queue front to back.
+    fn seal_vertex(&mut self) {
+        debug_assert!((self.sealed as usize) < self.vertices.len());
+        self.offsets.push(self.targets.len() as u32);
+        self.sealed += 1;
     }
 }
 
@@ -152,31 +206,38 @@ impl SpreadSampler for IcLiveEdgeSampler {
         // BFS over live edges; coins are flipped for every out-edge of every
         // reached vertex exactly once, so the sample is a faithful draw from
         // the live-edge distribution restricted to the reachable region.
+        //
+        // Each coin is decided against the graph's precomputed integer
+        // threshold: `(next_u64() >> 11) < threshold` is bit-identical to
+        // `gen_bool(p)` (see [`imin_graph::coin_threshold`]) but costs one
+        // u64 comparison instead of float arithmetic. Deterministic edges
+        // (threshold 0 / ALWAYS) skip the RNG exactly as the probability
+        // branches used to, so streams are unchanged.
         let mut head = 0usize;
         while head < out.num_reached() {
             let u_global = out.vertices[head];
-            let u_local = head as u32;
             head += 1;
             let u = VertexId::from_raw(u_global);
             let targets = graph.out_neighbors(u);
-            let probs = graph.out_probabilities(u);
-            for (&t, &p) in targets.iter().zip(probs) {
+            let thresholds = graph.out_coin_thresholds(u);
+            for (&t, &threshold) in targets.iter().zip(thresholds) {
                 if blocked[t as usize] {
                     continue;
                 }
-                let live = if p >= 1.0 {
+                let live = if threshold == THRESHOLD_ALWAYS {
                     true
-                } else if p <= 0.0 {
+                } else if threshold == 0 {
                     false
                 } else {
-                    rng.gen_bool(p)
+                    (rng.next_u64() >> 11) < threshold
                 };
                 if !live {
                     continue;
                 }
                 let t_local = out.intern(t);
-                out.push_edge(u_local, t_local);
+                out.push_edge(t_local);
             }
+            out.seal_vertex();
         }
     }
 }
@@ -213,15 +274,15 @@ impl<M: TriggeringModel> SpreadSampler for TriggeringSampler<M> {
         let mut head = 0usize;
         while head < out.num_reached() {
             let u_global = out.vertices[head];
-            let u_local = head as u32;
             head += 1;
             for &t in &full[u_global as usize] {
                 if blocked[t as usize] {
                     continue;
                 }
                 let t_local = out.intern(t);
-                out.push_edge(u_local, t_local);
+                out.push_edge(t_local);
             }
+            out.seal_vertex();
         }
     }
 }
@@ -254,18 +315,39 @@ mod tests {
         let g = deterministic_graph();
         let mut rng = SmallRng::seed_from_u64(1);
         let mut sample = CompactSample::new(g.num_vertices());
-        IcLiveEdgeSampler.sample(&g, vid(0), &vec![false; 5], &mut rng, &mut sample);
+        IcLiveEdgeSampler.sample(&g, vid(0), &[false; 5], &mut rng, &mut sample);
         assert_eq!(sample.num_reached(), 4);
         assert_eq!(sample.vertices()[0], 0);
         assert!(sample.local_id(vid(4)).is_none());
         assert!(sample.local_id(vid(2)).is_some());
         // Edges are expressed in local ids and stay within bounds.
-        for (local, adj) in sample.adjacency().iter().enumerate() {
-            for &t in adj {
+        assert_eq!(sample.offsets().len(), sample.num_reached() + 1);
+        for local in 0..sample.num_reached() as u32 {
+            for &t in sample.neighbors(local) {
                 assert!((t as usize) < sample.num_reached());
-                assert_ne!(t as usize, local, "no self loops in samples");
+                assert_ne!(t, local, "no self loops in samples");
             }
         }
+    }
+
+    #[test]
+    fn csr_arena_is_consistent() {
+        let g = deterministic_graph();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sample = CompactSample::new(g.num_vertices());
+        IcLiveEdgeSampler.sample(&g, vid(0), &[false; 5], &mut rng, &mut sample);
+        // Offsets are monotone, start at 0 and end at the arena length.
+        let offsets = sample.offsets();
+        assert_eq!(offsets[0], 0);
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*offsets.last().unwrap() as usize, sample.num_edges());
+        // The deterministic graph has 3 live edges in any sample.
+        assert_eq!(sample.num_edges(), 3);
+        // Per-vertex slices partition the arena.
+        let total: usize = (0..sample.num_reached() as u32)
+            .map(|l| sample.neighbors(l).len())
+            .sum();
+        assert_eq!(total, sample.num_edges());
     }
 
     #[test]
@@ -292,11 +374,12 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let mut sample = CompactSample::new(g.num_vertices());
         for _ in 0..10 {
-            IcLiveEdgeSampler.sample(&g, vid(0), &vec![false; 5], &mut rng, &mut sample);
+            IcLiveEdgeSampler.sample(&g, vid(0), &[false; 5], &mut rng, &mut sample);
             assert_eq!(sample.num_reached(), 4);
+            assert_eq!(sample.num_edges(), 3);
         }
         // Reuse with a different source still yields a source-first sample.
-        IcLiveEdgeSampler.sample(&g, vid(1), &vec![false; 5], &mut rng, &mut sample);
+        IcLiveEdgeSampler.sample(&g, vid(1), &[false; 5], &mut rng, &mut sample);
         assert_eq!(sample.num_reached(), 2);
         assert_eq!(sample.vertices()[0], 1);
         assert_eq!(sample.local_id(vid(1)), Some(0));
@@ -311,7 +394,7 @@ mod tests {
         let rounds = 20_000;
         let total: usize = (0..rounds)
             .map(|_| {
-                IcLiveEdgeSampler.sample(&g, vid(0), &vec![false; 2], &mut rng, &mut sample);
+                IcLiveEdgeSampler.sample(&g, vid(0), &[false; 2], &mut rng, &mut sample);
                 sample.num_reached()
             })
             .sum();
@@ -335,23 +418,19 @@ mod tests {
         .unwrap();
         let mut rng = SmallRng::seed_from_u64(4);
         let mut sample = CompactSample::new(4);
-        IcLiveEdgeSampler.sample(&g, vid(0), &vec![false; 4], &mut rng, &mut sample);
+        IcLiveEdgeSampler.sample(&g, vid(0), &[false; 4], &mut rng, &mut sample);
         let three_local = sample.local_id(vid(3)).unwrap();
-        let in_edges_of_three: usize = sample
-            .adjacency()
+        let in_edges_of_three = sample
+            .targets()
             .iter()
-            .map(|adj| adj.iter().filter(|&&t| t == three_local).count())
-            .sum();
+            .filter(|&&t| t == three_local)
+            .count();
         assert_eq!(in_edges_of_three, 2);
     }
 
     #[test]
     fn triggering_sampler_matches_ic_on_average() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)]).unwrap();
         let mut rng = SmallRng::seed_from_u64(5);
         let sampler = TriggeringSampler(IcTriggering);
         assert_eq!(sampler.label(), "TRIGGERING");
@@ -359,7 +438,7 @@ mod tests {
         let rounds = 20_000;
         let total: usize = (0..rounds)
             .map(|_| {
-                sampler.sample(&g, vid(0), &vec![false; 3], &mut rng, &mut sample);
+                sampler.sample(&g, vid(0), &[false; 3], &mut rng, &mut sample);
                 sample.num_reached()
             })
             .sum();

@@ -176,15 +176,7 @@ mod tests {
         assert_eq!(merged.graph.num_vertices(), 5);
         assert_eq!(merged.super_seed, vid(4));
         // (s', 2) combines 0.5 and 0.5 into 0.75.
-        assert!(
-            (merged
-                .graph
-                .edge_probability(vid(4), vid(2))
-                .unwrap()
-                - 0.75)
-                .abs()
-                < 1e-12
-        );
+        assert!((merged.graph.edge_probability(vid(4), vid(2)).unwrap() - 0.75).abs() < 1e-12);
         // (s', 3) carries only the single seed edge 0.25.
         assert_eq!(merged.graph.edge_probability(vid(4), vid(3)), Some(0.25));
         // Non-seed edge survives unchanged.
@@ -258,7 +250,10 @@ mod tests {
         assert!(!merged.is_original_seed(vid(2)));
         assert!(merged.is_valid_blocker(vid(2)));
         assert!(!merged.is_valid_blocker(vid(0)));
-        assert!(!merged.is_valid_blocker(vid(4)), "the unified seed is not blockable");
+        assert!(
+            !merged.is_valid_blocker(vid(4)),
+            "the unified seed is not blockable"
+        );
         assert!(merged.blocker_mask(&[vid(2), vid(3)]).is_ok());
         assert!(merged.blocker_mask(&[vid(0)]).is_err());
         assert!(merged.blocker_mask(&[vid(4)]).is_err());
@@ -276,11 +271,7 @@ mod tests {
 
     #[test]
     fn seed_to_seed_edges_are_dropped() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 1.0)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 1.0)]).unwrap();
         let merged = merge_seeds(&g, &[vid(0), vid(1)]).unwrap();
         // The edge 0 -> 1 (seed to seed) disappears; s' -> 2 carries 1.0.
         assert_eq!(merged.graph.edge_probability(vid(3), vid(2)), Some(1.0));

@@ -108,15 +108,8 @@ mod tests {
     #[test]
     fn ic_triggering_matches_plain_advanced_greedy() {
         let g = hub_graph();
-        let sel = advanced_greedy_triggering(
-            &IcTriggering,
-            &g,
-            vid(0),
-            &vec![false; 6],
-            1,
-            &cfg(),
-        )
-        .unwrap();
+        let sel =
+            advanced_greedy_triggering(&IcTriggering, &g, vid(0), &[false; 6], 1, &cfg()).unwrap();
         assert_eq!(sel.blockers, vec![vid(1)]);
     }
 
@@ -124,15 +117,17 @@ mod tests {
     fn lt_triggering_produces_valid_blockers_and_reduces_spread() {
         let g = hub_graph();
         let sel =
-            greedy_replace_triggering(&LtTriggering, &g, vid(0), &vec![false; 6], 2, &cfg())
-                .unwrap();
+            greedy_replace_triggering(&LtTriggering, &g, vid(0), &[false; 6], 2, &cfg()).unwrap();
         assert_eq!(sel.len(), 2);
         let before =
             evaluate_triggering_spread(&LtTriggering, &g, &[vid(0)], &[], 4_000, 3).unwrap();
         let after =
             evaluate_triggering_spread(&LtTriggering, &g, &[vid(0)], &sel.blockers, 4_000, 3)
                 .unwrap();
-        assert!(after < before, "blocking must reduce the LT spread ({after} vs {before})");
+        assert!(
+            after < before,
+            "blocking must reduce the LT spread ({after} vs {before})"
+        );
     }
 
     #[test]

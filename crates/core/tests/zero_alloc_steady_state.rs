@@ -1,0 +1,108 @@
+//! Proves the allocation discipline of the sampling→dominator hot path: once
+//! a `DecreaseWorkspace` has warmed up, drawing more samples performs no
+//! additional heap allocation — the allocation count of a round is
+//! independent of θ.
+//!
+//! The lib crates forbid unsafe code; this integration test is a separate
+//! compilation unit, so it may install a counting global allocator.
+
+use imin_core::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
+use imin_core::sampler::IcLiveEdgeSampler;
+use imin_graph::{DiGraph, VertexId};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A graph where every sample is the full vertex set (all probabilities 1),
+/// so buffer high-water marks stabilise after the very first sample.
+fn deterministic_graph(n: usize) -> DiGraph {
+    let mut edges = Vec::new();
+    // A binary-ish tree plus some cross edges: nontrivial dominator
+    // structure, fully deterministic cascades.
+    for v in 1..n {
+        edges.push((VertexId::new((v - 1) / 2), VertexId::new(v), 1.0));
+    }
+    for v in 4..n {
+        edges.push((VertexId::new(v - 3), VertexId::new(v), 1.0));
+    }
+    DiGraph::from_edges(n, edges).unwrap()
+}
+
+#[test]
+fn steady_state_rounds_do_not_allocate_per_sample() {
+    let n = 512;
+    let graph = deterministic_graph(n);
+    let source = VertexId::new(0);
+    let blocked = vec![false; n];
+    let mut workspace = DecreaseWorkspace::new();
+    let cfg = |theta: usize| DecreaseConfig {
+        theta,
+        threads: 1,
+        seed: 99,
+    };
+
+    // Warm up: grows every buffer to its high-water mark.
+    decrease_es_computation_in(
+        &IcLiveEdgeSampler,
+        &graph,
+        source,
+        &blocked,
+        &cfg(8),
+        &mut workspace,
+    )
+    .unwrap();
+
+    let mut count = |theta: usize| {
+        let before = allocations();
+        decrease_es_computation_in(
+            &IcLiveEdgeSampler,
+            &graph,
+            source,
+            &blocked,
+            &cfg(theta),
+            &mut workspace,
+        )
+        .unwrap();
+        allocations() - before
+    };
+
+    let small = count(64);
+    let large = count(1024);
+    // 16× the samples, identical allocation count: all per-sample work runs
+    // out of the reused arenas. (The per-round constant covers the returned
+    // DecreaseEstimate, which the caller owns.)
+    assert_eq!(
+        small, large,
+        "allocation count must be independent of θ (θ=64: {small}, θ=1024: {large})"
+    );
+    assert!(
+        small <= 8,
+        "a steady-state round should allocate only the returned estimate, got {small}"
+    );
+}

@@ -28,8 +28,10 @@ pub fn extract_neighborhood(
     let mut selected = vec![false; n];
     let mut count = 0usize;
     let mut frontier: VecDeque<VertexId> = VecDeque::new();
-    let select = |v: VertexId, selected: &mut Vec<bool>, count: &mut usize,
-                      frontier: &mut VecDeque<VertexId>| {
+    let select = |v: VertexId,
+                  selected: &mut Vec<bool>,
+                  count: &mut usize,
+                  frontier: &mut VecDeque<VertexId>| {
         if v.index() < n && !selected[v.index()] {
             selected[v.index()] = true;
             *count += 1;
@@ -103,11 +105,7 @@ mod tests {
 
     #[test]
     fn target_larger_than_graph_returns_everything() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(VertexId::new(0), VertexId::new(1), 1.0)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(VertexId::new(0), VertexId::new(1), 1.0)]).unwrap();
         let sub = extract_neighborhood(&g, VertexId::new(0), 100).unwrap();
         // Only the connected part around the start is reachable by the
         // frontier growth (vertex 2 has no edges to the component).

@@ -84,9 +84,8 @@ mod tests {
     #[test]
     fn activation_probabilities_match_example_1() {
         let (g, seed) = figure1_graph();
-        let probs =
-            exact_activation_probabilities(&g, &[seed], None, ExactSpreadConfig::default())
-                .unwrap();
+        let probs = exact_activation_probabilities(&g, &[seed], None, ExactSpreadConfig::default())
+            .unwrap();
         // v2..v6 and v9 are certainly activated.
         for label in [2, 3, 4, 5, 6, 9] {
             assert!((probs[V(label).index()] - 1.0).abs() < 1e-12, "v{label}");
@@ -141,8 +140,7 @@ mod tests {
     #[test]
     fn expected_decreases_match_example_2() {
         let (g, seed) = figure1_graph();
-        let base =
-            exact_expected_spread(&g, &[seed], None, ExactSpreadConfig::default()).unwrap();
+        let base = exact_expected_spread(&g, &[seed], None, ExactSpreadConfig::default()).unwrap();
         for (v, expected) in figure1_expected_decreases() {
             let mut mask = vec![false; 9];
             mask[v.index()] = true;

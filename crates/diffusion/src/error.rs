@@ -156,14 +156,17 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(DiffusionError::EmptySeedSet.to_string().contains("seed set"));
+        assert!(DiffusionError::EmptySeedSet
+            .to_string()
+            .contains("seed set"));
         assert!(DiffusionError::ZeroRounds.to_string().contains("positive"));
         let e = DiffusionError::TooManyUncertainEdges {
             uncertain: 40,
             limit: 25,
         };
         assert!(e.to_string().contains("2^40"));
-        let g: DiffusionError = imin_graph::GraphError::InvalidProbability { probability: 2.0 }.into();
+        let g: DiffusionError =
+            imin_graph::GraphError::InvalidProbability { probability: 2.0 }.into();
         assert!(g.to_string().contains("graph error"));
         assert!(std::error::Error::source(&g).is_some());
     }

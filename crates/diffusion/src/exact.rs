@@ -155,9 +155,11 @@ pub fn exact_expected_spread(
     blocked: Option<&[bool]>,
     config: ExactSpreadConfig,
 ) -> Result<f64> {
-    Ok(exact_activation_probabilities(graph, seeds, blocked, config)?
-        .iter()
-        .sum())
+    Ok(
+        exact_activation_probabilities(graph, seeds, blocked, config)?
+            .iter()
+            .sum(),
+    )
 }
 
 #[cfg(test)]
@@ -171,11 +173,7 @@ mod tests {
 
     #[test]
     fn two_hop_closed_form() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)]).unwrap();
         let probs =
             exact_activation_probabilities(&g, &[vid(0)], None, ExactSpreadConfig::default())
                 .unwrap();
@@ -233,11 +231,7 @@ mod tests {
 
     #[test]
     fn blocking_is_respected() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 1.0)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 1.0)]).unwrap();
         let mut blocked = vec![false; 3];
         blocked[1] = true;
         let e = exact_expected_spread(&g, &[vid(0)], Some(&blocked), ExactSpreadConfig::default())
@@ -271,9 +265,13 @@ mod tests {
         let e = exact_expected_spread(&g, &[vid(0), vid(2)], None, ExactSpreadConfig::default())
             .unwrap();
         assert!((e - 3.5).abs() < 1e-12);
-        let probs =
-            exact_activation_probabilities(&g, &[vid(0), vid(2)], None, ExactSpreadConfig::default())
-                .unwrap();
+        let probs = exact_activation_probabilities(
+            &g,
+            &[vid(0), vid(2)],
+            None,
+            ExactSpreadConfig::default(),
+        )
+        .unwrap();
         assert_eq!(probs[4], 0.0);
     }
 
@@ -281,8 +279,6 @@ mod tests {
     fn validation_errors_propagate() {
         let g = DiGraph::empty(2);
         assert!(exact_expected_spread(&g, &[], None, ExactSpreadConfig::default()).is_err());
-        assert!(
-            exact_expected_spread(&g, &[vid(5)], None, ExactSpreadConfig::default()).is_err()
-        );
+        assert!(exact_expected_spread(&g, &[vid(5)], None, ExactSpreadConfig::default()).is_err());
     }
 }

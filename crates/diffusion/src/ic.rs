@@ -288,6 +288,9 @@ mod tests {
             .map(|_| sim.run_count(&g, &[vid(0)], |_| false, &mut rng))
             .sum();
         let mean = total as f64 / rounds as f64;
-        assert!((mean - 1.3).abs() < 0.02, "mean spread {mean} too far from 1.3");
+        assert!(
+            (mean - 1.3).abs() < 0.02,
+            "mean spread {mean} too far from 1.3"
+        );
     }
 }

@@ -126,20 +126,12 @@ mod tests {
     }
 
     fn two_hop() -> DiGraph {
-        DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
-        )
-        .unwrap()
+        DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)]).unwrap()
     }
 
     #[test]
     fn deterministic_edges_always_survive() {
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 0.0)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 0.0)]).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
             let s = sample_live_edges(&g, &mut rng);

@@ -171,6 +171,8 @@ mod tests {
         }
         .apply(&g)
         .unwrap();
-        assert!(u.edges().all(|e| e.probability >= 0.1 && e.probability <= 0.3));
+        assert!(u
+            .edges()
+            .all(|e| e.probability >= 0.1 && e.probability <= 0.3));
     }
 }

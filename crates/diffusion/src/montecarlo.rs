@@ -92,8 +92,7 @@ impl MonteCarloEstimator {
         }
         let threads = self.threads.max(1).min(self.rounds);
         if threads <= 1 {
-            let (sum, sum_sq) =
-                run_rounds(graph, seeds, blocked, self.rounds, self.seed)?;
+            let (sum, sum_sq) = run_rounds(graph, seeds, blocked, self.rounds, self.seed)?;
             return Ok(SpreadEstimate::from_sums(sum, sum_sq, self.rounds));
         }
 
@@ -108,9 +107,11 @@ impl MonteCarloEstimator {
                 let thread_seed = self
                     .seed
                     .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
-                handles.push(scope.spawn(move |_| {
-                    run_rounds(graph, seeds, blocked, rounds_here, thread_seed)
-                }));
+                handles.push(
+                    scope.spawn(move |_| {
+                        run_rounds(graph, seeds, blocked, rounds_here, thread_seed)
+                    }),
+                );
             }
             for h in handles {
                 totals.push(h.join().expect("Monte-Carlo worker thread panicked"));
@@ -194,17 +195,15 @@ mod tests {
 
     fn two_hop() -> DiGraph {
         // 0 -> 1 (0.5) -> 2 (0.5): E = 1 + 0.5 + 0.25 = 1.75.
-        DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
-        )
-        .unwrap()
+        DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)]).unwrap()
     }
 
     #[test]
     fn estimates_match_closed_form_sequential() {
         let g = two_hop();
-        let est = MonteCarloEstimator::new(40_000).with_threads(1).with_seed(11);
+        let est = MonteCarloEstimator::new(40_000)
+            .with_threads(1)
+            .with_seed(11);
         let e = est.expected_spread(&g, &[vid(0)]).unwrap();
         assert!(
             (e.mean - 1.75).abs() < 0.03,
@@ -217,7 +216,9 @@ mod tests {
     #[test]
     fn estimates_match_closed_form_parallel_and_are_deterministic() {
         let g = two_hop();
-        let est = MonteCarloEstimator::new(40_000).with_threads(4).with_seed(12);
+        let est = MonteCarloEstimator::new(40_000)
+            .with_threads(4)
+            .with_seed(12);
         let a = est.expected_spread(&g, &[vid(0)]).unwrap();
         let b = est.expected_spread(&g, &[vid(0)]).unwrap();
         assert!((a.mean - 1.75).abs() < 0.03);
@@ -227,15 +228,20 @@ mod tests {
     #[test]
     fn blocking_reduces_spread() {
         let g = two_hop();
-        let est = MonteCarloEstimator::new(20_000).with_threads(2).with_seed(5);
+        let est = MonteCarloEstimator::new(20_000)
+            .with_threads(2)
+            .with_seed(5);
         let mut blocked = vec![false; 3];
         blocked[1] = true;
         let e = est
             .expected_spread_blocked(&g, &[vid(0)], Some(&blocked))
             .unwrap();
-        assert!((e.mean - 1.0).abs() < 1e-9, "blocking v1 leaves only the seed");
+        assert!(
+            (e.mean - 1.0).abs() < 1e-9,
+            "blocking v1 leaves only the seed"
+        );
         let dec = est
-            .spread_decrease(&g, &[vid(0)], &vec![false; 3], vid(1))
+            .spread_decrease(&g, &[vid(0)], &[false; 3], vid(1))
             .unwrap();
         assert!((dec - 0.75).abs() < 0.03);
     }

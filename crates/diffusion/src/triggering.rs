@@ -56,7 +56,7 @@ impl TriggeringModel for IcTriggering {
             } else if p <= 0.0 {
                 false
             } else {
-                (&mut *rng).gen_bool(p)
+                (*rng).gen_bool(p)
             };
             if keep {
                 out.push(VertexId::from_raw(s));
@@ -91,7 +91,7 @@ impl TriggeringModel for LtTriggering {
         }
         let total: f64 = probs.iter().sum();
         let scale = if total > 1.0 { 1.0 / total } else { 1.0 };
-        let mut draw: f64 = (&mut *rng).gen_range(0.0..1.0);
+        let mut draw: f64 = (*rng).gen_range(0.0..1.0);
         for (&s, &p) in sources.iter().zip(probs) {
             let w = p * scale;
             if draw < w {
@@ -157,11 +157,7 @@ mod tests {
     }
 
     fn two_hop() -> DiGraph {
-        DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)],
-        )
-        .unwrap()
+        DiGraph::from_edges(3, vec![(vid(0), vid(1), 0.5), (vid(1), vid(2), 0.5)]).unwrap()
     }
 
     #[test]
@@ -177,18 +173,17 @@ mod tests {
         let spread =
             triggering_expected_spread(&g, &IcTriggering, &[vid(0)], None, 30_000, &mut rng)
                 .unwrap();
-        assert!((spread - 1.75).abs() < 0.04, "IC triggering spread {spread}");
+        assert!(
+            (spread - 1.75).abs() < 0.04,
+            "IC triggering spread {spread}"
+        );
     }
 
     #[test]
     fn lt_triggering_picks_at_most_one_in_neighbor() {
         // Vertex 2 has two in-edges with weights 0.6 and 0.6 (rescaled to 0.5
         // each): exactly one of them is ever live per sample.
-        let g = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(2), 0.6), (vid(1), vid(2), 0.6)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(3, vec![(vid(0), vid(2), 0.6), (vid(1), vid(2), 0.6)]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         for _ in 0..200 {
             let s = sample_triggering_live_edges(&g, &LtTriggering, &mut rng);
@@ -231,9 +226,7 @@ mod tests {
     fn validation_errors() {
         let g = two_hop();
         let mut rng = StdRng::seed_from_u64(8);
-        assert!(
-            triggering_expected_spread(&g, &IcTriggering, &[], None, 10, &mut rng).is_err()
-        );
+        assert!(triggering_expected_spread(&g, &IcTriggering, &[], None, 10, &mut rng).is_err());
         assert!(
             triggering_expected_spread(&g, &IcTriggering, &[vid(0)], None, 0, &mut rng).is_err()
         );

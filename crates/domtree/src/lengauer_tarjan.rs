@@ -9,183 +9,412 @@
 //! sampled graphs produced by influence sampling (typically a small fraction
 //! of the full graph) the simple variant is consistently faster in practice.
 //!
-//! The algorithm is generic over how successors are enumerated so that the
-//! sampler can run it directly on its compact per-sample adjacency without
-//! building an [`imin_graph::DiGraph`] per sample.
+//! The production entry point is [`DomTreeWorkspace`]: it owns **all**
+//! scratch state of the algorithm — the DFS stack, a flattened
+//! predecessor CSR, the linked-list buckets of the semidominator phase, the
+//! `semi`/`ancestor`/`label` arrays and the output [`DomTree`] storage — so
+//! that the `budget × θ` hot loop of Algorithm 2 (one dominator tree per
+//! live-edge sample) performs **zero heap allocations in steady state**:
+//! every buffer is cleared and refilled in place, and clearing costs are
+//! proportional to the size of the previous sample, never to the full graph.
+//!
+//! The convenience functions ([`dominator_tree`], [`dominator_tree_masked`],
+//! [`dominator_tree_from_adjacency`], [`compute_dominators`]) are thin
+//! wrappers that run a fresh workspace once and hand out the owned tree.
 
 use crate::tree::DomTree;
 use imin_graph::{DiGraph, VertexId};
 
 const NONE: u32 = u32::MAX;
 
+/// Reusable scratch state for Lengauer–Tarjan runs.
+///
+/// A workspace amortises every allocation of the algorithm across runs:
+/// after the buffers have grown to the high-water mark of the inputs it has
+/// seen, [`DomTreeWorkspace::compute_csr`] is allocation-free. One workspace
+/// serves one thread; the sampling loop of Algorithm 2 keeps one instance
+/// per worker thread alive for the whole greedy run.
+///
+/// ```
+/// use imin_domtree::DomTreeWorkspace;
+/// use imin_graph::VertexId;
+///
+/// // Diamond 0 -> {1, 2} -> 3 in CSR form.
+/// let offsets = [0u32, 2, 3, 4, 4];
+/// let targets = [1u32, 2, 3, 3];
+/// let mut ws = DomTreeWorkspace::new();
+/// let tree = ws.compute_csr(4, &offsets, &targets, VertexId::new(0));
+/// assert_eq!(tree.idom(VertexId::new(3)), Some(VertexId::new(0)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DomTreeWorkspace {
+    // ---- materialised adjacency for the closure-based entry points -------
+    // Per-vertex slice bounds into `adj_targets`; rows are written in
+    // discovery order, so only reachable vertices ever get a non-empty row.
+    adj_starts: Vec<u32>,
+    adj_ends: Vec<u32>,
+    adj_targets: Vec<u32>,
+    // ---- DFS ------------------------------------------------------------
+    /// Preorder number + 1 (0 = unvisited).
+    dfn: Vec<u32>,
+    /// DFS-tree parent.
+    parent: Vec<u32>,
+    /// Explicit DFS stack: vertex and its CSR edge cursor.
+    stack_v: Vec<u32>,
+    stack_e: Vec<u32>,
+    // ---- flattened predecessor lists ------------------------------------
+    /// CSR offsets of the predecessor arena (`n + 1` entries).
+    pred_offsets: Vec<u32>,
+    /// Write cursors while scattering predecessors.
+    pred_cursor: Vec<u32>,
+    /// Predecessor arena: sources of every edge whose source was reached.
+    preds: Vec<u32>,
+    // ---- Lengauer–Tarjan state ------------------------------------------
+    semi: Vec<u32>,
+    ancestor: Vec<u32>,
+    label: Vec<u32>,
+    /// Intrusive bucket lists: each vertex sits in at most one bucket, so a
+    /// head array plus a next array replace the per-vertex `Vec`s.
+    bucket_head: Vec<u32>,
+    bucket_next: Vec<u32>,
+    compress_stack: Vec<u32>,
+    // ---- output ----------------------------------------------------------
+    tree: DomTree,
+}
+
+impl DomTreeWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the dominator tree of the vertices reachable from `root` in
+    /// the graph given in CSR form: the out-edges of vertex `u` are
+    /// `targets[offsets[u] .. offsets[u + 1]]`, over the vertex universe
+    /// `0..num_vertices`.
+    ///
+    /// The returned reference points into the workspace; it is valid until
+    /// the next `compute_*` call. Allocation-free once the workspace has
+    /// grown to the input high-water mark.
+    ///
+    /// # Panics
+    /// Panics if `offsets` does not have `num_vertices + 1` entries or the
+    /// root is out of range.
+    pub fn compute_csr(
+        &mut self,
+        num_vertices: usize,
+        offsets: &[u32],
+        targets: &[u32],
+        root: VertexId,
+    ) -> &DomTree {
+        assert_eq!(
+            offsets.len(),
+            num_vertices + 1,
+            "CSR offsets must have num_vertices + 1 entries"
+        );
+        self.run(
+            num_vertices,
+            &offsets[..num_vertices],
+            &offsets[1..],
+            targets,
+            root,
+        );
+        &self.tree
+    }
+
+    /// Computes the dominator tree over an adjacency described by a closure:
+    /// `successors(u, f)` must call `f(v)` for every out-neighbour `v` of
+    /// `u`.
+    ///
+    /// The closure is only consulted for vertices reachable from the root: a
+    /// breadth-first discovery materialises exactly the reachable rows into
+    /// the workspace's adjacency arena before solving, so a call on a large
+    /// universe with a small reachable region (e.g. a heavily masked graph)
+    /// costs `O(num_vertices + reachable edges)`, not `O(total edges)`.
+    pub fn compute<S>(&mut self, num_vertices: usize, root: VertexId, mut successors: S) -> &DomTree
+    where
+        S: FnMut(u32, &mut dyn FnMut(u32)),
+    {
+        let n = num_vertices;
+        // Split borrows: the adjacency buffers are filled here and then
+        // passed to `run` as plain slices.
+        let mut adj_starts = std::mem::take(&mut self.adj_starts);
+        let mut adj_ends = std::mem::take(&mut self.adj_ends);
+        let mut adj_targets = std::mem::take(&mut self.adj_targets);
+        adj_starts.clear();
+        adj_starts.resize(n, 0);
+        adj_ends.clear();
+        adj_ends.resize(n, 0);
+        adj_targets.clear();
+        if root.index() < n {
+            // BFS discovery (visited marks in `dfn`, which `run` resets; the
+            // queue borrows the DFS vertex stack, which `run` also resets).
+            let dfn = &mut self.dfn;
+            dfn.clear();
+            dfn.resize(n, 0);
+            let queue = &mut self.stack_v;
+            queue.clear();
+            dfn[root.index()] = 1;
+            queue.push(root.raw());
+            let mut head = 0usize;
+            while head < queue.len() {
+                let u = queue[head];
+                head += 1;
+                let start = adj_targets.len() as u32;
+                successors(u, &mut |v| adj_targets.push(v));
+                adj_starts[u as usize] = start;
+                adj_ends[u as usize] = adj_targets.len() as u32;
+                for &v in &adj_targets[start as usize..] {
+                    debug_assert!((v as usize) < n, "successor {v} out of range");
+                    if dfn[v as usize] == 0 {
+                        dfn[v as usize] = 1;
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        self.run(n, &adj_starts, &adj_ends, &adj_targets, root);
+        self.adj_starts = adj_starts;
+        self.adj_ends = adj_ends;
+        self.adj_targets = adj_targets;
+        &self.tree
+    }
+
+    /// The tree produced by the most recent `compute_*` call.
+    pub fn tree(&self) -> &DomTree {
+        &self.tree
+    }
+
+    /// Consumes the workspace, returning the most recently computed tree.
+    pub fn into_tree(self) -> DomTree {
+        self.tree
+    }
+
+    fn run(&mut self, n: usize, starts: &[u32], ends: &[u32], targets: &[u32], root: VertexId) {
+        assert!(
+            root.index() < n,
+            "root {root} out of range for {n} vertices"
+        );
+        let root_raw = root.raw();
+
+        // --- Phase 1: iterative DFS from the root ---------------------------
+        // Preorder numbers are assigned at first visit in genuine DFS order
+        // (a prerequisite of Lengauer–Tarjan: a non-tree edge can never point
+        // from a smaller to a larger preorder number across subtrees). The
+        // explicit stack stores a CSR edge cursor per frame, so descending
+        // and resuming a vertex costs O(1) and allocates nothing.
+        let dfn = &mut self.dfn;
+        let parent = &mut self.parent;
+        dfn.clear();
+        dfn.resize(n, 0);
+        parent.clear();
+        parent.resize(n, NONE);
+        let preorder = &mut self.tree.preorder;
+        preorder.clear();
+        self.stack_v.clear();
+        self.stack_e.clear();
+
+        dfn[root_raw as usize] = 1;
+        preorder.push(root_raw);
+        self.stack_v.push(root_raw);
+        self.stack_e.push(starts[root_raw as usize]);
+        while let Some(&u) = self.stack_v.last() {
+            let cursor = self.stack_e.last_mut().expect("stacks move in lockstep");
+            if *cursor < ends[u as usize] {
+                let v = targets[*cursor as usize];
+                *cursor += 1;
+                debug_assert!((v as usize) < n, "successor {v} out of range");
+                if dfn[v as usize] == 0 {
+                    dfn[v as usize] = preorder.len() as u32 + 1;
+                    parent[v as usize] = u;
+                    preorder.push(v);
+                    self.stack_v.push(v);
+                    self.stack_e.push(starts[v as usize]);
+                }
+            } else {
+                self.stack_v.pop();
+                self.stack_e.pop();
+            }
+        }
+        let reached = preorder.len();
+
+        let reachable = &mut self.tree.reachable;
+        reachable.clear();
+        reachable.resize(n, false);
+        for &v in preorder.iter() {
+            reachable[v as usize] = true;
+        }
+
+        let idom = &mut self.tree.idom;
+        idom.clear();
+        idom.resize(n, NONE);
+        self.tree.root = root_raw;
+
+        if reached <= 1 {
+            return;
+        }
+
+        // --- Tree fast path --------------------------------------------------
+        // If every vertex was reached and there are exactly n − 1 edges, every
+        // edge is a DFS tree edge, so each non-root vertex has its DFS parent
+        // as its unique predecessor — the graph *is* its own dominator tree.
+        // Live-edge samples are trees whenever no cascade paths rejoin, which
+        // is the common case for small cascades, so this skips the whole
+        // semidominator machinery for them.
+        if reached == n && targets.len() == n - 1 {
+            for &w in preorder[1..].iter() {
+                idom[w as usize] = parent[w as usize];
+            }
+            return;
+        }
+
+        // --- Phase 1b: flattened predecessor lists --------------------------
+        // The semidominator step walks the predecessors of every vertex. They
+        // are gathered into a CSR arena with the classic count → prefix-sum →
+        // scatter scheme, restricted to edges whose *source* was reached (an
+        // edge out of an unreached vertex can never influence dominance, and
+        // skipping it preserves the invariant that `eval` only ever sees
+        // numbered vertices).
+        let pred_offsets = &mut self.pred_offsets;
+        pred_offsets.clear();
+        pred_offsets.resize(n + 1, 0);
+        for &u in preorder.iter() {
+            let lo = starts[u as usize] as usize;
+            let hi = ends[u as usize] as usize;
+            for &v in &targets[lo..hi] {
+                pred_offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            pred_offsets[i + 1] += pred_offsets[i];
+        }
+        let total_preds = pred_offsets[n] as usize;
+        let preds = &mut self.preds;
+        preds.clear();
+        preds.resize(total_preds, 0);
+        let pred_cursor = &mut self.pred_cursor;
+        pred_cursor.clear();
+        pred_cursor.extend_from_slice(&pred_offsets[..n]);
+        for &u in preorder.iter() {
+            let lo = starts[u as usize] as usize;
+            let hi = ends[u as usize] as usize;
+            for &v in &targets[lo..hi] {
+                let slot = pred_cursor[v as usize];
+                pred_cursor[v as usize] += 1;
+                preds[slot as usize] = u;
+            }
+        }
+
+        // --- Phase 2: semidominators and implicit idoms ---------------------
+        // semi[v]: initially dfn(v); later the dfn of the semidominator of v.
+        // All comparisons are on dfn numbers. Buckets are intrusive linked
+        // lists: every vertex enters exactly one bucket, so `bucket_next`
+        // chains it and `bucket_head` anchors the list of its semidominator.
+        let semi = &mut self.semi;
+        semi.clear();
+        semi.extend_from_slice(dfn);
+        let ancestor = &mut self.ancestor;
+        ancestor.clear();
+        ancestor.resize(n, NONE);
+        let label = &mut self.label;
+        label.clear();
+        label.extend(0..n as u32);
+        let bucket_head = &mut self.bucket_head;
+        bucket_head.clear();
+        bucket_head.resize(n, NONE);
+        let bucket_next = &mut self.bucket_next;
+        bucket_next.clear();
+        bucket_next.resize(n, NONE);
+        let compress_stack = &mut self.compress_stack;
+        compress_stack.clear();
+
+        // Iterative path-compression eval.
+        let eval = |v: u32,
+                    ancestor: &mut [u32],
+                    label: &mut [u32],
+                    semi: &[u32],
+                    compress_stack: &mut Vec<u32>|
+         -> u32 {
+            if ancestor[v as usize] == NONE {
+                return v;
+            }
+            // Collect the ancestor chain that still needs compression.
+            compress_stack.clear();
+            let mut cur = v;
+            while ancestor[ancestor[cur as usize] as usize] != NONE {
+                compress_stack.push(cur);
+                cur = ancestor[cur as usize];
+            }
+            // Compress from the top of the chain downwards.
+            while let Some(w) = compress_stack.pop() {
+                let anc = ancestor[w as usize];
+                if semi[label[anc as usize] as usize] < semi[label[w as usize] as usize] {
+                    label[w as usize] = label[anc as usize];
+                }
+                ancestor[w as usize] = ancestor[anc as usize];
+            }
+            label[v as usize]
+        };
+
+        for i in (1..reached).rev() {
+            let w = preorder[i];
+            let p = parent[w as usize];
+            // Step 2: semidominator of w.
+            let lo = pred_offsets[w as usize] as usize;
+            let hi = pred_offsets[w as usize + 1] as usize;
+            for &v in &preds[lo..hi] {
+                let u = eval(v, ancestor, label, semi, compress_stack);
+                if semi[u as usize] < semi[w as usize] {
+                    semi[w as usize] = semi[u as usize];
+                }
+            }
+            let sd = preorder[(semi[w as usize] - 1) as usize];
+            bucket_next[w as usize] = bucket_head[sd as usize];
+            bucket_head[sd as usize] = w;
+            // link(parent(w), w)
+            ancestor[w as usize] = p;
+            // Step 3: implicit immediate dominators for the bucket of
+            // parent(w).
+            let mut v = bucket_head[p as usize];
+            bucket_head[p as usize] = NONE;
+            while v != NONE {
+                let next = bucket_next[v as usize];
+                let u = eval(v, ancestor, label, semi, compress_stack);
+                idom[v as usize] = if semi[u as usize] < semi[v as usize] {
+                    u
+                } else {
+                    p
+                };
+                v = next;
+            }
+        }
+
+        // --- Phase 3: explicit immediate dominators -------------------------
+        for i in 1..reached {
+            let w = preorder[i];
+            if idom[w as usize] != preorder[(semi[w as usize] - 1) as usize] {
+                idom[w as usize] = idom[idom[w as usize] as usize];
+            }
+        }
+        idom[root_raw as usize] = NONE;
+    }
+}
+
 /// Computes the dominator tree of the vertices reachable from `root`.
 ///
 /// `num_vertices` is the size of the vertex universe (ids `0..num_vertices`)
 /// and `successors(u, f)` must call `f(v)` for every out-neighbour `v` of
 /// `u`. Unreachable vertices simply end up outside the tree.
-pub fn compute_dominators<S>(num_vertices: usize, root: VertexId, mut successors: S) -> DomTree
+///
+/// One-shot convenience over [`DomTreeWorkspace::compute`]; callers in a
+/// loop should hold a workspace instead.
+pub fn compute_dominators<S>(num_vertices: usize, root: VertexId, successors: S) -> DomTree
 where
     S: FnMut(u32, &mut dyn FnMut(u32)),
 {
-    let n = num_vertices;
-    assert!(root.index() < n, "root {root} out of range for {n} vertices");
-
-    // --- Phase 1: iterative DFS from the root -------------------------------
-    // dfn[v]   : preorder number + 1 (0 = unvisited)
-    // vertex[i]: vertex with preorder number i
-    // parent[v]: DFS-tree parent
-    let mut dfn = vec![0u32; n];
-    let mut vertex: Vec<u32> = Vec::new();
-    let mut parent = vec![NONE; n];
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-
-    let root_raw = root.raw();
-    dfn[root_raw as usize] = 1;
-    vertex.push(root_raw);
-    // Explicit depth-first stack. Numbers are assigned at first visit in
-    // genuine DFS order (a prerequisite of Lengauer–Tarjan: a non-tree edge
-    // can never point from a smaller to a larger preorder number across
-    // subtrees). Every traversed edge is recorded as a predecessor entry of
-    // its target, which is exactly what the semidominator step needs.
-    struct Frame {
-        v: u32,
-        succs: Vec<u32>,
-        next: usize,
-    }
-    let collect = |u: u32, successors: &mut S| {
-        let mut s = Vec::new();
-        successors(u, &mut |v| s.push(v));
-        s
-    };
-    let mut stack: Vec<Frame> = Vec::new();
-    let root_succs = collect(root_raw, &mut successors);
-    stack.push(Frame {
-        v: root_raw,
-        succs: root_succs,
-        next: 0,
-    });
-    loop {
-        let step = {
-            let frame = match stack.last_mut() {
-                Some(f) => f,
-                None => break,
-            };
-            if frame.next < frame.succs.len() {
-                let v = frame.succs[frame.next];
-                frame.next += 1;
-                Some((frame.v, v))
-            } else {
-                None
-            }
-        };
-        match step {
-            None => {
-                stack.pop();
-            }
-            Some((u, v)) => {
-                debug_assert!((v as usize) < n, "successor {v} out of range");
-                preds[v as usize].push(u);
-                if dfn[v as usize] == 0 {
-                    dfn[v as usize] = vertex.len() as u32 + 1;
-                    vertex.push(v);
-                    parent[v as usize] = u;
-                    let succs = collect(v, &mut successors);
-                    stack.push(Frame { v, succs, next: 0 });
-                }
-            }
-        }
-    }
-    let reached = vertex.len();
-
-    // Preorder copy for the final DomTree (vertex[] is mutated below? no, it
-    // is not — keep a clone for clarity and cheapness).
-    let preorder: Vec<u32> = vertex.clone();
-    let mut reachable = vec![false; n];
-    for &v in &preorder {
-        reachable[v as usize] = true;
-    }
-
-    if reached <= 1 {
-        let idom = vec![NONE; n];
-        return DomTree::from_parts(root, idom, reachable, preorder);
-    }
-
-    // --- Phase 2: semidominators and implicit idoms --------------------------
-    // semi[v] : initially dfn(v); later the dfn of the semidominator of v.
-    // All comparisons are on dfn numbers.
-    let mut semi: Vec<u32> = dfn.clone();
-    let mut idom = vec![NONE; n];
-    let mut ancestor = vec![NONE; n];
-    let mut label: Vec<u32> = (0..n as u32).collect();
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
-
-    // Iterative path-compression eval.
-    let mut compress_stack: Vec<u32> = Vec::new();
-    let eval = |v: u32,
-                    ancestor: &mut Vec<u32>,
-                    label: &mut Vec<u32>,
-                    semi: &Vec<u32>,
-                    compress_stack: &mut Vec<u32>|
-     -> u32 {
-        if ancestor[v as usize] == NONE {
-            return v;
-        }
-        // Collect the ancestor chain that still needs compression.
-        compress_stack.clear();
-        let mut cur = v;
-        while ancestor[ancestor[cur as usize] as usize] != NONE {
-            compress_stack.push(cur);
-            cur = ancestor[cur as usize];
-        }
-        // Compress from the top of the chain downwards.
-        while let Some(w) = compress_stack.pop() {
-            let anc = ancestor[w as usize];
-            if semi[label[anc as usize] as usize] < semi[label[w as usize] as usize] {
-                label[w as usize] = label[anc as usize];
-            }
-            ancestor[w as usize] = ancestor[anc as usize];
-        }
-        label[v as usize]
-    };
-
-    for i in (1..reached).rev() {
-        let w = vertex[i];
-        let p = parent[w as usize];
-        // Step 2: semidominator of w.
-        for pi in 0..preds[w as usize].len() {
-            let v = preds[w as usize][pi];
-            // Predecessors that were never reached cannot occur: an edge
-            // (v, w) is only recorded when v was expanded, i.e. reached.
-            let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
-            if semi[u as usize] < semi[w as usize] {
-                semi[w as usize] = semi[u as usize];
-            }
-        }
-        buckets[vertex[(semi[w as usize] - 1) as usize] as usize].push(w);
-        // link(parent(w), w)
-        ancestor[w as usize] = p;
-        // Step 3: implicit immediate dominators for the bucket of parent(w).
-        let bucket = std::mem::take(&mut buckets[p as usize]);
-        for v in bucket {
-            let u = eval(v, &mut ancestor, &mut label, &semi, &mut compress_stack);
-            idom[v as usize] = if semi[u as usize] < semi[v as usize] {
-                u
-            } else {
-                p
-            };
-        }
-    }
-
-    // --- Phase 3: explicit immediate dominators ------------------------------
-    for i in 1..reached {
-        let w = vertex[i];
-        if idom[w as usize] != vertex[(semi[w as usize] - 1) as usize] {
-            idom[w as usize] = idom[idom[w as usize] as usize];
-        }
-    }
-    idom[root_raw as usize] = NONE;
-
-    DomTree::from_parts(root, idom, reachable, preorder)
+    let mut ws = DomTreeWorkspace::new();
+    ws.compute(num_vertices, root, successors);
+    ws.into_tree()
 }
 
 /// Dominator tree of `graph` rooted at `root` (over the full graph).
@@ -220,8 +449,13 @@ pub fn dominator_tree_masked(graph: &DiGraph, root: VertexId, blocked: &[bool]) 
     })
 }
 
-/// Dominator tree over a plain adjacency-list representation (used by the
-/// sampler, whose live-edge samples are stored as `Vec<Vec<u32>>`).
+/// Dominator tree over a nested adjacency-list representation.
+///
+/// Compatibility shim over [`DomTreeWorkspace`]: the sampler used to store
+/// live-edge samples as `Vec<Vec<u32>>` and this entry point survives for
+/// tests, oracles and external callers that still hold that shape. The
+/// production sampling path feeds its flat CSR arena directly to
+/// [`DomTreeWorkspace::compute_csr`] instead.
 pub fn dominator_tree_from_adjacency(adjacency: &[Vec<u32>], root: VertexId) -> DomTree {
     compute_dominators(adjacency.len(), root, |u, f| {
         for &v in &adjacency[u as usize] {
@@ -362,10 +596,7 @@ mod tests {
     fn multiple_paths_collapse_to_common_dominator() {
         // Figure-1-like topology: the seed has two parallel branches that
         // rejoin, so the rejoin vertex is dominated by the seed only.
-        let g = graph(
-            6,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5), (5, 4)],
-        );
+        let g = graph(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (0, 5), (5, 4)]);
         let dt = dominator_tree(&g, vid(0));
         assert_eq!(dt.idom(vid(3)), Some(vid(0)));
         assert_eq!(dt.idom(vid(4)), Some(vid(0)));
@@ -395,13 +626,95 @@ mod tests {
     #[test]
     fn adjacency_interface_matches_graph_interface() {
         let g = graph(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
-        let adj: Vec<Vec<u32>> = (0..5)
-            .map(|u| g.out_neighbors(vid(u)).to_vec())
-            .collect();
+        let adj: Vec<Vec<u32>> = (0..5).map(|u| g.out_neighbors(vid(u)).to_vec()).collect();
         let a = dominator_tree(&g, vid(0));
         let b = dominator_tree_from_adjacency(&adj, vid(0));
         assert_eq!(a.idom_raw(), b.idom_raw());
         assert_eq!(a.subtree_sizes(), b.subtree_sizes());
+    }
+
+    #[test]
+    fn csr_interface_matches_adjacency_interface() {
+        let g = graph(6, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5)]);
+        let mut offsets = vec![0u32];
+        let mut targets = Vec::new();
+        for u in 0..6 {
+            targets.extend_from_slice(g.out_neighbors(vid(u)));
+            offsets.push(targets.len() as u32);
+        }
+        let mut ws = DomTreeWorkspace::new();
+        let from_csr = ws.compute_csr(6, &offsets, &targets, vid(0)).clone();
+        let from_graph = dominator_tree(&g, vid(0));
+        assert_eq!(from_csr.idom_raw(), from_graph.idom_raw());
+        assert_eq!(from_csr.subtree_sizes(), from_graph.subtree_sizes());
+        assert!(from_csr.validate().is_ok());
+    }
+
+    #[test]
+    fn workspace_reuse_across_different_graphs_is_correct() {
+        // The same workspace must produce correct trees when fed graphs of
+        // varying size and shape back to back (stale state bleeding between
+        // runs is the classic bug in workspace reuse).
+        let mut ws = DomTreeWorkspace::new();
+        let shapes: Vec<(usize, Vec<(usize, usize)>)> = vec![
+            (4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]),
+            (2, vec![(0, 1)]),
+            (
+                7,
+                vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 1)],
+            ),
+            (1, vec![]),
+            (5, vec![(0, 1), (1, 2), (3, 4)]),
+        ];
+        for (n, edges) in shapes {
+            let g = graph(n, &edges);
+            let reference = dominator_tree(&g, vid(0));
+            let ws_tree = ws.compute(n, vid(0), |u, f| {
+                for &v in g.out_neighbors(VertexId::from_raw(u)) {
+                    f(v);
+                }
+            });
+            assert_eq!(ws_tree.idom_raw(), reference.idom_raw(), "n={n}");
+            assert_eq!(ws_tree.subtree_sizes(), reference.subtree_sizes());
+            assert!(ws_tree.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_agrees_with_oracle_on_random_graphs() {
+        use crate::naive::naive_immediate_dominators;
+        let mut ws = DomTreeWorkspace::new();
+        // Deterministic LCG-driven random graphs of varying size.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for round in 0..40 {
+            let n = 2 + next() % 14;
+            let m = next() % 40;
+            let edges: Vec<(usize, usize)> = (0..m)
+                .map(|_| (next() % n, next() % n))
+                .filter(|&(u, v)| u != v)
+                .collect();
+            let g = graph(n, &edges);
+            let root = vid(next() % n);
+            let oracle = naive_immediate_dominators(&g, root);
+            let tree = ws.compute(n, root, |u, f| {
+                for &v in g.out_neighbors(VertexId::from_raw(u)) {
+                    f(v);
+                }
+            });
+            for (v, expected) in oracle.iter().enumerate() {
+                assert_eq!(
+                    tree.idom(vid(v)),
+                    *expected,
+                    "round {round}: idom mismatch at vertex {v} (n={n})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -133,7 +133,16 @@ mod tests {
     fn naive_idoms_match_lengauer_tarjan() {
         let g = graph(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (2, 5), (5, 4), (4, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 5),
+                (5, 4),
+                (4, 6),
+            ],
         );
         let naive = naive_immediate_dominators(&g, vid(0));
         let lt = dominator_tree(&g, vid(0));
@@ -144,10 +153,7 @@ mod tests {
 
     #[test]
     fn sigma_through_equals_subtree_size() {
-        let g = graph(
-            6,
-            &[(0, 1), (1, 2), (1, 3), (0, 4), (4, 5), (3, 5)],
-        );
+        let g = graph(6, &[(0, 1), (1, 2), (1, 3), (0, 4), (4, 5), (3, 5)]);
         let dt = dominator_tree(&g, vid(0));
         let sizes = dt.subtree_sizes();
         for v in g.vertices().skip(1) {

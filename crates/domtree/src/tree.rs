@@ -11,17 +11,19 @@ const NONE: u32 = u32::MAX;
 /// [`DomTree::is_reachable`] returns `false`, their immediate dominator is
 /// `None` and their subtree size is `0` (they contribute nothing to the
 /// spread-decrease estimate of Algorithm 2, exactly as required).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DomTree {
-    root: u32,
+    // Fields are crate-visible so `DomTreeWorkspace` can rebuild the tree in
+    // place, reusing the buffers across samples instead of reallocating.
+    pub(crate) root: u32,
     /// `idom[v]` = immediate dominator of `v`; `NONE` for the root and for
     /// unreachable vertices.
-    idom: Vec<u32>,
+    pub(crate) idom: Vec<u32>,
     /// `true` for vertices reachable from the root.
-    reachable: Vec<bool>,
+    pub(crate) reachable: Vec<bool>,
     /// Reachable vertices in a preorder of the *dominator tree* (root first,
     /// every vertex after its immediate dominator).
-    preorder: Vec<u32>,
+    pub(crate) preorder: Vec<u32>,
 }
 
 impl DomTree {
@@ -111,19 +113,29 @@ impl DomTree {
     /// (Theorem 6). Unreachable vertices have size `0`; the root's size is
     /// the total number of reachable vertices.
     pub fn subtree_sizes(&self) -> Vec<u64> {
-        let mut sizes = vec![0u64; self.idom.len()];
+        let mut sizes = Vec::new();
+        self.subtree_sizes_into(&mut sizes);
+        sizes
+    }
+
+    /// Computes the subtree sizes into a caller-owned buffer, reusing its
+    /// capacity. This is the form the per-sample hot loop of Algorithm 2
+    /// uses: once `out` has grown to the cascade high-water mark, the call
+    /// performs no heap allocation.
+    pub fn subtree_sizes_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(self.idom.len(), 0);
         for &v in &self.preorder {
-            sizes[v as usize] = 1;
+            out[v as usize] = 1;
         }
         // Children appear after their parents in the preorder, so a reverse
         // sweep accumulates child sizes into parents in one pass.
         for &v in self.preorder.iter().rev() {
             let d = self.idom[v as usize];
             if d != NONE {
-                sizes[d as usize] += sizes[v as usize];
+                out[d as usize] += out[v as usize];
             }
         }
-        sizes
     }
 
     /// Accumulates the subtree sizes into `acc` (adding `sizes[v] * weight`
@@ -269,6 +281,19 @@ mod tests {
     }
 
     #[test]
+    fn subtree_sizes_into_reuses_buffer() {
+        let t = sample();
+        // A stale, oversized buffer is fully overwritten and truncated.
+        let mut buf = vec![99u64; 16];
+        t.subtree_sizes_into(&mut buf);
+        assert_eq!(buf, vec![4, 2, 1, 1, 0]);
+        let capacity = buf.capacity();
+        t.subtree_sizes_into(&mut buf);
+        assert_eq!(buf, vec![4, 2, 1, 1, 0]);
+        assert_eq!(buf.capacity(), capacity, "no reallocation on reuse");
+    }
+
+    #[test]
     fn accumulate_adds_weighted_sizes() {
         let t = sample();
         let mut acc = vec![0.0; 5];
@@ -307,12 +332,7 @@ mod tests {
     #[test]
     fn validate_catches_broken_trees() {
         // idom of a reachable vertex missing.
-        let bad = DomTree::from_parts(
-            vid(0),
-            vec![NONE, NONE],
-            vec![true, true],
-            vec![0, 1],
-        );
+        let bad = DomTree::from_parts(vid(0), vec![NONE, NONE], vec![true, true], vec![0, 1]);
         assert!(bad.validate().is_err());
         // Unreachable vertex with an idom.
         let bad = DomTree::from_parts(vid(0), vec![NONE, 0], vec![true, false], vec![0]);

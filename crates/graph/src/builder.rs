@@ -136,9 +136,7 @@ impl GraphBuilder {
         if u == v {
             match self.self_loops {
                 SelfLoopPolicy::Drop => return Ok(()),
-                SelfLoopPolicy::Reject => {
-                    return Err(GraphError::SelfLoop { vertex: u.index() })
-                }
+                SelfLoopPolicy::Reject => return Err(GraphError::SelfLoop { vertex: u.index() }),
                 SelfLoopPolicy::Keep => {}
             }
         }

@@ -43,9 +43,36 @@ pub struct DiGraph {
     out_offsets: Vec<usize>,
     out_targets: Vec<u32>,
     out_probs: Vec<f64>,
+    /// Per-out-edge integer coin thresholds (see [`coin_threshold`]),
+    /// precomputed so live-edge samplers can decide each coin with a single
+    /// `u64` comparison instead of float arithmetic.
+    out_thresholds: Vec<u64>,
     in_offsets: Vec<usize>,
     in_sources: Vec<u32>,
     in_probs: Vec<f64>,
+}
+
+/// Sentinel threshold meaning "always live" (probability ≥ 1).
+pub const THRESHOLD_ALWAYS: u64 = u64::MAX;
+
+/// The integer coin threshold of a probability: the number of 53-bit
+/// mantissa values `k` with `k · 2⁻⁵³ < p`.
+///
+/// A uniform draw `k = rng.next_u64() >> 11` is live iff `k < threshold`,
+/// which is **bit-identical** to `rand`'s `gen_bool(p)` (`(k as f64) · 2⁻⁵³
+/// < p`): multiplying an `f64` in `(0, 1)` by `2⁵³` only shifts the
+/// exponent, so `p · 2⁵³` is exact and `ceil` of it counts the passing `k`
+/// exactly. Probabilities ≤ 0 map to 0 (never live) and ≥ 1 to
+/// [`THRESHOLD_ALWAYS`] so samplers can skip the coin flip entirely, keeping
+/// RNG streams identical to the branching `gen_bool` formulation.
+pub fn coin_threshold(p: f64) -> u64 {
+    if p <= 0.0 {
+        0
+    } else if p >= 1.0 {
+        THRESHOLD_ALWAYS
+    } else {
+        (p * 9_007_199_254_740_992.0).ceil() as u64 // p · 2⁵³, exact
+    }
 }
 
 impl DiGraph {
@@ -98,7 +125,7 @@ impl DiGraph {
         mut triples: Vec<(u32, u32, f64)>,
     ) -> Self {
         // Sort by (source, target) and merge parallel edges with noisy-or.
-        triples.sort_unstable_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triples.sort_unstable_by_key(|a| (a.0, a.1));
         let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(triples.len());
         for (u, v, p) in triples {
             match merged.last_mut() {
@@ -151,11 +178,13 @@ impl DiGraph {
             }
         }
 
+        let out_thresholds = out_probs.iter().map(|&p| coin_threshold(p)).collect();
         DiGraph {
             num_vertices,
             out_offsets,
             out_targets,
             out_probs,
+            out_thresholds,
             in_offsets,
             in_sources,
             in_probs,
@@ -169,10 +198,19 @@ impl DiGraph {
             out_offsets: vec![0; num_vertices + 1],
             out_targets: Vec::new(),
             out_probs: Vec::new(),
+            out_thresholds: Vec::new(),
             in_offsets: vec![0; num_vertices + 1],
             in_sources: Vec::new(),
             in_probs: Vec::new(),
         }
+    }
+
+    /// Recomputes the integer coin thresholds from the current
+    /// probabilities. Must be called by anything that mutates `out_probs`.
+    fn rebuild_thresholds(&mut self) {
+        self.out_thresholds.clear();
+        self.out_thresholds
+            .extend(self.out_probs.iter().map(|&p| coin_threshold(p)));
     }
 
     /// Number of vertices `n`.
@@ -224,6 +262,17 @@ impl DiGraph {
     pub fn out_neighbors(&self, u: VertexId) -> &[u32] {
         let i = u.index();
         &self.out_targets[self.out_offsets[i]..self.out_offsets[i + 1]]
+    }
+
+    /// Slice of integer coin thresholds parallel to
+    /// [`DiGraph::out_neighbors`] (see [`coin_threshold`]). Live-edge
+    /// samplers use these to decide each coin with one `u64` comparison:
+    /// `(rng.next_u64() >> 11) < threshold`, with 0 / [`THRESHOLD_ALWAYS`]
+    /// marking deterministic edges whose coin must not be flipped at all.
+    #[inline]
+    pub fn out_coin_thresholds(&self, u: VertexId) -> &[u64] {
+        let i = u.index();
+        &self.out_thresholds[self.out_offsets[i]..self.out_offsets[i + 1]]
     }
 
     /// Slice of probabilities parallel to [`DiGraph::out_neighbors`].
@@ -307,11 +356,7 @@ impl DiGraph {
             let (start, end) = (self.out_offsets[u], self.out_offsets[u + 1]);
             for idx in start..end {
                 let v = self.out_targets[idx];
-                let p = f(
-                    VertexId::new(u),
-                    VertexId::from_raw(v),
-                    self.out_probs[idx],
-                );
+                let p = f(VertexId::new(u), VertexId::from_raw(v), self.out_probs[idx]);
                 validate_probability(p)?;
                 out.out_probs[idx] = p;
             }
@@ -327,21 +372,25 @@ impl DiGraph {
                 out.in_probs[idx] = p;
             }
         }
+        out.rebuild_thresholds();
         Ok(out)
     }
 
     /// Returns the reverse graph (every edge `(u, v)` becomes `(v, u)` with
     /// the same probability).
     pub fn reverse(&self) -> DiGraph {
-        DiGraph {
+        let mut reversed = DiGraph {
             num_vertices: self.num_vertices,
             out_offsets: self.in_offsets.clone(),
             out_targets: self.in_sources.clone(),
             out_probs: self.in_probs.clone(),
+            out_thresholds: Vec::new(),
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
             in_probs: self.out_probs.clone(),
-        }
+        };
+        reversed.rebuild_thresholds();
+        reversed
     }
 
     /// Sum of all edge probabilities; a cheap sanity statistic used by tests
@@ -373,6 +422,7 @@ impl DiGraph {
             + self.in_sources.len() * std::mem::size_of::<u32>()
             + self.out_probs.len() * std::mem::size_of::<f64>()
             + self.in_probs.len() * std::mem::size_of::<f64>()
+            + self.out_thresholds.len() * std::mem::size_of::<u64>()
     }
 
     /// Checks internal CSR invariants; used by tests and debug assertions.
@@ -390,7 +440,11 @@ impl DiGraph {
                 message: "CSR offsets do not cover all edges".into(),
             });
         }
-        for w in self.out_offsets.windows(2).chain(self.in_offsets.windows(2)) {
+        for w in self
+            .out_offsets
+            .windows(2)
+            .chain(self.in_offsets.windows(2))
+        {
             if w[0] > w[1] {
                 return Err(GraphError::InvalidGeneratorArgument {
                     message: "CSR offsets are not monotone".into(),
@@ -413,6 +467,18 @@ impl DiGraph {
                         message: format!("in-adjacency of {u} is not strictly sorted"),
                     });
                 }
+            }
+        }
+        if self.out_thresholds.len() != m {
+            return Err(GraphError::InvalidGeneratorArgument {
+                message: "coin-threshold array out of sync with the edge list".into(),
+            });
+        }
+        for (&p, &t) in self.out_probs.iter().zip(&self.out_thresholds) {
+            if t != coin_threshold(p) {
+                return Err(GraphError::InvalidGeneratorArgument {
+                    message: format!("stale coin threshold for probability {p}"),
+                });
             }
         }
         for e in self.edges() {
@@ -440,6 +506,60 @@ mod tests {
 
     fn vid(i: usize) -> VertexId {
         VertexId::new(i)
+    }
+
+    #[test]
+    fn coin_thresholds_match_float_coins_exactly() {
+        // The integer decision `k < coin_threshold(p)` must agree with the
+        // float decision `(k as f64) · 2⁻⁵³ < p` for every mantissa value k,
+        // including the boundary values around p · 2⁵³.
+        let scale = 1.0 / 9_007_199_254_740_992.0; // 2⁻⁵³
+        let probs = [
+            0.5,
+            0.25,
+            1.0 / 3.0,
+            0.123_456_789,
+            1e-9,
+            1.0 - 1e-12,
+            f64::EPSILON,
+            0.999_999_999,
+        ];
+        for &p in &probs {
+            let t = coin_threshold(p);
+            assert!(t > 0 && t != THRESHOLD_ALWAYS, "p={p} must need a coin");
+            // Probe k around the threshold plus the extremes.
+            for k in [0u64, 1, t.saturating_sub(2), t - 1, t, t + 1, (1 << 53) - 1] {
+                if k >= (1 << 53) {
+                    continue;
+                }
+                let float_live = (k as f64) * scale < p;
+                let int_live = k < t;
+                assert_eq!(int_live, float_live, "p={p}, k={k}");
+            }
+        }
+        assert_eq!(coin_threshold(0.0), 0);
+        assert_eq!(coin_threshold(-1.0), 0);
+        assert_eq!(coin_threshold(1.0), THRESHOLD_ALWAYS);
+        assert_eq!(coin_threshold(1.5), THRESHOLD_ALWAYS);
+    }
+
+    #[test]
+    fn thresholds_follow_probability_reassignment() {
+        let g = diamond();
+        assert!(g.validate().is_ok());
+        let wc = g
+            .map_probabilities(|_, v, _| 1.0 / g.in_degree(v).max(1) as f64)
+            .unwrap();
+        assert!(wc.validate().is_ok(), "thresholds rebuilt after remap");
+        let rev = wc.reverse();
+        assert!(rev.validate().is_ok(), "thresholds rebuilt after reverse");
+        for u in rev.vertices() {
+            assert_eq!(
+                rev.out_coin_thresholds(u).len(),
+                rev.out_degree(u),
+                "thresholds stay parallel to the adjacency"
+            );
+        }
     }
 
     fn diamond() -> DiGraph {
@@ -487,17 +607,16 @@ mod tests {
     #[test]
     fn edges_iterator_is_sorted_by_source_then_target() {
         let g = diamond();
-        let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.source.raw(), e.target.raw())).collect();
+        let edges: Vec<(u32, u32)> = g
+            .edges()
+            .map(|e| (e.source.raw(), e.target.raw()))
+            .collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
     }
 
     #[test]
     fn parallel_edges_are_merged_noisy_or() {
-        let g = DiGraph::from_edges(
-            2,
-            vec![(vid(0), vid(1), 0.5), (vid(0), vid(1), 0.5)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(2, vec![(vid(0), vid(1), 0.5), (vid(0), vid(1), 0.5)]).unwrap();
         assert_eq!(g.num_edges(), 1);
         let p = g.edge_probability(vid(0), vid(1)).unwrap();
         assert!((p - 0.75).abs() < 1e-12, "noisy-or of 0.5 and 0.5 is 0.75");

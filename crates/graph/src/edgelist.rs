@@ -237,9 +237,7 @@ mod tests {
         };
         let loaded = parse_edge_list(text, &opts).unwrap();
         assert_eq!(loaded.graph.num_edges(), 4);
-        assert!(loaded
-            .graph
-            .has_edge(VertexId::new(1), VertexId::new(0)));
+        assert!(loaded.graph.has_edge(VertexId::new(1), VertexId::new(0)));
     }
 
     #[test]
@@ -307,11 +305,7 @@ mod tests {
 
     #[test]
     fn file_roundtrip() {
-        let g = DiGraph::from_edges(
-            2,
-            vec![(VertexId::new(0), VertexId::new(1), 0.75)],
-        )
-        .unwrap();
+        let g = DiGraph::from_edges(2, vec![(VertexId::new(0), VertexId::new(1), 0.75)]).unwrap();
         let dir = std::env::temp_dir().join("imin-graph-edgelist-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("roundtrip.txt");
@@ -323,8 +317,8 @@ mod tests {
 
     #[test]
     fn missing_file_is_an_io_error() {
-        let err = load_edge_list("/nonexistent/path/file.txt", &EdgeListOptions::default())
-            .unwrap_err();
+        let err =
+            load_edge_list("/nonexistent/path/file.txt", &EdgeListOptions::default()).unwrap_err();
         assert!(matches!(err, GraphError::Io(_)));
     }
 }

@@ -27,12 +27,7 @@ fn vid(i: usize) -> VertexId {
 /// For sparse graphs (`p_edge` small) the generator uses geometric skipping,
 /// so the cost is proportional to the number of generated edges rather than
 /// `n²`.
-pub fn erdos_renyi(
-    n: usize,
-    p_edge: f64,
-    probability: f64,
-    seed: u64,
-) -> Result<DiGraph> {
+pub fn erdos_renyi(n: usize, p_edge: f64, probability: f64, seed: u64) -> Result<DiGraph> {
     if !(0.0..=1.0).contains(&p_edge) || !p_edge.is_finite() {
         return Err(GraphError::InvalidGeneratorArgument {
             message: format!("edge probability {p_edge} must be in [0, 1]"),
@@ -134,9 +129,7 @@ pub fn preferential_attachment(
 ) -> Result<DiGraph> {
     if n > 0 && edges_per_vertex >= n {
         return Err(GraphError::InvalidGeneratorArgument {
-            message: format!(
-                "edges_per_vertex ({edges_per_vertex}) must be smaller than n ({n})"
-            ),
+            message: format!("edges_per_vertex ({edges_per_vertex}) must be smaller than n ({n})"),
         });
     }
     let mut rng = StdRng::seed_from_u64(seed);
@@ -212,11 +205,16 @@ pub fn power_law_digraph(
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Sample raw power-law degrees via inverse transform on a Pareto-like
-    // distribution, then rescale to hit the requested edge budget.
+    // distribution, then rescale to hit the requested edge budget. The raw
+    // draw is truncated at `max_degree` *before* the rescale: an untruncated
+    // outlier (u near EPSILON gives degrees of ~1e12) would otherwise
+    // dominate the sum, drive the scale factor towards zero and leave the
+    // generated graph far below the requested edge budget once the outlier
+    // itself is clamped.
     let mut degrees: Vec<f64> = (0..n)
         .map(|_| {
             let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-            u.powf(-1.0 / (exponent - 1.0))
+            u.powf(-1.0 / (exponent - 1.0)).min(max_degree as f64)
         })
         .collect();
     let sum: f64 = degrees.iter().sum();
@@ -344,7 +342,7 @@ pub fn cycle(n: usize, probability: f64) -> Result<DiGraph> {
 /// (depth 0 = a single vertex). Edges point from parents to children.
 pub fn balanced_tree(arity: usize, depth: usize, probability: f64) -> Result<DiGraph> {
     if arity == 0 {
-        return Ok(DiGraph::from_edges(1, Vec::new())?);
+        return DiGraph::from_edges(1, Vec::new());
     }
     // Number of vertices: (arity^(depth+1) - 1) / (arity - 1), or depth+1 for arity 1.
     let n: usize = if arity == 1 {
@@ -478,9 +476,17 @@ mod tests {
         let g = power_law_digraph(1000, 5000, 2.3, 200, 0.1, 17).unwrap();
         assert!(g.validate().is_ok());
         let m = g.num_edges() as f64;
-        assert!(m > 2500.0 && m < 7500.0, "edge count {m} far from target 5000");
+        assert!(
+            m > 2500.0 && m < 7500.0,
+            "edge count {m} far from target 5000"
+        );
         assert!(power_law_digraph(100, 500, 0.9, 50, 0.1, 0).is_err());
-        assert_eq!(power_law_digraph(0, 0, 2.0, 10, 0.1, 0).unwrap().num_vertices(), 0);
+        assert_eq!(
+            power_law_digraph(0, 0, 2.0, 10, 0.1, 0)
+                .unwrap()
+                .num_vertices(),
+            0
+        );
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod traversal;
 pub mod vertex;
 
 pub use builder::GraphBuilder;
-pub use csr::{DiGraph, EdgeRef};
+pub use csr::{coin_threshold, DiGraph, EdgeRef, THRESHOLD_ALWAYS};
 pub use error::GraphError;
 pub use stats::GraphStats;
 pub use subgraph::{InducedSubgraph, VertexMask};

@@ -128,11 +128,7 @@ mod tests {
 
     fn star() -> DiGraph {
         // 0 -> 1..4, plus isolated vertex 5.
-        DiGraph::from_edges(
-            6,
-            (1..5).map(|i| (vid(0), vid(i), 0.5)).collect::<Vec<_>>(),
-        )
-        .unwrap()
+        DiGraph::from_edges(6, (1..5).map(|i| (vid(0), vid(i), 0.5)).collect::<Vec<_>>()).unwrap()
     }
 
     #[test]

@@ -296,10 +296,7 @@ mod tests {
         assert!(ws.was_visited(vid(6)));
         assert!(!ws.was_visited(vid(0)));
         // Third run with blocking still correct.
-        assert_eq!(
-            ws.bfs_reachable_count(&g, &[vid(0)], |v| v == vid(1)),
-            2
-        );
+        assert_eq!(ws.bfs_reachable_count(&g, &[vid(0)], |v| v == vid(1)), 2);
     }
 
     #[test]
@@ -346,11 +343,8 @@ mod tests {
     fn connectivity_check() {
         let g = sample();
         assert!(!is_connected_from(&g, vid(0)));
-        let path = DiGraph::from_edges(
-            3,
-            vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 1.0)],
-        )
-        .unwrap();
+        let path =
+            DiGraph::from_edges(3, vec![(vid(0), vid(1), 1.0), (vid(1), vid(2), 1.0)]).unwrap();
         assert!(is_connected_from(&path, vid(0)));
         assert!(!is_connected_from(&path, vid(2)));
     }

@@ -1,0 +1,281 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the criterion API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! wall-clock measurement loop instead of criterion's statistical machinery:
+//! each benchmark is warmed up once, an iteration count is calibrated to a
+//! small time budget, several samples are taken and the per-iteration mean
+//! and minimum are printed.
+//!
+//! Command-line behaviour: the first free (non-flag) argument is treated as
+//! a substring filter on benchmark ids, so `cargo bench -- dominator` runs
+//! only matching benchmarks. The `IMIN_BENCH_BUDGET_MS` environment variable
+//! overrides the per-sample time budget (default 200 ms).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point of the harness; hands out benchmark groups.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark filter from the command line (first free
+    /// argument).
+    pub fn configure_from_args(mut self) -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+        self.filter = filter;
+        self
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark (group-less).
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.filter.as_deref(), &id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (criterion's knob is
+    /// kept, mapped onto this harness's sample loop; clamped to at least 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Benchmarks a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.filter.as_deref(),
+            &full,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            self.criterion.filter.as_deref(),
+            &full,
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter, rendered as
+/// `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the measured loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it `self.iters` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("IMIN_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(200);
+    Duration::from_millis(ms.max(1))
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, samples: usize, f: &mut F) {
+    if let Some(filter) = filter {
+        if !id.contains(filter) {
+            return;
+        }
+    }
+    // Warm-up and calibration: one iteration to estimate the cost, then an
+    // iteration count that fits the per-sample budget.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+    let budget = budget();
+    let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        bencher.iters = iters;
+        f(&mut bencher);
+        means.push(bencher.elapsed.as_secs_f64() / iters as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("benchmark times are finite"));
+    let min = means[0];
+    let median = means[means.len() / 2];
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    println!(
+        "{id:<56} time: [min {} median {} mean {}]  ({iters} iters x {samples} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(mean)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Defines a function running a list of benchmark functions, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a benchmark binary, mirroring criterion's macro of the
+/// same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_respect_filter() {
+        std::env::set_var("IMIN_BENCH_BUDGET_MS", "1");
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("unit");
+            g.sample_size(3);
+            g.bench_function("touch", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box(1 + 1)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+
+        let mut filtered = Criterion {
+            filter: Some("no-such-bench".into()),
+        };
+        let mut ran_filtered = false;
+        let mut g = filtered.benchmark_group("unit");
+        g.bench_function("skipped", |b| {
+            b.iter(|| {
+                ran_filtered = true;
+            })
+        });
+        g.finish();
+        assert!(!ran_filtered, "filtered-out benchmarks must not run");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("lt", 500).to_string(), "lt/500");
+        assert_eq!(BenchmarkId::from_parameter("wc").to_string(), "wc");
+    }
+}

@@ -18,10 +18,14 @@ fn report(problem: &ImninProblem, budget: usize, config: &AlgorithmConfig, skip_
         "algorithm", "budget", "spread", "time_s"
     );
     for &algorithm in Algorithm::all() {
-        if skip_slow
-            && matches!(algorithm, Algorithm::BaselineGreedy | Algorithm::Exact)
-        {
-            println!("{:<16} {:>8} {:>12} {:>10}", algorithm.label(), budget, "skipped", "-");
+        if skip_slow && matches!(algorithm, Algorithm::BaselineGreedy | Algorithm::Exact) {
+            println!(
+                "{:<16} {:>8} {:>12} {:>10}",
+                algorithm.label(),
+                budget,
+                "skipped",
+                "-"
+            );
             continue;
         }
         match problem.solve(algorithm, budget, config) {
@@ -50,7 +54,9 @@ fn report(problem: &ImninProblem, budget: usize, config: &AlgorithmConfig, skip_
 }
 
 fn main() {
-    let config = AlgorithmConfig::default().with_theta(1_000).with_mcs_rounds(1_000);
+    let config = AlgorithmConfig::default()
+        .with_theta(1_000)
+        .with_mcs_rounds(1_000);
 
     println!("== Toy graph of Figure 1 (seed v1, budget 2) ==");
     let (toy, toy_seed) = figure1_graph();
@@ -59,12 +65,16 @@ fn main() {
 
     println!("== Random scale-free network (5 000 vertices, budget 20) ==");
     let topology =
-        generators::preferential_attachment(5_000, 3, false, 1.0, 77).expect("generation");
+        generators::preferential_attachment(5_000, 3, true, 1.0, 77).expect("generation");
     let graph = ProbabilityModel::WeightedCascade
         .apply(&topology)
         .expect("probability model");
+    // Seed the misinformation at the two most-followed accounts; the earliest
+    // vertices never attach to anyone, so their cascades would die instantly.
+    let mut by_out_degree: Vec<VertexId> = graph.vertices().collect();
+    by_out_degree.sort_by_key(|&v| std::cmp::Reverse(graph.out_degree(v)));
     let problem =
-        ImninProblem::new(&graph, vec![VertexId::new(0), VertexId::new(1)]).expect("problem");
+        ImninProblem::new(&graph, vec![by_out_degree[0], by_out_degree[1]]).expect("problem");
     // BaselineGreedy and Exact are quadratic/exponential here — skip them,
     // exactly the situation Figures 7 and 8 of the paper illustrate.
     report(&problem, 20, &config, true);

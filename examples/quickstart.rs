@@ -12,8 +12,8 @@ use imin_graph::{generators, VertexId};
 
 fn main() {
     // 1. A synthetic social network: 2 000 users, heavy-tailed connectivity.
-    let topology = generators::preferential_attachment(2_000, 4, true, 1.0, 42)
-        .expect("graph generation");
+    let topology =
+        generators::preferential_attachment(2_000, 4, true, 1.0, 42).expect("graph generation");
     println!(
         "network: {} users, {} follow edges",
         topology.num_vertices(),
@@ -37,7 +37,9 @@ fn main() {
     println!("expected spread with no intervention: {baseline:.1} users");
 
     // 5. Pick 15 accounts to block with GreedyReplace (Algorithm 4).
-    let config = AlgorithmConfig::default().with_theta(2_000).with_mcs_rounds(5_000);
+    let config = AlgorithmConfig::default()
+        .with_theta(2_000)
+        .with_mcs_rounds(5_000);
     let selection = problem
         .solve(Algorithm::GreedyReplace, 15, &config)
         .expect("blocker selection");

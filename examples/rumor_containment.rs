@@ -27,7 +27,11 @@ fn main() {
         .expect("dataset");
     println!(
         "dataset: email-core ({} data), {} vertices, {} edges",
-        if real { "real SNAP" } else { "synthetic stand-in" },
+        if real {
+            "real SNAP"
+        } else {
+            "synthetic stand-in"
+        },
         topology.num_vertices(),
         topology.num_edges()
     );
@@ -45,7 +49,9 @@ fn main() {
         }
     }
     let problem = ImninProblem::new(&graph, seeds).expect("problem");
-    let config = AlgorithmConfig::default().with_theta(2_000).with_mcs_rounds(2_000);
+    let config = AlgorithmConfig::default()
+        .with_theta(2_000)
+        .with_mcs_rounds(2_000);
 
     let do_nothing = problem.evaluate_spread(&[], 5_000, 1).expect("evaluation");
     println!("\nexpected spread with no intervention: {do_nothing:.2}\n");

@@ -12,21 +12,17 @@ use imin_diffusion::triggering::{IcTriggering, LtTriggering, TriggeringModel};
 use imin_diffusion::ProbabilityModel;
 use imin_graph::{generators, DiGraph, VertexId};
 
-fn contain<M: TriggeringModel + Clone>(
-    model: &M,
-    graph: &DiGraph,
-    seed: VertexId,
-    budget: usize,
-) {
+fn contain<M: TriggeringModel + Clone>(model: &M, graph: &DiGraph, seed: VertexId, budget: usize) {
     let config = AlgorithmConfig::default().with_theta(1_500);
-    let forbidden: Vec<bool> = (0..graph.num_vertices()).map(|i| i == seed.index()).collect();
+    let forbidden: Vec<bool> = (0..graph.num_vertices())
+        .map(|i| i == seed.index())
+        .collect();
     let before = evaluate_triggering_spread(model, graph, &[seed], &[], 5_000, 11)
         .expect("spread evaluation");
     let selection = greedy_replace_triggering(model, graph, seed, &forbidden, budget, &config)
         .expect("GreedyReplace under triggering model");
-    let after =
-        evaluate_triggering_spread(model, graph, &[seed], &selection.blockers, 5_000, 11)
-            .expect("spread evaluation");
+    let after = evaluate_triggering_spread(model, graph, &[seed], &selection.blockers, 5_000, 11)
+        .expect("spread evaluation");
     println!(
         "{:<4} budget {:>3}: spread {:.2} -> {:.2} ({} blockers, {:.3}s)",
         model.label(),
@@ -42,12 +38,16 @@ fn main() {
     // A scale-free network with weighted-cascade edge weights: under LT the
     // weights of the in-edges of a vertex then sum to exactly 1, the
     // textbook linear-threshold configuration.
-    let topology =
-        generators::preferential_attachment(3_000, 3, false, 1.0, 5).expect("generation");
+    let topology = generators::preferential_attachment(3_000, 3, true, 1.0, 5).expect("generation");
     let graph = ProbabilityModel::WeightedCascade
         .apply(&topology)
         .expect("probability model");
-    let seed = VertexId::new(0);
+    // Seed the misinformation at the most-followed account: vertex 0 never
+    // attaches to anyone, so its cascade would die immediately.
+    let seed = graph
+        .vertices()
+        .max_by_key(|&v| graph.out_degree(v))
+        .expect("nonempty graph");
     println!(
         "network: {} vertices, {} edges; misinformation seed {}",
         graph.num_vertices(),

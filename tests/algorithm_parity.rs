@@ -14,7 +14,9 @@ use imin_diffusion::ProbabilityModel;
 use imin_graph::{generators, VertexId};
 
 fn cfg() -> AlgorithmConfig {
-    AlgorithmConfig::fast_for_tests().with_theta(1_500).with_mcs_rounds(1_500)
+    AlgorithmConfig::fast_for_tests()
+        .with_theta(1_500)
+        .with_mcs_rounds(1_500)
 }
 
 #[test]
@@ -25,8 +27,12 @@ fn advanced_greedy_matches_baseline_greedy_quality() {
     let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
     let problem = ImninProblem::new(&graph, vec![VertexId::new(0)]).unwrap();
     for budget in [1usize, 3] {
-        let bg = problem.solve(Algorithm::BaselineGreedy, budget, &cfg()).unwrap();
-        let ag = problem.solve(Algorithm::AdvancedGreedy, budget, &cfg()).unwrap();
+        let bg = problem
+            .solve(Algorithm::BaselineGreedy, budget, &cfg())
+            .unwrap();
+        let ag = problem
+            .solve(Algorithm::AdvancedGreedy, budget, &cfg())
+            .unwrap();
         let bg_spread = problem.evaluate_spread(&bg.blockers, 20_000, 1).unwrap();
         let ag_spread = problem.evaluate_spread(&ag.blockers, 20_000, 1).unwrap();
         assert!(
@@ -39,11 +45,17 @@ fn advanced_greedy_matches_baseline_greedy_quality() {
 #[test]
 fn greedy_replace_is_at_least_as_good_as_out_neighbors() {
     let topology = generators::preferential_attachment(300, 3, false, 1.0, 29).unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 4 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 4 }
+        .apply(&topology)
+        .unwrap();
     let problem = ImninProblem::new(&graph, vec![VertexId::new(2)]).unwrap();
     for budget in [2usize, 5, 10] {
-        let on = problem.solve(Algorithm::OutNeighbors, budget, &cfg()).unwrap();
-        let gr = problem.solve(Algorithm::GreedyReplace, budget, &cfg()).unwrap();
+        let on = problem
+            .solve(Algorithm::OutNeighbors, budget, &cfg())
+            .unwrap();
+        let gr = problem
+            .solve(Algorithm::GreedyReplace, budget, &cfg())
+            .unwrap();
         let on_spread = problem.evaluate_spread(&on.blockers, 20_000, 2).unwrap();
         let gr_spread = problem.evaluate_spread(&gr.blockers, 20_000, 2).unwrap();
         assert!(
@@ -71,7 +83,9 @@ fn greedy_replace_matches_exact_on_an_extract() {
     let problem = ImninProblem::new(sub, vec![seed]).unwrap();
     for budget in [1usize, 2] {
         let exact = problem.solve(Algorithm::Exact, budget, &cfg()).unwrap();
-        let gr = problem.solve(Algorithm::GreedyReplace, budget, &cfg()).unwrap();
+        let gr = problem
+            .solve(Algorithm::GreedyReplace, budget, &cfg())
+            .unwrap();
         let exact_spread = problem.evaluate_spread(&exact.blockers, 30_000, 3).unwrap();
         let gr_spread = problem.evaluate_spread(&gr.blockers, 30_000, 3).unwrap();
         assert!(
@@ -108,7 +122,9 @@ fn large_budget_reaches_the_seed_only_plateau() {
     // entire out-neighbourhood and the spread collapses to |S| — the plateau
     // visible in Table VII (spread 10 for the 10-seed runs).
     let topology = generators::preferential_attachment(200, 2, false, 1.0, 17).unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 9 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 9 }
+        .apply(&topology)
+        .unwrap();
     let seed = VertexId::new(0);
     let out_degree = graph.out_degree(seed);
     let problem = ImninProblem::new(&graph, vec![seed]).unwrap();

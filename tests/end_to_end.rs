@@ -26,19 +26,25 @@ fn full_pipeline_on_emailcore_standin_tr_model() {
     let (topology, _) = Dataset::EmailCore
         .load_or_generate(DatasetScale::Tiny)
         .unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 7 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 7 }
+        .apply(&topology)
+        .unwrap();
     let stats = GraphStats::compute(&graph);
     assert!(stats.num_edges > 0);
     assert!(stats.max_probability <= 0.1 + 1e-12);
 
     let seeds = draw_seeds(&graph, 5, 3);
     let problem = ImninProblem::new(&graph, seeds.clone()).unwrap();
-    let config = AlgorithmConfig::fast_for_tests().with_theta(500).with_mcs_rounds(500);
+    let config = AlgorithmConfig::fast_for_tests()
+        .with_theta(500)
+        .with_mcs_rounds(500);
 
     let unblocked = problem.evaluate_spread(&[], 2_000, 1).unwrap();
     assert!(unblocked >= seeds.len() as f64 - 1e-9);
 
-    let gr = problem.solve(Algorithm::GreedyReplace, 10, &config).unwrap();
+    let gr = problem
+        .solve(Algorithm::GreedyReplace, 10, &config)
+        .unwrap();
     assert!(gr.len() <= 10);
     let blocked = problem.evaluate_spread(&gr.blockers, 2_000, 1).unwrap();
     assert!(
@@ -47,7 +53,12 @@ fn full_pipeline_on_emailcore_standin_tr_model() {
     );
     // The algorithm's own estimate agrees with independent evaluation.
     if let Some(estimate) = gr.estimated_spread {
-        assert_close(estimate, blocked, 1.0 + 0.05 * unblocked, "GR estimate vs evaluation");
+        assert_close(
+            estimate,
+            blocked,
+            1.0 + 0.05 * unblocked,
+            "GR estimate vs evaluation",
+        );
     }
 }
 
@@ -62,7 +73,9 @@ fn wc_model_pipeline_and_algorithm_ordering() {
     let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
     let seeds = draw_seeds(&graph, 3, 11);
     let problem = ImninProblem::new(&graph, seeds).unwrap();
-    let config = AlgorithmConfig::fast_for_tests().with_theta(800).with_mcs_rounds(800);
+    let config = AlgorithmConfig::fast_for_tests()
+        .with_theta(800)
+        .with_mcs_rounds(800);
     let budget = 15;
 
     let eval = |alg: Algorithm| {
@@ -76,8 +89,14 @@ fn wc_model_pipeline_and_algorithm_ordering() {
 
     assert!(ag <= nothing && gr <= nothing && od <= nothing + 1e-9);
     // Greedy approaches beat the degree heuristic (allowing sampling noise).
-    assert!(ag <= od + 0.5, "AG {ag} should not be much worse than OD {od}");
-    assert!(gr <= ag + 0.5, "GR {gr} should not be much worse than AG {ag}");
+    assert!(
+        ag <= od + 0.5,
+        "AG {ag} should not be much worse than OD {od}"
+    );
+    assert!(
+        gr <= ag + 0.5,
+        "GR {gr} should not be much worse than AG {ag}"
+    );
 }
 
 #[test]
@@ -85,7 +104,9 @@ fn multi_seed_merge_preserves_spread_on_real_standin() {
     let (topology, _) = Dataset::Facebook
         .load_or_generate(DatasetScale::Tiny)
         .unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 5 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 5 }
+        .apply(&topology)
+        .unwrap();
     let seeds = draw_seeds(&graph, 8, 21);
     let problem = ImninProblem::new(&graph, seeds.clone()).unwrap();
 
@@ -116,7 +137,9 @@ fn blockers_never_include_seeds_or_out_of_range_vertices() {
     let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
     let seeds = draw_seeds(&graph, 4, 77);
     let problem = ImninProblem::new(&graph, seeds.clone()).unwrap();
-    let config = AlgorithmConfig::fast_for_tests().with_theta(300).with_mcs_rounds(300);
+    let config = AlgorithmConfig::fast_for_tests()
+        .with_theta(300)
+        .with_mcs_rounds(300);
     for &alg in &[
         Algorithm::Random,
         Algorithm::OutDegree,
@@ -141,7 +164,9 @@ fn edge_list_roundtrip_preserves_algorithm_behaviour() {
     let (topology, _) = Dataset::EmailCore
         .load_or_generate(DatasetScale::Tiny)
         .unwrap();
-    let graph = ProbabilityModel::Trivalency { seed: 1 }.apply(&topology).unwrap();
+    let graph = ProbabilityModel::Trivalency { seed: 1 }
+        .apply(&topology)
+        .unwrap();
     let mut buffer = Vec::new();
     imin_graph::edgelist::write_edge_list(&graph, &mut buffer).unwrap();
     let text = String::from_utf8(buffer).unwrap();

@@ -66,13 +66,17 @@ fn table3_greedy_and_outneighbors_and_gr() {
     let config = AlgorithmConfig::fast_for_tests().with_theta(4_000);
 
     // Greedy (AG) with b = 1 blocks v5 → spread 3.
-    let ag1 = problem.solve(Algorithm::AdvancedGreedy, 1, &config).unwrap();
+    let ag1 = problem
+        .solve(Algorithm::AdvancedGreedy, 1, &config)
+        .unwrap();
     assert_eq!(ag1.blockers, vec![V(5)]);
     let ag1_spread = problem.evaluate_spread_exact(&ag1.blockers, 20).unwrap();
     assert!((ag1_spread - 3.0).abs() < 1e-9);
 
     // Greedy with b = 2 reaches spread 2 (v5 plus v2 or v4).
-    let ag2 = problem.solve(Algorithm::AdvancedGreedy, 2, &config).unwrap();
+    let ag2 = problem
+        .solve(Algorithm::AdvancedGreedy, 2, &config)
+        .unwrap();
     let ag2_spread = problem.evaluate_spread_exact(&ag2.blockers, 20).unwrap();
     assert!((ag2_spread - 2.0).abs() < 1e-9);
 
