@@ -10,11 +10,41 @@
 //! Baseline").
 
 use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
+use crate::pool::{pooled_advanced_greedy_in, PoolWorkspace, SamplePool};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
+
+/// Runs AdvancedGreedy against a **borrowed resident sample pool** instead
+/// of self-sampling: every round re-roots the pool's θ realisations at the
+/// (multi-)seed set, so per-call work is BFS + dominator trees only and the
+/// pool amortises across unbounded calls. Results are bit-identical at any
+/// `threads` value (see [`crate::pool`]).
+///
+/// The self-sampling [`advanced_greedy`] / [`advanced_greedy_with`] below
+/// keep their historical per-round-redraw behaviour for one-shot callers.
+///
+/// # Errors
+/// Returns an error on a zero budget, an invalid seed set, or a
+/// wrong-length forbidden mask.
+pub fn advanced_greedy_with_pool(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    threads: usize,
+) -> Result<BlockerSelection> {
+    pooled_advanced_greedy_in(
+        pool,
+        seeds,
+        forbidden,
+        budget,
+        threads,
+        &mut PoolWorkspace::new(),
+    )
+}
 
 /// Runs AdvancedGreedy with the standard IC live-edge sampler.
 pub fn advanced_greedy(
@@ -141,6 +171,16 @@ mod tests {
         assert!((sel.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
         assert_eq!(sel.stats.rounds, 2);
         assert_eq!(sel.stats.samples_drawn, 2 * 400);
+    }
+
+    #[test]
+    fn pool_backed_entry_point_agrees_on_deterministic_graphs() {
+        let g = hub_graph();
+        let pool = SamplePool::build(&g, 64, 9).unwrap();
+        let pooled = advanced_greedy_with_pool(&pool, &[vid(0)], &[false; 6], 2, 1).unwrap();
+        let classic = advanced_greedy(&g, vid(0), &[false; 6], 2, &config()).unwrap();
+        assert_eq!(pooled.blockers, classic.blockers);
+        assert!((pooled.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

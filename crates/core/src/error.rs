@@ -28,6 +28,18 @@ pub enum IminError {
         /// Explanation of why it cannot be blocked.
         reason: &'static str,
     },
+    /// A resident sample pool was paired with a graph of a different shape
+    /// (pools are only valid against the graph they were built from).
+    PoolGraphMismatch {
+        /// Vertex count of the supplied graph.
+        graph_vertices: usize,
+        /// Edge count of the supplied graph.
+        graph_edges: usize,
+        /// Vertex count of the graph the pool was built from.
+        pool_vertices: usize,
+        /// Edge count of the graph the pool was built from.
+        pool_edges: usize,
+    },
     /// The exhaustive exact search was asked to enumerate more combinations
     /// than its configured limit.
     SearchSpaceTooLarge {
@@ -62,6 +74,17 @@ impl fmt::Display for IminError {
             IminError::InvalidBlocker { vertex, reason } => {
                 write!(f, "vertex {vertex} cannot be blocked: {reason}")
             }
+            IminError::PoolGraphMismatch {
+                graph_vertices,
+                graph_edges,
+                pool_vertices,
+                pool_edges,
+            } => write!(
+                f,
+                "the sample pool was built from a graph with {pool_vertices} vertices / \
+                 {pool_edges} edges but was queried with a graph of {graph_vertices} vertices / \
+                 {graph_edges} edges"
+            ),
             IminError::SearchSpaceTooLarge {
                 candidates,
                 budget,
@@ -123,6 +146,13 @@ mod tests {
             limit: 1_000_000,
         };
         assert!(e.to_string().contains("exceeds"));
+        let e = IminError::PoolGraphMismatch {
+            graph_vertices: 5,
+            graph_edges: 7,
+            pool_vertices: 9,
+            pool_edges: 11,
+        };
+        assert!(e.to_string().contains("pool"));
     }
 
     #[test]

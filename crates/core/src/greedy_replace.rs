@@ -21,11 +21,43 @@
 //! Table VII).
 
 use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
+use crate::pool::{pooled_greedy_replace_in, PoolWorkspace, SamplePool};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
+
+/// Runs GreedyReplace against a **borrowed resident sample pool** instead
+/// of self-sampling: the out-neighbour, fill and replacement phases all
+/// price candidates by re-rooting the same θ realisations. The graph is
+/// still needed to enumerate the seeds' out-neighbours for phase 1.
+/// Results are bit-identical at any `threads` value (see [`crate::pool`]).
+///
+/// The self-sampling [`greedy_replace`] / [`greedy_replace_with`] below
+/// keep their historical per-round-redraw behaviour for one-shot callers.
+///
+/// # Errors
+/// Returns an error on a zero budget, an invalid seed set, or a
+/// wrong-length forbidden mask.
+pub fn greedy_replace_with_pool(
+    pool: &SamplePool,
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    threads: usize,
+) -> Result<BlockerSelection> {
+    pooled_greedy_replace_in(
+        pool,
+        graph,
+        seeds,
+        forbidden,
+        budget,
+        threads,
+        &mut PoolWorkspace::new(),
+    )
+}
 
 /// Options specific to GreedyReplace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -226,6 +258,16 @@ mod tests {
         );
         // Spread left: seed + its two out-neighbours.
         assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_backed_entry_point_agrees_on_the_funnel() {
+        let g = funnel_graph();
+        let pool = SamplePool::build(&g, 64, 9).unwrap();
+        let pooled = greedy_replace_with_pool(&pool, &g, &[vid(0)], &[false; 9], 1, 1).unwrap();
+        let classic = greedy_replace(&g, vid(0), &[false; 9], 1, &config()).unwrap();
+        assert_eq!(pooled.blockers, classic.blockers);
+        assert_eq!(pooled.blockers, vec![vid(3)]);
     }
 
     #[test]

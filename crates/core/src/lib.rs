@@ -48,6 +48,7 @@ pub mod error;
 pub mod exact_blocker;
 pub mod greedy_replace;
 pub mod heuristics;
+pub mod pool;
 pub mod problem;
 pub mod sampler;
 pub mod seed_merge;
@@ -55,6 +56,7 @@ pub mod triggering;
 pub mod types;
 
 pub use error::IminError;
+pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};
 pub use types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 

@@ -1,0 +1,970 @@
+//! Resident live-edge sample pools — the query-independent half of
+//! Algorithm 2, factored out so one pool can serve unbounded queries.
+//!
+//! The θ sampled graphs of `DecreaseESComputation` depend only on the graph
+//! and the diffusion model (Definition 4), **not** on the seed set, the
+//! blocked set or the budget. The classic entry points nevertheless redraw
+//! the pool for every greedy round of every question, because their rooted
+//! sampler interleaves the coin flips with the seed-outward BFS. This module
+//! splits the two halves:
+//!
+//! * [`SamplePool::build`] materialises θ full-graph live-edge realisations
+//!   once. Sample `i` is drawn from its own RNG stream keyed by
+//!   [`imin_diffusion::live_edge::indexed_sample_seed`]`(pool_seed, i)`, so
+//!   the pool is **bit-identical** no matter how many worker threads build
+//!   it (indices are sharded across threads, but each sample's stream is
+//!   self-contained).
+//! * [`pooled_decrease_in`] answers the per-query half: a multi-source BFS
+//!   from the (unmerged) seed set over each stored realisation, skipping
+//!   blocked vertices, feeds the same Lengauer–Tarjan workspace the classic
+//!   path uses. A virtual root above the seeds plays the role of the
+//!   unified seed of §V without materialising a merged graph per query.
+//! * [`pooled_advanced_greedy_in`] / [`pooled_greedy_replace_in`] are
+//!   Algorithms 3 and 4 on top of a borrowed pool: per-query work is only
+//!   re-rooting + dominator trees, which is what makes a resident engine
+//!   answer follow-up queries orders of magnitude faster than a cold run.
+//!
+//! ## Determinism across thread counts
+//!
+//! The classic estimator derives one RNG stream per worker thread, so its
+//! output depends (statistically, not just bit-wise) on the thread count.
+//! The pooled path is stronger: samples are fixed per index, and per-sample
+//! subtree sizes are accumulated into **`u64`** sums, whose addition is
+//! associative and commutative — any sharding of samples across threads
+//! produces the same integers, hence byte-identical blocker selections at
+//! every thread count. (The classic path keeps `f64` accumulators to remain
+//! bit-compatible with its parity references.)
+
+use crate::decrease::DecreaseEstimate;
+use crate::types::{BlockerSelection, SelectionStats};
+use crate::{IminError, Result};
+use imin_diffusion::live_edge::indexed_sample_seed;
+use imin_domtree::DomTreeWorkspace;
+use imin_graph::{DiGraph, VertexId, THRESHOLD_ALWAYS};
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::Range;
+use std::time::Instant;
+
+const UNMAPPED: u32 = u32::MAX;
+/// Sentinel stored at local id 0 of a re-rooted cascade: the virtual root
+/// standing in for the unified seed of §V.
+const VIRTUAL_ROOT: u32 = u32::MAX;
+
+/// One live-edge realisation of the whole graph in CSR form: the surviving
+/// out-edges of vertex `u` are `targets[offsets[u] .. offsets[u + 1]]`.
+#[derive(Clone, Debug, Default)]
+struct SampleAdjacency {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl SampleAdjacency {
+    #[inline]
+    fn neighbors(&self, u: u32) -> &[u32] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Draws realisation `sample_idx` of the pool `(pool_seed, θ)` into this
+    /// buffer. Coin semantics are identical to the rooted IC sampler:
+    /// deterministic edges (threshold 0 / [`THRESHOLD_ALWAYS`]) never touch
+    /// the RNG, every probabilistic edge costs one `u64` compare.
+    fn fill(&mut self, graph: &DiGraph, pool_seed: u64, sample_idx: u64) {
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(indexed_sample_seed(pool_seed, sample_idx));
+        self.offsets.clear();
+        self.offsets.reserve(n + 1);
+        self.offsets.push(0);
+        self.targets.clear();
+        for u in graph.vertices() {
+            let targets = graph.out_neighbors(u);
+            let thresholds = graph.out_coin_thresholds(u);
+            for (&t, &threshold) in targets.iter().zip(thresholds) {
+                let live = threshold == THRESHOLD_ALWAYS
+                    || (threshold != 0 && (rng.next_u64() >> 11) < threshold);
+                if live {
+                    self.targets.push(t);
+                }
+            }
+            self.offsets.push(self.targets.len() as u32);
+        }
+    }
+}
+
+/// A resident pool of θ live-edge realisations of one graph.
+///
+/// Build it once per `(graph, θ, seed)` and answer any number of
+/// `(seeds, blocked, budget)` questions against it; the pool never changes
+/// after construction, so it can be shared immutably across query workers.
+#[derive(Clone, Debug)]
+pub struct SamplePool {
+    num_vertices: usize,
+    num_graph_edges: usize,
+    pool_seed: u64,
+    samples: Vec<SampleAdjacency>,
+}
+
+/// Splits `0..total` into at most `workers` contiguous near-equal ranges
+/// (the first `total % workers` ranges get one extra item). The pool build,
+/// the pooled estimator and the engine's batch fan-out all shard through
+/// this one helper, so their work distribution can never drift apart.
+pub fn shard_ranges(total: usize, workers: usize) -> impl Iterator<Item = Range<usize>> {
+    let workers = workers.clamp(1, total.max(1));
+    let base = total / workers;
+    let extra = total % workers;
+    let mut start = 0usize;
+    (0..workers).map(move |t| {
+        let len = base + usize::from(t < extra);
+        let range = start..start + len;
+        start += len;
+        range
+    })
+}
+
+impl SamplePool {
+    /// Materialises θ live-edge realisations of `graph` using the default
+    /// worker-thread count.
+    ///
+    /// # Errors
+    /// Returns [`IminError::ZeroSamples`] if `theta` is zero.
+    pub fn build(graph: &DiGraph, theta: usize, seed: u64) -> Result<Self> {
+        Self::build_with_threads(
+            graph,
+            theta,
+            seed,
+            imin_diffusion::montecarlo::default_threads(),
+        )
+    }
+
+    /// Materialises the pool with an explicit worker-thread count.
+    ///
+    /// Sample indices are sharded across threads in contiguous ranges, but
+    /// every sample draws from its own [`indexed_sample_seed`] stream, so
+    /// the result is bit-identical for every `threads` value.
+    ///
+    /// # Errors
+    /// Returns [`IminError::ZeroSamples`] if `theta` is zero.
+    pub fn build_with_threads(
+        graph: &DiGraph,
+        theta: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self> {
+        if theta == 0 {
+            return Err(IminError::ZeroSamples);
+        }
+        let mut samples = vec![SampleAdjacency::default(); theta];
+        let threads = threads.max(1).min(theta);
+        if threads <= 1 {
+            for (i, sample) in samples.iter_mut().enumerate() {
+                sample.fill(graph, seed, i as u64);
+            }
+        } else {
+            crossbeam::scope(|scope| {
+                let mut rest: &mut [SampleAdjacency] = &mut samples;
+                for range in shard_ranges(theta, threads) {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let chunk_start = range.start;
+                    scope.spawn(move |_| {
+                        for (i, sample) in chunk.iter_mut().enumerate() {
+                            sample.fill(graph, seed, (chunk_start + i) as u64);
+                        }
+                    });
+                }
+            })
+            .expect("sample-pool build worker panicked");
+        }
+        Ok(SamplePool {
+            num_vertices: graph.num_vertices(),
+            num_graph_edges: graph.num_edges(),
+            pool_seed: seed,
+            samples,
+        })
+    }
+
+    /// Number of realisations θ held by the pool.
+    pub fn theta(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The base seed the pool was built from.
+    pub fn pool_seed(&self) -> u64 {
+        self.pool_seed
+    }
+
+    /// Number of vertices of the graph the pool was drawn from.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Total number of live edges stored across all realisations.
+    pub fn total_live_edges(&self) -> usize {
+        self.samples.iter().map(|s| s.targets.len()).sum()
+    }
+
+    /// Approximate heap memory held by the pool, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.samples
+            .iter()
+            .map(|s| (s.offsets.capacity() + s.targets.capacity()) * std::mem::size_of::<u32>())
+            .sum()
+    }
+
+    /// CSR view `(offsets, targets)` of realisation `idx`, for tests and
+    /// parity checks against the nested-vector reference sampler.
+    ///
+    /// # Panics
+    /// Panics if `idx >= theta`.
+    pub fn sample_csr(&self, idx: usize) -> (&[u32], &[u32]) {
+        let s = &self.samples[idx];
+        (&s.offsets, &s.targets)
+    }
+}
+
+/// A cascade re-rooted at a query's seed set inside one stored realisation:
+/// local vertex 0 is a virtual root with one edge per seed, and the reached
+/// region is renumbered densely exactly like a rooted `CompactSample`.
+#[derive(Clone, Debug, Default)]
+struct RootedCascade {
+    /// Global id per local vertex; `vertices[0]` is [`VIRTUAL_ROOT`].
+    vertices: Vec<u32>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    local_of: Vec<u32>,
+}
+
+impl RootedCascade {
+    fn reset(&mut self, n: usize) {
+        // Skip the sentinel at local 0 — it has no global id to unmap.
+        for &v in self.vertices.iter().skip(1) {
+            self.local_of[v as usize] = UNMAPPED;
+        }
+        if self.local_of.len() < n {
+            self.local_of.resize(n, UNMAPPED);
+        }
+        self.vertices.clear();
+        self.vertices.push(VIRTUAL_ROOT);
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+    }
+
+    fn intern(&mut self, global: u32) -> u32 {
+        let slot = self.local_of[global as usize];
+        if slot != UNMAPPED {
+            return slot;
+        }
+        let local = self.vertices.len() as u32;
+        self.local_of[global as usize] = local;
+        self.vertices.push(global);
+        local
+    }
+}
+
+/// Per-worker scratch for the pooled estimator: the re-rooted cascade
+/// buffers, the dominator-tree workspace and the integer accumulators.
+#[derive(Clone, Debug, Default)]
+struct PoolWorkerScratch {
+    cascade: RootedCascade,
+    domtree: DomTreeWorkspace,
+    sizes: Vec<u64>,
+    /// Integer subtree-size sums per global vertex. `u64` addition is
+    /// associative, so merging per-worker sums is order- and
+    /// thread-count-independent — the determinism contract of the pool.
+    delta_sum: Vec<u64>,
+    reached_sum: u64,
+}
+
+impl PoolWorkerScratch {
+    /// Re-roots every realisation in `range` at the seed set and
+    /// accumulates subtree sizes into `self.delta_sum`.
+    fn accumulate(
+        &mut self,
+        pool: &SamplePool,
+        seeds: &[u32],
+        is_seed: &[bool],
+        blocked: &[bool],
+        range: Range<usize>,
+    ) {
+        let n = pool.num_vertices;
+        let PoolWorkerScratch {
+            cascade,
+            domtree,
+            sizes,
+            delta_sum,
+            reached_sum,
+        } = self;
+        delta_sum.clear();
+        delta_sum.resize(n, 0);
+        *reached_sum = 0;
+        let only_seeds = 1 + seeds.len();
+        for idx in range {
+            let sample = &pool.samples[idx];
+            cascade.reset(n);
+            // Virtual root → every seed (the unified-seed edges of §V, all
+            // with probability 1, so no coins are involved).
+            for &s in seeds {
+                let local = cascade.intern(s);
+                cascade.targets.push(local);
+            }
+            cascade.offsets.push(cascade.targets.len() as u32);
+            // Multi-source BFS over the stored live edges; only blocked
+            // vertices are filtered — the coins were flipped at build time.
+            let mut head = 1usize;
+            while head < cascade.vertices.len() {
+                let u_global = cascade.vertices[head];
+                head += 1;
+                for &t in sample.neighbors(u_global) {
+                    if blocked[t as usize] {
+                        continue;
+                    }
+                    let t_local = cascade.intern(t);
+                    cascade.targets.push(t_local);
+                }
+                cascade.offsets.push(cascade.targets.len() as u32);
+            }
+            let reached = cascade.vertices.len();
+            // The virtual root is bookkeeping, not spread.
+            *reached_sum += (reached - 1) as u64;
+            if reached <= only_seeds {
+                // Nothing beyond the seeds was reached: no candidate can
+                // earn credit from this realisation.
+                continue;
+            }
+            let tree = domtree.compute_csr(
+                reached,
+                &cascade.offsets,
+                &cascade.targets,
+                VertexId::new(0),
+            );
+            tree.subtree_sizes_into(sizes);
+            for (&global, &size) in cascade.vertices[1..reached].iter().zip(&sizes[1..reached]) {
+                if is_seed[global as usize] {
+                    continue;
+                }
+                delta_sum[global as usize] += size;
+            }
+        }
+    }
+}
+
+/// Reusable state for the pooled estimator and the pooled greedy loops: one
+/// scratch set per worker thread plus the canonicalised-seed buffers, kept
+/// alive across rounds and across queries.
+#[derive(Clone, Debug, Default)]
+pub struct PoolWorkspace {
+    workers: Vec<PoolWorkerScratch>,
+    seeds: Vec<u32>,
+    is_seed: Vec<bool>,
+}
+
+impl PoolWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonicalises (sorts, dedups, validates) the query seed set into the
+    /// workspace buffers.
+    fn stage_seeds(&mut self, n: usize, seeds: &[VertexId], blocked: &[bool]) -> Result<()> {
+        if seeds.is_empty() {
+            return Err(IminError::EmptySeedSet);
+        }
+        // A previous query may have staged seeds for a different (larger)
+        // graph; clear only the slots that still exist.
+        for &v in &self.seeds {
+            if let Some(slot) = self.is_seed.get_mut(v as usize) {
+                *slot = false;
+            }
+        }
+        self.is_seed.resize(n, false);
+        self.seeds.clear();
+        for &s in seeds {
+            if s.index() >= n {
+                return Err(IminError::SeedOutOfRange {
+                    vertex: s.index(),
+                    num_vertices: n,
+                });
+            }
+            if blocked[s.index()] {
+                return Err(IminError::Diffusion(
+                    imin_diffusion::DiffusionError::BlockedSeed { vertex: s.index() },
+                ));
+            }
+            self.seeds.push(s.raw());
+        }
+        self.seeds.sort_unstable();
+        self.seeds.dedup();
+        for &s in &self.seeds {
+            self.is_seed[s as usize] = true;
+        }
+        Ok(())
+    }
+}
+
+/// Algorithm 2 against a resident pool: estimates the spread decrease of
+/// every candidate blocker for a (multi-)seed query by re-rooting the θ
+/// stored realisations, without drawing a single new sample.
+///
+/// `estimate.delta[u]` is 0 for seeds, blocked vertices and unreachable
+/// vertices; `estimate.average_reached` counts every reached seed (it is
+/// directly comparable to the original-graph spread of `ImninProblem`).
+///
+/// Results are bit-identical for every `threads` value — see the module
+/// docs for why.
+///
+/// # Errors
+/// Returns an error if the seed set is empty, out of range or blocked, or
+/// the blocked mask has the wrong length.
+pub fn pooled_decrease_in(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    blocked: &[bool],
+    threads: usize,
+    workspace: &mut PoolWorkspace,
+) -> Result<DecreaseEstimate> {
+    let n = pool.num_vertices();
+    if blocked.len() != n {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: blocked.len(),
+                num_vertices: n,
+            },
+        ));
+    }
+    workspace.stage_seeds(n, seeds, blocked)?;
+    let theta = pool.theta();
+    let threads = threads.max(1).min(theta);
+    let PoolWorkspace {
+        workers,
+        seeds: staged,
+        is_seed,
+    } = workspace;
+    if workers.len() < threads {
+        workers.resize_with(threads, PoolWorkerScratch::default);
+    }
+    let workers = &mut workers[..threads];
+    if threads <= 1 {
+        workers[0].accumulate(pool, staged, is_seed, blocked, 0..theta);
+    } else {
+        crossbeam::scope(|scope| {
+            for (worker, range) in workers.iter_mut().zip(shard_ranges(theta, threads)) {
+                let (staged, is_seed) = (&*staged, &*is_seed);
+                scope.spawn(move |_| worker.accumulate(pool, staged, is_seed, blocked, range));
+            }
+        })
+        .expect("pooled-estimator worker panicked");
+    }
+    // Integer merge: order-independent, hence thread-count-independent.
+    let (first, rest) = workers.split_at_mut(1);
+    let delta_sum = &mut first[0].delta_sum;
+    let mut reached_total = first[0].reached_sum;
+    for worker in rest.iter() {
+        reached_total += worker.reached_sum;
+        for (acc, &d) in delta_sum.iter_mut().zip(&worker.delta_sum) {
+            *acc += d;
+        }
+    }
+    let inv = 1.0 / theta as f64;
+    Ok(DecreaseEstimate {
+        delta: delta_sum.iter().map(|&d| d as f64 * inv).collect(),
+        average_reached: reached_total as f64 * inv,
+        samples: theta,
+    })
+}
+
+/// One-shot convenience over [`pooled_decrease_in`] with a fresh workspace.
+///
+/// # Errors
+/// Same conditions as [`pooled_decrease_in`].
+pub fn pooled_decrease(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    blocked: &[bool],
+    threads: usize,
+) -> Result<DecreaseEstimate> {
+    pooled_decrease_in(pool, seeds, blocked, threads, &mut PoolWorkspace::new())
+}
+
+/// Validates the query-shaped inputs shared by the pooled greedy loops.
+fn validate_pooled_query(pool: &SamplePool, forbidden: &[bool], budget: usize) -> Result<()> {
+    if budget == 0 {
+        return Err(IminError::ZeroBudget);
+    }
+    if forbidden.len() != pool.num_vertices() {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: forbidden.len(),
+                num_vertices: pool.num_vertices(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// AdvancedGreedy (Algorithm 3) against a borrowed resident pool.
+///
+/// Identical greedy structure to the classic entry point, but every round
+/// prices candidates by re-rooting the same θ realisations instead of
+/// redrawing them — per-round work is BFS + dominator trees only.
+/// `forbidden[v] = true` marks vertices that may never be blocked; seeds
+/// are always excluded. `estimated_spread` counts every seed as active.
+///
+/// # Errors
+/// Returns an error on a zero budget, an invalid seed set, or a
+/// wrong-length forbidden mask.
+pub fn pooled_advanced_greedy_in(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    threads: usize,
+    workspace: &mut PoolWorkspace,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    validate_pooled_query(pool, forbidden, budget)?;
+    let n = pool.num_vertices();
+    let mut blocked = vec![false; n];
+    let mut blockers = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    let mut estimated_spread = None;
+    for round in 0..budget {
+        let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| {
+            !workspace.is_seed[v.index()] && !blocked[v.index()] && !forbidden[v.index()]
+        });
+        let Some(chosen) = chosen else {
+            estimated_spread = Some(estimate.average_reached);
+            break;
+        };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers.push(chosen);
+        stats.rounds = round + 1;
+    }
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers,
+        estimated_spread,
+        stats,
+    })
+}
+
+/// GreedyReplace (Algorithm 4) against a borrowed resident pool: the
+/// out-neighbour phase ranks the seeds' out-neighbours, a fill phase spends
+/// leftover budget globally, and the replacement phase revisits blockers in
+/// reverse insertion order — all priced by re-rooting the same pool.
+///
+/// # Errors
+/// Returns an error on a zero budget, an invalid seed set, a wrong-length
+/// forbidden mask, or a `graph` whose size differs from the graph the pool
+/// was built from.
+pub fn pooled_greedy_replace_in(
+    pool: &SamplePool,
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    threads: usize,
+    workspace: &mut PoolWorkspace,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    validate_pooled_query(pool, forbidden, budget)?;
+    // Vertex and edge counts together catch most accidental mispairings of
+    // a pool with a graph it was not built from (same-shape different
+    // graphs are indistinguishable without hashing the whole edge list).
+    if graph.num_vertices() != pool.num_vertices() || graph.num_edges() != pool.num_graph_edges {
+        return Err(IminError::PoolGraphMismatch {
+            graph_vertices: graph.num_vertices(),
+            graph_edges: graph.num_edges(),
+            pool_vertices: pool.num_vertices(),
+            pool_edges: pool.num_graph_edges,
+        });
+    }
+    let n = pool.num_vertices();
+    let mut blocked = vec![false; n];
+    let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    let mut estimated_spread: Option<f64> = None;
+
+    // Stage once to build the seed mask for candidate filtering; the
+    // estimator re-stages per round (cheap — the buffers are reused).
+    workspace.stage_seeds(n, seeds, &blocked)?;
+    let eligible = |v: VertexId, blocked: &[bool], is_seed: &[bool]| {
+        !is_seed[v.index()] && !blocked[v.index()] && !forbidden[v.index()]
+    };
+
+    // ---- Phase 1: blockers among the seeds' out-neighbours ----------------
+    let mut candidate_pool: Vec<VertexId> = Vec::new();
+    for &s in &workspace.seeds {
+        for &t in graph.out_neighbors(VertexId::from_raw(s)) {
+            let v = VertexId::from_raw(t);
+            if eligible(v, &blocked, &workspace.is_seed) {
+                candidate_pool.push(v);
+            }
+        }
+    }
+    candidate_pool.sort_unstable();
+    candidate_pool.dedup();
+
+    let out_rounds = candidate_pool.len().min(budget);
+    for _ in 0..out_rounds {
+        stats.rounds += 1;
+        let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| {
+            candidate_pool.contains(&v) && eligible(v, &blocked, &workspace.is_seed)
+        });
+        let Some(chosen) = chosen else { break };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers.push(chosen);
+        candidate_pool.retain(|&v| v != chosen);
+    }
+
+    // ---- Fill: spend any remaining budget on global greedy picks ----------
+    while blockers.len() < budget {
+        stats.rounds += 1;
+        let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| eligible(v, &blocked, &workspace.is_seed));
+        let Some(chosen) = chosen else { break };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers.push(chosen);
+    }
+
+    // ---- Phase 2: replacement in reverse insertion order ------------------
+    for idx in (0..blockers.len()).rev() {
+        let u = blockers[idx];
+        blocked[u.index()] = false;
+        stats.rounds += 1;
+        let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| eligible(v, &blocked, &workspace.is_seed));
+        let Some(chosen) = chosen else {
+            blocked[u.index()] = true;
+            break;
+        };
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers[idx] = chosen;
+        if chosen == u {
+            // Early termination (Algorithm 4, lines 19–20).
+            break;
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers,
+        estimated_spread,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decrease::{decrease_es_computation, DecreaseConfig};
+    use imin_diffusion::live_edge::sample_live_edges_indexed;
+    use imin_graph::generators;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// 0 -> 1 -> {2, 3}, all probability 1.
+    fn deterministic_tree() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(1), vid(3), 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn wc_pa(n: usize, seed: u64) -> DiGraph {
+        imin_diffusion::ProbabilityModel::WeightedCascade
+            .apply(&generators::preferential_attachment(n, 3, true, 1.0, seed).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn build_rejects_zero_theta() {
+        let g = deterministic_tree();
+        assert!(matches!(
+            SamplePool::build(&g, 0, 1),
+            Err(IminError::ZeroSamples)
+        ));
+    }
+
+    #[test]
+    fn pool_is_bit_identical_across_thread_counts() {
+        let g = wc_pa(120, 3);
+        let reference = SamplePool::build_with_threads(&g, 33, 9, 1).unwrap();
+        for threads in [2usize, 5, 8] {
+            let pool = SamplePool::build_with_threads(&g, 33, 9, threads).unwrap();
+            assert_eq!(pool.theta(), 33);
+            for i in 0..33 {
+                assert_eq!(
+                    pool.sample_csr(i),
+                    reference.sample_csr(i),
+                    "threads={threads}: sample {i} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_samples_match_the_indexed_reference_sampler() {
+        let g = wc_pa(80, 5);
+        let pool = SamplePool::build_with_threads(&g, 10, 41, 3).unwrap();
+        for i in 0..10 {
+            let nested = sample_live_edges_indexed(&g, 41, i as u64);
+            let (offsets, targets) = pool.sample_csr(i);
+            for u in 0..g.num_vertices() {
+                let lo = offsets[u] as usize;
+                let hi = offsets[u + 1] as usize;
+                assert_eq!(
+                    &targets[lo..hi],
+                    nested[u].as_slice(),
+                    "sample {i}, vertex {u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_estimates_are_exact_on_deterministic_graphs() {
+        let g = deterministic_tree();
+        let pool = SamplePool::build(&g, 16, 7).unwrap();
+        let est = pooled_decrease(&pool, &[vid(0)], &[false; 4], 1).unwrap();
+        assert_eq!(est.samples, 16);
+        assert!((est.average_reached - 4.0).abs() < 1e-12);
+        assert!((est.delta[1] - 3.0).abs() < 1e-12);
+        assert!((est.delta[2] - 1.0).abs() < 1e-12);
+        assert!((est.delta[3] - 1.0).abs() < 1e-12);
+        assert_eq!(est.delta[0], 0.0, "seeds earn no credit");
+    }
+
+    #[test]
+    fn pooled_estimates_agree_statistically_with_the_classic_estimator() {
+        let g = wc_pa(150, 11);
+        let n = g.num_vertices();
+        let pool = SamplePool::build(&g, 6_000, 2).unwrap();
+        let pooled = pooled_decrease(&pool, &[vid(0)], &vec![false; n], 1).unwrap();
+        let classic = decrease_es_computation(
+            &g,
+            vid(0),
+            &vec![false; n],
+            &DecreaseConfig {
+                theta: 6_000,
+                threads: 1,
+                seed: 77,
+            },
+        )
+        .unwrap();
+        assert!((pooled.average_reached - classic.average_reached).abs() < 0.5);
+        for v in 0..n {
+            assert!(
+                (pooled.delta[v] - classic.delta[v]).abs() < 0.6,
+                "vertex {v}: pooled {} vs classic {}",
+                pooled.delta[v],
+                classic.delta[v]
+            );
+        }
+    }
+
+    #[test]
+    fn multi_seed_queries_count_every_seed_and_respect_blocking() {
+        // Two disjoint chains: 0 -> 1 -> 2 and 3 -> 4.
+        let g = DiGraph::from_edges(
+            5,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(3), vid(4), 1.0),
+            ],
+        )
+        .unwrap();
+        let pool = SamplePool::build(&g, 8, 1).unwrap();
+        let est = pooled_decrease(&pool, &[vid(0), vid(3)], &[false; 5], 1).unwrap();
+        assert!((est.average_reached - 5.0).abs() < 1e-12);
+        assert!((est.delta[1] - 2.0).abs() < 1e-12);
+        assert!((est.delta[4] - 1.0).abs() < 1e-12);
+        let mut blocked = vec![false; 5];
+        blocked[1] = true;
+        let est = pooled_decrease(&pool, &[vid(0), vid(3)], &blocked, 1).unwrap();
+        assert!((est.average_reached - 3.0).abs() < 1e-12);
+        assert_eq!(est.delta[1], 0.0);
+        assert_eq!(est.delta[2], 0.0);
+    }
+
+    #[test]
+    fn pooled_estimator_is_thread_count_invariant() {
+        let g = wc_pa(100, 13);
+        let n = g.num_vertices();
+        let pool = SamplePool::build(&g, 500, 19).unwrap();
+        let blocked = vec![false; n];
+        let reference = pooled_decrease(&pool, &[vid(0), vid(7)], &blocked, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let est = pooled_decrease(&pool, &[vid(0), vid(7)], &blocked, threads).unwrap();
+            assert_eq!(est.delta, reference.delta, "threads={threads}");
+            assert_eq!(est.average_reached, reference.average_reached);
+        }
+    }
+
+    #[test]
+    fn pooled_advanced_greedy_picks_the_hub() {
+        let g = DiGraph::from_edges(
+            6,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(1), vid(3), 1.0),
+                (vid(1), vid(4), 1.0),
+                (vid(0), vid(5), 1.0),
+            ],
+        )
+        .unwrap();
+        let pool = SamplePool::build(&g, 64, 3).unwrap();
+        let mut ws = PoolWorkspace::new();
+        let sel = pooled_advanced_greedy_in(&pool, &[vid(0)], &[false; 6], 2, 1, &mut ws).unwrap();
+        assert_eq!(sel.blockers, vec![vid(1), vid(5)]);
+        assert!((sel.estimated_spread.unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(sel.stats.rounds, 2);
+        assert_eq!(sel.stats.samples_drawn, 2 * 64);
+    }
+
+    #[test]
+    fn pooled_greedy_replace_recovers_the_deep_blocker() {
+        // Example 3 funnel: replacement must swap an out-neighbour for the
+        // hub at budget 1 and keep both out-neighbours at budget 2.
+        let mut edges = vec![
+            (vid(0), vid(1), 1.0),
+            (vid(0), vid(2), 1.0),
+            (vid(1), vid(3), 1.0),
+            (vid(2), vid(3), 1.0),
+        ];
+        for i in 0..5 {
+            edges.push((vid(3), vid(4 + i), 1.0));
+        }
+        let g = DiGraph::from_edges(9, edges).unwrap();
+        let pool = SamplePool::build(&g, 64, 5).unwrap();
+        let mut ws = PoolWorkspace::new();
+        let sel =
+            pooled_greedy_replace_in(&pool, &g, &[vid(0)], &[false; 9], 1, 1, &mut ws).unwrap();
+        assert_eq!(sel.blockers, vec![vid(3)]);
+        assert!((sel.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+        let sel =
+            pooled_greedy_replace_in(&pool, &g, &[vid(0)], &[false; 9], 2, 1, &mut ws).unwrap();
+        let mut chosen = sel.blockers.clone();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![vid(1), vid(2)]);
+    }
+
+    #[test]
+    fn pooled_greedy_is_byte_identical_across_thread_counts() {
+        let g = wc_pa(200, 17);
+        let n = g.num_vertices();
+        let pool = SamplePool::build(&g, 400, 23).unwrap();
+        let forbidden = vec![false; n];
+        let seeds = [vid(0), vid(3)];
+        let mut ws = PoolWorkspace::new();
+        let ag_ref = pooled_advanced_greedy_in(&pool, &seeds, &forbidden, 4, 1, &mut ws).unwrap();
+        let gr_ref =
+            pooled_greedy_replace_in(&pool, &g, &seeds, &forbidden, 4, 1, &mut ws).unwrap();
+        for threads in [2usize, 8] {
+            let ag =
+                pooled_advanced_greedy_in(&pool, &seeds, &forbidden, 4, threads, &mut ws).unwrap();
+            assert_eq!(ag.blockers, ag_ref.blockers, "AG threads={threads}");
+            assert_eq!(ag.estimated_spread, ag_ref.estimated_spread);
+            let gr = pooled_greedy_replace_in(&pool, &g, &seeds, &forbidden, 4, threads, &mut ws)
+                .unwrap();
+            assert_eq!(gr.blockers, gr_ref.blockers, "GR threads={threads}");
+            assert_eq!(gr.estimated_spread, gr_ref.estimated_spread);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = deterministic_tree();
+        let pool = SamplePool::build(&g, 8, 1).unwrap();
+        let mut ws = PoolWorkspace::new();
+        assert!(matches!(
+            pooled_advanced_greedy_in(&pool, &[vid(0)], &[false; 4], 0, 1, &mut ws),
+            Err(IminError::ZeroBudget)
+        ));
+        assert!(matches!(
+            pooled_decrease(&pool, &[], &[false; 4], 1),
+            Err(IminError::EmptySeedSet)
+        ));
+        assert!(pooled_decrease(&pool, &[vid(9)], &[false; 4], 1).is_err());
+        assert!(pooled_decrease(&pool, &[vid(0)], &[false; 2], 1).is_err());
+        let mut blocked = vec![false; 4];
+        blocked[0] = true;
+        assert!(pooled_decrease(&pool, &[vid(0)], &blocked, 1).is_err());
+        assert!(
+            pooled_advanced_greedy_in(&pool, &[vid(0)], &[false; 3], 1, 1, &mut ws).is_err(),
+            "wrong-length forbidden mask"
+        );
+        // A pool can only be paired with the graph it was built from.
+        let other = DiGraph::from_edges(2, vec![(vid(0), vid(1), 1.0)]).unwrap();
+        assert!(matches!(
+            pooled_greedy_replace_in(&pool, &other, &[vid(0)], &[false; 4], 1, 1, &mut ws),
+            Err(IminError::PoolGraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forbidden_vertices_are_never_selected() {
+        let g = deterministic_tree();
+        let pool = SamplePool::build(&g, 8, 1).unwrap();
+        let mut forbidden = vec![false; 4];
+        forbidden[1] = true;
+        let mut ws = PoolWorkspace::new();
+        let sel = pooled_advanced_greedy_in(&pool, &[vid(0)], &forbidden, 1, 1, &mut ws).unwrap();
+        assert_ne!(sel.blockers.first(), Some(&vid(1)));
+    }
+
+    #[test]
+    fn shard_ranges_partition_without_gaps() {
+        for (total, workers) in [(10usize, 3usize), (5, 8), (7, 1), (0, 4), (16, 4)] {
+            let ranges: Vec<_> = shard_ranges(total, workers).collect();
+            assert!(ranges.len() <= workers.max(1));
+            let mut expected = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, expected, "ranges must be contiguous");
+                expected = r.end;
+            }
+            assert_eq!(expected, total, "ranges must cover 0..total");
+            let (min, max) = ranges.iter().fold((usize::MAX, 0), |(lo, hi), r| {
+                (lo.min(r.len()), hi.max(r.len()))
+            });
+            assert!(
+                max - min.min(max) <= 1,
+                "near-equal split for {total}/{workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_accessors_report_sensible_numbers() {
+        let g = deterministic_tree();
+        let pool = SamplePool::build(&g, 4, 99).unwrap();
+        assert_eq!(pool.theta(), 4);
+        assert_eq!(pool.pool_seed(), 99);
+        assert_eq!(pool.num_vertices(), 4);
+        // All three edges are deterministic, so every realisation keeps them.
+        assert_eq!(pool.total_live_edges(), 12);
+        assert!(pool.memory_bytes() > 0);
+    }
+}

@@ -24,6 +24,12 @@ use imin_graph::{DiGraph, VertexId, THRESHOLD_ALWAYS};
 use rand::rngs::SmallRng;
 use rand::RngCore;
 
+// Sample-pool construction is the reusable, query-independent counterpart of
+// the rooted samplers below; it lives in [`crate::pool`] and is re-exported
+// here so `sampler::SamplePool::build(graph, θ, seed)` is the one-stop API
+// for materialising samples.
+pub use crate::pool::{PoolWorkspace, SamplePool};
+
 const UNMAPPED: u32 = u32::MAX;
 
 /// A live-edge sample restricted to the vertices reachable from the source,

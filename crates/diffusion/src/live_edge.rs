@@ -15,11 +15,46 @@
 use crate::error::validate_seeds_and_mask;
 use crate::Result;
 use imin_graph::{DiGraph, VertexId};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// A materialised live-edge sample: `adjacency[u]` lists the targets of the
 /// edges of `u` that survived the coin flips.
 pub type LiveEdgeSample = Vec<Vec<u32>>;
+
+/// Derives the RNG seed of sample number `sample_idx` within a pool whose
+/// base seed is `pool_seed`.
+///
+/// This is the indexed-stream contract shared by every sampler that
+/// materialises a pool of samples: each sample owns an independent,
+/// reproducible RNG stream keyed only by `(pool_seed, sample_idx)`, so a
+/// pool can be built by any number of worker threads — or rebuilt
+/// incrementally — and still be **bit-identical** sample by sample. The mix
+/// is a SplitMix64 finaliser over the golden-ratio-spaced index, the same
+/// construction `SeedableRng::seed_from_u64` uses internally.
+#[inline]
+pub fn indexed_sample_seed(pool_seed: u64, sample_idx: u64) -> u64 {
+    let mut z = pool_seed ^ sample_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws the `sample_idx`-th live-edge sample of the pool `(pool_seed, θ)`.
+///
+/// Unlike [`sample_live_edges`], which advances a caller-owned RNG, this
+/// entry point is parameterised by the explicit per-sample seed of
+/// [`indexed_sample_seed`]: calling it for `sample_idx ∈ 0..θ` in any order
+/// (or from any sharding of indices across threads) reproduces the exact
+/// same pool.
+pub fn sample_live_edges_indexed(
+    graph: &DiGraph,
+    pool_seed: u64,
+    sample_idx: u64,
+) -> LiveEdgeSample {
+    let mut rng = SmallRng::seed_from_u64(indexed_sample_seed(pool_seed, sample_idx));
+    sample_live_edges(graph, &mut rng)
+}
 
 /// Draws one live-edge sample of the whole graph.
 pub fn sample_live_edges<R: Rng + ?Sized>(graph: &DiGraph, rng: &mut R) -> LiveEdgeSample {
@@ -173,6 +208,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         assert!(sample_reachable_count(&g, &[], None, &mut rng).is_err());
         assert!(estimate_spread_by_sampling(&g, &[vid(0)], None, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn indexed_samples_are_reproducible_and_independent_of_order() {
+        let g = two_hop();
+        let forward: Vec<LiveEdgeSample> = (0..8)
+            .map(|i| sample_live_edges_indexed(&g, 77, i))
+            .collect();
+        let backward: Vec<LiveEdgeSample> = (0..8)
+            .rev()
+            .map(|i| sample_live_edges_indexed(&g, 77, i))
+            .collect();
+        for (i, s) in forward.iter().enumerate() {
+            assert_eq!(s, &backward[7 - i], "sample {i} depends on draw order");
+        }
+        // Distinct indices and distinct pool seeds give distinct streams.
+        assert_ne!(indexed_sample_seed(77, 0), indexed_sample_seed(77, 1));
+        assert_ne!(indexed_sample_seed(77, 0), indexed_sample_seed(78, 0));
     }
 
     #[test]

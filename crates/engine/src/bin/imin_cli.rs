@@ -1,0 +1,72 @@
+//! `imin-cli` — line-protocol client for `imin-serve`.
+//!
+//! ```text
+//! imin-cli HOST:PORT "COMMAND ..." ["COMMAND ..." ...]
+//! imin-cli HOST:PORT            # interactive: reads commands from stdin
+//! ```
+//!
+//! Each command argument is sent as one request line and the raw reply line
+//! is printed to stdout. Exits non-zero if the connection fails or any
+//! reply is an `ERR` line, so it doubles as a CI smoke probe.
+
+use imin_engine::Client;
+use std::io::BufRead;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first() else {
+        eprintln!("usage: imin-cli HOST:PORT [\"COMMAND ...\" ...]");
+        return ExitCode::FAILURE;
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(err) => {
+            eprintln!("imin-cli: cannot connect to {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut run = |client: &mut Client, line: &str| -> bool {
+        match client.send_raw(line) {
+            Ok(reply) => {
+                println!("{reply}");
+                if reply.starts_with("ERR") {
+                    failures += 1;
+                }
+                !line.trim().eq_ignore_ascii_case("QUIT")
+            }
+            Err(err) => {
+                eprintln!("imin-cli: {err}");
+                failures += 1;
+                false
+            }
+        }
+    };
+
+    if args.len() > 1 {
+        for line in &args[1..] {
+            if !run(&mut client, line) {
+                break;
+            }
+        }
+    } else {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !run(&mut client, &line) {
+                break;
+            }
+        }
+    }
+
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,81 @@
+//! `imin-serve` — the resident containment query server.
+//!
+//! ```text
+//! imin-serve [--addr HOST:PORT] [--threads N] [--cache N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7470`, port 0 for ephemeral), prints one
+//! `LISTENING <addr>` line to stdout so scripts can discover the port, then
+//! serves the line protocol forever. Drive it with `imin-cli` or any
+//! line-oriented TCP client (`nc`, telnet).
+
+use imin_engine::{Engine, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: imin-serve [--addr HOST:PORT] [--threads N] [--cache N]";
+
+/// Invalid arguments: usage on stderr, non-zero exit.
+fn usage() -> ExitCode {
+    eprintln!("{USAGE}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7470".to_string();
+    let mut threads: Option<usize> = None;
+    let mut cache: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = match arg.as_str() {
+            // Requested help is not an error: stdout, exit 0.
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--addr" | "--threads" | "--cache" => match args.next() {
+                Some(v) => v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        };
+        match arg.as_str() {
+            "--addr" => addr = value,
+            "--threads" => match value.parse() {
+                Ok(n) => threads = Some(n),
+                Err(_) => return usage(),
+            },
+            "--cache" => match value.parse() {
+                Ok(n) => cache = Some(n),
+                Err(_) => return usage(),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    let mut engine = Engine::new();
+    if let Some(threads) = threads {
+        engine = engine.with_threads(threads);
+    }
+    if let Some(cache) = cache {
+        engine = engine.with_cache_capacity(cache);
+    }
+    let server = match Server::with_engine(&addr, engine) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("imin-serve: cannot bind {addr}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(local) => println!("LISTENING {local}"),
+        Err(err) => {
+            eprintln!("imin-serve: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Err(err) = server.run() {
+        eprintln!("imin-serve: accept loop failed: {err}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

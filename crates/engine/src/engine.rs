@@ -1,0 +1,575 @@
+//! The resident query engine: one graph, one sample pool, many queries.
+
+use crate::cache::LruCache;
+use crate::{EngineError, Result};
+use imin_core::pool::{
+    pooled_advanced_greedy_in, pooled_greedy_replace_in, shard_ranges, PoolWorkspace,
+};
+use imin_core::SamplePool;
+use imin_graph::{DiGraph, VertexId};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// The blocker-selection algorithms the engine can run against the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryAlgorithm {
+    /// Algorithm 3 on a borrowed pool (`AG`).
+    AdvancedGreedy,
+    /// Algorithm 4 on a borrowed pool (`GR`).
+    GreedyReplace,
+}
+
+impl QueryAlgorithm {
+    /// Short identifier used in protocol replies and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryAlgorithm::AdvancedGreedy => "advanced",
+            QueryAlgorithm::GreedyReplace => "replace",
+        }
+    }
+}
+
+/// One containment question: which `budget` vertices should be blocked to
+/// minimise the spread from `seeds`?
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Misinformation seed vertices (order and duplicates are irrelevant —
+    /// the engine canonicalises).
+    pub seeds: Vec<VertexId>,
+    /// Maximum number of blockers.
+    pub budget: usize,
+    /// Which greedy to run.
+    pub algorithm: QueryAlgorithm,
+}
+
+/// Canonical cache key of a query: sorted deduplicated seeds + budget +
+/// algorithm.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub(crate) struct QueryKey {
+    seeds: Vec<u32>,
+    budget: usize,
+    algorithm: QueryAlgorithm,
+}
+
+impl Query {
+    pub(crate) fn key(&self) -> QueryKey {
+        let mut seeds: Vec<u32> = self.seeds.iter().map(|s| s.raw()).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        QueryKey {
+            seeds,
+            budget: self.budget,
+            algorithm: self.algorithm,
+        }
+    }
+}
+
+/// The engine's answer to a [`Query`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResult {
+    /// Chosen blockers in selection order.
+    pub blockers: Vec<VertexId>,
+    /// Estimated expected spread remaining after blocking, counting every
+    /// seed as active (original-graph terms).
+    pub estimated_spread: Option<f64>,
+    /// Greedy/replacement rounds executed.
+    pub rounds: usize,
+    /// Pool consultations: θ per estimator round (no new samples are ever
+    /// drawn — the pool is resident).
+    pub samples_consulted: usize,
+    /// Whether the answer came from the LRU cache.
+    pub from_cache: bool,
+    /// Wall-clock time to produce (or fetch) the answer.
+    pub elapsed: Duration,
+}
+
+/// Facts about the resident pool, recorded at build time.
+#[derive(Clone, Debug)]
+pub struct PoolInfo {
+    /// Number of realisations θ.
+    pub theta: usize,
+    /// Base pool seed.
+    pub seed: u64,
+    /// Worker threads used for the build.
+    pub threads: usize,
+    /// Wall-clock build time.
+    pub build_time: Duration,
+    /// Approximate heap bytes held by the pool.
+    pub memory_bytes: usize,
+    /// Total live edges stored across all realisations.
+    pub live_edges: usize,
+}
+
+/// Monotonic counters served by `STATS`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries answered straight from the LRU cache.
+    pub cache_hits: u64,
+    /// Pools built since the engine started.
+    pub pool_builds: u64,
+    /// Graphs loaded since the engine started.
+    pub graph_loads: u64,
+}
+
+/// A resident containment query engine.
+///
+/// Lifecycle: [`Engine::load_graph`] → [`Engine::build_pool`] → any number
+/// of [`Engine::query`] / [`Engine::run_queries`] calls. Loading a new
+/// graph or rebuilding the pool invalidates the result cache.
+#[derive(Debug)]
+pub struct Engine {
+    graph: Option<DiGraph>,
+    graph_label: String,
+    pool: Option<SamplePool>,
+    pool_info: Option<PoolInfo>,
+    workspace: PoolWorkspace,
+    cache: LruCache<QueryKey, QueryResult>,
+    stats: EngineStats,
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// Creates an empty engine with the default worker-thread count and a
+    /// 256-entry result cache.
+    pub fn new() -> Self {
+        Engine {
+            graph: None,
+            graph_label: String::new(),
+            pool: None,
+            pool_info: None,
+            workspace: PoolWorkspace::new(),
+            cache: LruCache::new(256),
+            stats: EngineStats::default(),
+            threads: imin_diffusion::montecarlo::default_threads(),
+        }
+    }
+
+    /// Sets the worker-thread count used by pool builds and queries.
+    /// Thread count never changes results — pools and pooled estimates are
+    /// bit-identical at any parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the LRU result-cache capacity.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = LruCache::new(capacity);
+        self
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Installs a graph, dropping any previous pool and cached results.
+    pub fn load_graph(&mut self, graph: DiGraph, label: String) {
+        self.graph = Some(graph);
+        self.graph_label = label;
+        self.pool = None;
+        self.pool_info = None;
+        self.cache.clear();
+        self.stats.graph_loads += 1;
+    }
+
+    /// The loaded graph, if any.
+    pub fn graph(&self) -> Option<&DiGraph> {
+        self.graph.as_ref()
+    }
+
+    /// Label given to the loaded graph (for `STATS`).
+    pub fn graph_label(&self) -> &str {
+        &self.graph_label
+    }
+
+    /// Materialises the resident pool with θ realisations, replacing any
+    /// previous pool and invalidating the cache.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoGraph`] before a graph is loaded, or the
+    /// underlying build error (e.g. θ = 0).
+    pub fn build_pool(&mut self, theta: usize, seed: u64) -> Result<&PoolInfo> {
+        let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        let start = Instant::now();
+        let pool = SamplePool::build_with_threads(graph, theta, seed, self.threads)?;
+        let info = PoolInfo {
+            theta,
+            seed,
+            threads: self.threads,
+            build_time: start.elapsed(),
+            memory_bytes: pool.memory_bytes(),
+            live_edges: pool.total_live_edges(),
+        };
+        self.pool = Some(pool);
+        self.pool_info = Some(info);
+        self.cache.clear();
+        self.stats.pool_builds += 1;
+        Ok(self.pool_info.as_ref().expect("pool info just set"))
+    }
+
+    /// The resident pool's build facts, if a pool exists.
+    pub fn pool_info(&self) -> Option<&PoolInfo> {
+        self.pool_info.as_ref()
+    }
+
+    /// Monotonic counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of entries currently cached.
+    pub fn cache_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Answers one query, consulting the LRU cache first.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the
+    /// engine is primed, or the algorithm's validation error (empty seed
+    /// set, zero budget, out-of-range seed).
+    pub fn query(&mut self, query: &Query) -> Result<QueryResult> {
+        let start = Instant::now();
+        self.stats.queries += 1;
+        let key = query.key();
+        if let Some(hit) = self.cache.get(&key) {
+            self.stats.cache_hits += 1;
+            let mut result = hit.clone();
+            result.from_cache = true;
+            result.elapsed = start.elapsed();
+            return Ok(result);
+        }
+        let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
+        let result = run_pooled(pool, graph, query, self.threads, &mut self.workspace, start)?;
+        self.cache.insert(key, result.clone());
+        Ok(result)
+    }
+
+    /// Answers a batch of queries, fanning cache misses across the worker
+    /// pool. Leftover parallelism is used *inside* queries (misses fewer
+    /// than worker threads each get several threads) — results are
+    /// identical to issuing the queries one by one, because pooled answers
+    /// are thread-count-invariant.
+    ///
+    /// The returned vector is parallel to `queries`.
+    pub fn run_queries(&mut self, queries: &[Query]) -> Vec<Result<QueryResult>> {
+        // Canonicalise every query exactly once; resolve cache hits and
+        // collect unique misses.
+        let keys: Vec<QueryKey> = queries.iter().map(Query::key).collect();
+        let mut outcomes: Vec<Option<Result<QueryResult>>> = Vec::with_capacity(queries.len());
+        let mut seen_misses: HashSet<QueryKey> = HashSet::new();
+        let mut miss_keys: Vec<QueryKey> = Vec::new();
+        let mut miss_queries: Vec<Query> = Vec::new();
+        for (query, key) in queries.iter().zip(&keys) {
+            self.stats.queries += 1;
+            let start = Instant::now();
+            if let Some(hit) = self.cache.get(key) {
+                self.stats.cache_hits += 1;
+                let mut result = hit.clone();
+                result.from_cache = true;
+                result.elapsed = start.elapsed();
+                outcomes.push(Some(Ok(result)));
+            } else {
+                if seen_misses.insert(key.clone()) {
+                    miss_keys.push(key.clone());
+                    miss_queries.push(query.clone());
+                }
+                outcomes.push(None);
+            }
+        }
+        if !miss_queries.is_empty() {
+            let computed = match (self.graph.as_ref(), self.pool.as_ref()) {
+                (Some(graph), Some(pool)) => {
+                    run_pooled_batch(pool, graph, &miss_queries, self.threads)
+                }
+                (None, _) => miss_queries
+                    .iter()
+                    .map(|_| Err(EngineError::NoGraph))
+                    .collect(),
+                (_, None) => miss_queries
+                    .iter()
+                    .map(|_| Err(EngineError::NoPool))
+                    .collect(),
+            };
+            for (key, outcome) in miss_keys.iter().zip(computed) {
+                if let Ok(result) = &outcome {
+                    self.cache.insert(key.clone(), result.clone());
+                }
+                // Fill every input slot that asked this question: clones
+                // into the duplicates, the original (with its typed error
+                // intact) into the first slot.
+                let mut first_slot: Option<usize> = None;
+                for (i, slot_key) in keys.iter().enumerate() {
+                    if outcomes[i].is_some() || slot_key != key {
+                        continue;
+                    }
+                    if first_slot.is_none() {
+                        first_slot = Some(i);
+                    } else {
+                        outcomes[i] = Some(match &outcome {
+                            Ok(result) => Ok(result.clone()),
+                            Err(err) => Err(clone_engine_error(err)),
+                        });
+                    }
+                }
+                let slot = first_slot.expect("every computed key has an unresolved slot");
+                outcomes[slot] = Some(outcome);
+            }
+        }
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("every query slot resolved"))
+            .collect()
+    }
+}
+
+/// Reproduces an [`EngineError`] for duplicate batch slots (the error type
+/// is not `Clone`; lifecycle variants survive exactly, everything else is
+/// demoted to its message).
+fn clone_engine_error(err: &EngineError) -> EngineError {
+    match err {
+        EngineError::NoGraph => EngineError::NoGraph,
+        EngineError::NoPool => EngineError::NoPool,
+        other => EngineError::Protocol(other.to_string()),
+    }
+}
+
+/// Runs one query against the pool with the given parallelism.
+fn run_pooled(
+    pool: &SamplePool,
+    graph: &DiGraph,
+    query: &Query,
+    threads: usize,
+    workspace: &mut PoolWorkspace,
+    start: Instant,
+) -> Result<QueryResult> {
+    let forbidden = vec![false; pool.num_vertices()];
+    let selection = match query.algorithm {
+        QueryAlgorithm::AdvancedGreedy => pooled_advanced_greedy_in(
+            pool,
+            &query.seeds,
+            &forbidden,
+            query.budget,
+            threads,
+            workspace,
+        )?,
+        QueryAlgorithm::GreedyReplace => pooled_greedy_replace_in(
+            pool,
+            graph,
+            &query.seeds,
+            &forbidden,
+            query.budget,
+            threads,
+            workspace,
+        )?,
+    };
+    Ok(QueryResult {
+        blockers: selection.blockers,
+        estimated_spread: selection.estimated_spread,
+        rounds: selection.stats.rounds,
+        samples_consulted: selection.stats.samples_drawn,
+        from_cache: false,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Fans a batch of distinct queries across worker threads; each worker runs
+/// its queries single-threaded with its own workspace, so the batch is
+/// deterministic and identical to a sequential run.
+fn run_pooled_batch(
+    pool: &SamplePool,
+    graph: &DiGraph,
+    queries: &[Query],
+    threads: usize,
+) -> Vec<Result<QueryResult>> {
+    let workers = threads.max(1).min(queries.len());
+    // Any parallelism the fan-out cannot use goes *inside* the queries —
+    // safe because pooled answers are thread-count-invariant.
+    let threads_per_query = (threads.max(1) / workers).max(1);
+    if workers <= 1 {
+        let mut workspace = PoolWorkspace::new();
+        return queries
+            .iter()
+            .map(|q| {
+                run_pooled(
+                    pool,
+                    graph,
+                    q,
+                    threads_per_query,
+                    &mut workspace,
+                    Instant::now(),
+                )
+            })
+            .collect();
+    }
+    let mut outcomes: Vec<Vec<Result<QueryResult>>> = Vec::new();
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for range in shard_ranges(queries.len(), workers) {
+            let chunk = &queries[range];
+            handles.push(scope.spawn(move |_| {
+                let mut workspace = PoolWorkspace::new();
+                chunk
+                    .iter()
+                    .map(|q| {
+                        run_pooled(
+                            pool,
+                            graph,
+                            q,
+                            threads_per_query,
+                            &mut workspace,
+                            Instant::now(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for handle in handles {
+            outcomes.push(handle.join().expect("batch query worker panicked"));
+        }
+    })
+    .expect("batch query scope failed");
+    outcomes.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imin_graph::generators;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn primed_engine() -> Engine {
+        let graph = generators::preferential_attachment(200, 3, true, 0.3, 11).unwrap();
+        let mut engine = Engine::new().with_threads(2);
+        engine.load_graph(graph, "pa-200".into());
+        engine.build_pool(300, 5).unwrap();
+        engine
+    }
+
+    fn query(seed: usize, budget: usize) -> Query {
+        Query {
+            seeds: vec![vid(seed)],
+            budget,
+            algorithm: QueryAlgorithm::AdvancedGreedy,
+        }
+    }
+
+    #[test]
+    fn lifecycle_errors_are_explicit() {
+        let mut engine = Engine::new();
+        assert!(matches!(
+            engine.build_pool(10, 1),
+            Err(EngineError::NoGraph)
+        ));
+        assert!(matches!(
+            engine.query(&query(0, 1)),
+            Err(EngineError::NoGraph)
+        ));
+        let graph = generators::preferential_attachment(50, 2, true, 0.3, 1).unwrap();
+        engine.load_graph(graph, "g".into());
+        assert!(matches!(
+            engine.query(&query(0, 1)),
+            Err(EngineError::NoPool)
+        ));
+        assert!(engine.build_pool(0, 1).is_err(), "zero theta is rejected");
+    }
+
+    #[test]
+    fn second_identical_query_is_served_from_cache() {
+        let mut engine = primed_engine();
+        let q = query(0, 3);
+        let first = engine.query(&q).unwrap();
+        assert!(!first.from_cache);
+        let second = engine.query(&q).unwrap();
+        assert!(second.from_cache);
+        assert_eq!(first.blockers, second.blockers);
+        assert_eq!(first.estimated_spread, second.estimated_spread);
+        assert_eq!(engine.stats().cache_hits, 1);
+        // Canonicalisation: permuted/duplicated seeds hit the same entry.
+        let permuted = Query {
+            seeds: vec![vid(0), vid(0)],
+            ..q
+        };
+        assert!(engine.query(&permuted).unwrap().from_cache);
+    }
+
+    #[test]
+    fn rebuilding_the_pool_invalidates_the_cache() {
+        let mut engine = primed_engine();
+        let q = query(0, 2);
+        let first = engine.query(&q).unwrap();
+        engine.build_pool(300, 6).unwrap(); // different pool seed
+        assert_eq!(engine.cache_entries(), 0);
+        let second = engine.query(&q).unwrap();
+        assert!(!second.from_cache);
+        // Same graph, different pool: answers may or may not coincide, but
+        // the engine must have recomputed them.
+        assert_eq!(first.samples_consulted, second.samples_consulted);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_fills_the_cache() {
+        let mut sequential = primed_engine();
+        let mut batched = primed_engine();
+        let queries: Vec<Query> = (0..5).map(|s| query(s, 2)).collect();
+        let one_by_one: Vec<QueryResult> = queries
+            .iter()
+            .map(|q| sequential.query(q).unwrap())
+            .collect();
+        let batch = batched.run_queries(&queries);
+        for (a, b) in one_by_one.iter().zip(&batch) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(a.blockers, b.blockers);
+            assert_eq!(a.estimated_spread, b.estimated_spread);
+        }
+        // Every answer is now cached.
+        for q in &queries {
+            assert!(batched.query(q).unwrap().from_cache);
+        }
+    }
+
+    #[test]
+    fn batch_deduplicates_identical_questions() {
+        let mut engine = primed_engine();
+        let q = query(1, 2);
+        let results = engine.run_queries(&[q.clone(), q.clone(), q]);
+        let first = results[0].as_ref().unwrap();
+        for r in &results {
+            assert_eq!(r.as_ref().unwrap().blockers, first.blockers);
+        }
+        assert_eq!(engine.cache_entries(), 1);
+    }
+
+    #[test]
+    fn batch_on_an_unprimed_engine_reports_errors() {
+        let mut engine = Engine::new();
+        let results = engine.run_queries(&[query(0, 1)]);
+        assert!(matches!(results[0], Err(EngineError::NoGraph)));
+    }
+
+    #[test]
+    fn batch_errors_keep_their_typed_variant_on_the_first_slot() {
+        let mut engine = primed_engine();
+        let bad = query(9_999, 1); // out-of-range seed
+        let results = engine.run_queries(&[bad.clone(), bad]);
+        assert!(
+            matches!(results[0], Err(EngineError::Core(_))),
+            "first slot must keep the typed error, got {:?}",
+            results[0]
+        );
+        assert!(results[1].is_err(), "duplicate slot is an error too");
+    }
+}

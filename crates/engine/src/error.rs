@@ -1,0 +1,90 @@
+//! Error type for the resident engine.
+
+use std::fmt;
+
+/// Errors produced by the engine, the protocol layer and the server.
+#[derive(Debug)]
+pub enum EngineError {
+    /// A query or pool build was issued before a graph was loaded.
+    NoGraph,
+    /// A query was issued before a sample pool was built.
+    NoPool,
+    /// A protocol line could not be parsed; the payload is the reason sent
+    /// back on the `ERR` line.
+    Protocol(String),
+    /// An error bubbled up from the algorithm layer.
+    Core(imin_core::IminError),
+    /// An error bubbled up from the graph layer (generators, edge lists).
+    Graph(imin_graph::GraphError),
+    /// An error bubbled up from the diffusion layer (probability models).
+    Diffusion(imin_diffusion::DiffusionError),
+    /// A socket or file I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoGraph => write!(f, "no graph loaded (send LOAD first)"),
+            EngineError::NoPool => write!(f, "no sample pool built (send POOL first)"),
+            EngineError::Protocol(reason) => write!(f, "{reason}"),
+            EngineError::Core(err) => write!(f, "{err}"),
+            EngineError::Graph(err) => write!(f, "{err}"),
+            EngineError::Diffusion(err) => write!(f, "{err}"),
+            EngineError::Io(err) => write!(f, "io error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(err) => Some(err),
+            EngineError::Graph(err) => Some(err),
+            EngineError::Diffusion(err) => Some(err),
+            EngineError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<imin_core::IminError> for EngineError {
+    fn from(err: imin_core::IminError) -> Self {
+        EngineError::Core(err)
+    }
+}
+
+impl From<imin_graph::GraphError> for EngineError {
+    fn from(err: imin_graph::GraphError) -> Self {
+        EngineError::Graph(err)
+    }
+}
+
+impl From<imin_diffusion::DiffusionError> for EngineError {
+    fn from(err: imin_diffusion::DiffusionError) -> Self {
+        EngineError::Diffusion(err)
+    }
+}
+
+impl From<std::io::Error> for EngineError {
+    fn from(err: std::io::Error) -> Self {
+        EngineError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(EngineError::NoGraph.to_string().contains("LOAD"));
+        assert!(EngineError::NoPool.to_string().contains("POOL"));
+        let p = EngineError::Protocol("bad token".into());
+        assert_eq!(p.to_string(), "bad token");
+        let c: EngineError = imin_core::IminError::ZeroBudget.into();
+        assert!(std::error::Error::source(&c).is_some());
+        let io: EngineError = std::io::Error::other("x").into();
+        assert!(io.to_string().contains("io error"));
+    }
+}

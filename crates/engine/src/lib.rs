@@ -1,0 +1,61 @@
+//! # imin-engine
+//!
+//! A **resident containment query engine** for the IMIN problem: load a
+//! graph once, materialise the θ-sized live-edge sample pool once, and then
+//! answer an unbounded stream of `(seeds, budget, algorithm)` questions by
+//! re-rooting the existing pool — the sample pool depends only on the graph
+//! and the diffusion model, never on the query (Definition 4), so the
+//! dominant cost of AdvancedGreedy/GreedyReplace is paid exactly once.
+//!
+//! The crate has three layers:
+//!
+//! * [`Engine`] — the in-process API: a loaded [`imin_graph::DiGraph`], a
+//!   resident [`imin_core::SamplePool`], an LRU cache of recent query
+//!   results keyed by canonicalised query, and a batched
+//!   [`Engine::run_queries`] that fans a batch across the worker pool.
+//! * [`protocol`] — a newline-delimited text protocol (`LOAD`, `POOL`,
+//!   `QUERY`, `STATS`, `PING`, `QUIT`) with an `OK …` / `ERR …` reply per
+//!   request line, shared by the server, the client and the tests.
+//! * [`server`] / [`client`] — a threaded `std::net::TcpListener` server
+//!   (the `imin-serve` binary) and a small blocking client library (the
+//!   `imin-cli` binary).
+//!
+//! ## Example
+//!
+//! ```
+//! use imin_engine::{Engine, Query, QueryAlgorithm};
+//! use imin_graph::{generators, VertexId};
+//!
+//! let graph = generators::preferential_attachment(300, 3, true, 0.2, 7).unwrap();
+//! let mut engine = Engine::new();
+//! engine.load_graph(graph, "pa-300".into());
+//! engine.build_pool(500, 42).unwrap();
+//! let query = Query {
+//!     seeds: vec![VertexId::new(0)],
+//!     budget: 3,
+//!     algorithm: QueryAlgorithm::AdvancedGreedy,
+//! };
+//! let first = engine.query(&query).unwrap();
+//! let second = engine.query(&query).unwrap();
+//! assert_eq!(first.blockers, second.blockers);
+//! assert!(!first.from_cache && second.from_cache);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod protocol;
+pub mod server;
+
+pub use cache::LruCache;
+pub use client::Client;
+pub use engine::{Engine, EngineStats, PoolInfo, Query, QueryAlgorithm, QueryResult};
+pub use error::EngineError;
+pub use server::Server;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

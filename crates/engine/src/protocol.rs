@@ -1,0 +1,411 @@
+//! The newline-delimited text protocol spoken by `imin-serve`.
+//!
+//! Every request is one line; every reply is one line starting with `OK `
+//! or `ERR `. Parse errors never drop the connection — the server answers
+//! `ERR <reason>` and keeps reading. Verbs are case-insensitive.
+//!
+//! ```text
+//! LOAD pa n=5000 m0=4 seed=7 model=wc        load a preferential-attachment graph
+//! LOAD er n=500 p=0.01 seed=3 model=const:0.1  load an Erdős–Rényi graph
+//! LOAD file /path/to/edges.txt model=wc      load an edge list from disk
+//! POOL 10000 42                              build θ=10000 realisations, pool seed 42
+//! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
+//! STATS                                      engine counters and pool facts
+//! PING                                       liveness probe
+//! QUIT                                       close this connection
+//! ```
+//!
+//! `model=` accepts `wc` (weighted cascade), `tri` / `tri:<seed>`
+//! (trivalency), `const:<p>`, and `keep` (use probabilities as loaded;
+//! generator graphs carry the generator's uniform probability). The
+//! `QUERY` model token must be `ic` — the resident pool stores IC
+//! live-edge realisations. `alg=` accepts `advanced`/`ag` and
+//! `replace`/`gr`.
+
+use crate::engine::{Query, QueryAlgorithm};
+use imin_graph::VertexId;
+
+/// Probability model applied to a freshly loaded topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ModelSpec {
+    /// Weighted cascade: `p(u, v) = 1 / d_in(v)`.
+    WeightedCascade,
+    /// Trivalency: each edge uniformly picks 0.1 / 0.01 / 0.001.
+    Trivalency {
+        /// RNG seed for the per-edge draws.
+        seed: u64,
+    },
+    /// Every edge gets the same probability.
+    Constant(f64),
+    /// Keep the probabilities the graph already carries.
+    Keep,
+}
+
+/// What graph to load.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LoadSpec {
+    /// `LOAD pa n=.. m0=.. [bidir=true|false] seed=.. model=..`
+    PreferentialAttachment {
+        /// Number of vertices.
+        n: usize,
+        /// Edges attached per arriving vertex.
+        m0: usize,
+        /// Whether each attachment adds both directions.
+        bidirectional: bool,
+        /// Generator seed.
+        seed: u64,
+        /// Probability model applied after generation.
+        model: ModelSpec,
+    },
+    /// `LOAD er n=.. p=.. seed=.. model=..`
+    ErdosRenyi {
+        /// Number of vertices.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+        /// Probability model applied after generation.
+        model: ModelSpec,
+    },
+    /// `LOAD file <path> model=..`
+    File {
+        /// Path to a whitespace-separated edge list.
+        path: String,
+        /// Probability model applied after loading.
+        model: ModelSpec,
+    },
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Load a graph, dropping any pool and cached results.
+    Load(LoadSpec),
+    /// Build the resident sample pool.
+    Pool {
+        /// Number of realisations θ.
+        theta: usize,
+        /// Base pool seed.
+        seed: u64,
+    },
+    /// Answer one containment question.
+    Query(Query),
+    /// Report engine counters and pool facts.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Close the connection.
+    Quit,
+}
+
+fn parse_kv(token: &str) -> Result<(&str, &str), String> {
+    token
+        .split_once('=')
+        .ok_or_else(|| format!("expected key=value, got '{token}'"))
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}' for {key}"))
+}
+
+fn parse_model(value: &str) -> Result<ModelSpec, String> {
+    let lower = value.to_ascii_lowercase();
+    if lower == "wc" {
+        return Ok(ModelSpec::WeightedCascade);
+    }
+    if lower == "keep" {
+        return Ok(ModelSpec::Keep);
+    }
+    if lower == "tri" {
+        return Ok(ModelSpec::Trivalency { seed: 0 });
+    }
+    if let Some(seed) = lower.strip_prefix("tri:") {
+        return Ok(ModelSpec::Trivalency {
+            seed: parse_num("tri seed", seed)?,
+        });
+    }
+    if let Some(p) = lower.strip_prefix("const:") {
+        return Ok(ModelSpec::Constant(parse_num("const probability", p)?));
+    }
+    Err(format!(
+        "unknown model '{value}' (expected wc, tri[:seed], const:<p> or keep)"
+    ))
+}
+
+fn parse_seeds(value: &str) -> Result<Vec<VertexId>, String> {
+    if value.is_empty() {
+        return Err("seeds= must list at least one vertex".into());
+    }
+    value
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map(VertexId::from_raw)
+                .map_err(|_| format!("invalid seed vertex '{tok}'"))
+        })
+        .collect()
+}
+
+fn parse_algorithm(value: &str) -> Result<QueryAlgorithm, String> {
+    match value.to_ascii_lowercase().as_str() {
+        "advanced" | "ag" => Ok(QueryAlgorithm::AdvancedGreedy),
+        "replace" | "gr" => Ok(QueryAlgorithm::GreedyReplace),
+        other => Err(format!(
+            "unknown algorithm '{other}' (expected advanced or replace)"
+        )),
+    }
+}
+
+fn parse_load(tokens: &[&str]) -> Result<LoadSpec, String> {
+    let kind = tokens
+        .first()
+        .ok_or("LOAD requires a graph kind (pa, er or file)")?
+        .to_ascii_lowercase();
+    match kind.as_str() {
+        "pa" | "er" => {
+            let mut n: Option<usize> = None;
+            let mut m0: Option<usize> = None;
+            let mut p: Option<f64> = None;
+            let mut bidirectional = true;
+            let mut seed: u64 = 0;
+            let mut model = ModelSpec::WeightedCascade;
+            for token in &tokens[1..] {
+                let (key, value) = parse_kv(token)?;
+                match key.to_ascii_lowercase().as_str() {
+                    "n" => n = Some(parse_num("n", value)?),
+                    "m0" => m0 = Some(parse_num("m0", value)?),
+                    "p" => p = Some(parse_num("p", value)?),
+                    "bidir" => bidirectional = parse_num("bidir", value)?,
+                    "seed" => seed = parse_num("seed", value)?,
+                    "model" => model = parse_model(value)?,
+                    other => return Err(format!("unknown LOAD argument '{other}'")),
+                }
+            }
+            let n = n.ok_or("LOAD requires n=<vertices>")?;
+            if kind == "pa" {
+                Ok(LoadSpec::PreferentialAttachment {
+                    n,
+                    m0: m0.ok_or("LOAD pa requires m0=<edges per vertex>")?,
+                    bidirectional,
+                    seed,
+                    model,
+                })
+            } else {
+                Ok(LoadSpec::ErdosRenyi {
+                    n,
+                    p: p.ok_or("LOAD er requires p=<edge probability>")?,
+                    seed,
+                    model,
+                })
+            }
+        }
+        "file" => {
+            let path = tokens
+                .get(1)
+                .ok_or("LOAD file requires a path")?
+                .to_string();
+            let mut model = ModelSpec::Keep;
+            for token in &tokens[2..] {
+                let (key, value) = parse_kv(token)?;
+                match key.to_ascii_lowercase().as_str() {
+                    "model" => model = parse_model(value)?,
+                    other => return Err(format!("unknown LOAD argument '{other}'")),
+                }
+            }
+            Ok(LoadSpec::File { path, model })
+        }
+        other => Err(format!(
+            "unknown graph kind '{other}' (expected pa, er or file)"
+        )),
+    }
+}
+
+fn parse_query(tokens: &[&str]) -> Result<Query, String> {
+    let model = tokens
+        .first()
+        .ok_or("QUERY requires a diffusion model token (ic)")?;
+    if !model.eq_ignore_ascii_case("ic") {
+        return Err(format!(
+            "unsupported diffusion model '{model}': the resident pool stores IC live-edge samples"
+        ));
+    }
+    let mut seeds: Option<Vec<VertexId>> = None;
+    let mut budget: Option<usize> = None;
+    let mut algorithm = QueryAlgorithm::AdvancedGreedy;
+    for token in &tokens[1..] {
+        let (key, value) = parse_kv(token)?;
+        match key.to_ascii_lowercase().as_str() {
+            "seeds" => seeds = Some(parse_seeds(value)?),
+            "budget" => budget = Some(parse_num("budget", value)?),
+            "alg" => algorithm = parse_algorithm(value)?,
+            other => return Err(format!("unknown QUERY argument '{other}'")),
+        }
+    }
+    Ok(Query {
+        seeds: seeds.ok_or("QUERY requires seeds=<v1,v2,...>")?,
+        budget: budget.ok_or("QUERY requires budget=<b>")?,
+        algorithm,
+    })
+}
+
+/// Parses one request line.
+///
+/// # Errors
+/// Returns the human-readable reason to send back as `ERR <reason>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let verb = tokens.first().ok_or("empty request")?.to_ascii_uppercase();
+    match verb.as_str() {
+        "LOAD" => Ok(Request::Load(parse_load(&tokens[1..])?)),
+        "POOL" => {
+            let theta = tokens.get(1).ok_or("POOL requires <theta> <seed>")?;
+            let seed = tokens.get(2).ok_or("POOL requires <theta> <seed>")?;
+            if tokens.len() > 3 {
+                return Err("POOL takes exactly two arguments".into());
+            }
+            Ok(Request::Pool {
+                theta: parse_num("theta", theta)?,
+                seed: parse_num("seed", seed)?,
+            })
+        }
+        "QUERY" => Ok(Request::Query(parse_query(&tokens[1..])?)),
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "QUIT" => Ok(Request::Quit),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Splits a reply line into `Ok(payload)` for `OK …` or `Err(reason)` for
+/// `ERR …`; anything else is an error about the malformed reply itself.
+pub fn parse_reply(line: &str) -> Result<String, String> {
+    if let Some(payload) = line.strip_prefix("OK") {
+        return Ok(payload.trim_start().to_string());
+    }
+    if let Some(reason) = line.strip_prefix("ERR") {
+        return Err(reason.trim_start().to_string());
+    }
+    Err(format!("malformed reply line: '{line}'"))
+}
+
+/// Extracts `key=value` fields of an `OK` payload into pairs, in order.
+pub fn payload_fields(payload: &str) -> Vec<(String, String)> {
+    payload
+        .split_whitespace()
+        .filter_map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+/// Looks up one field of an `OK` payload.
+pub fn payload_field(payload: &str, key: &str) -> Option<String> {
+    payload_fields(payload)
+        .into_iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_forms() {
+        let req = parse_request("LOAD pa n=5000 m0=4 seed=7 model=wc").unwrap();
+        assert_eq!(
+            req,
+            Request::Load(LoadSpec::PreferentialAttachment {
+                n: 5000,
+                m0: 4,
+                bidirectional: true,
+                seed: 7,
+                model: ModelSpec::WeightedCascade,
+            })
+        );
+        let req = parse_request("load er n=500 p=0.01 seed=3 model=const:0.1").unwrap();
+        assert_eq!(
+            req,
+            Request::Load(LoadSpec::ErdosRenyi {
+                n: 500,
+                p: 0.01,
+                seed: 3,
+                model: ModelSpec::Constant(0.1),
+            })
+        );
+        let req = parse_request("LOAD file /tmp/x.txt model=tri:9").unwrap();
+        assert_eq!(
+            req,
+            Request::Load(LoadSpec::File {
+                path: "/tmp/x.txt".into(),
+                model: ModelSpec::Trivalency { seed: 9 },
+            })
+        );
+        assert_eq!(
+            parse_request("POOL 10000 42").unwrap(),
+            Request::Pool {
+                theta: 10000,
+                seed: 42
+            }
+        );
+        let req = parse_request("QUERY ic seeds=1,2,3 budget=10 alg=replace").unwrap();
+        let Request::Query(q) = req else {
+            panic!("expected a query")
+        };
+        assert_eq!(q.seeds.len(), 3);
+        assert_eq!(q.budget, 10);
+        assert_eq!(q.algorithm, QueryAlgorithm::GreedyReplace);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        for (line, needle) in [
+            ("", "empty"),
+            ("FROB", "unknown command"),
+            ("LOAD", "graph kind"),
+            ("LOAD pa m0=4", "requires n="),
+            ("LOAD pa n=10", "m0="),
+            ("LOAD er n=10", "p="),
+            ("LOAD pa n=ten m0=4", "invalid value"),
+            ("LOAD pa n=10 m0=4 model=quantum", "unknown model"),
+            ("LOAD pa n=10 m0=4 frob=1", "unknown LOAD argument"),
+            ("POOL", "requires"),
+            ("POOL 10", "requires"),
+            ("POOL 10 1 2", "exactly two"),
+            ("QUERY", "model token"),
+            ("QUERY lt seeds=1 budget=1", "unsupported diffusion model"),
+            ("QUERY ic budget=1", "seeds="),
+            ("QUERY ic seeds=1", "budget="),
+            ("QUERY ic seeds= budget=1", "at least one"),
+            ("QUERY ic seeds=1,x budget=1", "invalid seed"),
+            ("QUERY ic seeds=1 budget=1 alg=magic", "unknown algorithm"),
+            ("QUERY ic seeds=1 budget=1 frob=2", "unknown QUERY argument"),
+        ] {
+            let err = parse_request(line).expect_err(line);
+            assert!(
+                err.contains(needle),
+                "'{line}' should mention '{needle}', got '{err}'"
+            );
+        }
+    }
+
+    #[test]
+    fn reply_parsing_and_payload_fields() {
+        assert_eq!(parse_reply("OK pong").unwrap(), "pong");
+        assert_eq!(parse_reply("OK").unwrap(), "");
+        assert_eq!(parse_reply("ERR nope").unwrap_err(), "nope");
+        assert!(parse_reply("banana").unwrap_err().contains("malformed"));
+        let payload = "blockers=1,2 spread=3.5 cached=false";
+        assert_eq!(payload_field(payload, "spread").as_deref(), Some("3.5"));
+        assert_eq!(payload_field(payload, "missing"), None);
+        assert_eq!(payload_fields(payload).len(), 3);
+    }
+}

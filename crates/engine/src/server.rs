@@ -1,0 +1,295 @@
+//! Threaded TCP server speaking the line protocol of [`crate::protocol`].
+//!
+//! One OS thread per connection, all connections sharing one
+//! [`Engine`] behind a mutex: queries are answered strictly one at a time,
+//! which keeps the engine's workspace reuse trivially sound (intra-query
+//! parallelism still uses the engine's worker threads). Every request line
+//! gets exactly one reply line; malformed input produces `ERR <reason>`
+//! and keeps the connection open.
+
+use crate::engine::{Engine, Query};
+use crate::protocol::{parse_request, LoadSpec, ModelSpec, Request};
+use imin_diffusion::ProbabilityModel;
+use imin_graph::edgelist::{load_edge_list, EdgeListOptions};
+use imin_graph::{generators, DiGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+
+/// A bound (but not yet accepting) protocol server.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<Mutex<Engine>>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with a fresh
+    /// engine.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::with_engine(addr, Engine::new())
+    }
+
+    /// Binds to `addr` with a caller-configured engine (thread count, cache
+    /// capacity, or even a pre-loaded graph).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn with_engine(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<Self> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            engine: Arc::new(Mutex::new(engine)),
+        })
+    }
+
+    /// The address the server is listening on (useful with port 0).
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections forever, one thread per connection.
+    ///
+    /// # Errors
+    /// Returns only if the listener itself fails.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = stream?;
+            let engine = Arc::clone(&self.engine);
+            std::thread::spawn(move || {
+                // A vanished client is not a server error.
+                let _ = serve_connection(stream, &engine);
+            });
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread and returns the bound
+    /// address — the in-process form the protocol tests use.
+    ///
+    /// # Errors
+    /// Propagates socket errors from address resolution.
+    pub fn spawn(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(addr)
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until `QUIT` or EOF.
+fn serve_connection(stream: TcpStream, engine: &Mutex<Engine>) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        // Blank lines still get a reply (`ERR empty request`) — a client
+        // that sends one must not be left waiting forever.
+        let (reply, quit) = answer_line(&line, engine);
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if quit {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Produces the reply line for one request line, plus whether to close.
+pub(crate) fn answer_line(line: &str, engine: &Mutex<Engine>) -> (String, bool) {
+    match parse_request(line) {
+        Err(reason) => (format!("ERR {reason}"), false),
+        Ok(Request::Quit) => ("OK bye".into(), true),
+        Ok(Request::Ping) => ("OK pong".into(), false),
+        Ok(request) => {
+            let mut engine = engine.lock().expect("engine mutex poisoned");
+            (execute(request, &mut engine), false)
+        }
+    }
+}
+
+/// Builds the graph described by a `LOAD` spec.
+fn build_graph(spec: &LoadSpec) -> Result<(DiGraph, String), String> {
+    let (topology, label, default_p) = match spec {
+        LoadSpec::PreferentialAttachment {
+            n,
+            m0,
+            bidirectional,
+            seed,
+            ..
+        } => (
+            generators::preferential_attachment(*n, *m0, *bidirectional, 1.0, *seed)
+                .map_err(|e| e.to_string())?,
+            format!("pa(n={n},m0={m0},seed={seed})"),
+            true,
+        ),
+        LoadSpec::ErdosRenyi { n, p, seed, .. } => (
+            generators::erdos_renyi(*n, *p, 1.0, *seed).map_err(|e| e.to_string())?,
+            format!("er(n={n},p={p},seed={seed})"),
+            true,
+        ),
+        LoadSpec::File { path, .. } => {
+            let loaded =
+                load_edge_list(path, &EdgeListOptions::default()).map_err(|e| e.to_string())?;
+            (loaded.graph, format!("file({path})"), false)
+        }
+    };
+    let model = match spec {
+        LoadSpec::PreferentialAttachment { model, .. }
+        | LoadSpec::ErdosRenyi { model, .. }
+        | LoadSpec::File { model, .. } => *model,
+    };
+    let model = match model {
+        ModelSpec::WeightedCascade => ProbabilityModel::WeightedCascade,
+        ModelSpec::Trivalency { seed } => ProbabilityModel::Trivalency { seed },
+        ModelSpec::Constant(p) => ProbabilityModel::Constant(p),
+        ModelSpec::Keep => ProbabilityModel::Keep,
+    };
+    // Generator topologies carry a placeholder probability of 1.0; refuse to
+    // silently treat that as a real IC assignment.
+    if default_p && model == ProbabilityModel::Keep {
+        return Err("generator graphs need an explicit model (wc, tri or const:<p>)".into());
+    }
+    let graph = model.apply(&topology).map_err(|e| e.to_string())?;
+    Ok((graph, format!("{label}/{}", model.label())))
+}
+
+/// Executes a state-touching request against the engine.
+fn execute(request: Request, engine: &mut Engine) -> String {
+    match request {
+        Request::Load(spec) => match build_graph(&spec) {
+            Err(reason) => format!("ERR {reason}"),
+            Ok((graph, label)) => {
+                let (n, m) = (graph.num_vertices(), graph.num_edges());
+                engine.load_graph(graph, label);
+                format!("OK n={n} m={m}")
+            }
+        },
+        Request::Pool { theta, seed } => match engine.build_pool(theta, seed) {
+            Err(err) => format!("ERR {err}"),
+            Ok(info) => format!(
+                "OK theta={} seed={} build_ms={} bytes={} live_edges={}",
+                info.theta,
+                info.seed,
+                info.build_time.as_millis(),
+                info.memory_bytes,
+                info.live_edges
+            ),
+        },
+        Request::Query(query) => run_query(&query, engine),
+        Request::Stats => stats_line(engine),
+        // Ping/Quit are handled before the engine lock is taken.
+        Request::Ping => "OK pong".into(),
+        Request::Quit => "OK bye".into(),
+    }
+}
+
+fn run_query(query: &Query, engine: &mut Engine) -> String {
+    match engine.query(query) {
+        Err(err) => format!("ERR {err}"),
+        Ok(result) => {
+            let blockers = result
+                .blockers
+                .iter()
+                .map(|b| b.raw().to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            format!(
+                "OK blockers={blockers} spread={} cached={} rounds={} samples={} elapsed_us={}",
+                result
+                    .estimated_spread
+                    .map(|s| format!("{s:.6}"))
+                    .unwrap_or_else(|| "nan".into()),
+                result.from_cache,
+                result.rounds,
+                result.samples_consulted,
+                result.elapsed.as_micros()
+            )
+        }
+    }
+}
+
+fn stats_line(engine: &Engine) -> String {
+    let stats = engine.stats();
+    let (n, m) = engine
+        .graph()
+        .map(|g| (g.num_vertices(), g.num_edges()))
+        .unwrap_or((0, 0));
+    let label = if engine.graph_label().is_empty() {
+        "none".to_string()
+    } else {
+        engine.graph_label().to_string()
+    };
+    let (theta, pool_seed, pool_bytes) = engine
+        .pool_info()
+        .map(|p| (p.theta, p.seed, p.memory_bytes))
+        .unwrap_or((0, 0, 0));
+    format!(
+        "OK graph={label} n={n} m={m} theta={theta} pool_seed={pool_seed} pool_bytes={pool_bytes} \
+         queries={} cache_hits={} cache_entries={} threads={}",
+        stats.queries,
+        stats.cache_hits,
+        engine.cache_entries(),
+        engine.threads()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Mutex<Engine> {
+        Mutex::new(Engine::new().with_threads(1))
+    }
+
+    #[test]
+    fn answer_line_walks_the_whole_lifecycle() {
+        let engine = engine();
+        let (reply, _) = answer_line("PING", &engine);
+        assert_eq!(reply, "OK pong");
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=1", &engine);
+        assert!(reply.starts_with("ERR"), "query before LOAD: {reply}");
+        let (reply, _) = answer_line("LOAD pa n=120 m0=3 seed=7 model=wc", &engine);
+        assert!(reply.starts_with("OK n=120"), "{reply}");
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=1", &engine);
+        assert!(reply.starts_with("ERR"), "query before POOL: {reply}");
+        let (reply, _) = answer_line("POOL 200 5", &engine);
+        assert!(reply.starts_with("OK theta=200 seed=5"), "{reply}");
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ag", &engine);
+        assert!(reply.starts_with("OK blockers="), "{reply}");
+        assert!(reply.contains("cached=false"), "{reply}");
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ag", &engine);
+        assert!(reply.contains("cached=true"), "{reply}");
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(
+            reply.contains("queries=4") && reply.contains("cache_hits=1"),
+            "{reply}"
+        );
+        let (reply, quit) = answer_line("QUIT", &engine);
+        assert_eq!(reply, "OK bye");
+        assert!(quit);
+    }
+
+    #[test]
+    fn parse_errors_do_not_quit() {
+        let engine = engine();
+        let (reply, quit) = answer_line("FLY ME TO THE MOON", &engine);
+        assert!(reply.starts_with("ERR"));
+        assert!(!quit);
+    }
+
+    #[test]
+    fn generator_load_requires_an_explicit_model() {
+        let engine = engine();
+        let (reply, _) = answer_line("LOAD pa n=50 m0=2 seed=1 model=keep", &engine);
+        assert!(reply.starts_with("ERR"), "{reply}");
+        assert!(reply.contains("explicit model"), "{reply}");
+    }
+}

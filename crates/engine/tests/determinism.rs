@@ -1,0 +1,107 @@
+//! Engine-level determinism: the same `(graph, θ, pool_seed, query)` must
+//! produce **byte-identical** blocker sets no matter how many worker
+//! threads the engine uses — 1, 2 and 8 all equal the sequential seed-path.
+//!
+//! This is the contract that makes the resident pool safe to scale: samples
+//! are fixed per index ([`imin_diffusion::live_edge::indexed_sample_seed`])
+//! and subtree credits are accumulated in integers, so thread count can
+//! never leak into an answer.
+
+use imin_engine::{Engine, Query, QueryAlgorithm};
+use imin_graph::{generators, VertexId};
+
+fn wc_graph(n: usize, seed: u64) -> imin_graph::DiGraph {
+    imin_diffusion::ProbabilityModel::WeightedCascade
+        .apply(&generators::preferential_attachment(n, 3, true, 1.0, seed).unwrap())
+        .unwrap()
+}
+
+fn primed(threads: usize) -> Engine {
+    let mut engine = Engine::new().with_threads(threads);
+    engine.load_graph(wc_graph(400, 77), "pa-400/WC".into());
+    engine.build_pool(600, 1234).unwrap();
+    engine
+}
+
+fn queries() -> Vec<Query> {
+    vec![
+        Query {
+            seeds: vec![VertexId::new(0)],
+            budget: 5,
+            algorithm: QueryAlgorithm::AdvancedGreedy,
+        },
+        Query {
+            seeds: vec![VertexId::new(3), VertexId::new(11)],
+            budget: 4,
+            algorithm: QueryAlgorithm::AdvancedGreedy,
+        },
+        Query {
+            seeds: vec![VertexId::new(0)],
+            budget: 3,
+            algorithm: QueryAlgorithm::GreedyReplace,
+        },
+        Query {
+            seeds: vec![VertexId::new(7), VertexId::new(2), VertexId::new(7)],
+            budget: 4,
+            algorithm: QueryAlgorithm::GreedyReplace,
+        },
+    ]
+}
+
+#[test]
+fn blocker_sets_are_byte_identical_at_1_2_and_8_threads() {
+    let mut sequential = primed(1);
+    let reference: Vec<_> = queries()
+        .iter()
+        .map(|q| sequential.query(q).unwrap())
+        .collect();
+    for threads in [2usize, 8] {
+        let mut engine = primed(threads);
+        for (query, expected) in queries().iter().zip(&reference) {
+            let result = engine.query(query).unwrap();
+            assert_eq!(
+                result.blockers, expected.blockers,
+                "threads={threads}, query {query:?}: blocker sets diverged"
+            );
+            // f64 spreads must also be bit-identical, not merely close:
+            // integer accumulators divided by the same θ.
+            assert_eq!(
+                result.estimated_spread, expected.estimated_spread,
+                "threads={threads}, query {query:?}: spreads diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn pool_rebuild_with_the_same_seed_reproduces_answers() {
+    let mut engine = primed(4);
+    let query = &queries()[0];
+    let first = engine.query(query).unwrap();
+    engine.build_pool(600, 1234).unwrap(); // same (θ, seed): cache cleared,
+    let again = engine.query(query).unwrap(); // but answers must reproduce
+    assert!(!again.from_cache);
+    assert_eq!(first.blockers, again.blockers);
+    assert_eq!(first.estimated_spread, again.estimated_spread);
+}
+
+#[test]
+fn batched_queries_match_single_queries_across_thread_counts() {
+    let mut reference = primed(1);
+    let expected: Vec<_> = queries()
+        .iter()
+        .map(|q| reference.query(q).unwrap())
+        .collect();
+    for threads in [2usize, 8] {
+        let mut engine = primed(threads);
+        let batch = engine.run_queries(&queries());
+        for ((result, expected), query) in batch.iter().zip(&expected).zip(queries()) {
+            let result = result.as_ref().unwrap();
+            assert_eq!(
+                result.blockers, expected.blockers,
+                "threads={threads}, query {query:?}"
+            );
+            assert_eq!(result.estimated_spread, expected.estimated_spread);
+        }
+    }
+}

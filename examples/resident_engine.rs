@@ -1,0 +1,99 @@
+//! Resident engine: load a network once, build the sample pool once, then
+//! answer a stream of containment questions interactively fast.
+//!
+//! This is the in-process face of what `imin-serve` exposes over TCP: the
+//! θ live-edge realisations depend only on the graph and the diffusion
+//! model, so they are materialised a single time and every query — any
+//! seed set, any budget, either greedy — only pays for re-rooting them.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example resident_engine
+//! ```
+
+use imin_engine::{Engine, Query, QueryAlgorithm};
+use imin_graph::{generators, VertexId};
+use std::time::Instant;
+
+fn main() {
+    // 1. A synthetic social network under the weighted-cascade model.
+    let topology =
+        generators::preferential_attachment(5_000, 4, true, 1.0, 42).expect("graph generation");
+    let graph = imin_diffusion::ProbabilityModel::WeightedCascade
+        .apply(&topology)
+        .expect("probability assignment");
+    println!(
+        "network: {} users, {} follow edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // 2. Prime the engine: one graph load, one pool build.
+    let mut engine = Engine::new();
+    engine.load_graph(graph, "pa-5000/WC".into());
+    let theta = 2_000;
+    let info = engine.build_pool(theta, 7).expect("pool build");
+    println!(
+        "pool: θ={} realisations, {} live edges, {:.1} MiB, built in {:?} on {} thread(s)",
+        info.theta,
+        info.live_edges,
+        info.memory_bytes as f64 / (1024.0 * 1024.0),
+        info.build_time,
+        info.threads
+    );
+
+    // 3. A stream of questions against the same resident pool: different
+    //    rumour sources, different budgets, both algorithms.
+    let questions = [
+        (vec![0u32], 10, QueryAlgorithm::AdvancedGreedy),
+        (vec![1, 17], 5, QueryAlgorithm::GreedyReplace),
+        (vec![42], 8, QueryAlgorithm::AdvancedGreedy),
+        (vec![0], 10, QueryAlgorithm::AdvancedGreedy), // repeat → cache hit
+    ];
+    for (seeds, budget, algorithm) in questions {
+        let query = Query {
+            seeds: seeds.iter().map(|&s| VertexId::from_raw(s)).collect(),
+            budget,
+            algorithm,
+        };
+        let result = engine.query(&query).expect("query");
+        println!(
+            "seeds={seeds:?} budget={budget} alg={}: {} blockers, spread≈{:.1}, {:?}{}",
+            algorithm.label(),
+            result.blockers.len(),
+            result.estimated_spread.unwrap_or(f64::NAN),
+            result.elapsed,
+            if result.from_cache {
+                " (cache hit)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    // 4. Batched queries fan out across the worker pool in one call.
+    let batch: Vec<Query> = (0..6)
+        .map(|i| Query {
+            seeds: vec![VertexId::new(100 + i)],
+            budget: 5,
+            algorithm: QueryAlgorithm::AdvancedGreedy,
+        })
+        .collect();
+    let start = Instant::now();
+    let answers = engine.run_queries(&batch);
+    let ok = answers.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "batch: {ok}/{} queries answered in {:?} ({:.1} queries/sec)",
+        batch.len(),
+        start.elapsed(),
+        batch.len() as f64 / start.elapsed().as_secs_f64()
+    );
+
+    let stats = engine.stats();
+    println!(
+        "engine stats: {} queries, {} cache hits, {} cached entries",
+        stats.queries,
+        stats.cache_hits,
+        engine.cache_entries()
+    );
+}

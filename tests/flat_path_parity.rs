@@ -8,10 +8,12 @@
 //! `dominator_tree_from_adjacency`) and to the brute-force
 //! `naive_immediate_dominators` oracle.
 
-use imin_core::advanced_greedy::advanced_greedy;
+use imin_core::advanced_greedy::{advanced_greedy, advanced_greedy_with_pool};
 use imin_core::decrease::{decrease_es_computation, DecreaseConfig, DecreaseEstimate};
+use imin_core::greedy_replace::greedy_replace_with_pool;
 use imin_core::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
-use imin_core::AlgorithmConfig;
+use imin_core::{AlgorithmConfig, SamplePool};
+use imin_diffusion::live_edge::sample_live_edges_indexed;
 use imin_diffusion::ProbabilityModel;
 use imin_domtree::dominator_tree_from_adjacency;
 use imin_domtree::naive::naive_immediate_dominators;
@@ -237,6 +239,69 @@ fn advanced_greedy_selection_is_identical_to_nested_reference() {
             flat.blockers, reference,
             "graph {gi}: blocker selections diverged"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resident-pool determinism (PR 3): the pooled path must be byte-identical
+// across worker-thread counts — a *stronger* contract than the classic
+// estimator, whose per-thread RNG streams make its output depend on the
+// thread count. Sample realisations are fixed per index, and subtree
+// credits accumulate in integers, so any sharding yields the same answer.
+// ---------------------------------------------------------------------------
+
+/// The pool's stored realisations must match the nested-vector reference
+/// sampler of the diffusion crate draw for draw: same indexed seed, same
+/// coin order, same live edges.
+#[test]
+fn pool_realisations_match_the_indexed_live_edge_sampler() {
+    let graph = ProbabilityModel::WeightedCascade
+        .apply(&generators::preferential_attachment(180, 3, false, 1.0, 31).unwrap())
+        .unwrap();
+    let pool = SamplePool::build_with_threads(&graph, 12, 555, 4).unwrap();
+    for i in 0..12 {
+        let nested = sample_live_edges_indexed(&graph, 555, i as u64);
+        let (offsets, targets) = pool.sample_csr(i);
+        for u in 0..graph.num_vertices() {
+            let slice = &targets[offsets[u] as usize..offsets[u + 1] as usize];
+            assert_eq!(slice, nested[u].as_slice(), "sample {i}, vertex {u}");
+        }
+    }
+}
+
+/// Same `(graph, θ, pool_seed, query)` ⇒ byte-identical blocker sets at 1,
+/// 2 and 8 worker threads, all equal to the sequential seed-path — for both
+/// pool-backed algorithms and for multi-seed queries.
+#[test]
+fn pooled_selections_are_byte_identical_across_thread_counts() {
+    let graph = ProbabilityModel::WeightedCascade
+        .apply(&generators::preferential_attachment(300, 3, true, 1.0, 13).unwrap())
+        .unwrap();
+    let n = graph.num_vertices();
+    let forbidden = vec![false; n];
+    let seed_sets: [&[VertexId]; 2] = [&[vid(0)], &[vid(2), vid(9)]];
+    // The sequential seed-path: pool built and queried with one thread.
+    let pool_seq = SamplePool::build_with_threads(&graph, 500, 99, 1).unwrap();
+    for seeds in seed_sets {
+        let ag_ref = advanced_greedy_with_pool(&pool_seq, seeds, &forbidden, 4, 1).unwrap();
+        let gr_ref = greedy_replace_with_pool(&pool_seq, &graph, seeds, &forbidden, 3, 1).unwrap();
+        for threads in [2usize, 8] {
+            // Both the pool build *and* the query run at `threads`.
+            let pool = SamplePool::build_with_threads(&graph, 500, 99, threads).unwrap();
+            let ag = advanced_greedy_with_pool(&pool, seeds, &forbidden, 4, threads).unwrap();
+            assert_eq!(
+                ag.blockers, ag_ref.blockers,
+                "AG seeds={seeds:?} threads={threads}"
+            );
+            assert_eq!(ag.estimated_spread, ag_ref.estimated_spread);
+            let gr =
+                greedy_replace_with_pool(&pool, &graph, seeds, &forbidden, 3, threads).unwrap();
+            assert_eq!(
+                gr.blockers, gr_ref.blockers,
+                "GR seeds={seeds:?} threads={threads}"
+            );
+            assert_eq!(gr.estimated_spread, gr_ref.estimated_spread);
+        }
     }
 }
 
