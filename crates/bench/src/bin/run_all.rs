@@ -2,11 +2,16 @@
 //! heuristics table, timing figures, budget/seed scalability, triggering
 //! extension). Intended for `IMIN_SCALE=tiny` smoke runs; at larger scales
 //! prefer running the individual binaries.
-use imin_bench::{paper_models, BenchSettings};
+//!
+//! `IMIN_ALGS` selects the heuristics-table columns by registry name, as
+//! in `table7_heuristics`.
+use imin_bench::experiments::TABLE7_DEFAULT_ALGS;
+use imin_bench::{algorithms_from_env, paper_models, BenchSettings};
 use imin_datasets::Dataset;
 use imin_diffusion::ProbabilityModel;
 fn main() {
     let settings = BenchSettings::from_env();
+    let algorithms = algorithms_from_env("IMIN_ALGS", TABLE7_DEFAULT_ALGS);
     println!("settings: {settings:?}\n");
     imin_bench::experiments::table3_toy().emit("table3_toy");
     imin_bench::experiments::exact_vs_gr(
@@ -21,9 +26,16 @@ fn main() {
     let thetas = imin_bench::experiments::default_thetas(&settings);
     imin_bench::experiments::theta_sweep(&settings, &thetas, 20).emit("fig5_6_theta");
     for model in paper_models(settings.seed) {
-        imin_bench::experiments::heuristics_comparison(model, &[20, 60, 100], &settings).emit(
-            &format!("table7_heuristics_{}", model.label().to_lowercase()),
-        );
+        imin_bench::experiments::heuristics_comparison(
+            model,
+            &[20, 60, 100],
+            &algorithms,
+            &settings,
+        )
+        .emit(&format!(
+            "table7_heuristics_{}",
+            model.label().to_lowercase()
+        ));
         imin_bench::experiments::time_comparison(model, &settings)
             .emit(&format!("fig7_8_time_{}", model.label().to_lowercase()));
         imin_bench::experiments::budget_sweep(

@@ -1,20 +1,30 @@
-//! Regenerates Table VII: expected spread of RA / OD / AG / GR for budgets
-//! 20..100 on all eight datasets under both the TR and WC models.
-use imin_bench::{paper_models, BenchSettings};
+//! Regenerates Table VII: expected spread of the selected algorithms
+//! (default RA / OD / AG / GR) for budgets 20..100 on all eight datasets
+//! under both the TR and WC models.
+//!
+//! `IMIN_ALGS` selects the columns by name — any spelling the
+//! `imin_core::AlgorithmKind` registry accepts, e.g.
+//! `IMIN_ALGS=ra,pagerank,degree,gr`.
+use imin_bench::experiments::TABLE7_DEFAULT_ALGS;
+use imin_bench::{algorithms_from_env, paper_models, BenchSettings};
 fn main() {
     let settings = BenchSettings::from_env();
+    let algorithms = algorithms_from_env("IMIN_ALGS", TABLE7_DEFAULT_ALGS);
     let budgets: Vec<usize> = std::env::var("IMIN_BUDGETS")
         .ok()
         .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
         .unwrap_or_else(|| vec![20, 40, 60, 80, 100]);
     for model in paper_models(settings.seed) {
+        let labels: Vec<&str> = algorithms.iter().map(|a| a.label()).collect();
         println!(
-            "== Table VII ({} model): RA / OD / AG / GR ==",
-            model.label()
+            "== Table VII ({} model): {} ==",
+            model.label(),
+            labels.join(" / ")
         );
-        imin_bench::experiments::heuristics_comparison(model, &budgets, &settings).emit(&format!(
-            "table7_heuristics_{}",
-            model.label().to_lowercase()
-        ));
+        imin_bench::experiments::heuristics_comparison(model, &budgets, &algorithms, &settings)
+            .emit(&format!(
+                "table7_heuristics_{}",
+                model.label().to_lowercase()
+            ));
     }
 }

@@ -169,14 +169,20 @@ pub fn theta_sweep(settings: &BenchSettings, thetas: &[usize], budget: usize) ->
     table
 }
 
-/// Table VII: expected spread of RA / OD / AG / GR for several budgets on
-/// every dataset under one probability model.
+/// Table VII: expected spread of the given algorithms (default RA / OD /
+/// AG / GR) for several budgets on every dataset under one probability
+/// model. The algorithm list comes straight from the [`Algorithm`]
+/// registry, so callers select columns by name (`IMIN_ALGS`) instead of a
+/// hard-coded match.
 pub fn heuristics_comparison(
     model: ProbabilityModel,
     budgets: &[usize],
+    algorithms: &[Algorithm],
     settings: &BenchSettings,
 ) -> Table {
-    let mut table = Table::new(&["dataset", "model", "b", "RA", "OD", "AG", "GR"]);
+    let mut headers = vec!["dataset", "model", "b"];
+    headers.extend(algorithms.iter().map(|a| a.label()));
+    let mut table = Table::new(&headers);
     for &dataset in Dataset::all() {
         let instance = prepare_instance(dataset, model, settings);
         for &b in budgets {
@@ -185,12 +191,7 @@ pub fn heuristics_comparison(
                 instance.model.to_string(),
                 b.to_string(),
             ];
-            for algorithm in [
-                Algorithm::Random,
-                Algorithm::OutDegree,
-                Algorithm::AdvancedGreedy,
-                Algorithm::GreedyReplace,
-            ] {
+            for &algorithm in algorithms {
                 let run = crate::run_algorithm(&instance, algorithm, b, settings);
                 cells.push(format!("{:.3}", run.spread));
             }
@@ -199,6 +200,10 @@ pub fn heuristics_comparison(
     }
     table
 }
+
+/// The Table VII default column set: Rand, OutDegree, AdvancedGreedy,
+/// GreedyReplace.
+pub const TABLE7_DEFAULT_ALGS: &str = "ra,od,ag,gr";
 
 /// Figures 7 and 8: selection time of BG / AG / GR with budget 10.
 ///

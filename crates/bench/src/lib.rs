@@ -106,6 +106,38 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses a comma-separated algorithm list (`"ra,od,ag,gr"`, any spelling
+/// the [`Algorithm`] registry accepts) into algorithm kinds, preserving
+/// order.
+///
+/// # Errors
+/// Returns the registry's [`imin_core::IminError::UnknownAlgorithm`] for
+/// the first unrecognised name.
+pub fn parse_algorithms(spec: &str) -> Result<Vec<Algorithm>, imin_core::IminError> {
+    spec.split(',')
+        .map(str::trim)
+        .filter(|token| !token.is_empty())
+        .map(str::parse)
+        .collect()
+}
+
+/// Reads an algorithm list from the environment variable `var`, falling
+/// back to `default`. Every spelling resolves through the one
+/// [`Algorithm`] registry; an unknown name aborts the binary with the
+/// registry's error (listing every accepted name) instead of silently
+/// running the wrong comparison.
+pub fn algorithms_from_env(var: &str, default: &str) -> Vec<Algorithm> {
+    let spec = std::env::var(var).unwrap_or_else(|_| default.to_string());
+    match parse_algorithms(&spec) {
+        Ok(algorithms) if !algorithms.is_empty() => algorithms,
+        Ok(_) => parse_algorithms(default).expect("default algorithm list is valid"),
+        Err(err) => {
+            eprintln!("{var}: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// A dataset prepared for one experiment: probability model applied, seeds
 /// drawn, problem constructed.
 pub struct PreparedInstance {
@@ -359,6 +391,25 @@ mod tests {
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.starts_with("a,bbbb"));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn algorithm_lists_resolve_through_the_registry() {
+        let algs = parse_algorithms("ra, od ,ag,gr").unwrap();
+        assert_eq!(
+            algs,
+            vec![
+                Algorithm::Random,
+                Algorithm::OutDegree,
+                Algorithm::AdvancedGreedy,
+                Algorithm::GreedyReplace
+            ]
+        );
+        assert_eq!(
+            parse_algorithms("pagerank,degree").unwrap(),
+            vec![Algorithm::PageRank, Algorithm::Degree]
+        );
+        assert!(parse_algorithms("ra,quantum").is_err());
     }
 
     #[test]

@@ -8,23 +8,127 @@
 //! per round drops from `O(n · r · m)` to `O(θ · m · α(m, n))` without
 //! changing the greedy choices in expectation (§V-C, "Comparison with
 //! Baseline").
+//!
+//! The preferred entry point is the [`AdvancedGreedy`] solver behind a
+//! [`crate::ContainmentRequest`]: one call shape for any seed-set size and
+//! either evaluation backend (`Fresh` self-sampling per round, or `Pooled`
+//! re-rooting of a resident [`SamplePool`]). The free functions below are
+//! thin shims kept for source compatibility and are parity-tested
+//! byte-identical to the solver.
 
-use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
-use crate::pool::{pooled_advanced_greedy_in, PoolWorkspace, SamplePool};
+use crate::decrease::{decrease_es_multi_in, DecreaseConfig, DecreaseWorkspace};
+use crate::pool::{pooled_advanced_greedy_in, with_pool_workspace, PoolWorkspace, SamplePool};
+use crate::request::{shim_request_from_config, ContainmentRequest, EvalBackend};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
+use crate::solver::{AlgorithmKind, BlockerSolver};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
-use crate::{IminError, Result};
+use crate::Result;
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
 
-/// Runs AdvancedGreedy against a **borrowed resident sample pool** instead
-/// of self-sampling: every round re-roots the pool's θ realisations at the
-/// (multi-)seed set, so per-call work is BFS + dominator trees only and the
-/// pool amortises across unbounded calls. Results are bit-identical at any
-/// `threads` value (see [`crate::pool`]).
+/// Algorithm 3 behind the unified request API (`AG` in the figures).
 ///
-/// The self-sampling [`advanced_greedy`] / [`advanced_greedy_with`] below
-/// keep their historical per-round-redraw behaviour for one-shot callers.
+/// `Fresh` requests redraw θ samples per greedy round (the historical
+/// behaviour); `Pooled` requests re-root a resident pool instead, with
+/// answers bit-identical at any thread count (see [`crate::pool`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdvancedGreedy;
+
+impl BlockerSolver for AdvancedGreedy {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::AdvancedGreedy
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        match *request.backend() {
+            EvalBackend::Fresh {
+                theta,
+                seed,
+                threads,
+            } => {
+                fresh_advanced_greedy_with(&IcLiveEdgeSampler, graph, request, theta, seed, threads)
+            }
+            EvalBackend::Pooled { pool, threads } => with_pool_workspace(|workspace| {
+                pooled_advanced_greedy_in(
+                    pool,
+                    request.seeds(),
+                    request.forbidden().mask(),
+                    request.budget(),
+                    threads,
+                    workspace,
+                )
+            }),
+        }
+    }
+}
+
+/// The `Fresh`-backend greedy loop, generic over the sample source (IC or
+/// triggering, §V-E) and over the seed-set size: every round prices
+/// candidates with [`decrease_es_multi_in`], which takes the historical
+/// single-source path for one seed and virtual-root re-rooting for several.
+pub(crate) fn fresh_advanced_greedy_with<S: SpreadSampler + ?Sized>(
+    sampler: &S,
+    graph: &DiGraph,
+    request: &ContainmentRequest<'_>,
+    theta: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    let n = graph.num_vertices();
+    let budget = request.budget();
+    let mut blocked = vec![false; n];
+    let mut blockers = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    let mut estimated_spread = None;
+    // One workspace for the whole run: every round's `budget × θ` sampling
+    // loop reuses the same per-thread sample arenas and dominator-tree
+    // scratch, so steady-state rounds never touch the allocator.
+    let mut workspace = DecreaseWorkspace::new();
+
+    for round in 0..budget {
+        let decrease_cfg = DecreaseConfig {
+            theta,
+            threads,
+            // A fresh sample pool per round (deterministically derived).
+            seed: seed.wrapping_add(round as u64),
+        };
+        let estimate = decrease_es_multi_in(
+            sampler,
+            graph,
+            request.seeds(),
+            &blocked,
+            &decrease_cfg,
+            &mut workspace,
+        )?;
+        stats.samples_drawn += estimate.samples;
+
+        let chosen = estimate.best_candidate(|v| !blocked[v.index()] && request.is_candidate(v));
+        let Some(chosen) = chosen else {
+            estimated_spread = Some(estimate.average_reached);
+            break;
+        };
+        // Spread after this block ≈ spread before it minus the estimated
+        // decrease of the chosen vertex (both from the same sample pool).
+        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
+        blocked[chosen.index()] = true;
+        blockers.push(chosen);
+        stats.rounds = round + 1;
+    }
+
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers,
+        estimated_spread,
+        stats,
+    })
+}
+
+/// Runs AdvancedGreedy against a **borrowed resident sample pool** instead
+/// of self-sampling — the `Pooled` backend of [`AdvancedGreedy`] as a free
+/// function. Results are bit-identical at any `threads` value (see
+/// [`crate::pool`]).
 ///
 /// # Errors
 /// Returns an error on a zero budget, an invalid seed set, or a
@@ -46,7 +150,8 @@ pub fn advanced_greedy_with_pool(
     )
 }
 
-/// Runs AdvancedGreedy with the standard IC live-edge sampler.
+/// Runs AdvancedGreedy with the standard IC live-edge sampler — the
+/// single-source `Fresh` shim over [`AdvancedGreedy`].
 pub fn advanced_greedy(
     graph: &DiGraph,
     source: VertexId,
@@ -66,7 +171,8 @@ pub fn advanced_greedy(
 /// vertex.
 ///
 /// # Errors
-/// Returns an error on a zero budget, zero θ, or an invalid source.
+/// Returns an error on a zero budget, zero θ, an invalid source, or a
+/// wrong-length forbidden mask.
 pub fn advanced_greedy_with<S: SpreadSampler + ?Sized>(
     sampler: &S,
     graph: &DiGraph,
@@ -75,70 +181,22 @@ pub fn advanced_greedy_with<S: SpreadSampler + ?Sized>(
     budget: usize,
     config: &AlgorithmConfig,
 ) -> Result<BlockerSelection> {
-    let start = Instant::now();
-    let n = graph.num_vertices();
-    if budget == 0 {
-        return Err(IminError::ZeroBudget);
-    }
-    if source.index() >= n {
-        return Err(IminError::SeedOutOfRange {
-            vertex: source.index(),
-            num_vertices: n,
-        });
-    }
-
-    let mut blocked = vec![false; n];
-    let mut blockers = Vec::with_capacity(budget);
-    let mut stats = SelectionStats::default();
-    let mut estimated_spread = None;
-    // One workspace for the whole run: every round's `budget × θ` sampling
-    // loop reuses the same per-thread sample arenas and dominator-tree
-    // scratch, so steady-state rounds never touch the allocator.
-    let mut workspace = DecreaseWorkspace::new();
-
-    for round in 0..budget {
-        let decrease_cfg = DecreaseConfig {
-            theta: config.theta,
-            threads: config.threads,
-            // A fresh sample pool per round (deterministically derived).
-            seed: config.seed.wrapping_add(round as u64),
-        };
-        let estimate = decrease_es_computation_in(
-            sampler,
-            graph,
-            source,
-            &blocked,
-            &decrease_cfg,
-            &mut workspace,
-        )?;
-        stats.samples_drawn += estimate.samples;
-
-        let chosen = estimate
-            .best_candidate(|v| v != source && !blocked[v.index()] && !forbidden[v.index()]);
-        let Some(chosen) = chosen else {
-            estimated_spread = Some(estimate.average_reached);
-            break;
-        };
-        // Spread after this block ≈ spread before it minus the estimated
-        // decrease of the chosen vertex (both from the same sample pool).
-        estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
-        blocked[chosen.index()] = true;
-        blockers.push(chosen);
-        stats.rounds = round + 1;
-    }
-
-    stats.elapsed = start.elapsed();
-    Ok(BlockerSelection {
-        blockers,
-        estimated_spread,
-        stats,
-    })
+    let request = shim_request_from_config(graph, &[source], forbidden, budget, config)?;
+    fresh_advanced_greedy_with(
+        sampler,
+        graph,
+        &request,
+        config.theta,
+        config.seed,
+        config.threads,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::baseline_greedy::baseline_greedy;
+    use crate::IminError;
 
     fn vid(i: usize) -> VertexId {
         VertexId::new(i)

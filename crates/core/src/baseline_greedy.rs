@@ -9,13 +9,104 @@
 //! (Figures 7 and 8). It is included as the comparator for the efficiency
 //! experiments and as an effectiveness oracle on small graphs.
 
+//!
+//! The preferred entry point is the [`BaselineGreedy`] solver behind a
+//! [`crate::ContainmentRequest`] (`Fresh` backend only — the algorithm is
+//! defined by Monte-Carlo simulation, which a resident sample pool does not
+//! provide). The [`baseline_greedy`] free function is a thin single-source
+//! shim over it.
+
+use crate::request::{shim_request_from_config, ContainmentRequest, EvalBackend};
+use crate::solver::{AlgorithmKind, BlockerSolver};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
 use imin_diffusion::montecarlo::MonteCarloEstimator;
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
 
-/// Runs BaselineGreedy for a single source vertex.
+/// Algorithm 1 behind the unified request API (`BG` in the figures).
+///
+/// Requires a `Fresh` backend; `Pooled` requests are rejected with
+/// [`IminError::BackendUnsupported`] because the per-candidate evaluation
+/// is Monte-Carlo simulation, not live-edge re-rooting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BaselineGreedy;
+
+impl BlockerSolver for BaselineGreedy {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::BaselineGreedy
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let EvalBackend::Fresh { seed, threads, .. } = *request.backend() else {
+            return Err(IminError::BackendUnsupported {
+                algorithm: self.kind().name(),
+                backend: request.backend().label(),
+            });
+        };
+        let start = Instant::now();
+        let n = graph.num_vertices();
+        let budget = request.budget();
+        let rounds = request.mcs_rounds();
+        if rounds == 0 {
+            return Err(IminError::ZeroSamples);
+        }
+
+        let estimator = MonteCarloEstimator {
+            rounds,
+            threads,
+            seed,
+        };
+
+        let mut blocked = vec![false; n];
+        let mut blockers = Vec::with_capacity(budget);
+        let mut stats = SelectionStats::default();
+        let mut current_spread = estimator
+            .expected_spread_blocked(graph, request.seeds(), Some(&blocked))?
+            .mean;
+        stats.mcs_rounds_run += rounds;
+
+        for round in 0..budget {
+            let mut best: Option<(f64, VertexId)> = None;
+            // Enumerate every candidate blocker, exactly as Algorithm 1 does.
+            for v in graph.vertices() {
+                if blocked[v.index()] || !request.is_candidate(v) {
+                    continue;
+                }
+                blocked[v.index()] = true;
+                let spread_after = estimator
+                    .expected_spread_blocked(graph, request.seeds(), Some(&blocked))?
+                    .mean;
+                blocked[v.index()] = false;
+                stats.mcs_rounds_run += rounds;
+                let decrease = current_spread - spread_after;
+                match best {
+                    None => best = Some((decrease, v)),
+                    Some((bd, _)) if decrease > bd => best = Some((decrease, v)),
+                    _ => {}
+                }
+            }
+            let Some((decrease, chosen)) = best else {
+                break; // no candidate left
+            };
+            blocked[chosen.index()] = true;
+            blockers.push(chosen);
+            current_spread -= decrease;
+            stats.rounds = round + 1;
+        }
+
+        stats.elapsed = start.elapsed();
+        Ok(BlockerSelection {
+            blockers,
+            estimated_spread: Some(current_spread),
+            stats,
+        })
+    }
+}
+
+/// Runs BaselineGreedy for a single source vertex — the single-source shim
+/// over the [`BaselineGreedy`] solver.
 ///
 /// `forbidden[v] = true` marks vertices that may never be blocked (the
 /// original seeds and the unified seed); the source itself is always
@@ -33,70 +124,8 @@ pub fn baseline_greedy(
     budget: usize,
     config: &AlgorithmConfig,
 ) -> Result<BlockerSelection> {
-    let start = Instant::now();
-    let n = graph.num_vertices();
-    if budget == 0 {
-        return Err(IminError::ZeroBudget);
-    }
-    if config.mcs_rounds == 0 {
-        return Err(IminError::ZeroSamples);
-    }
-    if source.index() >= n {
-        return Err(IminError::SeedOutOfRange {
-            vertex: source.index(),
-            num_vertices: n,
-        });
-    }
-
-    let estimator = MonteCarloEstimator {
-        rounds: config.mcs_rounds,
-        threads: config.threads,
-        seed: config.seed,
-    };
-
-    let mut blocked = vec![false; n];
-    let mut blockers = Vec::with_capacity(budget);
-    let mut stats = SelectionStats::default();
-    let mut current_spread = estimator
-        .expected_spread_blocked(graph, &[source], Some(&blocked))?
-        .mean;
-    stats.mcs_rounds_run += config.mcs_rounds;
-
-    for round in 0..budget {
-        let mut best: Option<(f64, VertexId)> = None;
-        // Enumerate every candidate blocker, exactly as Algorithm 1 does.
-        for v in graph.vertices() {
-            if v == source || blocked[v.index()] || forbidden[v.index()] {
-                continue;
-            }
-            blocked[v.index()] = true;
-            let spread_after = estimator
-                .expected_spread_blocked(graph, &[source], Some(&blocked))?
-                .mean;
-            blocked[v.index()] = false;
-            stats.mcs_rounds_run += config.mcs_rounds;
-            let decrease = current_spread - spread_after;
-            match best {
-                None => best = Some((decrease, v)),
-                Some((bd, _)) if decrease > bd => best = Some((decrease, v)),
-                _ => {}
-            }
-        }
-        let Some((decrease, chosen)) = best else {
-            break; // no candidate left
-        };
-        blocked[chosen.index()] = true;
-        blockers.push(chosen);
-        current_spread -= decrease;
-        stats.rounds = round + 1;
-    }
-
-    stats.elapsed = start.elapsed();
-    Ok(BlockerSelection {
-        blockers,
-        estimated_spread: Some(current_spread),
-        stats,
-    })
+    let request = shim_request_from_config(graph, &[source], forbidden, budget, config)?;
+    BaselineGreedy.solve(graph, &request)
 }
 
 #[cfg(test)]

@@ -21,6 +21,16 @@
 //! high-water mark, drawing a sample and pricing every candidate allocates
 //! nothing.
 
+//! ## Multi-seed requests
+//!
+//! [`decrease_es_multi_in`] generalises the estimator to a whole seed set
+//! without materialising a merged graph: every sample is rooted at a
+//! *virtual root* with one deterministic edge per seed (the same re-rooting
+//! construction [`crate::pool`] applies to stored realisations), the
+//! dominator tree is computed from that root, and seeds earn no credit.
+//! With a single seed it takes the historical single-source path, so
+//! results are bit-identical to [`decrease_es_computation_in`].
+
 use crate::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
 use crate::{IminError, Result};
 use imin_domtree::DomTreeWorkspace;
@@ -152,15 +162,73 @@ impl WorkerScratch {
         }
         reached_sum
     }
+
+    /// Multi-seed counterpart of [`WorkerScratch::accumulate`]: every sample
+    /// is rooted at a virtual root above the whole seed set (see
+    /// [`SpreadSampler::sample_multi`]), and seeds earn no credit.
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate_multi<S: SpreadSampler + ?Sized>(
+        &mut self,
+        sampler: &S,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        is_seed: &[bool],
+        blocked: &[bool],
+        samples: usize,
+        seed: u64,
+    ) -> f64 {
+        let n = graph.num_vertices();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let WorkerScratch {
+            sample,
+            domtree,
+            sizes,
+            delta_sum,
+        } = self;
+        delta_sum.clear();
+        delta_sum.resize(n, 0.0);
+        let mut reached_sum = 0.0f64;
+        // Local 0 is the virtual root; it is bookkeeping, not spread.
+        let only_seeds = 1 + seeds.len();
+        for _ in 0..samples {
+            sampler.sample_multi(graph, seeds, blocked, &mut rng, sample);
+            let reached = sample.num_reached();
+            reached_sum += (reached - 1) as f64;
+            if reached <= only_seeds {
+                // Nothing beyond the seeds was reached: no candidate can
+                // earn credit from this sample.
+                continue;
+            }
+            let dt = domtree.compute_csr(
+                reached,
+                sample.offsets(),
+                sample.targets(),
+                VertexId::new(0),
+            );
+            dt.subtree_sizes_into(sizes);
+            let globals = sample.vertices();
+            for local in 1..reached {
+                let g = globals[local] as usize;
+                if is_seed[g] {
+                    continue;
+                }
+                delta_sum[g] += sizes[local] as f64;
+            }
+        }
+        reached_sum
+    }
 }
 
-/// Reusable state for [`decrease_es_computation_in`]: one [`WorkerScratch`]
-/// per worker thread, kept alive across greedy rounds so that the whole
-/// `budget × θ` loop of Algorithms 3 and 4 allocates nothing in steady
-/// state.
+/// Reusable state for [`decrease_es_computation_in`] and
+/// [`decrease_es_multi_in`]: one scratch set per worker thread plus the
+/// canonicalised-seed staging buffers, kept alive across greedy rounds so
+/// that the whole `budget × θ` loop of Algorithms 3 and 4 allocates
+/// nothing in steady state.
 #[derive(Clone, Debug, Default)]
 pub struct DecreaseWorkspace {
     workers: Vec<WorkerScratch>,
+    staged_seeds: Vec<VertexId>,
+    is_seed: Vec<bool>,
 }
 
 impl DecreaseWorkspace {
@@ -170,10 +238,43 @@ impl DecreaseWorkspace {
     }
 
     fn ensure_workers(&mut self, threads: usize) -> &mut [WorkerScratch] {
-        if self.workers.len() < threads {
-            self.workers.resize_with(threads, WorkerScratch::default);
+        ensure_workers(&mut self.workers, threads)
+    }
+
+    /// Canonicalises (sorts, dedups, validates) the request seed set into
+    /// the workspace buffers. Steady-state calls allocate nothing once the
+    /// buffers have grown to the graph size.
+    fn stage_seeds(&mut self, n: usize, seeds: &[VertexId], blocked: &[bool]) -> Result<()> {
+        if seeds.is_empty() {
+            return Err(IminError::EmptySeedSet);
         }
-        &mut self.workers[..threads]
+        // A previous round may have staged seeds for a different (larger)
+        // graph; clear only the slots that still exist.
+        for &v in &self.staged_seeds {
+            if let Some(slot) = self.is_seed.get_mut(v.index()) {
+                *slot = false;
+            }
+        }
+        self.is_seed.resize(n, false);
+        self.staged_seeds.clear();
+        for &s in seeds {
+            if s.index() >= n {
+                return Err(IminError::SeedOutOfRange {
+                    vertex: s.index(),
+                    num_vertices: n,
+                });
+            }
+            if blocked[s.index()] {
+                return Err(IminError::ForbiddenSeedOverlap { vertex: s.index() });
+            }
+            self.staged_seeds.push(s);
+        }
+        self.staged_seeds.sort_unstable();
+        self.staged_seeds.dedup();
+        for &s in &self.staged_seeds {
+            self.is_seed[s.index()] = true;
+        }
+        Ok(())
     }
 }
 
@@ -248,38 +349,68 @@ pub fn decrease_es_computation_in<S: SpreadSampler + ?Sized>(
 
     let threads = config.threads.max(1).min(config.theta);
     let workers = workspace.ensure_workers(threads);
-    if threads <= 1 {
-        let worker = &mut workers[0];
-        let reached_sum =
-            worker.accumulate(sampler, graph, source, blocked, config.theta, config.seed);
-        return Ok(finalise(&worker.delta_sum, reached_sum, config.theta));
-    }
+    let reached_sum = accumulate_sharded(workers, threads, config, |worker, samples, seed| {
+        worker.accumulate(sampler, graph, source, blocked, samples, seed)
+    });
+    Ok(finalise(merged_delta(workers), reached_sum, config.theta))
+}
 
+/// Grows `workers` to at least `threads` scratch sets and returns the
+/// active slice — the one worker-growth policy behind both estimator
+/// paths (the method form exists only for the borrow-friendly call on a
+/// whole workspace).
+fn ensure_workers(workers: &mut Vec<WorkerScratch>, threads: usize) -> &mut [WorkerScratch] {
+    if workers.len() < threads {
+        workers.resize_with(threads, WorkerScratch::default);
+    }
+    &mut workers[..threads]
+}
+
+/// The θ-sharding scaffold shared by the single- and multi-seed
+/// estimators: one `accumulate(worker, samples, seed)` call per worker
+/// thread, with `base + 1`-sized shards for the first `θ % threads`
+/// workers and per-thread RNG streams derived from the golden-ratio
+/// constant. Handles join in spawn order, so the returned cascade-size sum
+/// is deterministic for a fixed configuration. Keeping one scaffold makes
+/// the documented single-/multi-seed bit-compatibility structural.
+fn accumulate_sharded<F>(
+    workers: &mut [WorkerScratch],
+    threads: usize,
+    config: &DecreaseConfig,
+    accumulate: F,
+) -> f64
+where
+    F: Fn(&mut WorkerScratch, usize, u64) -> f64 + Sync,
+{
+    if threads <= 1 {
+        return accumulate(&mut workers[0], config.theta, config.seed);
+    }
     let base = config.theta / threads;
     let extra = config.theta % threads;
     let mut reached_sum = 0.0f64;
     crossbeam::scope(|scope| {
+        let accumulate = &accumulate;
         let mut handles = Vec::with_capacity(threads);
         for (t, worker) in workers.iter_mut().enumerate() {
             let samples_here = base + usize::from(t < extra);
             let seed_here = config
                 .seed
                 .wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(t as u64 + 1));
-            handles.push(scope.spawn(move |_| {
-                worker.accumulate(sampler, graph, source, blocked, samples_here, seed_here)
-            }));
+            handles.push(scope.spawn(move |_| accumulate(worker, samples_here, seed_here)));
         }
-        // Handles join in spawn order, so the sum is deterministic for a
-        // fixed configuration.
         for h in handles {
             reached_sum += h.join().expect("decrease-estimation worker panicked");
         }
     })
     .expect("crossbeam scope failed");
+    reached_sum
+}
 
-    // Merge per-thread partial sums in thread order into worker 0's buffer
-    // (deterministic floating-point addition, and no per-round allocation —
-    // the buffer is workspace-owned and reset at the start of each round).
+/// Merges per-thread partial sums in thread order into worker 0's buffer
+/// (deterministic floating-point addition, and no per-round allocation —
+/// the buffer is workspace-owned and reset at the start of each round).
+/// With a single worker this is a no-op borrow.
+fn merged_delta(workers: &mut [WorkerScratch]) -> &[f64] {
     let (first, rest) = workers.split_at_mut(1);
     let delta_sum = &mut first[0].delta_sum;
     for worker in rest.iter() {
@@ -287,7 +418,71 @@ pub fn decrease_es_computation_in<S: SpreadSampler + ?Sized>(
             *acc += d;
         }
     }
-    Ok(finalise(delta_sum, reached_sum, config.theta))
+    delta_sum
+}
+
+/// Algorithm 2 for a whole seed set, drawing every scratch buffer from
+/// `workspace`.
+///
+/// Seeds are canonicalised (sorted, deduplicated) and every sample is
+/// rooted at a virtual root with one deterministic edge per seed — the
+/// re-rooting construction of [`crate::pool`], applied at sampling time.
+/// `estimate.delta[u]` is 0 for seeds, blocked vertices and unreachable
+/// vertices; `estimate.average_reached` counts every seed as active.
+///
+/// With exactly one (deduplicated) seed this delegates to the historical
+/// single-source path, so single-seed results are bit-identical to
+/// [`decrease_es_computation_in`].
+///
+/// # Errors
+/// Returns an error if θ is zero, the seed set is empty, a seed is out of
+/// range or blocked, or the blocked mask has the wrong length.
+pub fn decrease_es_multi_in<S: SpreadSampler + ?Sized>(
+    sampler: &S,
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    blocked: &[bool],
+    config: &DecreaseConfig,
+    workspace: &mut DecreaseWorkspace,
+) -> Result<DecreaseEstimate> {
+    let n = graph.num_vertices();
+    if config.theta == 0 {
+        return Err(IminError::ZeroSamples);
+    }
+    if blocked.len() != n {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: blocked.len(),
+                num_vertices: n,
+            },
+        ));
+    }
+    workspace.stage_seeds(n, seeds, blocked)?;
+    if workspace.staged_seeds.len() == 1 {
+        let source = workspace.staged_seeds[0];
+        return decrease_es_computation_in(sampler, graph, source, blocked, config, workspace);
+    }
+
+    let threads = config.threads.max(1).min(config.theta);
+    let DecreaseWorkspace {
+        workers,
+        staged_seeds,
+        is_seed,
+    } = workspace;
+    let workers = ensure_workers(workers, threads);
+    let (staged_seeds, is_seed) = (&*staged_seeds, &*is_seed);
+    let reached_sum = accumulate_sharded(workers, threads, config, |worker, samples, seed| {
+        worker.accumulate_multi(
+            sampler,
+            graph,
+            staged_seeds,
+            is_seed,
+            blocked,
+            samples,
+            seed,
+        )
+    });
+    Ok(finalise(merged_delta(workers), reached_sum, config.theta))
 }
 
 fn finalise(delta_sum: &[f64], reached_sum: f64, theta: usize) -> DecreaseEstimate {
@@ -460,6 +655,141 @@ mod tests {
                 assert_eq!(reused.average_reached, fresh.average_reached);
             }
         }
+    }
+
+    #[test]
+    fn multi_seed_estimator_counts_every_seed_and_credits_no_seed() {
+        // Two disjoint chains: 0 -> 1 -> 2 and 3 -> 4, all deterministic.
+        let g = DiGraph::from_edges(
+            5,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(3), vid(4), 1.0),
+            ],
+        )
+        .unwrap();
+        let mut ws = DecreaseWorkspace::new();
+        let est = decrease_es_multi_in(
+            &IcLiveEdgeSampler,
+            &g,
+            &[vid(3), vid(0), vid(3)], // unsorted, duplicated: canonicalised
+            &[false; 5],
+            &cfg(8),
+            &mut ws,
+        )
+        .unwrap();
+        assert!((est.average_reached - 5.0).abs() < 1e-12);
+        assert!((est.delta[1] - 2.0).abs() < 1e-12);
+        assert!((est.delta[2] - 1.0).abs() < 1e-12);
+        assert!((est.delta[4] - 1.0).abs() < 1e-12);
+        assert_eq!(est.delta[0], 0.0, "seeds earn no credit");
+        assert_eq!(est.delta[3], 0.0, "seeds earn no credit");
+        // Parallel execution of the multi-seed path is deterministic.
+        let par = DecreaseConfig {
+            theta: 64,
+            threads: 3,
+            seed: 5,
+        };
+        let a = decrease_es_multi_in(
+            &IcLiveEdgeSampler,
+            &g,
+            &[vid(0), vid(3)],
+            &[false; 5],
+            &par,
+            &mut ws,
+        )
+        .unwrap();
+        let b = decrease_es_multi_in(
+            &IcLiveEdgeSampler,
+            &g,
+            &[vid(0), vid(3)],
+            &[false; 5],
+            &par,
+            &mut DecreaseWorkspace::new(),
+        )
+        .unwrap();
+        assert_eq!(a.delta, b.delta);
+        assert_eq!(a.average_reached, b.average_reached);
+    }
+
+    #[test]
+    fn single_seed_multi_call_is_bit_identical_to_the_classic_path() {
+        let g = imin_graph::generators::erdos_renyi(70, 0.06, 0.4, 21).unwrap();
+        let blocked = vec![false; 70];
+        for threads in [1usize, 3] {
+            let cfg = DecreaseConfig {
+                theta: 600,
+                threads,
+                seed: 17,
+            };
+            let multi = decrease_es_multi_in(
+                &IcLiveEdgeSampler,
+                &g,
+                &[vid(0)],
+                &blocked,
+                &cfg,
+                &mut DecreaseWorkspace::new(),
+            )
+            .unwrap();
+            let single = decrease_es_computation(&g, vid(0), &blocked, &cfg).unwrap();
+            assert_eq!(multi.delta, single.delta, "threads={threads}");
+            assert_eq!(multi.average_reached, single.average_reached);
+        }
+    }
+
+    #[test]
+    fn multi_seed_estimator_rejects_bad_requests() {
+        let g = deterministic_tree();
+        let mut ws = DecreaseWorkspace::new();
+        assert!(matches!(
+            decrease_es_multi_in(&IcLiveEdgeSampler, &g, &[], &[false; 4], &cfg(4), &mut ws),
+            Err(IminError::EmptySeedSet)
+        ));
+        assert!(matches!(
+            decrease_es_multi_in(
+                &IcLiveEdgeSampler,
+                &g,
+                &[vid(9)],
+                &[false; 4],
+                &cfg(4),
+                &mut ws
+            ),
+            Err(IminError::SeedOutOfRange { .. })
+        ));
+        let mut blocked = vec![false; 4];
+        blocked[1] = true;
+        assert!(matches!(
+            decrease_es_multi_in(
+                &IcLiveEdgeSampler,
+                &g,
+                &[vid(0), vid(1)],
+                &blocked,
+                &cfg(4),
+                &mut ws
+            ),
+            Err(IminError::ForbiddenSeedOverlap { vertex: 1 })
+        ));
+        assert!(decrease_es_multi_in(
+            &IcLiveEdgeSampler,
+            &g,
+            &[vid(0)],
+            &[false; 2],
+            &cfg(4),
+            &mut ws
+        )
+        .is_err());
+        assert!(matches!(
+            decrease_es_multi_in(
+                &IcLiveEdgeSampler,
+                &g,
+                &[vid(0)],
+                &[false; 4],
+                &cfg(0),
+                &mut ws
+            ),
+            Err(IminError::ZeroSamples)
+        ));
     }
 
     #[test]

@@ -14,6 +14,32 @@ pub enum IminError {
     },
     /// The seed set is empty.
     EmptySeedSet,
+    /// The same seed vertex appears more than once in a request.
+    DuplicateSeed {
+        /// The repeated vertex index.
+        vertex: usize,
+    },
+    /// A seed vertex also appears in the forbidden/blocked set. Seeds are
+    /// implicitly ineligible as blockers, so an explicit overlap is almost
+    /// certainly a mis-built request.
+    ForbiddenSeedOverlap {
+        /// The offending vertex index.
+        vertex: usize,
+    },
+    /// The requested algorithm cannot run on the requested evaluation
+    /// backend (e.g. BaselineGreedy needs Monte-Carlo simulation, which a
+    /// resident sample pool does not provide).
+    BackendUnsupported {
+        /// Label of the algorithm that was asked to run.
+        algorithm: &'static str,
+        /// Label of the backend it was asked to run on.
+        backend: &'static str,
+    },
+    /// A string did not name any registered algorithm.
+    UnknownAlgorithm {
+        /// The unrecognised name.
+        name: String,
+    },
     /// The blocking budget is zero (nothing to do) where a positive budget
     /// is required.
     ZeroBudget,
@@ -67,6 +93,23 @@ impl fmt::Display for IminError {
                 "seed vertex {vertex} is out of range for a graph with {num_vertices} vertices"
             ),
             IminError::EmptySeedSet => write!(f, "the seed set must not be empty"),
+            IminError::DuplicateSeed { vertex } => {
+                write!(f, "seed vertex {vertex} appears more than once")
+            }
+            IminError::ForbiddenSeedOverlap { vertex } => write!(
+                f,
+                "seed vertex {vertex} is also marked forbidden/blocked; seeds are implicitly \
+                 ineligible as blockers and must not appear in the forbidden set"
+            ),
+            IminError::BackendUnsupported { algorithm, backend } => write!(
+                f,
+                "algorithm '{algorithm}' cannot run on the {backend} backend"
+            ),
+            IminError::UnknownAlgorithm { name } => write!(
+                f,
+                "unknown algorithm '{name}' (expected one of: {})",
+                crate::solver::AlgorithmKind::known_names()
+            ),
             IminError::ZeroBudget => write!(f, "the blocking budget must be positive"),
             IminError::ZeroSamples => {
                 write!(f, "the number of samples/rounds must be positive")
@@ -128,6 +171,22 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(IminError::EmptySeedSet.to_string().contains("seed"));
+        assert!(IminError::DuplicateSeed { vertex: 4 }
+            .to_string()
+            .contains("more than once"));
+        assert!(IminError::ForbiddenSeedOverlap { vertex: 4 }
+            .to_string()
+            .contains("forbidden"));
+        let e = IminError::BackendUnsupported {
+            algorithm: "baseline",
+            backend: "pooled",
+        };
+        assert!(e.to_string().contains("cannot run"));
+        let e = IminError::UnknownAlgorithm {
+            name: "magic".into(),
+        };
+        assert!(e.to_string().contains("unknown algorithm 'magic'"));
+        assert!(e.to_string().contains("advanced"));
         assert!(IminError::ZeroBudget.to_string().contains("budget"));
         assert!(IminError::ZeroSamples.to_string().contains("positive"));
         let e = IminError::SeedOutOfRange {

@@ -12,6 +12,8 @@
 //! reachable region (padding with arbitrary unreachable vertices if fewer
 //! than `b` reachable candidates exist).
 
+use crate::request::{ContainmentRequest, EvalBackend};
+use crate::solver::{AlgorithmKind, BlockerSolver};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
 use imin_diffusion::exact::{exact_expected_spread, ExactSpreadConfig};
@@ -19,6 +21,47 @@ use imin_diffusion::montecarlo::MonteCarloEstimator;
 use imin_graph::traversal::reachable_mask;
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
+
+/// The Exact oracle behind the unified request API.
+///
+/// Requires a `Fresh` backend (candidate sets are evaluated by Monte-Carlo
+/// simulation with the request's `mcs_rounds`, the paper's setting);
+/// `Pooled` requests are rejected with [`IminError::BackendUnsupported`].
+/// Callers needing the possible-world evaluator or a custom combination
+/// limit use [`exact_blocker_search_multi`] with an explicit
+/// [`ExactSearchConfig`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExactBlocker;
+
+impl BlockerSolver for ExactBlocker {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Exact
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let EvalBackend::Fresh { seed, threads, .. } = *request.backend() else {
+            return Err(IminError::BackendUnsupported {
+                algorithm: self.kind().name(),
+                backend: request.backend().label(),
+            });
+        };
+        exact_blocker_search_multi(
+            graph,
+            request.seeds(),
+            request.forbidden().mask(),
+            request.budget(),
+            &ExactSearchConfig {
+                evaluator: SpreadEvaluator::MonteCarlo {
+                    rounds: request.mcs_rounds(),
+                },
+                threads,
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+}
 
 /// How candidate blocker sets are evaluated.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -94,7 +137,8 @@ pub fn combinations(n: usize, k: usize) -> u64 {
 }
 
 /// Exhaustively searches for the blocker set of size `min(b, #candidates)`
-/// minimising the evaluated spread.
+/// minimising the evaluated spread, for a single source — the historical
+/// shim over [`exact_blocker_search_multi`].
 ///
 /// # Errors
 /// Returns [`IminError::SearchSpaceTooLarge`] when the number of candidate
@@ -107,22 +151,56 @@ pub fn exact_blocker_search(
     budget: usize,
     config: &ExactSearchConfig,
 ) -> Result<BlockerSelection> {
+    exact_blocker_search_multi(graph, &[source], forbidden, budget, config)
+}
+
+/// Exhaustive search for a whole seed set: candidate blockers are the
+/// non-seed, non-forbidden vertices reachable from *any* seed, and every
+/// candidate set is evaluated against the full seed set.
+///
+/// # Errors
+/// Same conditions as [`exact_blocker_search`], plus an empty seed set.
+pub fn exact_blocker_search_multi(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    config: &ExactSearchConfig,
+) -> Result<BlockerSelection> {
     let start = Instant::now();
     let n = graph.num_vertices();
     if budget == 0 {
         return Err(IminError::ZeroBudget);
     }
-    if source.index() >= n {
-        return Err(IminError::SeedOutOfRange {
-            vertex: source.index(),
-            num_vertices: n,
-        });
+    if seeds.is_empty() {
+        return Err(IminError::EmptySeedSet);
     }
+    if forbidden.len() != n {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: forbidden.len(),
+                num_vertices: n,
+            },
+        ));
+    }
+    let mut seeds: Vec<VertexId> = seeds.to_vec();
+    for &s in &seeds {
+        if s.index() >= n {
+            return Err(IminError::SeedOutOfRange {
+                vertex: s.index(),
+                num_vertices: n,
+            });
+        }
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+    let seeds = seeds; // canonical from here on
+    let is_seed = |v: VertexId| seeds.binary_search(&v).is_ok();
 
-    let reachable = reachable_mask(graph, &[source]);
+    let reachable = reachable_mask(graph, &seeds);
     let candidates: Vec<VertexId> = graph
         .vertices()
-        .filter(|&v| v != source && !forbidden[v.index()] && reachable[v.index()])
+        .filter(|&v| !is_seed(v) && !forbidden[v.index()] && reachable[v.index()])
         .collect();
     let k = budget.min(candidates.len());
     if k == 0 {
@@ -151,15 +229,13 @@ pub fn exact_blocker_search(
         match config.evaluator {
             SpreadEvaluator::MonteCarlo { rounds } => {
                 stats.mcs_rounds_run += rounds;
-                Ok(mcs
-                    .expected_spread_blocked(graph, &[source], Some(mask))?
-                    .mean)
+                Ok(mcs.expected_spread_blocked(graph, &seeds, Some(mask))?.mean)
             }
             SpreadEvaluator::Exact {
                 max_uncertain_edges,
             } => Ok(exact_expected_spread(
                 graph,
-                &[source],
+                &seeds,
                 Some(mask),
                 ExactSpreadConfig {
                     max_uncertain_edges,
@@ -352,5 +428,37 @@ mod tests {
             Err(IminError::ZeroBudget)
         ));
         assert!(exact_blocker_search(&g, vid(50), &[false; 8], 1, &search_config()).is_err());
+        assert!(matches!(
+            exact_blocker_search_multi(&g, &[], &[false; 8], 1, &search_config()),
+            Err(IminError::EmptySeedSet)
+        ));
+        // A wrong-length forbidden mask is an error, not a panic.
+        assert!(matches!(
+            exact_blocker_search(&g, vid(0), &[false; 3], 1, &search_config()),
+            Err(IminError::Diffusion(_))
+        ));
+    }
+
+    #[test]
+    fn multi_seed_search_covers_every_seed_component() {
+        // Two disjoint chains: 0 -> 1 -> 2 and 3 -> 4 -> 5; with one
+        // blocker per seed the optimum cuts both chains at the neck.
+        let g = DiGraph::from_edges(
+            6,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(3), vid(4), 1.0),
+                (vid(4), vid(5), 1.0),
+            ],
+        )
+        .unwrap();
+        let sel =
+            exact_blocker_search_multi(&g, &[vid(0), vid(3)], &[false; 6], 2, &search_config())
+                .unwrap();
+        let mut blockers = sel.blockers.clone();
+        blockers.sort_unstable();
+        assert_eq!(blockers, vec![vid(1), vid(4)]);
+        assert!((sel.estimated_spread.unwrap() - 2.0).abs() < 1e-9);
     }
 }

@@ -19,14 +19,68 @@
 //! and the replacement step recovers the "deep blocker" wins of plain greedy
 //! when the budget is small — the best of both behaviours (Table III,
 //! Table VII).
+//!
+//! The preferred entry point is the [`GreedyReplace`] solver behind a
+//! [`crate::ContainmentRequest`]: one call shape for any seed-set size
+//! (phase 1 ranks the out-neighbours of *every* seed) and either
+//! evaluation backend. The free functions below are thin shims kept for
+//! source compatibility and are parity-tested byte-identical to the
+//! solver.
 
-use crate::decrease::{decrease_es_computation_in, DecreaseConfig, DecreaseWorkspace};
-use crate::pool::{pooled_greedy_replace_in, PoolWorkspace, SamplePool};
+use crate::decrease::{decrease_es_multi_in, DecreaseConfig, DecreaseWorkspace};
+use crate::pool::{pooled_greedy_replace_in, with_pool_workspace, PoolWorkspace, SamplePool};
+use crate::request::{shim_request_from_config, ContainmentRequest, EvalBackend};
 use crate::sampler::{IcLiveEdgeSampler, SpreadSampler};
+use crate::solver::{AlgorithmKind, BlockerSolver};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
-use crate::{IminError, Result};
+use crate::Result;
 use imin_graph::{DiGraph, VertexId};
 use std::time::Instant;
+
+/// Algorithm 4 behind the unified request API (`GR` in the figures).
+///
+/// Runs with [`GreedyReplaceOptions::default`] (fill-to-budget enabled,
+/// matching the pooled implementation). `Fresh` requests redraw θ samples
+/// per round; `Pooled` requests re-root a resident pool, with answers
+/// bit-identical at any thread count (see [`crate::pool`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GreedyReplace;
+
+impl BlockerSolver for GreedyReplace {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::GreedyReplace
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        match *request.backend() {
+            EvalBackend::Fresh {
+                theta,
+                seed,
+                threads,
+            } => fresh_greedy_replace_with(
+                &IcLiveEdgeSampler,
+                graph,
+                request,
+                theta,
+                seed,
+                threads,
+                GreedyReplaceOptions::default(),
+            ),
+            EvalBackend::Pooled { pool, threads } => with_pool_workspace(|workspace| {
+                pooled_greedy_replace_in(
+                    pool,
+                    graph,
+                    request.seeds(),
+                    request.forbidden().mask(),
+                    request.budget(),
+                    threads,
+                    workspace,
+                )
+            }),
+        }
+    }
+}
 
 /// Runs GreedyReplace against a **borrowed resident sample pool** instead
 /// of self-sampling: the out-neighbour, fill and replacement phases all
@@ -101,7 +155,8 @@ pub fn greedy_replace(
 /// Runs GreedyReplace with an arbitrary sample source and explicit options.
 ///
 /// # Errors
-/// Returns an error on a zero budget, zero θ, or an invalid source.
+/// Returns an error on a zero budget, zero θ, an invalid source, or a
+/// wrong-length forbidden mask.
 #[allow(clippy::too_many_arguments)]
 pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     sampler: &S,
@@ -112,18 +167,36 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     config: &AlgorithmConfig,
     options: GreedyReplaceOptions,
 ) -> Result<BlockerSelection> {
+    let request = shim_request_from_config(graph, &[source], forbidden, budget, config)?;
+    fresh_greedy_replace_with(
+        sampler,
+        graph,
+        &request,
+        config.theta,
+        config.seed,
+        config.threads,
+        options,
+    )
+}
+
+/// The `Fresh`-backend phases of Algorithm 4, generic over the sample
+/// source and the seed-set size: phase 1 ranks the out-neighbours of every
+/// seed, every estimator round prices candidates with
+/// [`decrease_es_multi_in`] (historical single-source path for one seed,
+/// virtual-root re-rooting for several).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fresh_greedy_replace_with<S: SpreadSampler + ?Sized>(
+    sampler: &S,
+    graph: &DiGraph,
+    request: &ContainmentRequest<'_>,
+    theta: usize,
+    seed: u64,
+    threads: usize,
+    options: GreedyReplaceOptions,
+) -> Result<BlockerSelection> {
     let start = Instant::now();
     let n = graph.num_vertices();
-    if budget == 0 {
-        return Err(IminError::ZeroBudget);
-    }
-    if source.index() >= n {
-        return Err(IminError::SeedOutOfRange {
-            vertex: source.index(),
-            num_vertices: n,
-        });
-    }
-
+    let budget = request.budget();
     let mut blocked = vec![false; n];
     let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);
     let mut stats = SelectionStats::default();
@@ -132,33 +205,42 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     // estimator rounds of the whole run draw from the same per-thread
     // sample arenas and dominator-tree scratch.
     let mut workspace = DecreaseWorkspace::new();
-    let mut round_seed = config.seed;
+    let mut round_seed = seed;
     let mut next_cfg = |stats: &mut SelectionStats| {
         round_seed = round_seed.wrapping_add(0x9E3779B9);
         stats.rounds += 1;
         DecreaseConfig {
-            theta: config.theta,
-            threads: config.threads,
+            theta,
+            threads,
             seed: round_seed,
         }
     };
-    let eligible =
-        |v: VertexId, blocked: &[bool]| v != source && !blocked[v.index()] && !forbidden[v.index()];
+    let eligible = |v: VertexId, blocked: &[bool]| !blocked[v.index()] && request.is_candidate(v);
 
-    // ---- Phase 1: pick blockers among the seed's out-neighbours -----------
-    let mut candidate_pool: Vec<VertexId> = graph
-        .out_edges(source)
-        .map(|(v, _)| v)
-        .filter(|&v| eligible(v, &blocked))
-        .collect();
+    // ---- Phase 1: pick blockers among the seeds' out-neighbours -----------
+    let mut candidate_pool: Vec<VertexId> = Vec::new();
+    for &s in request.seeds() {
+        candidate_pool.extend(
+            graph
+                .out_edges(s)
+                .map(|(v, _)| v)
+                .filter(|&v| eligible(v, &blocked)),
+        );
+    }
     candidate_pool.sort_unstable();
     candidate_pool.dedup();
 
     let out_rounds = candidate_pool.len().min(budget);
     for _ in 0..out_rounds {
         let cfg = next_cfg(&mut stats);
-        let estimate =
-            decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
+        let estimate = decrease_es_multi_in(
+            sampler,
+            graph,
+            request.seeds(),
+            &blocked,
+            &cfg,
+            &mut workspace,
+        )?;
         stats.samples_drawn += estimate.samples;
         let chosen =
             estimate.best_candidate(|v| candidate_pool.contains(&v) && eligible(v, &blocked));
@@ -173,8 +255,14 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
     if options.fill_to_budget {
         while blockers.len() < budget {
             let cfg = next_cfg(&mut stats);
-            let estimate =
-                decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
+            let estimate = decrease_es_multi_in(
+                sampler,
+                graph,
+                request.seeds(),
+                &blocked,
+                &cfg,
+                &mut workspace,
+            )?;
             stats.samples_drawn += estimate.samples;
             let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
             let Some(chosen) = chosen else { break };
@@ -190,8 +278,14 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
         // Temporarily remove u from the blocker set.
         blocked[u.index()] = false;
         let cfg = next_cfg(&mut stats);
-        let estimate =
-            decrease_es_computation_in(sampler, graph, source, &blocked, &cfg, &mut workspace)?;
+        let estimate = decrease_es_multi_in(
+            sampler,
+            graph,
+            request.seeds(),
+            &blocked,
+            &cfg,
+            &mut workspace,
+        )?;
         stats.samples_drawn += estimate.samples;
         let chosen = estimate.best_candidate(|v| eligible(v, &blocked));
         let Some(chosen) = chosen else {
@@ -221,6 +315,7 @@ pub fn greedy_replace_with<S: SpreadSampler + ?Sized>(
 mod tests {
     use super::*;
     use crate::advanced_greedy::advanced_greedy;
+    use crate::IminError;
 
     fn vid(i: usize) -> VertexId {
         VertexId::new(i)

@@ -4,19 +4,35 @@
 //! §VI-A / Table VII); the others are natural extensions used in the
 //! ablation benchmarks:
 //!
-//! * [`random_blockers`] — Rand (RA): `b` uniform random non-seed vertices.
-//! * [`out_degree_blockers`] — OutDegree (OD): the `b` non-seed vertices
-//!   with the highest out-degree [11, 12].
-//! * [`degree_blockers`] — same but ranked by total degree.
-//! * [`out_neighbor_blockers`] — the OutNeighbors strategy of Example 3:
-//!   block (up to) `b` out-neighbours of the seed, ranked by the
-//!   dominator-tree estimator.
-//! * [`pagerank_blockers`] — the `b` highest-PageRank non-seed vertices
-//!   (extension; PageRank is a classic proxy for structural importance).
+//! * [`Rand`] / [`random_blockers`] — Rand (RA): `b` uniform random
+//!   non-seed vertices.
+//! * [`OutDegree`] / [`out_degree_blockers`] — OutDegree (OD): the `b`
+//!   non-seed vertices with the highest out-degree \[11, 12\].
+//! * [`Degree`] / [`degree_blockers`] — same but ranked by total degree.
+//! * [`OutNeighbors`] / [`out_neighbor_blockers`] — the OutNeighbors
+//!   strategy of Example 3: block (up to) `b` out-neighbours of the seeds,
+//!   ranked by the dominator-tree estimator.
+//! * [`PageRank`] / [`pagerank_blockers`] — the `b` highest-PageRank
+//!   non-seed vertices (extension; PageRank is a classic proxy for
+//!   structural importance).
+//!
+//! Every heuristic implements [`BlockerSolver`] over a
+//! [`crate::ContainmentRequest`], so multi-seed requests exclude **every**
+//! seed from the candidate pool (not just a single source) and the
+//! rank-only heuristics run unchanged on either evaluation backend.
+//! OutNeighbors prices candidates with the backend it is given — fresh
+//! samples or pooled re-rooting — and Rand derives its shuffle from the
+//! backend's RNG seed (the pool seed under `Pooled`, so pooled answers stay
+//! a pure function of the pool identity). The free functions below are
+//! thin single-source shims kept for source compatibility.
 
-use crate::decrease::{decrease_es_computation, DecreaseConfig};
+use crate::decrease::{decrease_es_multi_in, DecreaseConfig, DecreaseWorkspace};
+use crate::pool::{pooled_decrease_in, with_pool_workspace};
+use crate::request::{shim_request, shim_request_from_config, ContainmentRequest, EvalBackend};
+use crate::sampler::IcLiveEdgeSampler;
+use crate::solver::{AlgorithmKind, BlockerSolver};
 use crate::types::{AlgorithmConfig, BlockerSelection, SelectionStats};
-use crate::{IminError, Result};
+use crate::Result;
 use imin_graph::stats::{vertices_by_degree, vertices_by_out_degree};
 use imin_graph::{DiGraph, VertexId};
 use rand::rngs::StdRng;
@@ -24,16 +40,189 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
-fn check_budget(budget: usize) -> Result<()> {
-    if budget == 0 {
-        Err(IminError::ZeroBudget)
-    } else {
-        Ok(())
+/// Rand (RA) behind the unified request API: `b` vertices chosen uniformly
+/// at random among the candidates (neither seeds nor forbidden).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Rand;
+
+impl BlockerSolver for Rand {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Random
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let start = Instant::now();
+        let mut pool: Vec<VertexId> = graph
+            .vertices()
+            .filter(|&v| request.is_candidate(v))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(request.backend().rng_seed());
+        pool.shuffle(&mut rng);
+        pool.truncate(request.budget());
+        let mut sel = BlockerSelection::new(pool);
+        sel.stats = SelectionStats {
+            elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        Ok(sel)
     }
 }
 
+/// OutDegree (OD) behind the unified request API: the `b` candidates with
+/// the largest out-degree. Backend-independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OutDegree;
+
+impl BlockerSolver for OutDegree {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::OutDegree
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let start = Instant::now();
+        let blockers: Vec<VertexId> = vertices_by_out_degree(graph)
+            .into_iter()
+            .filter(|&v| request.is_candidate(v))
+            .take(request.budget())
+            .collect();
+        let mut sel = BlockerSelection::new(blockers);
+        sel.stats.elapsed = start.elapsed();
+        Ok(sel)
+    }
+}
+
+/// Total-degree variant of the degree heuristic. Backend-independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Degree;
+
+impl BlockerSolver for Degree {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::Degree
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let start = Instant::now();
+        let blockers: Vec<VertexId> = vertices_by_degree(graph)
+            .into_iter()
+            .filter(|&v| request.is_candidate(v))
+            .take(request.budget())
+            .collect();
+        let mut sel = BlockerSelection::new(blockers);
+        sel.stats.elapsed = start.elapsed();
+        Ok(sel)
+    }
+}
+
+/// OutNeighbors behind the unified request API: block up to `b`
+/// out-neighbours of the seeds, ranked by their estimated spread decrease
+/// (one Algorithm-2 pass on the request's backend).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OutNeighbors;
+
+impl BlockerSolver for OutNeighbors {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::OutNeighbors
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let start = Instant::now();
+        let blocked = vec![false; graph.num_vertices()];
+        let estimate = match *request.backend() {
+            EvalBackend::Fresh {
+                theta,
+                seed,
+                threads,
+            } => decrease_es_multi_in(
+                &IcLiveEdgeSampler,
+                graph,
+                request.seeds(),
+                &blocked,
+                &DecreaseConfig {
+                    theta,
+                    threads,
+                    seed,
+                },
+                &mut DecreaseWorkspace::new(),
+            )?,
+            EvalBackend::Pooled { pool, threads } => {
+                // The deltas come from the pool but the neighbour list from
+                // `graph` — a mispaired same-size graph must not slip
+                // through and rank one graph's neighbours by another's
+                // estimates.
+                pool.ensure_matches(graph)?;
+                with_pool_workspace(|workspace| {
+                    pooled_decrease_in(pool, request.seeds(), &blocked, threads, workspace)
+                })?
+            }
+        };
+        let mut neighbors: Vec<VertexId> = Vec::new();
+        for &s in request.seeds() {
+            neighbors.extend(
+                graph
+                    .out_edges(s)
+                    .map(|(v, _)| v)
+                    .filter(|&v| request.is_candidate(v)),
+            );
+        }
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        rank_by_score(&mut neighbors, &estimate.delta);
+        neighbors.truncate(request.budget());
+        let mut sel = BlockerSelection::new(neighbors);
+        sel.stats = SelectionStats {
+            samples_drawn: estimate.samples,
+            rounds: 1,
+            elapsed: start.elapsed(),
+            ..Default::default()
+        };
+        Ok(sel)
+    }
+}
+
+/// PageRank behind the unified request API: the `b` candidates with the
+/// highest PageRank. Backend-independent.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageRank;
+
+impl BlockerSolver for PageRank {
+    fn kind(&self) -> AlgorithmKind {
+        AlgorithmKind::PageRank
+    }
+
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
+        request.ensure_graph(graph)?;
+        let start = Instant::now();
+        let scores = pagerank_scores(graph, 0.85, 30);
+        let mut vertices: Vec<VertexId> = graph
+            .vertices()
+            .filter(|&v| request.is_candidate(v))
+            .collect();
+        rank_by_score(&mut vertices, &scores);
+        vertices.truncate(request.budget());
+        let mut sel = BlockerSelection::new(vertices);
+        sel.stats.elapsed = start.elapsed();
+        Ok(sel)
+    }
+}
+
+/// Sorts vertices by descending score, breaking ties towards the smaller
+/// vertex id so every ranking heuristic is deterministic.
+fn rank_by_score(vertices: &mut [VertexId], scores: &[f64]) {
+    vertices.sort_by(|a, b| {
+        scores[b.index()]
+            .partial_cmp(&scores[a.index()])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.raw().cmp(&b.raw()))
+    });
+}
+
 /// Rand (RA): `b` vertices chosen uniformly at random among the vertices
-/// that are neither forbidden nor the source.
+/// that are neither forbidden nor the source — the single-source shim over
+/// [`Rand`].
 pub fn random_blockers(
     graph: &DiGraph,
     source: VertexId,
@@ -41,63 +230,37 @@ pub fn random_blockers(
     budget: usize,
     seed: u64,
 ) -> Result<BlockerSelection> {
-    check_budget(budget)?;
-    let start = Instant::now();
-    let mut pool: Vec<VertexId> = graph
-        .vertices()
-        .filter(|&v| v != source && !forbidden[v.index()])
-        .collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    pool.shuffle(&mut rng);
-    pool.truncate(budget);
-    let mut sel = BlockerSelection::new(pool);
-    sel.stats = SelectionStats {
-        elapsed: start.elapsed(),
-        ..Default::default()
-    };
-    Ok(sel)
+    let request = shim_request(graph, &[source], forbidden, budget, 1, seed, 1, 1)?;
+    Rand.solve(graph, &request)
 }
 
-/// OutDegree (OD): the `b` eligible vertices with the largest out-degree.
+/// OutDegree (OD): the `b` eligible vertices with the largest out-degree —
+/// the single-source shim over [`OutDegree`].
 pub fn out_degree_blockers(
     graph: &DiGraph,
     source: VertexId,
     forbidden: &[bool],
     budget: usize,
 ) -> Result<BlockerSelection> {
-    check_budget(budget)?;
-    let start = Instant::now();
-    let blockers: Vec<VertexId> = vertices_by_out_degree(graph)
-        .into_iter()
-        .filter(|&v| v != source && !forbidden[v.index()])
-        .take(budget)
-        .collect();
-    let mut sel = BlockerSelection::new(blockers);
-    sel.stats.elapsed = start.elapsed();
-    Ok(sel)
+    let request = shim_request(graph, &[source], forbidden, budget, 1, 0, 1, 1)?;
+    OutDegree.solve(graph, &request)
 }
 
-/// Total-degree variant of the degree heuristic.
+/// Total-degree variant of the degree heuristic — the single-source shim
+/// over [`Degree`].
 pub fn degree_blockers(
     graph: &DiGraph,
     source: VertexId,
     forbidden: &[bool],
     budget: usize,
 ) -> Result<BlockerSelection> {
-    check_budget(budget)?;
-    let start = Instant::now();
-    let blockers: Vec<VertexId> = vertices_by_degree(graph)
-        .into_iter()
-        .filter(|&v| v != source && !forbidden[v.index()])
-        .take(budget)
-        .collect();
-    let mut sel = BlockerSelection::new(blockers);
-    sel.stats.elapsed = start.elapsed();
-    Ok(sel)
+    let request = shim_request(graph, &[source], forbidden, budget, 1, 0, 1, 1)?;
+    Degree.solve(graph, &request)
 }
 
 /// OutNeighbors: block up to `b` out-neighbours of the source, ranked by
-/// their estimated spread decrease (one Algorithm-2 call).
+/// their estimated spread decrease (one Algorithm-2 call) — the
+/// single-source shim over [`OutNeighbors`].
 pub fn out_neighbor_blockers(
     graph: &DiGraph,
     source: VertexId,
@@ -105,47 +268,8 @@ pub fn out_neighbor_blockers(
     budget: usize,
     config: &AlgorithmConfig,
 ) -> Result<BlockerSelection> {
-    check_budget(budget)?;
-    if source.index() >= graph.num_vertices() {
-        return Err(IminError::SeedOutOfRange {
-            vertex: source.index(),
-            num_vertices: graph.num_vertices(),
-        });
-    }
-    let start = Instant::now();
-    let blocked = vec![false; graph.num_vertices()];
-    let estimate = decrease_es_computation(
-        graph,
-        source,
-        &blocked,
-        &DecreaseConfig {
-            theta: config.theta,
-            threads: config.threads,
-            seed: config.seed,
-        },
-    )?;
-    let mut neighbors: Vec<VertexId> = graph
-        .out_edges(source)
-        .map(|(v, _)| v)
-        .filter(|&v| v != source && !forbidden[v.index()])
-        .collect();
-    neighbors.sort_unstable();
-    neighbors.dedup();
-    neighbors.sort_by(|a, b| {
-        estimate.delta[b.index()]
-            .partial_cmp(&estimate.delta[a.index()])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.raw().cmp(&b.raw()))
-    });
-    neighbors.truncate(budget);
-    let mut sel = BlockerSelection::new(neighbors);
-    sel.stats = SelectionStats {
-        samples_drawn: estimate.samples,
-        rounds: 1,
-        elapsed: start.elapsed(),
-        ..Default::default()
-    };
-    Ok(sel)
+    let request = shim_request_from_config(graph, &[source], forbidden, budget, config)?;
+    OutNeighbors.solve(graph, &request)
 }
 
 /// PageRank scores computed by power iteration on the out-link structure
@@ -181,35 +305,23 @@ pub fn pagerank_scores(graph: &DiGraph, damping: f64, iterations: usize) -> Vec<
     rank
 }
 
-/// PageRank heuristic: the `b` eligible vertices with the highest PageRank.
+/// PageRank heuristic: the `b` eligible vertices with the highest PageRank
+/// — the single-source shim over [`PageRank`].
 pub fn pagerank_blockers(
     graph: &DiGraph,
     source: VertexId,
     forbidden: &[bool],
     budget: usize,
 ) -> Result<BlockerSelection> {
-    check_budget(budget)?;
-    let start = Instant::now();
-    let scores = pagerank_scores(graph, 0.85, 30);
-    let mut vertices: Vec<VertexId> = graph
-        .vertices()
-        .filter(|&v| v != source && !forbidden[v.index()])
-        .collect();
-    vertices.sort_by(|a, b| {
-        scores[b.index()]
-            .partial_cmp(&scores[a.index()])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.raw().cmp(&b.raw()))
-    });
-    vertices.truncate(budget);
-    let mut sel = BlockerSelection::new(vertices);
-    sel.stats.elapsed = start.elapsed();
-    Ok(sel)
+    let request = shim_request(graph, &[source], forbidden, budget, 1, 0, 1, 1)?;
+    PageRank.solve(graph, &request)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::SamplePool;
+    use crate::ContainmentRequest;
 
     fn vid(i: usize) -> VertexId {
         VertexId::new(i)
@@ -303,5 +415,59 @@ mod tests {
         assert_eq!(sel.len(), 3);
         assert!(!sel.blockers.contains(&vid(0)));
         assert!(!sel.blockers.contains(&vid(1)));
+    }
+
+    #[test]
+    fn multi_seed_requests_exclude_every_seed() {
+        let g = sample_graph();
+        let seeds = [vid(0), vid(1)];
+        let request = ContainmentRequest::builder(&g)
+            .seeds(seeds)
+            .budget(5)
+            .fresh(100, 7, 1)
+            .build()
+            .unwrap();
+        for kind in [
+            AlgorithmKind::Random,
+            AlgorithmKind::OutDegree,
+            AlgorithmKind::Degree,
+            AlgorithmKind::OutNeighbors,
+            AlgorithmKind::PageRank,
+        ] {
+            let sel = kind.solver().solve(&g, &request).unwrap();
+            for s in seeds {
+                assert!(
+                    !sel.blockers.contains(&s),
+                    "{kind:?} chose seed {s} as a blocker"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_neighbors_covers_every_seed_on_both_backends() {
+        let g = sample_graph();
+        // Seeds 0 and 2: candidate out-neighbours are {1, 2, 6} minus seeds.
+        let fresh = ContainmentRequest::builder(&g)
+            .seeds([vid(0), vid(2)])
+            .budget(5)
+            .fresh(200, 3, 1)
+            .build()
+            .unwrap();
+        let sel = OutNeighbors.solve(&g, &fresh).unwrap();
+        let mut blockers = sel.blockers.clone();
+        blockers.sort_unstable();
+        assert_eq!(blockers, vec![vid(1), vid(6)]);
+        // The deterministic graph makes pooled and fresh estimates exact,
+        // so the pooled backend returns the same selection.
+        let pool = SamplePool::build(&g, 16, 5).unwrap();
+        let pooled = ContainmentRequest::builder(&g)
+            .seeds([vid(0), vid(2)])
+            .budget(5)
+            .pooled_with_threads(&pool, 1)
+            .build()
+            .unwrap();
+        let pooled_sel = OutNeighbors.solve(&g, &pooled).unwrap();
+        assert_eq!(pooled_sel.blockers, sel.blockers);
     }
 }

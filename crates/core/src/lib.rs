@@ -21,8 +21,44 @@
 //! | Multi-seed → single-seed reduction | [`seed_merge`] | §V |
 //! | Triggering-model extension | [`triggering`] | §V-E |
 //!
-//! The easiest entry point is [`ImninProblem`], which owns the unified-seed
-//! reduction and exposes every algorithm behind a single [`Algorithm`] enum:
+//! ## The unified query API
+//!
+//! Every algorithm answers one question — *pick `b` blockers for a seed
+//! set* — through one request type and one trait:
+//!
+//! * [`ContainmentRequest`] ([`request`]) — a validating builder holding
+//!   the (multi-)seed set, the budget, a typed [`ForbiddenSet`] and an
+//!   [`EvalBackend`]: `Fresh` self-sampling or `Pooled` re-rooting of a
+//!   resident [`SamplePool`]. Callers choose amortisation, not function
+//!   names.
+//! * [`BlockerSolver`] ([`solver`]) — `solve(&graph, &request)`,
+//!   implemented by every algorithm; [`AlgorithmKind`] is the registry
+//!   mapping names (`"advanced"`, `"gr"`, `"outdegree"`, …) to solvers —
+//!   the single string dispatch shared by the engine protocol, the CLI and
+//!   the benchmarks.
+//!
+//! ```
+//! use imin_core::{AlgorithmKind, ContainmentRequest};
+//! use imin_graph::{generators, VertexId};
+//!
+//! let graph = generators::preferential_attachment(300, 3, false, 0.1, 7).unwrap();
+//! let request = ContainmentRequest::builder(&graph)
+//!     .seeds([VertexId::new(0), VertexId::new(2)]) // multi-seed everywhere
+//!     .budget(5)
+//!     .fresh(200, 0xBEEF, 1)
+//!     .build()
+//!     .unwrap();
+//! let solver = "gr".parse::<AlgorithmKind>().unwrap().solver();
+//! let result = solver.solve(&graph, &request).unwrap();
+//! assert!(result.blockers.len() <= 5);
+//! ```
+//!
+//! [`ImninProblem`] remains the facade for the paper's unified-seed
+//! reduction (§V) and Monte-Carlo evaluation; its [`Algorithm`] enum is the
+//! same registry. The historical free functions (`advanced_greedy`,
+//! `greedy_replace_with_pool`, `random_blockers`, …) survive as thin shims
+//! over the request API, parity-tested byte-identical in
+//! `tests/request_api.rs`:
 //!
 //! ```
 //! use imin_core::{Algorithm, AlgorithmConfig, ImninProblem};
@@ -50,14 +86,18 @@ pub mod greedy_replace;
 pub mod heuristics;
 pub mod pool;
 pub mod problem;
+pub mod request;
 pub mod sampler;
 pub mod seed_merge;
+pub mod solver;
 pub mod triggering;
 pub mod types;
 
 pub use error::IminError;
 pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};
+pub use request::{ContainmentRequest, ContainmentRequestBuilder, EvalBackend, ForbiddenSet};
+pub use solver::{AlgorithmKind, BlockerSolver};
 pub use types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 
 /// Convenience result alias used throughout the crate.

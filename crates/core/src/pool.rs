@@ -200,6 +200,30 @@ impl SamplePool {
         self.num_vertices
     }
 
+    /// Number of edges of the graph the pool was drawn from.
+    pub fn num_graph_edges(&self) -> usize {
+        self.num_graph_edges
+    }
+
+    /// Checks that `graph` has the shape of the graph this pool was built
+    /// from. Vertex and edge counts together catch most accidental
+    /// mispairings (same-shape different graphs are indistinguishable
+    /// without hashing the whole edge list).
+    ///
+    /// # Errors
+    /// Returns [`IminError::PoolGraphMismatch`] when either count differs.
+    pub fn ensure_matches(&self, graph: &DiGraph) -> Result<()> {
+        if graph.num_vertices() != self.num_vertices || graph.num_edges() != self.num_graph_edges {
+            return Err(IminError::PoolGraphMismatch {
+                graph_vertices: graph.num_vertices(),
+                graph_edges: graph.num_edges(),
+                pool_vertices: self.num_vertices,
+                pool_edges: self.num_graph_edges,
+            });
+        }
+        Ok(())
+    }
+
     /// Total number of live edges stored across all realisations.
     pub fn total_live_edges(&self) -> usize {
         self.samples.iter().map(|s| s.targets.len()).sum()
@@ -361,6 +385,27 @@ pub struct PoolWorkspace {
     is_seed: Vec<bool>,
 }
 
+thread_local! {
+    /// Per-thread scratch behind [`with_pool_workspace`].
+    static SOLVER_POOL_WORKSPACE: std::cell::RefCell<PoolWorkspace> =
+        std::cell::RefCell::new(PoolWorkspace::new());
+}
+
+/// Runs `f` with this thread's reusable [`PoolWorkspace`].
+///
+/// The pooled [`crate::BlockerSolver`] arms take their workspace from here,
+/// so a resident engine answering many queries on one serving thread keeps
+/// the PR-3 steady-state allocation profile without threading `&mut`
+/// workspaces through the solver trait. Callers that manage their own
+/// workspace lifetimes (the `_in` entry points) are unaffected.
+///
+/// # Panics
+/// Panics if `f` itself re-enters `with_pool_workspace` on the same thread
+/// (the workspace is exclusively borrowed for the duration of `f`).
+pub fn with_pool_workspace<R>(f: impl FnOnce(&mut PoolWorkspace) -> R) -> R {
+    SOLVER_POOL_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
 impl PoolWorkspace {
     /// Creates an empty workspace; buffers grow on first use.
     pub fn new() -> Self {
@@ -390,9 +435,7 @@ impl PoolWorkspace {
                 });
             }
             if blocked[s.index()] {
-                return Err(IminError::Diffusion(
-                    imin_diffusion::DiffusionError::BlockedSeed { vertex: s.index() },
-                ));
+                return Err(IminError::ForbiddenSeedOverlap { vertex: s.index() });
             }
             self.seeds.push(s.raw());
         }
@@ -574,17 +617,7 @@ pub fn pooled_greedy_replace_in(
 ) -> Result<BlockerSelection> {
     let start = Instant::now();
     validate_pooled_query(pool, forbidden, budget)?;
-    // Vertex and edge counts together catch most accidental mispairings of
-    // a pool with a graph it was not built from (same-shape different
-    // graphs are indistinguishable without hashing the whole edge list).
-    if graph.num_vertices() != pool.num_vertices() || graph.num_edges() != pool.num_graph_edges {
-        return Err(IminError::PoolGraphMismatch {
-            graph_vertices: graph.num_vertices(),
-            graph_edges: graph.num_edges(),
-            pool_vertices: pool.num_vertices(),
-            pool_edges: pool.num_graph_edges,
-        });
-    }
+    pool.ensure_matches(graph)?;
     let n = pool.num_vertices();
     let mut blocked = vec![false; n];
     let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);

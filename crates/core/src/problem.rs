@@ -3,16 +3,13 @@
 //! [`ImninProblem`] owns the unified-seed reduction (§V), keeps the original
 //! graph around for evaluation, knows which vertices are blockable
 //! (`V \ S`), and exposes every algorithm of the crate behind the
-//! [`Algorithm`] enum — the entry point used by the examples and the
-//! benchmark harness.
+//! [`Algorithm`] registry — the entry point used by the examples and the
+//! benchmark harness. Internally each solve is one
+//! [`crate::ContainmentRequest`] over the merged graph, dispatched through
+//! [`crate::AlgorithmKind::solver`]; there is no per-algorithm `match`
+//! here.
 
-use crate::advanced_greedy::advanced_greedy;
-use crate::baseline_greedy::baseline_greedy;
-use crate::exact_blocker::{exact_blocker_search, ExactSearchConfig};
-use crate::greedy_replace::greedy_replace;
-use crate::heuristics::{
-    degree_blockers, out_degree_blockers, out_neighbor_blockers, pagerank_blockers, random_blockers,
-};
+use crate::request::ContainmentRequest;
 use crate::seed_merge::{merge_seeds, MergedSeeds};
 use crate::types::{AlgorithmConfig, BlockerSelection};
 use crate::{IminError, Result};
@@ -20,64 +17,9 @@ use imin_diffusion::exact::{exact_expected_spread, ExactSpreadConfig};
 use imin_diffusion::montecarlo::MonteCarloEstimator;
 use imin_graph::{DiGraph, VertexId};
 
-/// The blocker-selection algorithms available through [`ImninProblem::solve`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Algorithm {
-    /// Algorithm 1 — greedy selection with Monte-Carlo evaluation (the
-    /// state-of-the-art baseline, `BG` in the figures).
-    BaselineGreedy,
-    /// Algorithm 3 — greedy selection with dominator-tree estimation (`AG`).
-    AdvancedGreedy,
-    /// Algorithm 4 — out-neighbour initialisation plus replacement (`GR`).
-    GreedyReplace,
-    /// Uniform random blockers (`RA`).
-    Random,
-    /// Highest out-degree blockers (`OD`).
-    OutDegree,
-    /// Highest total-degree blockers.
-    Degree,
-    /// Out-neighbours of the seed ranked by estimated decrease
-    /// (the `OutNeighbors` strategy of Example 3).
-    OutNeighbors,
-    /// Highest-PageRank blockers (extension).
-    PageRank,
-    /// Exhaustive search over all blocker sets (the `Exact` oracle; only
-    /// feasible on very small graphs).
-    Exact,
-}
-
-impl Algorithm {
-    /// Short identifier used in experiment tables (`BG`, `AG`, `GR`, ...).
-    pub fn label(&self) -> &'static str {
-        match self {
-            Algorithm::BaselineGreedy => "BG",
-            Algorithm::AdvancedGreedy => "AG",
-            Algorithm::GreedyReplace => "GR",
-            Algorithm::Random => "RA",
-            Algorithm::OutDegree => "OD",
-            Algorithm::Degree => "DEG",
-            Algorithm::OutNeighbors => "ON",
-            Algorithm::PageRank => "PR",
-            Algorithm::Exact => "EXACT",
-        }
-    }
-
-    /// All algorithms compared in the paper's Table VII plus this crate's
-    /// extensions, in presentation order.
-    pub fn all() -> &'static [Algorithm] {
-        &[
-            Algorithm::Random,
-            Algorithm::OutDegree,
-            Algorithm::Degree,
-            Algorithm::PageRank,
-            Algorithm::OutNeighbors,
-            Algorithm::BaselineGreedy,
-            Algorithm::AdvancedGreedy,
-            Algorithm::GreedyReplace,
-            Algorithm::Exact,
-        ]
-    }
-}
+/// The blocker-selection algorithms available through [`ImninProblem::solve`]
+/// — an alias of the crate-wide [`crate::AlgorithmKind`] registry.
+pub use crate::solver::AlgorithmKind as Algorithm;
 
 /// An influence-minimization problem instance: a graph with IC
 /// probabilities and a seed set.
@@ -149,25 +91,17 @@ impl ImninProblem {
         config: &AlgorithmConfig,
     ) -> Result<BlockerSelection> {
         let g = &self.merged.graph;
-        let s = self.merged.super_seed;
-        let f = &self.forbidden;
-        let mut selection = match algorithm {
-            Algorithm::BaselineGreedy => baseline_greedy(g, s, f, budget, config)?,
-            Algorithm::AdvancedGreedy => advanced_greedy(g, s, f, budget, config)?,
-            Algorithm::GreedyReplace => greedy_replace(g, s, f, budget, config)?,
-            Algorithm::Random => random_blockers(g, s, f, budget, config.seed)?,
-            Algorithm::OutDegree => out_degree_blockers(g, s, f, budget)?,
-            Algorithm::Degree => degree_blockers(g, s, f, budget)?,
-            Algorithm::OutNeighbors => out_neighbor_blockers(g, s, f, budget, config)?,
-            Algorithm::PageRank => pagerank_blockers(g, s, f, budget)?,
-            Algorithm::Exact => exact_blocker_search(
-                g,
-                s,
-                f,
-                budget,
-                &ExactSearchConfig::from_algorithm_config(config),
-            )?,
-        };
+        // The unified seed is the request seed (implicitly ineligible as a
+        // blocker); the original seeds stay in the forbidden mask.
+        let mut forbidden = self.forbidden.clone();
+        forbidden[self.merged.super_seed.index()] = false;
+        let request = ContainmentRequest::builder(g)
+            .seed(self.merged.super_seed)
+            .budget(budget)
+            .forbid_mask(forbidden)
+            .fresh_from(config)
+            .build()?;
+        let mut selection = algorithm.solver().solve(g, &request)?;
         // Heuristics run on the merged graph but must only return original
         // vertices; the forbidden mask already excludes seeds and the
         // unified seed, and every other merged vertex is an original vertex,
@@ -303,6 +237,34 @@ mod tests {
                     "{alg:?} chose an invalid blocker {b}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn non_sampling_algorithms_accept_a_zero_theta_config() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        let zero_theta = cfg().with_theta(0);
+        for alg in [
+            Algorithm::Random,
+            Algorithm::OutDegree,
+            Algorithm::Degree,
+            Algorithm::PageRank,
+            Algorithm::BaselineGreedy,
+            Algorithm::Exact,
+        ] {
+            assert!(p.solve(alg, 2, &zero_theta).is_ok(), "{alg:?} reads no θ");
+        }
+        // The sampling algorithms still reject θ = 0, from the estimator.
+        for alg in [
+            Algorithm::AdvancedGreedy,
+            Algorithm::GreedyReplace,
+            Algorithm::OutNeighbors,
+        ] {
+            assert!(
+                matches!(p.solve(alg, 2, &zero_theta), Err(IminError::ZeroSamples)),
+                "{alg:?} must report zero samples"
+            );
         }
     }
 

@@ -1,0 +1,627 @@
+//! The unified containment query: one request type for every algorithm and
+//! both evaluation backends.
+//!
+//! Every method in this crate — the paper's AdvancedGreedy, GreedyReplace
+//! and BaselineGreedy, the Exact oracle, and the Rand/OutDegree/Degree/
+//! OutNeighbors/PageRank heuristics (§VI-A, Table VII) — answers the same
+//! question: *pick `b` blockers for a seed set under a diffusion model*.
+//! [`ContainmentRequest`] is that question as a value:
+//!
+//! * `seeds` — the misinformation seed set. Multi-seed everywhere; a single
+//!   source is simply the one-element case.
+//! * `budget` — the maximum number of blockers.
+//! * [`ForbiddenSet`] — vertices that may never be blocked, as a typed set
+//!   instead of a hand-rolled `&[bool]` mask. Seeds are *implicitly*
+//!   ineligible and must not appear here (the builder rejects the overlap).
+//! * [`EvalBackend`] — how candidate blockers are priced: `Fresh`
+//!   self-sampling (the historical per-round redraw driven by what used to
+//!   be [`AlgorithmConfig`]) or `Pooled` re-rooting of a resident
+//!   [`SamplePool`]. Callers choose amortisation, not function names.
+//!
+//! Requests are built through a validating builder: empty, duplicate or
+//! out-of-range seeds, a zero budget, a wrong-length forbidden mask, a
+//! forbidden/seed overlap and a pool built from a different graph are all
+//! rejected with typed [`IminError`]s before any algorithm runs. A zero
+//! `Fresh` θ passes the builder (rank-only heuristics never sample) and is
+//! reported as [`IminError::ZeroSamples`] by the sampling solvers, exactly
+//! as the legacy entry points did.
+//!
+//! ```
+//! use imin_core::{AlgorithmKind, ContainmentRequest};
+//! use imin_graph::{generators, VertexId};
+//!
+//! let graph = generators::preferential_attachment(300, 3, false, 0.1, 7).unwrap();
+//! let request = ContainmentRequest::builder(&graph)
+//!     .seeds([VertexId::new(0), VertexId::new(3)])
+//!     .budget(5)
+//!     .fresh(400, 0xBEEF, 1)
+//!     .build()
+//!     .unwrap();
+//! let selection = AlgorithmKind::GreedyReplace
+//!     .solver()
+//!     .solve(&graph, &request)
+//!     .unwrap();
+//! assert!(selection.blockers.len() <= 5);
+//! ```
+
+use crate::pool::SamplePool;
+use crate::types::AlgorithmConfig;
+use crate::{IminError, Result};
+use imin_graph::{DiGraph, VertexId};
+
+/// A typed set of vertices that may never be chosen as blockers.
+///
+/// Replaces the hand-rolled `&[bool]` masks of the legacy free functions.
+/// The mask always spans every vertex of the graph the request is built
+/// against (`len() == num_vertices`); length is validated when the request
+/// is built, range when constructing [`ForbiddenSet::from_vertices`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ForbiddenSet {
+    mask: Vec<bool>,
+}
+
+impl ForbiddenSet {
+    /// An empty forbidden set over `num_vertices` vertices.
+    pub fn none(num_vertices: usize) -> Self {
+        ForbiddenSet {
+            mask: vec![false; num_vertices],
+        }
+    }
+
+    /// Wraps an existing boolean mask (`mask[v] = true` ⇒ `v` may never be
+    /// blocked). The length is validated against the graph when the request
+    /// is built.
+    pub fn from_mask(mask: impl Into<Vec<bool>>) -> Self {
+        ForbiddenSet { mask: mask.into() }
+    }
+
+    /// Builds the set from an explicit vertex list over a graph with
+    /// `num_vertices` vertices.
+    ///
+    /// # Errors
+    /// Returns [`IminError::InvalidBlocker`] if a vertex is out of range.
+    pub fn from_vertices(num_vertices: usize, vertices: &[VertexId]) -> Result<Self> {
+        let mut mask = vec![false; num_vertices];
+        for &v in vertices {
+            if v.index() >= num_vertices {
+                return Err(IminError::InvalidBlocker {
+                    vertex: v.index(),
+                    reason: "forbidden vertex does not exist in the graph",
+                });
+            }
+            mask[v.index()] = true;
+        }
+        Ok(ForbiddenSet { mask })
+    }
+
+    /// The underlying boolean mask, in the form the low-level algorithm
+    /// entry points consume.
+    pub fn mask(&self) -> &[bool] {
+        &self.mask
+    }
+
+    /// Returns `true` if `v` is forbidden (out-of-range vertices are not).
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.mask.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of vertices the mask spans.
+    pub fn num_vertices(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Number of forbidden vertices.
+    pub fn count(&self) -> usize {
+        self.mask.iter().filter(|&&f| f).count()
+    }
+}
+
+/// How a request prices candidate blockers.
+#[derive(Clone, Copy, Debug)]
+pub enum EvalBackend<'p> {
+    /// Self-sampling: θ fresh live-edge samples are drawn per greedy round
+    /// from `seed`-derived RNG streams across `threads` workers — the
+    /// historical behaviour of the classic entry points, previously
+    /// configured through [`AlgorithmConfig`].
+    Fresh {
+        /// Number of sampled graphs θ per estimator round.
+        theta: usize,
+        /// Base RNG seed; all randomness in the run derives from it.
+        seed: u64,
+        /// Worker threads for sampling and Monte-Carlo estimation.
+        threads: usize,
+    },
+    /// Re-rooting of a resident [`SamplePool`]: no new samples are ever
+    /// drawn, the pool's θ realisations are re-rooted at the request's seed
+    /// set each round. Answers are bit-identical at any `threads` value
+    /// (see [`crate::pool`]).
+    Pooled {
+        /// The borrowed resident pool.
+        pool: &'p SamplePool,
+        /// Worker threads for the re-rooting BFS + dominator-tree passes
+        /// (a performance knob only — results never depend on it).
+        threads: usize,
+    },
+}
+
+impl EvalBackend<'_> {
+    /// Short identifier used in error messages and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvalBackend::Fresh { .. } => "fresh",
+            EvalBackend::Pooled { .. } => "pooled",
+        }
+    }
+
+    /// The RNG seed randomised algorithms should derive from: the `Fresh`
+    /// base seed, or the pool seed under `Pooled` (so pooled answers stay a
+    /// pure function of the pool identity).
+    pub fn rng_seed(&self) -> u64 {
+        match self {
+            EvalBackend::Fresh { seed, .. } => *seed,
+            EvalBackend::Pooled { pool, .. } => pool.pool_seed(),
+        }
+    }
+
+    /// The worker-thread count of either backend.
+    pub fn threads(&self) -> usize {
+        match self {
+            EvalBackend::Fresh { threads, .. } | EvalBackend::Pooled { threads, .. } => *threads,
+        }
+    }
+}
+
+/// One validated containment question: which `budget` vertices should be
+/// blocked to minimise the expected spread from `seeds`?
+///
+/// Build through [`ContainmentRequest::builder`]; solve through any
+/// [`crate::BlockerSolver`], usually obtained from the
+/// [`crate::AlgorithmKind`] registry. The seed list is canonical (sorted,
+/// deduplicated) by construction.
+#[derive(Clone, Debug)]
+pub struct ContainmentRequest<'p> {
+    seeds: Vec<VertexId>,
+    budget: usize,
+    forbidden: ForbiddenSet,
+    backend: EvalBackend<'p>,
+    mcs_rounds: usize,
+}
+
+impl<'p> ContainmentRequest<'p> {
+    /// Starts a builder for a request over `graph` (the graph fixes the
+    /// vertex-range, mask-length and pool-shape validation).
+    pub fn builder(graph: &DiGraph) -> ContainmentRequestBuilder<'p> {
+        ContainmentRequestBuilder::new(graph.num_vertices(), graph.num_edges())
+    }
+
+    /// The canonical (sorted, deduplicated) seed set.
+    pub fn seeds(&self) -> &[VertexId] {
+        &self.seeds
+    }
+
+    /// Maximum number of blockers.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The vertices that may never be blocked (seeds are implicitly
+    /// ineligible on top of this set).
+    pub fn forbidden(&self) -> &ForbiddenSet {
+        &self.forbidden
+    }
+
+    /// The evaluation backend.
+    pub fn backend(&self) -> &EvalBackend<'p> {
+        &self.backend
+    }
+
+    /// Monte-Carlo rounds for algorithms that simulate cascades
+    /// (BaselineGreedy and the Exact oracle's evaluator).
+    pub fn mcs_rounds(&self) -> usize {
+        self.mcs_rounds
+    }
+
+    /// Number of vertices of the graph the request was built against.
+    pub fn num_vertices(&self) -> usize {
+        self.forbidden.num_vertices()
+    }
+
+    /// Returns `true` if `v` is one of the request's seeds.
+    pub fn is_seed(&self, v: VertexId) -> bool {
+        self.seeds.binary_search(&v).is_ok()
+    }
+
+    /// Returns `true` if `v` may be chosen as a blocker: not a seed and not
+    /// forbidden.
+    pub fn is_candidate(&self, v: VertexId) -> bool {
+        !self.is_seed(v) && !self.forbidden.contains(v)
+    }
+
+    /// Checks that `graph` is the graph this request was built against
+    /// (solvers call this before touching any mask).
+    ///
+    /// # Errors
+    /// Returns a mask-length mismatch if the vertex counts differ.
+    pub fn ensure_graph(&self, graph: &DiGraph) -> Result<()> {
+        if graph.num_vertices() != self.num_vertices() {
+            return Err(IminError::Diffusion(
+                imin_diffusion::DiffusionError::MaskLengthMismatch {
+                    mask_len: self.num_vertices(),
+                    num_vertices: graph.num_vertices(),
+                },
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`ContainmentRequest`] — see the module docs for
+/// the full list of rejected inputs.
+#[derive(Clone, Debug)]
+pub struct ContainmentRequestBuilder<'p> {
+    num_vertices: usize,
+    num_edges: usize,
+    seeds: Vec<VertexId>,
+    budget: usize,
+    forbidden: Option<ForbiddenSet>,
+    backend: Option<EvalBackend<'p>>,
+    mcs_rounds: usize,
+}
+
+impl<'p> ContainmentRequestBuilder<'p> {
+    fn new(num_vertices: usize, num_edges: usize) -> Self {
+        ContainmentRequestBuilder {
+            num_vertices,
+            num_edges,
+            seeds: Vec::new(),
+            budget: 0,
+            forbidden: None,
+            backend: None,
+            mcs_rounds: AlgorithmConfig::default().mcs_rounds,
+        }
+    }
+
+    /// Adds one seed vertex.
+    pub fn seed(mut self, seed: VertexId) -> Self {
+        self.seeds.push(seed);
+        self
+    }
+
+    /// Adds every seed of an iterator.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = VertexId>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Sets the blocking budget (must be positive).
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the forbidden set (defaults to empty).
+    pub fn forbid(mut self, forbidden: ForbiddenSet) -> Self {
+        self.forbidden = Some(forbidden);
+        self
+    }
+
+    /// Convenience for [`Self::forbid`] with a raw boolean mask.
+    pub fn forbid_mask(self, mask: impl Into<Vec<bool>>) -> Self {
+        self.forbid(ForbiddenSet::from_mask(mask))
+    }
+
+    /// Selects the self-sampling backend with explicit θ / seed / threads.
+    pub fn fresh(mut self, theta: usize, seed: u64, threads: usize) -> Self {
+        self.backend = Some(EvalBackend::Fresh {
+            theta,
+            seed,
+            threads,
+        });
+        self
+    }
+
+    /// Selects the self-sampling backend configured from a legacy
+    /// [`AlgorithmConfig`] (θ, seed, threads **and** Monte-Carlo rounds).
+    pub fn fresh_from(mut self, config: &AlgorithmConfig) -> Self {
+        self.mcs_rounds = config.mcs_rounds;
+        self.fresh(config.theta, config.seed, config.threads)
+    }
+
+    /// Selects the resident-pool backend with the default worker-thread
+    /// count.
+    pub fn pooled(self, pool: &'p SamplePool) -> Self {
+        let threads = imin_diffusion::montecarlo::default_threads();
+        self.pooled_with_threads(pool, threads)
+    }
+
+    /// Selects the resident-pool backend with an explicit worker-thread
+    /// count (results never depend on it — see [`crate::pool`]).
+    pub fn pooled_with_threads(mut self, pool: &'p SamplePool, threads: usize) -> Self {
+        self.backend = Some(EvalBackend::Pooled { pool, threads });
+        self
+    }
+
+    /// Sets any explicit backend.
+    pub fn backend(mut self, backend: EvalBackend<'p>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the Monte-Carlo round count used by simulation-based algorithms
+    /// (defaults to the paper's r = 10 000).
+    pub fn mcs_rounds(mut self, rounds: usize) -> Self {
+        self.mcs_rounds = rounds;
+        self
+    }
+
+    /// Validates and assembles the request.
+    ///
+    /// # Errors
+    /// * [`IminError::ZeroBudget`] — `budget` is 0.
+    /// * [`IminError::EmptySeedSet`] — no seed was supplied.
+    /// * [`IminError::SeedOutOfRange`] — a seed is not a graph vertex.
+    /// * [`IminError::DuplicateSeed`] — the same seed appears twice.
+    /// * a mask-length mismatch — the forbidden mask does not span the
+    ///   graph.
+    /// * [`IminError::ForbiddenSeedOverlap`] — a seed is marked forbidden
+    ///   (seeds are implicitly ineligible; an explicit overlap is a
+    ///   mis-built request).
+    /// * [`IminError::PoolGraphMismatch`] — a `Pooled` backend's pool was
+    ///   built from a graph of a different size.
+    pub fn build(self) -> Result<ContainmentRequest<'p>> {
+        let n = self.num_vertices;
+        if self.budget == 0 {
+            return Err(IminError::ZeroBudget);
+        }
+        if self.seeds.is_empty() {
+            return Err(IminError::EmptySeedSet);
+        }
+        let mut seeds = self.seeds;
+        for &s in &seeds {
+            if s.index() >= n {
+                return Err(IminError::SeedOutOfRange {
+                    vertex: s.index(),
+                    num_vertices: n,
+                });
+            }
+        }
+        seeds.sort_unstable();
+        for pair in seeds.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(IminError::DuplicateSeed {
+                    vertex: pair[0].index(),
+                });
+            }
+        }
+        let backend = match self.backend {
+            Some(backend) => backend,
+            None => {
+                let config = AlgorithmConfig::default();
+                EvalBackend::Fresh {
+                    theta: config.theta,
+                    seed: config.seed,
+                    threads: config.threads,
+                }
+            }
+        };
+        // A `Fresh { theta: 0, .. }` backend is *not* rejected here: only
+        // the sampling solvers consume θ, and they report
+        // [`IminError::ZeroSamples`] from the estimator exactly as the
+        // legacy entry points did — heuristics that never sample keep
+        // accepting a zeroed config.
+        if let EvalBackend::Pooled { pool, .. } = backend {
+            if pool.num_vertices() != n || pool.num_graph_edges() != self.num_edges {
+                return Err(IminError::PoolGraphMismatch {
+                    graph_vertices: n,
+                    graph_edges: self.num_edges,
+                    pool_vertices: pool.num_vertices(),
+                    pool_edges: pool.num_graph_edges(),
+                });
+            }
+        }
+        let forbidden = self.forbidden.unwrap_or_else(|| ForbiddenSet::none(n));
+        if forbidden.num_vertices() != n {
+            return Err(IminError::Diffusion(
+                imin_diffusion::DiffusionError::MaskLengthMismatch {
+                    mask_len: forbidden.num_vertices(),
+                    num_vertices: n,
+                },
+            ));
+        }
+        for &s in &seeds {
+            if forbidden.contains(s) {
+                return Err(IminError::ForbiddenSeedOverlap { vertex: s.index() });
+            }
+        }
+        Ok(ContainmentRequest {
+            seeds,
+            budget: self.budget,
+            forbidden,
+            backend,
+            mcs_rounds: self.mcs_rounds,
+        })
+    }
+}
+
+/// Builds the request a legacy free-function shim stands for: the given
+/// seeds with a `Fresh` backend, tolerating masks that (redundantly) mark a
+/// seed as forbidden — historical callers did that freely because seeds
+/// were excluded by the algorithms anyway, so the seed bits are stripped
+/// before the builder's overlap check.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shim_request<'p>(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    theta: usize,
+    seed: u64,
+    threads: usize,
+    mcs_rounds: usize,
+) -> Result<ContainmentRequest<'p>> {
+    let mut mask = forbidden.to_vec();
+    for &s in seeds {
+        if let Some(slot) = mask.get_mut(s.index()) {
+            *slot = false;
+        }
+    }
+    ContainmentRequest::builder(graph)
+        .seeds(seeds.iter().copied())
+        .budget(budget)
+        .forbid_mask(mask)
+        .fresh(theta, seed, threads)
+        .mcs_rounds(mcs_rounds)
+        .build()
+}
+
+/// [`shim_request`] with every knob taken from a legacy [`AlgorithmConfig`].
+pub(crate) fn shim_request_from_config<'p>(
+    graph: &DiGraph,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    config: &AlgorithmConfig,
+) -> Result<ContainmentRequest<'p>> {
+    shim_request(
+        graph,
+        seeds,
+        forbidden,
+        budget,
+        config.theta,
+        config.seed,
+        config.threads,
+        config.mcs_rounds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn graph() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(1), vid(3), 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forbidden_set_constructors_and_queries() {
+        let none = ForbiddenSet::none(3);
+        assert_eq!(none.num_vertices(), 3);
+        assert_eq!(none.count(), 0);
+        let from_mask = ForbiddenSet::from_mask(vec![true, false, true]);
+        assert!(from_mask.contains(vid(0)));
+        assert!(!from_mask.contains(vid(1)));
+        assert!(!from_mask.contains(vid(9)), "out of range is not forbidden");
+        assert_eq!(from_mask.count(), 2);
+        let from_vertices = ForbiddenSet::from_vertices(3, &[vid(0), vid(2)]).unwrap();
+        assert_eq!(from_vertices, from_mask);
+        assert!(matches!(
+            ForbiddenSet::from_vertices(3, &[vid(5)]),
+            Err(IminError::InvalidBlocker { vertex: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn builder_canonicalises_and_defaults() {
+        let g = graph();
+        let req = ContainmentRequest::builder(&g)
+            .seeds([vid(2), vid(0)])
+            .budget(3)
+            .fresh(16, 9, 2)
+            .build()
+            .unwrap();
+        assert_eq!(req.seeds(), &[vid(0), vid(2)], "seeds are sorted");
+        assert_eq!(req.budget(), 3);
+        assert!(req.is_seed(vid(2)) && !req.is_seed(vid(1)));
+        assert!(req.is_candidate(vid(1)) && !req.is_candidate(vid(0)));
+        assert_eq!(req.num_vertices(), 4);
+        assert_eq!(req.backend().label(), "fresh");
+        assert_eq!(req.backend().rng_seed(), 9);
+        assert_eq!(req.backend().threads(), 2);
+        assert!(req.ensure_graph(&g).is_ok());
+        let other = DiGraph::empty(2);
+        assert!(req.ensure_graph(&other).is_err());
+        // No explicit backend: paper-default Fresh.
+        let req = ContainmentRequest::builder(&g)
+            .seed(vid(0))
+            .budget(1)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            req.backend(),
+            EvalBackend::Fresh { theta: 10_000, .. }
+        ));
+        assert_eq!(req.mcs_rounds(), 10_000);
+    }
+
+    #[test]
+    fn builder_rejects_every_malformed_request() {
+        let g = graph();
+        let base = || ContainmentRequest::builder(&g).seed(vid(0)).budget(1);
+        assert!(matches!(
+            ContainmentRequest::builder(&g).seed(vid(0)).build(),
+            Err(IminError::ZeroBudget)
+        ));
+        assert!(matches!(
+            ContainmentRequest::builder(&g).budget(1).build(),
+            Err(IminError::EmptySeedSet)
+        ));
+        assert!(matches!(
+            base().seed(vid(9)).build(),
+            Err(IminError::SeedOutOfRange {
+                vertex: 9,
+                num_vertices: 4
+            })
+        ));
+        assert!(matches!(
+            base().seed(vid(0)).build(),
+            Err(IminError::DuplicateSeed { vertex: 0 })
+        ));
+        // θ = 0 is a solver concern, not a request-shape error: rank-only
+        // heuristics never sample, so the builder lets it through.
+        assert!(base().fresh(0, 1, 1).build().is_ok());
+        assert!(matches!(
+            base().forbid_mask(vec![false; 3]).build(),
+            Err(IminError::Diffusion(_))
+        ));
+        assert!(matches!(
+            base().forbid_mask(vec![true, false, false, false]).build(),
+            Err(IminError::ForbiddenSeedOverlap { vertex: 0 })
+        ));
+    }
+
+    #[test]
+    fn pooled_backend_is_validated_against_the_graph() {
+        let g = graph();
+        let pool = SamplePool::build(&g, 4, 1).unwrap();
+        let req = ContainmentRequest::builder(&g)
+            .seed(vid(0))
+            .budget(1)
+            .pooled_with_threads(&pool, 2)
+            .build()
+            .unwrap();
+        assert_eq!(req.backend().label(), "pooled");
+        assert_eq!(req.backend().threads(), 2);
+        assert_eq!(req.backend().rng_seed(), 1, "pool seed drives pooled RNG");
+        let tiny = DiGraph::empty(2);
+        assert!(matches!(
+            ContainmentRequest::builder(&tiny)
+                .seed(vid(0))
+                .budget(1)
+                .pooled(&pool)
+                .build(),
+            Err(IminError::PoolGraphMismatch { .. })
+        ));
+    }
+}

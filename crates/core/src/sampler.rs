@@ -31,6 +31,9 @@ use rand::RngCore;
 pub use crate::pool::{PoolWorkspace, SamplePool};
 
 const UNMAPPED: u32 = u32::MAX;
+/// Sentinel stored at local id 0 of a multi-seed sample: a virtual root
+/// standing in for the unified seed of §V (it has no global id).
+const VIRTUAL_ROOT: u32 = u32::MAX;
 
 /// A live-edge sample restricted to the vertices reachable from the source,
 /// with vertices renumbered into dense local ids and the adjacency stored in
@@ -124,7 +127,10 @@ impl CompactSample {
     /// one-off resize if the graph grew).
     pub fn reset(&mut self, n: usize) {
         for &v in &self.vertices {
-            self.local_of[v as usize] = UNMAPPED;
+            // The virtual root of a multi-seed sample has no global slot.
+            if v != VIRTUAL_ROOT {
+                self.local_of[v as usize] = UNMAPPED;
+            }
         }
         if self.local_of.len() < n {
             self.local_of.resize(n, UNMAPPED);
@@ -134,6 +140,16 @@ impl CompactSample {
         self.offsets.push(0);
         self.targets.clear();
         self.sealed = 0;
+    }
+
+    /// Installs a virtual root as local vertex 0 of a freshly reset sample:
+    /// the stand-in for the unified seed of §V when a sample is rooted at a
+    /// whole seed set. The root has no global id ([`Self::local_id`] never
+    /// resolves to it) and must be given its seed edges and sealed by the
+    /// caller.
+    fn begin_virtual_root(&mut self) {
+        debug_assert!(self.vertices.is_empty(), "virtual root must come first");
+        self.vertices.push(VIRTUAL_ROOT);
     }
 
     /// Interns a global vertex, returning its local id (allocating one if it
@@ -182,6 +198,24 @@ pub trait SpreadSampler: Send + Sync {
         rng: &mut SmallRng,
         out: &mut CompactSample,
     );
+
+    /// Draws one sample rooted at a whole seed set: local vertex 0 is a
+    /// virtual root with one deterministic edge per seed (the unified seed
+    /// of §V, built without materialising a merged graph), and the live-edge
+    /// BFS proceeds from the seeds exactly as [`Self::sample`] does from the
+    /// source. Callers must pass deduplicated, unblocked, in-range seeds.
+    ///
+    /// Single-seed callers should keep using [`Self::sample`], whose RNG
+    /// stream and local numbering are the historical (parity-protected)
+    /// ones.
+    fn sample_multi(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: &[bool],
+        rng: &mut SmallRng,
+        out: &mut CompactSample,
+    );
 }
 
 /// Live-edge sampler for the independent cascade model: every out-edge of a
@@ -189,6 +223,49 @@ pub trait SpreadSampler: Send + Sync {
 /// (Definition 4), and only the part reachable from the source is explored.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct IcLiveEdgeSampler;
+
+/// The live-edge BFS shared by the single- and multi-seed IC samplers:
+/// expands every unsealed vertex starting at local id `head`, flipping one
+/// coin per out-edge of each reached vertex.
+///
+/// Each coin is decided against the graph's precomputed integer threshold:
+/// `(next_u64() >> 11) < threshold` is bit-identical to `gen_bool(p)` (see
+/// [`imin_graph::coin_threshold`]) but costs one u64 comparison instead of
+/// float arithmetic. Deterministic edges (threshold 0 / ALWAYS) skip the RNG
+/// exactly as the probability branches used to, so streams are unchanged.
+fn ic_expand_from(
+    graph: &DiGraph,
+    blocked: &[bool],
+    rng: &mut SmallRng,
+    out: &mut CompactSample,
+    mut head: usize,
+) {
+    while head < out.num_reached() {
+        let u_global = out.vertices[head];
+        head += 1;
+        let u = VertexId::from_raw(u_global);
+        let targets = graph.out_neighbors(u);
+        let thresholds = graph.out_coin_thresholds(u);
+        for (&t, &threshold) in targets.iter().zip(thresholds) {
+            if blocked[t as usize] {
+                continue;
+            }
+            let live = if threshold == THRESHOLD_ALWAYS {
+                true
+            } else if threshold == 0 {
+                false
+            } else {
+                (rng.next_u64() >> 11) < threshold
+            };
+            if !live {
+                continue;
+            }
+            let t_local = out.intern(t);
+            out.push_edge(t_local);
+        }
+        out.seal_vertex();
+    }
+}
 
 impl SpreadSampler for IcLiveEdgeSampler {
     fn label(&self) -> &'static str {
@@ -212,39 +289,27 @@ impl SpreadSampler for IcLiveEdgeSampler {
         // BFS over live edges; coins are flipped for every out-edge of every
         // reached vertex exactly once, so the sample is a faithful draw from
         // the live-edge distribution restricted to the reachable region.
-        //
-        // Each coin is decided against the graph's precomputed integer
-        // threshold: `(next_u64() >> 11) < threshold` is bit-identical to
-        // `gen_bool(p)` (see [`imin_graph::coin_threshold`]) but costs one
-        // u64 comparison instead of float arithmetic. Deterministic edges
-        // (threshold 0 / ALWAYS) skip the RNG exactly as the probability
-        // branches used to, so streams are unchanged.
-        let mut head = 0usize;
-        while head < out.num_reached() {
-            let u_global = out.vertices[head];
-            head += 1;
-            let u = VertexId::from_raw(u_global);
-            let targets = graph.out_neighbors(u);
-            let thresholds = graph.out_coin_thresholds(u);
-            for (&t, &threshold) in targets.iter().zip(thresholds) {
-                if blocked[t as usize] {
-                    continue;
-                }
-                let live = if threshold == THRESHOLD_ALWAYS {
-                    true
-                } else if threshold == 0 {
-                    false
-                } else {
-                    (rng.next_u64() >> 11) < threshold
-                };
-                if !live {
-                    continue;
-                }
-                let t_local = out.intern(t);
-                out.push_edge(t_local);
-            }
-            out.seal_vertex();
+        ic_expand_from(graph, blocked, rng, out, 0);
+    }
+
+    fn sample_multi(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: &[bool],
+        rng: &mut SmallRng,
+        out: &mut CompactSample,
+    ) {
+        out.reset(graph.num_vertices());
+        out.begin_virtual_root();
+        // Virtual root → every seed: the unified-seed edges of §V, all with
+        // probability 1, so no coins are consumed for them.
+        for &s in seeds {
+            let local = out.intern(s.raw());
+            out.push_edge(local);
         }
+        out.seal_vertex();
+        ic_expand_from(graph, blocked, rng, out, 1);
     }
 }
 
@@ -277,19 +342,48 @@ impl<M: TriggeringModel> SpreadSampler for TriggeringSampler<M> {
         let full = imin_diffusion::triggering::sample_triggering_live_edges(graph, &self.0, rng);
         let source_local = out.intern(source.raw());
         debug_assert_eq!(source_local, 0);
-        let mut head = 0usize;
-        while head < out.num_reached() {
-            let u_global = out.vertices[head];
-            head += 1;
-            for &t in &full[u_global as usize] {
-                if blocked[t as usize] {
-                    continue;
-                }
-                let t_local = out.intern(t);
-                out.push_edge(t_local);
-            }
-            out.seal_vertex();
+        expand_triggering_from(&full, blocked, out, 0);
+    }
+
+    fn sample_multi(
+        &self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: &[bool],
+        rng: &mut SmallRng,
+        out: &mut CompactSample,
+    ) {
+        out.reset(graph.num_vertices());
+        let full = imin_diffusion::triggering::sample_triggering_live_edges(graph, &self.0, rng);
+        out.begin_virtual_root();
+        for &s in seeds {
+            let local = out.intern(s.raw());
+            out.push_edge(local);
         }
+        out.seal_vertex();
+        expand_triggering_from(&full, blocked, out, 1);
+    }
+}
+
+/// BFS over a pre-drawn full-graph triggering sample, starting at local id
+/// `head` (0 for a plain rooted sample, 1 past a virtual root).
+fn expand_triggering_from(
+    full: &[Vec<u32>],
+    blocked: &[bool],
+    out: &mut CompactSample,
+    mut head: usize,
+) {
+    while head < out.num_reached() {
+        let u_global = out.vertices[head];
+        head += 1;
+        for &t in &full[u_global as usize] {
+            if blocked[t as usize] {
+                continue;
+            }
+            let t_local = out.intern(t);
+            out.push_edge(t_local);
+        }
+        out.seal_vertex();
     }
 }
 
@@ -432,6 +526,30 @@ mod tests {
             .filter(|&&t| t == three_local)
             .count();
         assert_eq!(in_edges_of_three, 2);
+    }
+
+    #[test]
+    fn multi_seed_sample_uses_a_virtual_root() {
+        // Two disjoint chains: 0 -> 1 and 2 -> 3.
+        let g = DiGraph::from_edges(4, vec![(vid(0), vid(1), 1.0), (vid(2), vid(3), 1.0)]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sample = CompactSample::new(4);
+        IcLiveEdgeSampler.sample_multi(&g, &[vid(0), vid(2)], &[false; 4], &mut rng, &mut sample);
+        // Virtual root + all four reachable vertices.
+        assert_eq!(sample.num_reached(), 5);
+        assert_eq!(sample.neighbors(0).len(), 2, "one root edge per seed");
+        assert!(sample.local_id(vid(0)).is_some());
+        assert!(sample.local_id(vid(3)).is_some());
+        // Blocked vertices are still skipped downstream of the seeds.
+        let mut blocked = vec![false; 4];
+        blocked[1] = true;
+        IcLiveEdgeSampler.sample_multi(&g, &[vid(0), vid(2)], &blocked, &mut rng, &mut sample);
+        assert_eq!(sample.num_reached(), 4); // root, 0, 2, 3
+        assert!(sample.local_id(vid(1)).is_none());
+        // Buffer reuse back to a single-source sample (sentinel unmapped).
+        IcLiveEdgeSampler.sample(&g, vid(0), &[false; 4], &mut rng, &mut sample);
+        assert_eq!(sample.num_reached(), 2);
+        assert_eq!(sample.vertices()[0], 0);
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! The [`BlockerSolver`] trait and the [`AlgorithmKind`] registry — one
+//! string→solver dispatch shared by the engine protocol, `imin-cli`, the
+//! bench binaries and the examples.
+//!
+//! Every algorithm of the crate implements [`BlockerSolver`]: it consumes a
+//! validated [`ContainmentRequest`] and produces a [`BlockerSelection`].
+//! [`AlgorithmKind`] enumerates the implementations and is the *only* place
+//! that maps names to solvers: `FromStr` accepts the canonical name, the
+//! paper label and the common aliases of every algorithm, `Display` prints
+//! the canonical name, and [`AlgorithmKind::solver`] returns the singleton
+//! solver. Anything that dispatches on an algorithm string goes through
+//! this registry instead of hand-writing a `match`.
+//!
+//! ```
+//! use imin_core::AlgorithmKind;
+//!
+//! let kind: AlgorithmKind = "gr".parse().unwrap();
+//! assert_eq!(kind, AlgorithmKind::GreedyReplace);
+//! assert_eq!(kind.to_string(), "replace");
+//! assert_eq!(kind.label(), "GR");
+//! assert!("quantum".parse::<AlgorithmKind>().is_err());
+//! ```
+
+use crate::advanced_greedy::AdvancedGreedy;
+use crate::baseline_greedy::BaselineGreedy;
+use crate::exact_blocker::ExactBlocker;
+use crate::greedy_replace::GreedyReplace;
+use crate::heuristics::{Degree, OutDegree, OutNeighbors, PageRank, Rand};
+use crate::request::ContainmentRequest;
+use crate::types::BlockerSelection;
+use crate::{IminError, Result};
+use imin_graph::DiGraph;
+use std::fmt;
+use std::str::FromStr;
+
+/// A blocker-selection algorithm behind the unified request API.
+pub trait BlockerSolver: Send + Sync {
+    /// The registry entry this solver implements.
+    fn kind(&self) -> AlgorithmKind;
+
+    /// Answers a containment request on `graph`.
+    ///
+    /// The returned blockers always respect the request: at most `budget`
+    /// of them, never a seed, never a forbidden vertex.
+    ///
+    /// # Errors
+    /// Returns [`IminError::BackendUnsupported`] when the algorithm cannot
+    /// run on the request's backend (e.g. BaselineGreedy on a pool), or the
+    /// algorithm's own failure modes.
+    fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection>;
+}
+
+/// The blocker-selection algorithms available through the registry, in the
+/// paper's presentation order (Table VII plus this crate's extensions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// Algorithm 1 — greedy selection with Monte-Carlo evaluation (the
+    /// state-of-the-art baseline, `BG` in the figures).
+    BaselineGreedy,
+    /// Algorithm 3 — greedy selection with dominator-tree estimation (`AG`).
+    AdvancedGreedy,
+    /// Algorithm 4 — out-neighbour initialisation plus replacement (`GR`).
+    GreedyReplace,
+    /// Uniform random blockers (`RA`).
+    Random,
+    /// Highest out-degree blockers (`OD`).
+    OutDegree,
+    /// Highest total-degree blockers.
+    Degree,
+    /// Out-neighbours of the seeds ranked by estimated decrease
+    /// (the `OutNeighbors` strategy of Example 3).
+    OutNeighbors,
+    /// Highest-PageRank blockers (extension).
+    PageRank,
+    /// Exhaustive search over all blocker sets (the `Exact` oracle; only
+    /// feasible on very small graphs).
+    Exact,
+}
+
+/// One registry row: kind, canonical name, paper label, accepted aliases.
+struct AlgorithmEntry {
+    kind: AlgorithmKind,
+    name: &'static str,
+    label: &'static str,
+    aliases: &'static [&'static str],
+}
+
+/// The single name table behind `FromStr`, `Display` and
+/// [`AlgorithmKind::known_names`].
+const REGISTRY: &[AlgorithmEntry] = &[
+    AlgorithmEntry {
+        kind: AlgorithmKind::BaselineGreedy,
+        name: "baseline",
+        label: "BG",
+        aliases: &["baseline-greedy", "baselinegreedy"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::AdvancedGreedy,
+        name: "advanced",
+        label: "AG",
+        aliases: &["advanced-greedy", "advancedgreedy"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::GreedyReplace,
+        name: "replace",
+        label: "GR",
+        aliases: &["greedy-replace", "greedyreplace"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::Random,
+        name: "random",
+        label: "RA",
+        aliases: &["rand"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::OutDegree,
+        name: "outdegree",
+        label: "OD",
+        aliases: &["out-degree"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::Degree,
+        name: "degree",
+        label: "DEG",
+        aliases: &[],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::OutNeighbors,
+        name: "outneighbors",
+        label: "ON",
+        aliases: &["out-neighbors", "outneighbor"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::PageRank,
+        name: "pagerank",
+        label: "PR",
+        aliases: &["page-rank"],
+    },
+    AlgorithmEntry {
+        kind: AlgorithmKind::Exact,
+        name: "exact",
+        label: "EXACT",
+        aliases: &["ex"],
+    },
+];
+
+impl AlgorithmKind {
+    fn entry(self) -> &'static AlgorithmEntry {
+        REGISTRY
+            .iter()
+            .find(|e| e.kind == self)
+            .expect("every kind has a registry row")
+    }
+
+    /// Canonical lowercase name (`advanced`, `replace`, …) — what
+    /// [`fmt::Display`] prints and every dispatch accepts.
+    pub fn name(self) -> &'static str {
+        self.entry().name
+    }
+
+    /// Short identifier used in experiment tables (`BG`, `AG`, `GR`, ...).
+    pub fn label(self) -> &'static str {
+        self.entry().label
+    }
+
+    /// All algorithms compared in the paper's Table VII plus this crate's
+    /// extensions, in presentation order.
+    pub fn all() -> &'static [AlgorithmKind] {
+        &[
+            AlgorithmKind::Random,
+            AlgorithmKind::OutDegree,
+            AlgorithmKind::Degree,
+            AlgorithmKind::PageRank,
+            AlgorithmKind::OutNeighbors,
+            AlgorithmKind::BaselineGreedy,
+            AlgorithmKind::AdvancedGreedy,
+            AlgorithmKind::GreedyReplace,
+            AlgorithmKind::Exact,
+        ]
+    }
+
+    /// The singleton solver implementing this algorithm.
+    pub fn solver(self) -> &'static dyn BlockerSolver {
+        match self {
+            AlgorithmKind::BaselineGreedy => &BaselineGreedy,
+            AlgorithmKind::AdvancedGreedy => &AdvancedGreedy,
+            AlgorithmKind::GreedyReplace => &GreedyReplace,
+            AlgorithmKind::Random => &Rand,
+            AlgorithmKind::OutDegree => &OutDegree,
+            AlgorithmKind::Degree => &Degree,
+            AlgorithmKind::OutNeighbors => &OutNeighbors,
+            AlgorithmKind::PageRank => &PageRank,
+            AlgorithmKind::Exact => &ExactBlocker,
+        }
+    }
+
+    /// Comma-separated list of every accepted spelling, for error messages
+    /// and usage strings.
+    pub fn known_names() -> String {
+        let mut names: Vec<String> = Vec::new();
+        for entry in REGISTRY {
+            for candidate in [entry.name.to_string(), entry.label.to_lowercase()] {
+                if !names.contains(&candidate) {
+                    names.push(candidate);
+                }
+            }
+        }
+        names.join(", ")
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for AlgorithmKind {
+    type Err = IminError;
+
+    /// Case-insensitive lookup of the canonical name, the paper label, or
+    /// any registered alias.
+    fn from_str(s: &str) -> Result<Self> {
+        let lower = s.trim().to_ascii_lowercase();
+        for entry in REGISTRY {
+            if lower == entry.name
+                || lower == entry.label.to_ascii_lowercase()
+                || entry.aliases.contains(&lower.as_str())
+            {
+                return Ok(entry.kind);
+            }
+        }
+        Err(IminError::UnknownAlgorithm {
+            name: s.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_labels_and_listing() {
+        assert_eq!(AlgorithmKind::GreedyReplace.label(), "GR");
+        assert_eq!(AlgorithmKind::BaselineGreedy.label(), "BG");
+        assert_eq!(AlgorithmKind::GreedyReplace.name(), "replace");
+        assert!(AlgorithmKind::all().contains(&AlgorithmKind::Exact));
+        assert_eq!(AlgorithmKind::all().len(), 9);
+        assert_eq!(AlgorithmKind::all().len(), REGISTRY.len());
+        assert!(AlgorithmKind::known_names().contains("advanced"));
+        assert!(AlgorithmKind::known_names().contains("gr"));
+    }
+
+    #[test]
+    fn from_str_accepts_names_labels_and_aliases() {
+        for &kind in AlgorithmKind::all() {
+            assert_eq!(kind.name().parse::<AlgorithmKind>().unwrap(), kind);
+            assert_eq!(kind.label().parse::<AlgorithmKind>().unwrap(), kind);
+            assert_eq!(
+                kind.to_string().parse::<AlgorithmKind>().unwrap(),
+                kind,
+                "Display round-trips through FromStr"
+            );
+        }
+        assert_eq!(
+            " AG ".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::AdvancedGreedy
+        );
+        assert_eq!(
+            "greedy-replace".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::GreedyReplace
+        );
+        assert!(matches!(
+            "quantum".parse::<AlgorithmKind>(),
+            Err(IminError::UnknownAlgorithm { .. })
+        ));
+    }
+
+    #[test]
+    fn every_kind_has_a_solver_of_its_own_kind() {
+        for &kind in AlgorithmKind::all() {
+            assert_eq!(kind.solver().kind(), kind);
+        }
+    }
+}

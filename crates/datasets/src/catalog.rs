@@ -197,7 +197,7 @@ impl Dataset {
     /// The generator is preferential attachment (bidirectional for the
     /// undirected datasets), which reproduces the heavy-tailed degree
     /// distribution the blocking algorithms are sensitive to. All edges get
-    /// probability 1.0 — callers apply a [`imin_diffusion::ProbabilityModel`]
+    /// probability 1.0 — callers apply an `imin_diffusion::ProbabilityModel`
     /// (TR or WC) afterwards, exactly as the paper does.
     pub fn generate(&self, scale: DatasetScale) -> Result<DiGraph, GraphError> {
         let spec = self.spec();

@@ -1,10 +1,10 @@
 //! Exact expected-spread computation by possible-world enumeration.
 //!
 //! Computing the expected spread under the IC model is #P-hard in general
-//! [21]; the paper's Exact-vs-GreedyReplace comparison (Tables V and VI)
+//! \[21\]; the paper's Exact-vs-GreedyReplace comparison (Tables V and VI)
 //! therefore runs on ~100-vertex extracts, where an exact method is
 //! feasible. The original authors use the BDD technique of Maehara et al.
-//! [39]; this crate substitutes straightforward **possible-world
+//! \[39\]; this crate substitutes straightforward **possible-world
 //! enumeration**: the deterministic edges (probability 0 or 1) are fixed and
 //! the `k` *uncertain* edges reachable from the seeds are enumerated
 //! exhaustively (`2^k` worlds, each weighted by its probability). For the

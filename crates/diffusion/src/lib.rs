@@ -9,7 +9,7 @@
 //! out-neighbour `v`, succeeding independently with probability `p(u,v)`.
 //! The *expected spread* `E(S, G)` is the expected number of active vertices
 //! when the process stops (Definition 3). Computing it exactly is #P-hard
-//! [21], so the paper (and this crate) provides:
+//! \[21\], so the paper (and this crate) provides:
 //!
 //! * [`montecarlo`] — Monte-Carlo simulation (MCS), the estimator used by
 //!   the BaselineGreedy state of the art (§V-A); sequential and

@@ -4,9 +4,9 @@
 //! which operate on an existing topology:
 //!
 //! * **Trivalency (TR)** — every edge independently draws its probability
-//!   uniformly from `{0.1, 0.01, 0.001}` [9, 21, 57].
+//!   uniformly from `{0.1, 0.01, 0.001}` \[9, 21, 57\].
 //! * **Weighted Cascade (WC)** — every edge `(u, v)` gets `p(u,v) = 1 /
-//!   d_in(v)` [7, 40].
+//!   d_in(v)` \[7, 40\].
 //!
 //! Two extra assignments, constant and uniform-range, are provided for tests
 //! and examples.

@@ -1,7 +1,7 @@
 //! The Lengauer–Tarjan dominator-tree algorithm.
 //!
 //! This is the algorithm the paper applies to every sampled graph
-//! (§V-B3, Algorithm 2 line 4, reference [53]). The implementation is the
+//! (§V-B3, Algorithm 2 line 4, reference \[53\]). The implementation is the
 //! "simple" eval–link variant: path compression without balancing, which
 //! runs in `O(m log n)` and is the variant Lengauer and Tarjan themselves
 //! recommend for graphs that are not extremely large. The asymptotically

@@ -17,7 +17,7 @@
 //!   variant), the production path used by the sampler; almost-linear
 //!   `O(m·α(m,n))` with the sophisticated linking, `O(m log n)` with the
 //!   simple linking implemented here, which is the variant the original
-//!   paper's reference implementation [53] recommends for practical graphs.
+//!   paper's reference implementation \[53\] recommends for practical graphs.
 //!   The [`DomTreeWorkspace`] entry point owns every scratch buffer of the
 //!   algorithm (flattened predecessor/bucket arrays and the output tree), so
 //!   the per-sample hot loop of Algorithm 2 builds θ dominator trees with

@@ -1,41 +1,78 @@
-//! `imin-cli` — line-protocol client for `imin-serve`.
+//! `imin-cli` — line-protocol client for `imin-serve`, with a serverless
+//! local mode.
 //!
 //! ```text
 //! imin-cli HOST:PORT "COMMAND ..." ["COMMAND ..." ...]
 //! imin-cli HOST:PORT            # interactive: reads commands from stdin
+//! imin-cli local "COMMAND ..."  # same protocol against an in-process engine
 //! ```
 //!
 //! Each command argument is sent as one request line and the raw reply line
 //! is printed to stdout. Exits non-zero if the connection fails or any
 //! reply is an `ERR` line, so it doubles as a CI smoke probe.
+//!
+//! `local` skips TCP entirely: the lines run through the same
+//! [`imin_engine::answer_line`] state machine the server uses, against an
+//! [`imin_engine::Engine`] living in this process — handy for one-off
+//! experiments and air-gapped smoke tests. Algorithm names in `QUERY …
+//! alg=…` resolve through the [`imin_engine::AlgorithmKind`] registry in
+//! both modes.
 
-use imin_engine::Client;
+use imin_engine::{answer_line, Client, Engine};
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Mutex;
+
+/// One request line → one reply line, over TCP or in process.
+enum Session {
+    Remote(Box<Client>),
+    Local(Box<Mutex<Engine>>),
+}
+
+impl Session {
+    /// Sends one request line; returns the reply plus whether the session
+    /// is over. A remote server closes the connection after any `QUIT`
+    /// request (however it is spelled), so the local engine's own close
+    /// flag keeps both modes byte-for-byte in step.
+    fn send(&mut self, line: &str) -> imin_engine::Result<(String, bool)> {
+        match self {
+            Session::Remote(client) => {
+                let reply = client.send_raw(line)?;
+                let closed = reply == "OK bye";
+                Ok((reply, closed))
+            }
+            Session::Local(engine) => Ok(answer_line(line, engine)),
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first() else {
-        eprintln!("usage: imin-cli HOST:PORT [\"COMMAND ...\" ...]");
+        eprintln!("usage: imin-cli HOST:PORT|local [\"COMMAND ...\" ...]");
         return ExitCode::FAILURE;
     };
-    let mut client = match Client::connect(addr) {
-        Ok(client) => client,
-        Err(err) => {
-            eprintln!("imin-cli: cannot connect to {addr}: {err}");
-            return ExitCode::FAILURE;
+    let mut session = if addr.eq_ignore_ascii_case("local") {
+        Session::Local(Box::new(Mutex::new(Engine::new())))
+    } else {
+        match Client::connect(addr) {
+            Ok(client) => Session::Remote(Box::new(client)),
+            Err(err) => {
+                eprintln!("imin-cli: cannot connect to {addr}: {err}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
     let mut failures = 0usize;
-    let mut run = |client: &mut Client, line: &str| -> bool {
-        match client.send_raw(line) {
-            Ok(reply) => {
+    let mut run = |session: &mut Session, line: &str| -> bool {
+        match session.send(line) {
+            Ok((reply, closed)) => {
                 println!("{reply}");
                 if reply.starts_with("ERR") {
                     failures += 1;
                 }
-                !line.trim().eq_ignore_ascii_case("QUIT")
+                !closed
             }
             Err(err) => {
                 eprintln!("imin-cli: {err}");
@@ -47,7 +84,7 @@ fn main() -> ExitCode {
 
     if args.len() > 1 {
         for line in &args[1..] {
-            if !run(&mut client, line) {
+            if !run(&mut session, line) {
                 break;
             }
         }
@@ -58,7 +95,7 @@ fn main() -> ExitCode {
             if line.trim().is_empty() {
                 continue;
             }
-            if !run(&mut client, &line) {
+            if !run(&mut session, &line) {
                 break;
             }
         }

@@ -109,9 +109,10 @@ impl Client {
             .map(|s| s.to_string())
             .collect::<Vec<_>>()
             .join(",");
+        // `Display` prints the registry's canonical name, which the server
+        // resolves through the same `AlgorithmKind` registry.
         let payload = self.send(&format!(
-            "QUERY ic seeds={seeds} budget={budget} alg={}",
-            algorithm.label()
+            "QUERY ic seeds={seeds} budget={budget} alg={algorithm}"
         ))?;
         let blockers_field = payload_field(&payload, "blockers")
             .ok_or_else(|| EngineError::Protocol(format!("missing blockers in '{payload}'")))?;

@@ -2,32 +2,18 @@
 
 use crate::cache::LruCache;
 use crate::{EngineError, Result};
-use imin_core::pool::{
-    pooled_advanced_greedy_in, pooled_greedy_replace_in, shard_ranges, PoolWorkspace,
-};
-use imin_core::SamplePool;
+use imin_core::pool::shard_ranges;
+use imin_core::{AlgorithmKind, ContainmentRequest, SamplePool};
 use imin_graph::{DiGraph, VertexId};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-/// The blocker-selection algorithms the engine can run against the pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum QueryAlgorithm {
-    /// Algorithm 3 on a borrowed pool (`AG`).
-    AdvancedGreedy,
-    /// Algorithm 4 on a borrowed pool (`GR`).
-    GreedyReplace,
-}
-
-impl QueryAlgorithm {
-    /// Short identifier used in protocol replies and logs.
-    pub fn label(&self) -> &'static str {
-        match self {
-            QueryAlgorithm::AdvancedGreedy => "advanced",
-            QueryAlgorithm::GreedyReplace => "replace",
-        }
-    }
-}
+/// The algorithm selector of a [`Query`] — the crate-wide
+/// [`imin_core::AlgorithmKind`] registry. Any registered algorithm may be
+/// asked for; algorithms whose solver cannot run against a resident pool
+/// (BaselineGreedy, Exact) answer with a typed
+/// [`imin_core::IminError::BackendUnsupported`] error.
+pub type QueryAlgorithm = AlgorithmKind;
 
 /// One containment question: which `budget` vertices should be blocked to
 /// minimise the spread from `seeds`?
@@ -38,8 +24,8 @@ pub struct Query {
     pub seeds: Vec<VertexId>,
     /// Maximum number of blockers.
     pub budget: usize,
-    /// Which greedy to run.
-    pub algorithm: QueryAlgorithm,
+    /// Which algorithm to run (from the [`AlgorithmKind`] registry).
+    pub algorithm: AlgorithmKind,
 }
 
 /// Canonical cache key of a query: sorted deduplicated seeds + budget +
@@ -48,7 +34,7 @@ pub struct Query {
 pub(crate) struct QueryKey {
     seeds: Vec<u32>,
     budget: usize,
-    algorithm: QueryAlgorithm,
+    algorithm: AlgorithmKind,
 }
 
 impl Query {
@@ -124,7 +110,6 @@ pub struct Engine {
     graph_label: String,
     pool: Option<SamplePool>,
     pool_info: Option<PoolInfo>,
-    workspace: PoolWorkspace,
     cache: LruCache<QueryKey, QueryResult>,
     stats: EngineStats,
     threads: usize,
@@ -145,7 +130,6 @@ impl Engine {
             graph_label: String::new(),
             pool: None,
             pool_info: None,
-            workspace: PoolWorkspace::new(),
             cache: LruCache::new(256),
             stats: EngineStats::default(),
             threads: imin_diffusion::montecarlo::default_threads(),
@@ -250,7 +234,7 @@ impl Engine {
         }
         let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
         let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
-        let result = run_pooled(pool, graph, query, self.threads, &mut self.workspace, start)?;
+        let result = run_pooled(pool, graph, query, self.threads, start)?;
         self.cache.insert(key, result.clone());
         Ok(result)
     }
@@ -344,35 +328,28 @@ fn clone_engine_error(err: &EngineError) -> EngineError {
     }
 }
 
-/// Runs one query against the pool with the given parallelism.
+/// Runs one query against the pool with the given parallelism: the query
+/// becomes a [`ContainmentRequest`] with a `Pooled` backend and is
+/// dispatched through the [`AlgorithmKind`] registry — no per-algorithm
+/// `match` lives in the engine.
 fn run_pooled(
     pool: &SamplePool,
     graph: &DiGraph,
     query: &Query,
     threads: usize,
-    workspace: &mut PoolWorkspace,
     start: Instant,
 ) -> Result<QueryResult> {
-    let forbidden = vec![false; pool.num_vertices()];
-    let selection = match query.algorithm {
-        QueryAlgorithm::AdvancedGreedy => pooled_advanced_greedy_in(
-            pool,
-            &query.seeds,
-            &forbidden,
-            query.budget,
-            threads,
-            workspace,
-        )?,
-        QueryAlgorithm::GreedyReplace => pooled_greedy_replace_in(
-            pool,
-            graph,
-            &query.seeds,
-            &forbidden,
-            query.budget,
-            threads,
-            workspace,
-        )?,
-    };
+    // The request builder demands canonical seeds; the engine accepts any
+    // order and duplicates (they already collapse in the cache key).
+    let mut seeds = query.seeds.clone();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let request = ContainmentRequest::builder(graph)
+        .seeds(seeds)
+        .budget(query.budget)
+        .pooled_with_threads(pool, threads)
+        .build()?;
+    let selection = query.algorithm.solver().solve(graph, &request)?;
     Ok(QueryResult {
         blockers: selection.blockers,
         estimated_spread: selection.estimated_spread,
@@ -397,19 +374,9 @@ fn run_pooled_batch(
     // safe because pooled answers are thread-count-invariant.
     let threads_per_query = (threads.max(1) / workers).max(1);
     if workers <= 1 {
-        let mut workspace = PoolWorkspace::new();
         return queries
             .iter()
-            .map(|q| {
-                run_pooled(
-                    pool,
-                    graph,
-                    q,
-                    threads_per_query,
-                    &mut workspace,
-                    Instant::now(),
-                )
-            })
+            .map(|q| run_pooled(pool, graph, q, threads_per_query, Instant::now()))
             .collect();
     }
     let mut outcomes: Vec<Vec<Result<QueryResult>>> = Vec::new();
@@ -418,19 +385,9 @@ fn run_pooled_batch(
         for range in shard_ranges(queries.len(), workers) {
             let chunk = &queries[range];
             handles.push(scope.spawn(move |_| {
-                let mut workspace = PoolWorkspace::new();
                 chunk
                     .iter()
-                    .map(|q| {
-                        run_pooled(
-                            pool,
-                            graph,
-                            q,
-                            threads_per_query,
-                            &mut workspace,
-                            Instant::now(),
-                        )
-                    })
+                    .map(|q| run_pooled(pool, graph, q, threads_per_query, Instant::now()))
                     .collect::<Vec<_>>()
             }));
         }
@@ -551,6 +508,51 @@ mod tests {
             assert_eq!(r.as_ref().unwrap().blockers, first.blockers);
         }
         assert_eq!(engine.cache_entries(), 1);
+    }
+
+    #[test]
+    fn any_pool_capable_registry_algorithm_answers_queries() {
+        let mut engine = primed_engine();
+        for algorithm in [
+            QueryAlgorithm::AdvancedGreedy,
+            QueryAlgorithm::GreedyReplace,
+            QueryAlgorithm::Random,
+            QueryAlgorithm::OutDegree,
+            QueryAlgorithm::Degree,
+            QueryAlgorithm::OutNeighbors,
+            QueryAlgorithm::PageRank,
+        ] {
+            let q = Query {
+                seeds: vec![vid(0)],
+                budget: 3,
+                algorithm,
+            };
+            let result = engine
+                .query(&q)
+                .unwrap_or_else(|e| panic!("{algorithm:?}: {e}"));
+            assert!(result.blockers.len() <= 3, "{algorithm:?}");
+            assert!(!result.blockers.contains(&vid(0)), "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn simulation_only_algorithms_report_the_unsupported_backend() {
+        let mut engine = primed_engine();
+        for algorithm in [QueryAlgorithm::BaselineGreedy, QueryAlgorithm::Exact] {
+            let q = Query {
+                seeds: vec![vid(0)],
+                budget: 2,
+                algorithm,
+            };
+            let err = engine.query(&q).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EngineError::Core(imin_core::IminError::BackendUnsupported { .. })
+                ),
+                "{algorithm:?}: {err:?}"
+            );
+        }
     }
 
     #[test]

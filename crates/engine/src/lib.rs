@@ -55,7 +55,8 @@ pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{Engine, EngineStats, PoolInfo, Query, QueryAlgorithm, QueryResult};
 pub use error::EngineError;
-pub use server::Server;
+pub use imin_core::AlgorithmKind;
+pub use server::{answer_line, Server};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

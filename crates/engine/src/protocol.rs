@@ -19,10 +19,14 @@
 //! (trivalency), `const:<p>`, and `keep` (use probabilities as loaded;
 //! generator graphs carry the generator's uniform probability). The
 //! `QUERY` model token must be `ic` — the resident pool stores IC
-//! live-edge realisations. `alg=` accepts `advanced`/`ag` and
-//! `replace`/`gr`.
+//! live-edge realisations. `alg=` accepts any name, label or alias of the
+//! [`imin_core::AlgorithmKind`] registry (`advanced`/`ag`, `replace`/`gr`,
+//! `outdegree`/`od`, `random`/`ra`, …); algorithms that cannot run against
+//! a resident pool (`baseline`, `exact`) parse fine and answer with an
+//! `ERR` explaining the unsupported backend.
 
-use crate::engine::{Query, QueryAlgorithm};
+use crate::engine::Query;
+use imin_core::AlgorithmKind;
 use imin_graph::VertexId;
 
 /// Probability model applied to a freshly loaded topology.
@@ -150,14 +154,12 @@ fn parse_seeds(value: &str) -> Result<Vec<VertexId>, String> {
         .collect()
 }
 
-fn parse_algorithm(value: &str) -> Result<QueryAlgorithm, String> {
-    match value.to_ascii_lowercase().as_str() {
-        "advanced" | "ag" => Ok(QueryAlgorithm::AdvancedGreedy),
-        "replace" | "gr" => Ok(QueryAlgorithm::GreedyReplace),
-        other => Err(format!(
-            "unknown algorithm '{other}' (expected advanced or replace)"
-        )),
-    }
+/// Algorithm names resolve through the one [`AlgorithmKind`] registry —
+/// the protocol has no name table of its own.
+fn parse_algorithm(value: &str) -> Result<AlgorithmKind, String> {
+    value
+        .parse()
+        .map_err(|err: imin_core::IminError| err.to_string())
 }
 
 fn parse_load(tokens: &[&str]) -> Result<LoadSpec, String> {
@@ -235,7 +237,7 @@ fn parse_query(tokens: &[&str]) -> Result<Query, String> {
     }
     let mut seeds: Option<Vec<VertexId>> = None;
     let mut budget: Option<usize> = None;
-    let mut algorithm = QueryAlgorithm::AdvancedGreedy;
+    let mut algorithm = AlgorithmKind::AdvancedGreedy;
     for token in &tokens[1..] {
         let (key, value) = parse_kv(token)?;
         match key.to_ascii_lowercase().as_str() {
@@ -359,7 +361,13 @@ mod tests {
         };
         assert_eq!(q.seeds.len(), 3);
         assert_eq!(q.budget, 10);
-        assert_eq!(q.algorithm, QueryAlgorithm::GreedyReplace);
+        assert_eq!(q.algorithm, AlgorithmKind::GreedyReplace);
+        // Any registry spelling is accepted — one dispatch table for all.
+        let req = parse_request("QUERY ic seeds=4 budget=2 alg=od").unwrap();
+        let Request::Query(q) = req else {
+            panic!("expected a query")
+        };
+        assert_eq!(q.algorithm, AlgorithmKind::OutDegree);
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);

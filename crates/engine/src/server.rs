@@ -102,8 +102,11 @@ fn serve_connection(stream: TcpStream, engine: &Mutex<Engine>) -> std::io::Resul
     Ok(())
 }
 
-/// Produces the reply line for one request line, plus whether to close.
-pub(crate) fn answer_line(line: &str, engine: &Mutex<Engine>) -> (String, bool) {
+/// Produces the reply line for one request line, plus whether the
+/// connection should close. This is the whole protocol state machine: the
+/// TCP server loops over it, and `imin-cli local` drives it against an
+/// in-process engine without any socket.
+pub fn answer_line(line: &str, engine: &Mutex<Engine>) -> (String, bool) {
     match parse_request(line) {
         Err(reason) => (format!("ERR {reason}"), false),
         Ok(Request::Quit) => ("OK bye".into(), true),

@@ -4,21 +4,21 @@
 //! This is the in-process face of what `imin-serve` exposes over TCP: the
 //! θ live-edge realisations depend only on the graph and the diffusion
 //! model, so they are materialised a single time and every query — any
-//! seed set, any budget, either greedy — only pays for re-rooting them.
+//! seed set, any budget, any pool-capable algorithm of the
+//! [`imin_engine::AlgorithmKind`] registry — only pays for re-rooting them.
 //!
 //! Run with:
 //! ```text
 //! cargo run --release --example resident_engine
 //! ```
 
-use imin_engine::{Engine, Query, QueryAlgorithm};
-use imin_graph::{generators, VertexId};
+use imin_engine::{AlgorithmKind, Engine, Query};
 use std::time::Instant;
 
 fn main() {
     // 1. A synthetic social network under the weighted-cascade model.
-    let topology =
-        generators::preferential_attachment(5_000, 4, true, 1.0, 42).expect("graph generation");
+    let topology = imin_graph::generators::preferential_attachment(5_000, 4, true, 1.0, 42)
+        .expect("graph generation");
     let graph = imin_diffusion::ProbabilityModel::WeightedCascade
         .apply(&topology)
         .expect("probability assignment");
@@ -43,23 +43,30 @@ fn main() {
     );
 
     // 3. A stream of questions against the same resident pool: different
-    //    rumour sources, different budgets, both algorithms.
+    //    rumour sources, different budgets, any algorithm the registry
+    //    names — the engine dispatches every query through the one
+    //    `AlgorithmKind` registry, so the paper's greedies and the cheap
+    //    heuristics share a call shape.
     let questions = [
-        (vec![0u32], 10, QueryAlgorithm::AdvancedGreedy),
-        (vec![1, 17], 5, QueryAlgorithm::GreedyReplace),
-        (vec![42], 8, QueryAlgorithm::AdvancedGreedy),
-        (vec![0], 10, QueryAlgorithm::AdvancedGreedy), // repeat → cache hit
+        ("advanced", vec![0u32], 10),
+        ("replace", vec![1, 17], 5),
+        ("outdegree", vec![1, 17], 5), // heuristic baseline for the same ask
+        ("advanced", vec![42], 8),
+        ("advanced", vec![0], 10), // repeat → cache hit
     ];
-    for (seeds, budget, algorithm) in questions {
+    for (name, seeds, budget) in questions {
+        let algorithm: AlgorithmKind = name.parse().expect("registered algorithm");
         let query = Query {
-            seeds: seeds.iter().map(|&s| VertexId::from_raw(s)).collect(),
+            seeds: seeds
+                .iter()
+                .map(|&s| imin_graph::VertexId::from_raw(s))
+                .collect(),
             budget,
             algorithm,
         };
         let result = engine.query(&query).expect("query");
         println!(
-            "seeds={seeds:?} budget={budget} alg={}: {} blockers, spread≈{:.1}, {:?}{}",
-            algorithm.label(),
+            "seeds={seeds:?} budget={budget} alg={algorithm}: {} blockers, spread≈{:.1}, {:?}{}",
             result.blockers.len(),
             result.estimated_spread.unwrap_or(f64::NAN),
             result.elapsed,
@@ -74,9 +81,9 @@ fn main() {
     // 4. Batched queries fan out across the worker pool in one call.
     let batch: Vec<Query> = (0..6)
         .map(|i| Query {
-            seeds: vec![VertexId::new(100 + i)],
+            seeds: vec![imin_graph::VertexId::new(100 + i)],
             budget: 5,
-            algorithm: QueryAlgorithm::AdvancedGreedy,
+            algorithm: AlgorithmKind::AdvancedGreedy,
         })
         .collect();
     let start = Instant::now();
