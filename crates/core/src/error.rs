@@ -80,6 +80,10 @@ pub enum IminError {
     Diffusion(imin_diffusion::DiffusionError),
     /// An error bubbled up from the graph layer.
     Graph(imin_graph::GraphError),
+    /// A pool snapshot could not be written or read (see
+    /// [`crate::snapshot`]): I/O failure, truncation, bad magic, version or
+    /// checksum mismatch, or a graph fingerprint that does not match.
+    Snapshot(crate::snapshot::SnapshotError),
 }
 
 impl fmt::Display for IminError {
@@ -138,6 +142,7 @@ impl fmt::Display for IminError {
             ),
             IminError::Diffusion(err) => write!(f, "diffusion error: {err}"),
             IminError::Graph(err) => write!(f, "graph error: {err}"),
+            IminError::Snapshot(err) => write!(f, "{err}"),
         }
     }
 }
@@ -147,6 +152,7 @@ impl std::error::Error for IminError {
         match self {
             IminError::Diffusion(err) => Some(err),
             IminError::Graph(err) => Some(err),
+            IminError::Snapshot(err) => Some(err),
             _ => None,
         }
     }

@@ -89,6 +89,7 @@ pub mod problem;
 pub mod request;
 pub mod sampler;
 pub mod seed_merge;
+pub mod snapshot;
 pub mod solver;
 pub mod triggering;
 pub mod types;
@@ -97,6 +98,7 @@ pub use error::IminError;
 pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};
 pub use request::{ContainmentRequest, ContainmentRequestBuilder, EvalBackend, ForbiddenSet};
+pub use snapshot::{RestoredSnapshot, SnapshotError, SnapshotHeader, SnapshotSummary};
 pub use solver::{AlgorithmKind, BlockerSolver};
 pub use types::{AlgorithmConfig, BlockerSelection, SelectionStats};
 

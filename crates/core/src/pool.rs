@@ -53,10 +53,12 @@ const VIRTUAL_ROOT: u32 = u32::MAX;
 
 /// One live-edge realisation of the whole graph in CSR form: the surviving
 /// out-edges of vertex `u` are `targets[offsets[u] .. offsets[u + 1]]`.
+/// Crate-visible so [`crate::snapshot`] can write/read the arenas as raw
+/// slices.
 #[derive(Clone, Debug, Default)]
-struct SampleAdjacency {
-    offsets: Vec<u32>,
-    targets: Vec<u32>,
+pub(crate) struct SampleAdjacency {
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) targets: Vec<u32>,
 }
 
 impl SampleAdjacency {
@@ -123,6 +125,42 @@ pub fn shard_ranges(total: usize, workers: usize) -> impl Iterator<Item = Range<
     })
 }
 
+/// Draws the realisations `first_index..first_index + samples.len()` of the
+/// pool `(graph, seed)` into `samples`, sharding contiguous index ranges
+/// across up to `threads` workers. Each sample owns its RNG stream, so the
+/// result is bit-identical for every `threads` value. Shared by the initial
+/// build and [`SamplePool::extend_to`].
+fn fill_samples(
+    graph: &DiGraph,
+    seed: u64,
+    samples: &mut [SampleAdjacency],
+    first_index: usize,
+    threads: usize,
+) {
+    let total = samples.len();
+    let threads = threads.max(1).min(total.max(1));
+    if threads <= 1 {
+        for (i, sample) in samples.iter_mut().enumerate() {
+            sample.fill(graph, seed, (first_index + i) as u64);
+        }
+    } else {
+        crossbeam::scope(|scope| {
+            let mut rest: &mut [SampleAdjacency] = samples;
+            for range in shard_ranges(total, threads) {
+                let (chunk, tail) = rest.split_at_mut(range.len());
+                rest = tail;
+                let chunk_start = first_index + range.start;
+                scope.spawn(move |_| {
+                    for (i, sample) in chunk.iter_mut().enumerate() {
+                        sample.fill(graph, seed, (chunk_start + i) as u64);
+                    }
+                });
+            }
+        })
+        .expect("sample-pool build worker panicked");
+    }
+}
+
 impl SamplePool {
     /// Materialises θ live-edge realisations of `graph` using the default
     /// worker-thread count.
@@ -156,33 +194,72 @@ impl SamplePool {
             return Err(IminError::ZeroSamples);
         }
         let mut samples = vec![SampleAdjacency::default(); theta];
-        let threads = threads.max(1).min(theta);
-        if threads <= 1 {
-            for (i, sample) in samples.iter_mut().enumerate() {
-                sample.fill(graph, seed, i as u64);
-            }
-        } else {
-            crossbeam::scope(|scope| {
-                let mut rest: &mut [SampleAdjacency] = &mut samples;
-                for range in shard_ranges(theta, threads) {
-                    let (chunk, tail) = rest.split_at_mut(range.len());
-                    rest = tail;
-                    let chunk_start = range.start;
-                    scope.spawn(move |_| {
-                        for (i, sample) in chunk.iter_mut().enumerate() {
-                            sample.fill(graph, seed, (chunk_start + i) as u64);
-                        }
-                    });
-                }
-            })
-            .expect("sample-pool build worker panicked");
-        }
+        fill_samples(graph, seed, &mut samples, 0, threads);
         Ok(SamplePool {
             num_vertices: graph.num_vertices(),
             num_graph_edges: graph.num_edges(),
             pool_seed: seed,
             samples,
         })
+    }
+
+    /// Grows the pool in place to `new_theta` realisations by drawing the
+    /// missing samples `θ..θ'` from their own [`indexed_sample_seed`]
+    /// streams. Because sample `i` never depends on any other sample, the
+    /// extended pool is **bit-identical** to a pool freshly built at
+    /// `new_theta` with the same `(graph, pool_seed)` — at every thread
+    /// count. A `new_theta` at or below the current θ is a no-op (the pool
+    /// never shrinks).
+    ///
+    /// Returns the number of realisations added.
+    ///
+    /// # Errors
+    /// Returns [`IminError::PoolGraphMismatch`] when `graph` does not have
+    /// the shape of the graph the pool was built from.
+    pub fn extend_to(
+        &mut self,
+        graph: &DiGraph,
+        new_theta: usize,
+        threads: usize,
+    ) -> Result<usize> {
+        self.ensure_matches(graph)?;
+        let old_theta = self.samples.len();
+        if new_theta <= old_theta {
+            return Ok(0);
+        }
+        self.samples
+            .resize_with(new_theta, SampleAdjacency::default);
+        fill_samples(
+            graph,
+            self.pool_seed,
+            &mut self.samples[old_theta..],
+            old_theta,
+            threads,
+        );
+        Ok(new_theta - old_theta)
+    }
+
+    /// The stored realisations, for the snapshot writer.
+    pub(crate) fn samples(&self) -> &[SampleAdjacency] {
+        &self.samples
+    }
+
+    /// Reassembles a pool from deserialised parts. The caller (the snapshot
+    /// reader) is responsible for the arenas actually being the pool
+    /// `(graph, pool_seed, θ)` — integrity is enforced by the snapshot
+    /// checksum and the graph fingerprint, not re-derived here.
+    pub(crate) fn from_restored_parts(
+        num_vertices: usize,
+        num_graph_edges: usize,
+        pool_seed: u64,
+        samples: Vec<SampleAdjacency>,
+    ) -> Self {
+        SamplePool {
+            num_vertices,
+            num_graph_edges,
+            pool_seed,
+            samples,
+        }
     }
 
     /// Number of realisations θ held by the pool.
@@ -987,6 +1064,40 @@ mod tests {
                 "near-equal split for {total}/{workers}"
             );
         }
+    }
+
+    #[test]
+    fn extend_to_matches_a_fresh_build_bit_for_bit() {
+        let g = wc_pa(120, 3);
+        let fresh = SamplePool::build_with_threads(&g, 48, 9, 1).unwrap();
+        for threads in [1usize, 3, 8] {
+            let mut grown = SamplePool::build_with_threads(&g, 7, 9, threads).unwrap();
+            let added = grown.extend_to(&g, 48, threads).unwrap();
+            assert_eq!(added, 41);
+            assert_eq!(grown.theta(), 48);
+            for i in 0..48 {
+                assert_eq!(
+                    grown.sample_csr(i),
+                    fresh.sample_csr(i),
+                    "threads={threads}: sample {i} diverged after extend"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extend_to_never_shrinks_and_checks_the_graph() {
+        let g = wc_pa(60, 4);
+        let mut pool = SamplePool::build(&g, 10, 1).unwrap();
+        assert_eq!(pool.extend_to(&g, 10, 2).unwrap(), 0, "same θ is a no-op");
+        assert_eq!(pool.extend_to(&g, 3, 2).unwrap(), 0, "smaller θ is a no-op");
+        assert_eq!(pool.theta(), 10);
+        let other = deterministic_tree();
+        assert!(matches!(
+            pool.extend_to(&other, 20, 2),
+            Err(IminError::PoolGraphMismatch { .. })
+        ));
+        assert_eq!(pool.theta(), 10, "failed extend leaves the pool untouched");
     }
 
     #[test]

@@ -1,0 +1,864 @@
+//! Versioned binary persistence of a graph plus its resident sample pool.
+//!
+//! Building a [`SamplePool`] is by far the most expensive step of the
+//! pooled estimator — tens of seconds at production θ — yet the pool
+//! depends only on `(graph, pool_seed, θ)`. A *snapshot* captures both the
+//! graph and the pool in one checksummed file, so a restarted engine
+//! warm-starts by bulk-loading the arenas instead of resampling, and a CI
+//! run restores a cached pool instead of rebuilding it.
+//!
+//! # File format (version 1)
+//!
+//! All integers are **little-endian**. The file is a fixed 64-byte header,
+//! a checksummed payload, and an 8-byte checksum trailer:
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | magic `b"IMINSNAP"` |
+//! | 8      | 4    | format version (`u32`, currently [`FORMAT_VERSION`]) |
+//! | 12     | 4    | reserved, must be 0 |
+//! | 16     | 8    | graph fingerprint ([`DiGraph::fingerprint`]) |
+//! | 24     | 8    | pool seed (`u64`) |
+//! | 32     | 8    | θ — number of realisations (`u64`, ≥ 1) |
+//! | 40     | 8    | number of vertices `n` (`u64`) |
+//! | 48     | 8    | number of edges `m` (`u64`) |
+//! | 56     | 8    | graph-label length in bytes (`u64`) |
+//!
+//! The payload follows immediately:
+//!
+//! 1. the graph label (UTF-8, as many bytes as the header announced),
+//! 2. the graph section of [`imin_graph::binfmt`] (out-CSR arenas as raw
+//!    `u32`/`u64` slices),
+//! 3. the pool section: a table of θ per-sample live-edge counts
+//!    (`u64` each), then for every sample its CSR arenas verbatim —
+//!    `offsets` as `(n + 1) × u32` followed by `targets` as `count × u32`.
+//!
+//! The trailer is a 64-bit checksum of the payload bytes (a 4-lane
+//! multiply–rotate word hash, boundary-independent and fast enough to keep
+//! restores bandwidth-bound). The header itself is validated field by
+//! field: bad magic, unsupported version, impossible sizes and a file
+//! shorter than the header demands all surface as typed
+//! [`SnapshotError`]s, and the fingerprint recomputed from the
+//! deserialised graph must match the header — a snapshot can never be
+//! silently paired with the wrong graph.
+//!
+//! Every reader path is hardened: corrupt lengths are cross-checked
+//! against the exact file size *before* any allocation, so truncated,
+//! oversized or bit-flipped files produce [`SnapshotError`]s, never panics
+//! or absurd allocations.
+//!
+//! Set the `IMIN_SNAPSHOT_TRACE` environment variable to have
+//! [`load_snapshot`] print a phase breakdown (read+checksum versus
+//! convert+allocate) to stderr — the quickest way to tell a slow disk from
+//! slow memory provisioning when a restore underperforms.
+
+use crate::pool::{SampleAdjacency, SamplePool};
+use crate::{IminError, Result};
+use imin_graph::{binfmt, DiGraph};
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes at offset 0 of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"IMINSNAP";
+
+/// Current snapshot format version. Bump when the layout changes; readers
+/// reject every other version with [`SnapshotError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed byte size of the snapshot header.
+pub const HEADER_BYTES: u64 = 64;
+
+/// Maximum accepted graph-label length, a sanity bound on header parsing.
+const MAX_LABEL_BYTES: u64 = 65_536;
+
+/// Errors produced while writing or reading snapshot files.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An underlying I/O failure (open, read, write, create).
+    Io(std::io::Error),
+    /// The file is shorter than its own header/section sizes demand (or
+    /// longer — trailing garbage is rejected too).
+    Truncated {
+        /// Byte size the sections demand.
+        expected: u64,
+        /// Actual file size.
+        actual: u64,
+    },
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The payload checksum does not match the trailer.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed from the payload.
+        computed: u64,
+    },
+    /// The fingerprint of the deserialised graph does not match the header.
+    FingerprintMismatch {
+        /// Fingerprint stored in the header.
+        stored: u64,
+        /// Fingerprint recomputed from the graph section.
+        computed: u64,
+    },
+    /// A structurally impossible value (zero θ, oversized label, per-sample
+    /// live-edge count exceeding `m`, header/graph-section disagreement, …).
+    Corrupt {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(err) => write!(f, "snapshot I/O error: {err}"),
+            SnapshotError::Truncated { expected, actual } => write!(
+                f,
+                "snapshot file is truncated or padded: sections demand {expected} bytes, file has {actual}"
+            ),
+            SnapshotError::BadMagic => {
+                write!(f, "not a snapshot file (bad magic, expected \"IMINSNAP\")")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot format version {found} (this build reads version {supported})"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot payload checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            SnapshotError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "snapshot graph fingerprint mismatch: header says {stored:#018x}, graph section hashes to {computed:#018x}"
+            ),
+            SnapshotError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(err: std::io::Error) -> Self {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            // An EOF mid-section is a truncation the size pre-checks could
+            // not attribute; sizes are unknown at this point.
+            SnapshotError::Truncated {
+                expected: 0,
+                actual: 0,
+            }
+        } else {
+            SnapshotError::Io(err)
+        }
+    }
+}
+
+impl From<SnapshotError> for IminError {
+    fn from(err: SnapshotError) -> Self {
+        IminError::Snapshot(err)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming checksum
+// ---------------------------------------------------------------------------
+
+/// Boundary-independent streaming checksum over the payload bytes: the byte
+/// stream is consumed as little-endian `u64` words round-robined over four
+/// independent multiply–rotate lanes (so the four multiply chains overlap in
+/// the pipeline), with the total length mixed into the final value. Not
+/// cryptographic — it exists to catch torn writes and bit rot.
+struct StreamChecksum {
+    lanes: [u64; 4],
+    pending: [u8; 8],
+    pending_len: usize,
+    words: u64,
+    total: u64,
+}
+
+const LANE_PRIME: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl StreamChecksum {
+    fn new() -> Self {
+        StreamChecksum {
+            lanes: [
+                0x243F_6A88_85A3_08D3,
+                0x1319_8A2E_0370_7344,
+                0xA409_3822_299F_31D0,
+                0x082E_FA98_EC4E_6C89,
+            ],
+            pending: [0u8; 8],
+            pending_len: 0,
+            words: 0,
+            total: 0,
+        }
+    }
+
+    #[inline]
+    fn push_word(&mut self, word: u64) {
+        let lane = &mut self.lanes[(self.words & 3) as usize];
+        *lane = (*lane ^ word).wrapping_mul(LANE_PRIME).rotate_left(29);
+        self.words += 1;
+    }
+
+    fn update(&mut self, mut bytes: &[u8]) {
+        self.total += bytes.len() as u64;
+        if self.pending_len > 0 {
+            let need = 8 - self.pending_len;
+            let take = need.min(bytes.len());
+            self.pending[self.pending_len..self.pending_len + take].copy_from_slice(&bytes[..take]);
+            self.pending_len += take;
+            bytes = &bytes[take..];
+            if self.pending_len == 8 {
+                self.push_word(u64::from_le_bytes(self.pending));
+                self.pending_len = 0;
+            } else {
+                return;
+            }
+        }
+        // Re-align so the next word goes to lane 0, then run the hot loop
+        // with all four lanes in registers: four independent multiply
+        // chains per 32-byte block keep the pipeline full, which is what
+        // makes multi-gigabyte restores checksum-bound-free. The word→lane
+        // assignment (word i → lane i mod 4) is identical to push_word, so
+        // the resulting value does not depend on call boundaries.
+        while (self.words & 3) != 0 && bytes.len() >= 8 {
+            self.push_word(u64::from_le_bytes(
+                bytes[..8].try_into().expect("8-byte word"),
+            ));
+            bytes = &bytes[8..];
+        }
+        if (self.words & 3) == 0 {
+            let mut lanes = self.lanes;
+            let mut blocks = bytes.chunks_exact(32);
+            let mut n_blocks = 0u64;
+            for block in &mut blocks {
+                let w = |at: usize| {
+                    u64::from_le_bytes(block[at..at + 8].try_into().expect("8-byte lane word"))
+                };
+                lanes[0] = (lanes[0] ^ w(0)).wrapping_mul(LANE_PRIME).rotate_left(29);
+                lanes[1] = (lanes[1] ^ w(8)).wrapping_mul(LANE_PRIME).rotate_left(29);
+                lanes[2] = (lanes[2] ^ w(16)).wrapping_mul(LANE_PRIME).rotate_left(29);
+                lanes[3] = (lanes[3] ^ w(24)).wrapping_mul(LANE_PRIME).rotate_left(29);
+                n_blocks += 1;
+            }
+            self.lanes = lanes;
+            self.words += n_blocks * 4;
+            bytes = blocks.remainder();
+        }
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.push_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        self.pending[..rest.len()].copy_from_slice(rest);
+        self.pending_len = rest.len();
+    }
+
+    fn value(&self) -> u64 {
+        let mut h = self.total ^ 0x5851_F42D_4C95_7F2D;
+        for (i, &lane) in self.lanes.iter().enumerate() {
+            let mut tail = lane;
+            if i == (self.words & 3) as usize && self.pending_len > 0 {
+                // Fold the trailing partial word into its would-be lane;
+                // `total` already disambiguates zero padding from real
+                // zero bytes.
+                let mut padded = [0u8; 8];
+                padded[..self.pending_len].copy_from_slice(&self.pending[..self.pending_len]);
+                tail = (tail ^ u64::from_le_bytes(padded))
+                    .wrapping_mul(LANE_PRIME)
+                    .rotate_left(29);
+            }
+            h ^= tail.rotate_left((i as u32 + 1) * 13);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+        h ^ (h >> 31)
+    }
+}
+
+/// `Write` adapter that feeds everything it forwards into the checksum.
+struct ChecksumWriter<W: Write> {
+    inner: W,
+    sum: StreamChecksum,
+    written: u64,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    fn new(inner: W) -> Self {
+        ChecksumWriter {
+            inner,
+            sum: StreamChecksum::new(),
+            written: 0,
+        }
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.sum.update(&buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// `Read` adapter that feeds everything it yields into the checksum.
+struct ChecksumReader<R: Read> {
+    inner: R,
+    sum: StreamChecksum,
+}
+
+impl<R: Read> ChecksumReader<R> {
+    fn new(inner: R) -> Self {
+        ChecksumReader {
+            inner,
+            sum: StreamChecksum::new(),
+        }
+    }
+}
+
+impl<R: Read> Read for ChecksumReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.sum.update(&buf[..n]);
+        Ok(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Header
+// ---------------------------------------------------------------------------
+
+/// The decoded fixed-size snapshot header (plus the label that follows it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// Format version stored in the file.
+    pub version: u32,
+    /// Structural fingerprint of the stored graph.
+    pub graph_fingerprint: u64,
+    /// Base seed the pool was built from.
+    pub pool_seed: u64,
+    /// Number of realisations θ in the pool section.
+    pub theta: u64,
+    /// Vertex count of the stored graph.
+    pub num_vertices: u64,
+    /// Edge count of the stored graph.
+    pub num_edges: u64,
+    /// Label the graph was registered under when the snapshot was saved.
+    pub label: String,
+}
+
+fn decode_header(bytes: &[u8; 64]) -> std::result::Result<(SnapshotHeader, u64), SnapshotError> {
+    let word =
+        |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 header bytes"));
+    if bytes[0..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let reserved = u32::from_le_bytes(bytes[12..16].try_into().expect("4 header bytes"));
+    if reserved != 0 {
+        return Err(SnapshotError::Corrupt {
+            reason: format!("reserved header field is {reserved}, expected 0"),
+        });
+    }
+    let header = SnapshotHeader {
+        version,
+        graph_fingerprint: word(16),
+        pool_seed: word(24),
+        theta: word(32),
+        num_vertices: word(40),
+        num_edges: word(48),
+        label: String::new(),
+    };
+    let label_len = word(56);
+    if header.theta == 0 {
+        return Err(SnapshotError::Corrupt {
+            reason: "θ is 0 — a pool always holds at least one realisation".into(),
+        });
+    }
+    if header.num_vertices >= u32::MAX as u64 {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "{} vertices exceeds the supported maximum",
+                header.num_vertices
+            ),
+        });
+    }
+    if label_len > MAX_LABEL_BYTES {
+        return Err(SnapshotError::Corrupt {
+            reason: format!("label length {label_len} exceeds the {MAX_LABEL_BYTES}-byte bound"),
+        });
+    }
+    Ok((header, label_len))
+}
+
+/// Byte size of everything up to and including the per-sample length table,
+/// plus the minimum possible pool arenas (every sample has at least its
+/// `n + 1` offsets) and the trailer. Computed in `u128` so corrupt headers
+/// cannot overflow.
+fn min_file_size(n: u64, m: u64, theta: u64, label_len: u64) -> u128 {
+    // Saturating throughout: a hostile header must yield "impossibly big",
+    // never an arithmetic panic (n, m and θ can each be u64::MAX here).
+    let (n, m, theta) = (n as u128, m as u128, theta as u128);
+    let graph = 16u128
+        .saturating_add((n + 1).saturating_mul(8))
+        .saturating_add(m.saturating_mul(12));
+    (HEADER_BYTES as u128)
+        .saturating_add(label_len as u128)
+        .saturating_add(graph)
+        .saturating_add(theta.saturating_mul(8))
+        .saturating_add(theta.saturating_mul((n + 1).saturating_mul(4)))
+        .saturating_add(8)
+}
+
+// ---------------------------------------------------------------------------
+// Saving
+// ---------------------------------------------------------------------------
+
+/// Facts about a snapshot that was just written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotSummary {
+    /// Total file size in bytes (header + payload + trailer).
+    pub bytes_written: u64,
+    /// Number of realisations θ stored.
+    pub theta: usize,
+    /// Fingerprint of the stored graph.
+    pub graph_fingerprint: u64,
+}
+
+/// Writes `graph` and its resident `pool` (plus the engine-facing `label`)
+/// as one snapshot file at `path`, overwriting any existing file.
+///
+/// # Errors
+/// Returns [`IminError::PoolGraphMismatch`] when the pool was not built
+/// from `graph`, and [`IminError::Snapshot`] for I/O failures or an
+/// oversized label.
+pub fn save_snapshot(
+    path: &Path,
+    graph: &DiGraph,
+    pool: &SamplePool,
+    label: &str,
+) -> Result<SnapshotSummary> {
+    pool.ensure_matches(graph)?;
+    if label.len() as u64 > MAX_LABEL_BYTES {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "label of {} bytes exceeds the {MAX_LABEL_BYTES}-byte bound",
+                label.len()
+            ),
+        }
+        .into());
+    }
+    let fingerprint = graph.fingerprint();
+    let file = File::create(path).map_err(SnapshotError::Io)?;
+    let mut writer = BufWriter::with_capacity(4 << 20, file);
+
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[16..24].copy_from_slice(&fingerprint.to_le_bytes());
+    header[24..32].copy_from_slice(&pool.pool_seed().to_le_bytes());
+    header[32..40].copy_from_slice(&(pool.theta() as u64).to_le_bytes());
+    header[40..48].copy_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
+    header[48..56].copy_from_slice(&(graph.num_edges() as u64).to_le_bytes());
+    header[56..64].copy_from_slice(&(label.len() as u64).to_le_bytes());
+    writer.write_all(&header).map_err(SnapshotError::Io)?;
+
+    let mut payload = ChecksumWriter::new(writer);
+    let io_err = SnapshotError::Io;
+    payload.write_all(label.as_bytes()).map_err(io_err)?;
+    graph.write_binary(&mut payload).map_err(io_err)?;
+    for sample in pool.samples() {
+        payload
+            .write_all(&(sample.targets.len() as u64).to_le_bytes())
+            .map_err(io_err)?;
+    }
+    for sample in pool.samples() {
+        binfmt::write_u32s(&mut payload, &sample.offsets).map_err(io_err)?;
+        binfmt::write_u32s(&mut payload, &sample.targets).map_err(io_err)?;
+    }
+    let checksum = payload.sum.value();
+    let payload_bytes = payload.written;
+    let mut writer = payload.inner;
+    writer.write_all(&checksum.to_le_bytes()).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    Ok(SnapshotSummary {
+        bytes_written: HEADER_BYTES + payload_bytes + 8,
+        theta: pool.theta(),
+        graph_fingerprint: fingerprint,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Loading
+// ---------------------------------------------------------------------------
+
+/// A snapshot deserialised back into its in-memory form.
+#[derive(Debug)]
+pub struct RestoredSnapshot {
+    /// The stored graph, with its derived arrays rebuilt.
+    pub graph: DiGraph,
+    /// The stored pool, arenas bulk-loaded into their exact original layout.
+    pub pool: SamplePool,
+    /// The label the graph was saved under (may be empty).
+    pub label: String,
+    /// The validated header.
+    pub header: SnapshotHeader,
+}
+
+/// Reads and validates only the header (plus label) of the snapshot at
+/// `path` — cheap provenance inspection without touching the arenas.
+///
+/// # Errors
+/// Same header-validation errors as [`load_snapshot`].
+pub fn peek_header(path: &Path) -> Result<SnapshotHeader> {
+    let mut file = File::open(path).map_err(SnapshotError::Io)?;
+    let header_bytes = read_header_bytes(&mut file, path)?;
+    let (mut header, label_len) = decode_header(&header_bytes)?;
+    let mut label = vec![0u8; label_len as usize];
+    read_exact_sized(&mut file, &mut label, path)?;
+    header.label = String::from_utf8_lossy(&label).into_owned();
+    Ok(header)
+}
+
+/// Reads the fixed 64-byte header. A file too short to hold one is
+/// reported as [`SnapshotError::BadMagic`] when even its leading bytes are
+/// not the magic (it is not a snapshot at all), and as
+/// [`SnapshotError::Truncated`] when they are.
+fn read_header_bytes(
+    file: &mut File,
+    path: &Path,
+) -> std::result::Result<[u8; HEADER_BYTES as usize], SnapshotError> {
+    let mut buf = [0u8; HEADER_BYTES as usize];
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match file.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(err) if err.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(SnapshotError::Io(err)),
+        }
+    }
+    if filled < buf.len() {
+        let probe = filled.min(MAGIC.len());
+        if buf[..probe] != MAGIC[..probe] {
+            return Err(SnapshotError::BadMagic);
+        }
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_BYTES,
+            actual: std::fs::metadata(path)
+                .map(|m| m.len())
+                .unwrap_or(filled as u64),
+        });
+    }
+    Ok(buf)
+}
+
+/// `read_exact` with EOF reported as [`SnapshotError::Truncated`] carrying
+/// the actual file size.
+fn read_exact_sized(
+    file: &mut File,
+    buf: &mut [u8],
+    path: &Path,
+) -> std::result::Result<(), SnapshotError> {
+    file.read_exact(buf).map_err(|err| {
+        if err.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated {
+                expected: buf.len() as u64,
+                actual: std::fs::metadata(path).map(|m| m.len()).unwrap_or(0),
+            }
+        } else {
+            SnapshotError::Io(err)
+        }
+    })
+}
+
+/// Reads `len` little-endian `u32`s through `scratch` into a fresh,
+/// exactly-sized vector. `len` has been validated against the file size, so
+/// the up-front allocation is safe and EOF cannot occur.
+fn read_u32_vec<R: Read>(
+    r: &mut R,
+    len: usize,
+    scratch: &mut [u8],
+    timings: &mut (std::time::Duration, std::time::Duration),
+) -> std::result::Result<Vec<u32>, SnapshotError> {
+    // `scratch` is allocated once per restore and sliced per array —
+    // re-zeroing ~200 KB per sample would cost a hidden full-pool memset
+    // across a multi-gigabyte restore.
+    let scratch = &mut scratch[..len * 4];
+    let t0 = std::time::Instant::now();
+    r.read_exact(scratch)?;
+    let t1 = std::time::Instant::now();
+    let out = scratch
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect();
+    timings.0 += t1 - t0;
+    timings.1 += t1.elapsed();
+    Ok(out)
+}
+
+/// Loads the snapshot at `path`: validates the header, bulk-loads the graph
+/// and pool arenas, and verifies the payload checksum and the graph
+/// fingerprint.
+///
+/// # Errors
+/// Every failure mode is a typed [`SnapshotError`] wrapped in
+/// [`IminError::Snapshot`]: missing/unreadable file, bad magic, unsupported
+/// version, truncation, checksum mismatch, fingerprint mismatch, or
+/// structurally impossible sections. Corrupt input never panics.
+pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
+    let mut file = File::open(path).map_err(SnapshotError::Io)?;
+    let file_len = file.metadata().map_err(SnapshotError::Io)?.len();
+
+    let header_bytes = read_header_bytes(&mut file, path)?;
+    let (mut header, label_len) = decode_header(&header_bytes)?;
+    let (n, m, theta) = (
+        header.num_vertices as usize,
+        header.num_edges as usize,
+        header.theta as usize,
+    );
+
+    // Every section length below derives from the header; reject files that
+    // cannot possibly hold them before allocating anything.
+    let min_len = min_file_size(
+        header.num_vertices,
+        header.num_edges,
+        header.theta,
+        label_len,
+    );
+    if (file_len as u128) < min_len {
+        return Err(SnapshotError::Truncated {
+            expected: min_len.min(u64::MAX as u128) as u64,
+            actual: file_len,
+        }
+        .into());
+    }
+
+    let mut payload = ChecksumReader::new(&mut file);
+    let mut label = vec![0u8; label_len as usize];
+    payload
+        .read_exact(&mut label)
+        .map_err(SnapshotError::from)?;
+    header.label = String::from_utf8_lossy(&label).into_owned();
+
+    let graph = DiGraph::read_binary(&mut payload).map_err(|err| match err {
+        imin_graph::GraphError::Io(io) => IminError::Snapshot(SnapshotError::from(io)),
+        other => IminError::Snapshot(SnapshotError::Corrupt {
+            reason: other.to_string(),
+        }),
+    })?;
+    if graph.num_vertices() != n || graph.num_edges() != m {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "graph section is {}v/{}e but the header says {n}v/{m}e",
+                graph.num_vertices(),
+                graph.num_edges()
+            ),
+        }
+        .into());
+    }
+    let computed_fingerprint = graph.fingerprint();
+    if computed_fingerprint != header.graph_fingerprint {
+        return Err(SnapshotError::FingerprintMismatch {
+            stored: header.graph_fingerprint,
+            computed: computed_fingerprint,
+        }
+        .into());
+    }
+
+    // Per-sample live-edge counts, read as one bulk table; each realisation
+    // keeps a subset of the graph's edges, so any count above m is
+    // corruption.
+    let mut lens_bytes = vec![0u8; theta * 8];
+    payload
+        .read_exact(&mut lens_bytes)
+        .map_err(SnapshotError::from)?;
+    let lens: Vec<u64> = lens_bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte length")))
+        .collect();
+    drop(lens_bytes);
+    let mut arena_words: u128 = 0;
+    for (i, &len) in lens.iter().enumerate() {
+        if len > m as u64 {
+            return Err(SnapshotError::Corrupt {
+                reason: format!("sample {i} claims {len} live edges, graph has only {m}"),
+            }
+            .into());
+        }
+        arena_words += (n as u128 + 1) + len as u128;
+    }
+    let exact_len = HEADER_BYTES as u128
+        + label_len as u128
+        + binfmt::binary_size(&graph) as u128
+        + theta as u128 * 8
+        + arena_words * 4
+        + 8;
+    if file_len as u128 != exact_len {
+        return Err(SnapshotError::Truncated {
+            expected: exact_len.min(u64::MAX as u128) as u64,
+            actual: file_len,
+        }
+        .into());
+    }
+
+    let trace = std::env::var_os("IMIN_SNAPSHOT_TRACE").is_some();
+    let phase_start = std::time::Instant::now();
+    let mut samples = Vec::with_capacity(theta);
+    let max_words = lens
+        .iter()
+        .map(|&len| len as usize)
+        .max()
+        .unwrap_or(0)
+        .max(n + 1);
+    let mut scratch = vec![0u8; max_words * 4];
+    let mut timings = (std::time::Duration::ZERO, std::time::Duration::ZERO);
+    for (i, &len) in lens.iter().enumerate() {
+        let offsets = read_u32_vec(&mut payload, n + 1, &mut scratch, &mut timings)?;
+        let targets = read_u32_vec(&mut payload, len as usize, &mut scratch, &mut timings)?;
+        // Structural validation while the arrays are cache-hot: the
+        // checksum catches accidental corruption, but a buggy or foreign
+        // writer can produce checksum-consistent arenas that would panic
+        // the estimator's BFS at query time. "Corrupt input never panics"
+        // extends to those.
+        let corrupt = |what: &str| SnapshotError::Corrupt {
+            reason: format!("sample {i}: {what}"),
+        };
+        if offsets[0] != 0 || u64::from(*offsets.last().expect("offsets are non-empty")) != len {
+            return Err(corrupt("offset array does not span its live-edge list").into());
+        }
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(corrupt("offset array is not monotone").into());
+        }
+        if targets.iter().any(|&t| t as usize >= n) {
+            return Err(corrupt("live-edge target out of vertex range").into());
+        }
+        samples.push(SampleAdjacency { offsets, targets });
+    }
+    if trace {
+        eprintln!(
+            "snapshot trace: samples phase {:.3}s (read+checksum {:.3}s, convert+alloc {:.3}s)",
+            phase_start.elapsed().as_secs_f64(),
+            timings.0.as_secs_f64(),
+            timings.1.as_secs_f64()
+        );
+    }
+
+    let computed = payload.sum.value();
+    let mut trailer = [0u8; 8];
+    read_exact_sized(&mut file, &mut trailer, path)?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed }.into());
+    }
+
+    let pool = SamplePool::from_restored_parts(n, m, header.pool_seed, samples);
+    Ok(RestoredSnapshot {
+        graph,
+        pool,
+        label: header.label.clone(),
+        header,
+    })
+}
+
+/// The checksum of a payload byte slice, exactly as the trailer stores it.
+/// Exposed (hidden) so corruption tests and external tooling can re-seal a
+/// deliberately patched payload; not part of the supported API surface.
+#[doc(hidden)]
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut sum = StreamChecksum::new();
+    sum.update(payload);
+    sum.value()
+}
+
+/// Order-sensitive 64-bit digest of every arena byte of the pool (θ, the
+/// per-sample offsets and targets). Two pools have equal digests iff their
+/// stored realisations are byte-identical — the cheap way for benchmarks
+/// and tests to prove `extend_to` / save–restore bit-identity without
+/// holding two multi-gigabyte pools side by side.
+pub fn pool_digest(pool: &SamplePool) -> u64 {
+    let mut sum = StreamChecksum::new();
+    sum.push_word(pool.theta() as u64);
+    for sample in pool.samples() {
+        sum.push_word(sample.offsets.len() as u64);
+        sum.push_word(sample.targets.len() as u64);
+        for &o in &sample.offsets {
+            sum.push_word(o as u64);
+        }
+        for &t in &sample.targets {
+            sum.push_word(t as u64);
+        }
+    }
+    sum.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_boundary_independent() {
+        let bytes: Vec<u8> = (0..1000u32).map(|i| (i * 37 % 251) as u8).collect();
+        let mut whole = StreamChecksum::new();
+        whole.update(&bytes);
+        for split in [1usize, 3, 7, 8, 63, 64, 999] {
+            let mut parts = StreamChecksum::new();
+            parts.update(&bytes[..split]);
+            parts.update(&bytes[split..]);
+            assert_eq!(parts.value(), whole.value(), "split at {split}");
+        }
+        // Single-byte dribble.
+        let mut dribble = StreamChecksum::new();
+        for b in &bytes {
+            dribble.update(std::slice::from_ref(b));
+        }
+        assert_eq!(dribble.value(), whole.value());
+    }
+
+    #[test]
+    fn checksum_distinguishes_content_length_and_padding() {
+        let mut a = StreamChecksum::new();
+        a.update(b"abc");
+        let mut b = StreamChecksum::new();
+        b.update(b"abc\0");
+        assert_ne!(a.value(), b.value(), "zero padding must not collide");
+        let mut c = StreamChecksum::new();
+        c.update(b"abd");
+        assert_ne!(a.value(), c.value());
+        assert_ne!(StreamChecksum::new().value(), a.value());
+    }
+
+    #[test]
+    fn min_file_size_does_not_overflow_on_hostile_headers() {
+        // u64::MAX everywhere must not panic (u128 arithmetic).
+        let huge = min_file_size(u64::MAX - 2, u64::MAX, u64::MAX, u64::MAX);
+        assert!(huge > u64::MAX as u128);
+    }
+}

@@ -16,7 +16,11 @@
 //! [`imin_engine::Engine`] living in this process — handy for one-off
 //! experiments and air-gapped smoke tests. Algorithm names in `QUERY …
 //! alg=…` resolve through the [`imin_engine::AlgorithmKind`] registry in
-//! both modes.
+//! both modes, and the snapshot verbs work identically too: `SAVE <path>`
+//! writes the graph + resident pool from the in-process engine, and a later
+//! `imin-cli local "RESTORE <path>" "QUERY …"` warm-starts without
+//! resampling — the serverless way to prepare or consume pool snapshots
+//! (CI caches them as build artifacts).
 
 use imin_engine::{answer_line, Client, Engine};
 use std::io::BufRead;

@@ -3,9 +3,11 @@
 use crate::cache::LruCache;
 use crate::{EngineError, Result};
 use imin_core::pool::shard_ranges;
+use imin_core::snapshot::{self, SnapshotSummary};
 use imin_core::{AlgorithmKind, ContainmentRequest, SamplePool};
 use imin_graph::{DiGraph, VertexId};
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// The algorithm selector of a [`Query`] — the crate-wide
@@ -69,7 +71,64 @@ pub struct QueryResult {
     pub elapsed: Duration,
 }
 
-/// Facts about the resident pool, recorded at build time.
+/// How the resident pool came to be — surfaced by `STATS` so operators can
+/// tell a warm-started engine from one that resampled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolProvenance {
+    /// The pool was sampled from scratch by this process.
+    Built,
+    /// The pool was grown in place from a smaller resident pool with
+    /// [`SamplePool::extend_to`] (bit-identical to a fresh build).
+    Extended {
+        /// θ the resident pool had before the extension.
+        from_theta: usize,
+    },
+    /// The pool was bulk-loaded from a snapshot file.
+    Restored {
+        /// Path the snapshot was read from.
+        path: String,
+    },
+}
+
+impl PoolProvenance {
+    /// Compact `STATS`-friendly rendering (`built`, `extended:<from θ>`,
+    /// `restored:<path>`).
+    pub fn label(&self) -> String {
+        match self {
+            PoolProvenance::Built => "built".into(),
+            PoolProvenance::Extended { from_theta } => format!("extended:{from_theta}"),
+            PoolProvenance::Restored { path } => format!("restored:{path}"),
+        }
+    }
+}
+
+/// What [`Engine::ensure_pool`] actually did to satisfy a `POOL` request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolAction {
+    /// A pool with the exact `(θ, seed)` was already resident — nothing
+    /// changed, the result cache survives.
+    Reused,
+    /// The resident pool had the right seed and a smaller θ; the missing
+    /// realisations were drawn in place.
+    Extended,
+    /// A pool was sampled from scratch.
+    Built,
+}
+
+impl PoolAction {
+    /// Protocol token for the `POOL` reply (`resident`, `extended`,
+    /// `built`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolAction::Reused => "resident",
+            PoolAction::Extended => "extended",
+            PoolAction::Built => "built",
+        }
+    }
+}
+
+/// Facts about the resident pool, recorded when it was built, extended or
+/// restored.
 #[derive(Clone, Debug)]
 pub struct PoolInfo {
     /// Number of realisations θ.
@@ -78,12 +137,15 @@ pub struct PoolInfo {
     pub seed: u64,
     /// Worker threads used for the build.
     pub threads: usize,
-    /// Wall-clock build time.
+    /// Wall-clock time of the build, extension or restore that produced the
+    /// current pool state.
     pub build_time: Duration,
     /// Approximate heap bytes held by the pool.
     pub memory_bytes: usize,
     /// Total live edges stored across all realisations.
     pub live_edges: usize,
+    /// How the pool came to be.
+    pub provenance: PoolProvenance,
 }
 
 /// Monotonic counters served by `STATS`.
@@ -93,10 +155,18 @@ pub struct EngineStats {
     pub queries: u64,
     /// Queries answered straight from the LRU cache.
     pub cache_hits: u64,
-    /// Pools built since the engine started.
+    /// Pools built from scratch since the engine started.
     pub pool_builds: u64,
+    /// Pools grown in place via `extend_to` since the engine started.
+    pub pool_extends: u64,
+    /// `POOL` requests satisfied by the already-resident pool (no-ops).
+    pub pool_reuses: u64,
     /// Graphs loaded since the engine started.
     pub graph_loads: u64,
+    /// Snapshots written via `SAVE`.
+    pub snapshot_saves: u64,
+    /// Snapshots restored via `RESTORE`.
+    pub snapshot_restores: u64,
 }
 
 /// A resident containment query engine.
@@ -175,14 +245,61 @@ impl Engine {
         &self.graph_label
     }
 
-    /// Materialises the resident pool with θ realisations, replacing any
-    /// previous pool and invalidating the cache.
+    /// Makes a pool with exactly `(θ, seed)` resident, doing the least work
+    /// that gets there:
+    ///
+    /// * the resident pool already matches → **no-op** (the result cache
+    ///   survives untouched),
+    /// * the resident pool has the same seed and a smaller θ → grown in
+    ///   place with [`SamplePool::extend_to`] (bit-identical to a fresh
+    ///   θ build; the cache is invalidated because answers may change),
+    /// * anything else → sampled from scratch (cache invalidated; the
+    ///   superseded pool is released *before* the new one is sampled so
+    ///   peak memory stays at one pool).
     ///
     /// # Errors
     /// Returns [`EngineError::NoGraph`] before a graph is loaded, or the
-    /// underlying build error (e.g. θ = 0).
-    pub fn build_pool(&mut self, theta: usize, seed: u64) -> Result<&PoolInfo> {
+    /// underlying build error (e.g. θ = 0, rejected before anything is
+    /// dropped).
+    pub fn ensure_pool(&mut self, theta: usize, seed: u64) -> Result<(&PoolInfo, PoolAction)> {
         let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        if theta == 0 {
+            return Err(imin_core::IminError::ZeroSamples.into());
+        }
+        if let Some(pool) = self.pool.as_mut() {
+            if pool.pool_seed() == seed && pool.theta() == theta {
+                self.stats.pool_reuses += 1;
+                let info = self.pool_info.as_ref().expect("resident pool has info");
+                return Ok((info, PoolAction::Reused));
+            }
+            if pool.pool_seed() == seed && pool.theta() < theta {
+                let from_theta = pool.theta();
+                let start = Instant::now();
+                pool.extend_to(graph, theta, self.threads)?;
+                let info = PoolInfo {
+                    theta,
+                    seed,
+                    threads: self.threads,
+                    build_time: start.elapsed(),
+                    memory_bytes: pool.memory_bytes(),
+                    live_edges: pool.total_live_edges(),
+                    provenance: PoolProvenance::Extended { from_theta },
+                };
+                self.pool_info = Some(info);
+                self.cache.clear();
+                self.stats.pool_extends += 1;
+                let info = self.pool_info.as_ref().expect("pool info just set");
+                return Ok((info, PoolAction::Extended));
+            }
+        }
+        // Release the superseded pool before sampling the new one: a full
+        // rebuild would otherwise hold both pools alive simultaneously,
+        // doubling peak memory at exactly the moment a production host can
+        // least afford it. The cache is cleared with it — those answers
+        // belonged to the old pool.
+        self.pool = None;
+        self.pool_info = None;
+        self.cache.clear();
         let start = Instant::now();
         let pool = SamplePool::build_with_threads(graph, theta, seed, self.threads)?;
         let info = PoolInfo {
@@ -192,12 +309,86 @@ impl Engine {
             build_time: start.elapsed(),
             memory_bytes: pool.memory_bytes(),
             live_edges: pool.total_live_edges(),
+            provenance: PoolProvenance::Built,
         };
         self.pool = Some(pool);
         self.pool_info = Some(info);
         self.cache.clear();
         self.stats.pool_builds += 1;
+        let info = self.pool_info.as_ref().expect("pool info just set");
+        Ok((info, PoolAction::Built))
+    }
+
+    /// [`Engine::ensure_pool`] without the action report, kept for callers
+    /// that only care about the resulting pool facts. Despite the name this
+    /// no longer rebuilds unconditionally: matching `(θ, seed)` requests
+    /// are no-ops and growing ones extend in place.
+    ///
+    /// # Errors
+    /// Same conditions as [`Engine::ensure_pool`].
+    pub fn build_pool(&mut self, theta: usize, seed: u64) -> Result<&PoolInfo> {
+        self.ensure_pool(theta, seed).map(|(info, _)| info)
+    }
+
+    /// Writes the loaded graph and the resident pool as a snapshot file —
+    /// see [`imin_core::snapshot`] for the format. The engine itself is
+    /// unchanged.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the
+    /// engine is primed, or the snapshot writer's error.
+    pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<SnapshotSummary> {
+        let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
+        let summary = snapshot::save_snapshot(path.as_ref(), graph, pool, &self.graph_label)?;
+        self.stats.snapshot_saves += 1;
+        Ok(summary)
+    }
+
+    /// Warm-starts the engine from a snapshot file: installs the stored
+    /// graph (with its saved label) and bulk-loads the pool arenas,
+    /// replacing whatever was resident and invalidating the result cache.
+    /// Restored state answers queries byte-identically to the engine that
+    /// saved it.
+    ///
+    /// # Errors
+    /// Every snapshot defect (missing file, bad magic, version mismatch,
+    /// truncation, checksum or fingerprint mismatch) surfaces as the typed
+    /// [`imin_core::SnapshotError`] inside [`EngineError::Core`]; the
+    /// engine keeps its previous state on failure.
+    pub fn restore_snapshot(&mut self, path: impl AsRef<Path>) -> Result<&PoolInfo> {
+        let path = path.as_ref();
+        let start = Instant::now();
+        let restored = snapshot::load_snapshot(path)?;
+        let info = PoolInfo {
+            theta: restored.pool.theta(),
+            seed: restored.pool.pool_seed(),
+            threads: self.threads,
+            build_time: start.elapsed(),
+            memory_bytes: restored.pool.memory_bytes(),
+            live_edges: restored.pool.total_live_edges(),
+            provenance: PoolProvenance::Restored {
+                path: path.display().to_string(),
+            },
+        };
+        self.graph = Some(restored.graph);
+        self.graph_label = if restored.label.is_empty() {
+            format!("snapshot({})", path.display())
+        } else {
+            restored.label
+        };
+        self.pool = Some(restored.pool);
+        self.pool_info = Some(info);
+        self.cache.clear();
+        self.stats.graph_loads += 1;
+        self.stats.snapshot_restores += 1;
         Ok(self.pool_info.as_ref().expect("pool info just set"))
+    }
+
+    /// The resident pool, if one exists — read-only access for benchmarks
+    /// and parity checks (e.g. [`imin_core::snapshot::pool_digest`]).
+    pub fn pool(&self) -> Option<&SamplePool> {
+        self.pool.as_ref()
     }
 
     /// The resident pool's build facts, if a pool exists.
@@ -475,6 +666,128 @@ mod tests {
         // Same graph, different pool: answers may or may not coincide, but
         // the engine must have recomputed them.
         assert_eq!(first.samples_consulted, second.samples_consulted);
+    }
+
+    #[test]
+    fn matching_pool_requests_are_noops_that_keep_the_cache() {
+        let mut engine = primed_engine();
+        let q = query(0, 2);
+        engine.query(&q).unwrap();
+        assert_eq!(engine.cache_entries(), 1);
+        let (info, action) = engine.ensure_pool(300, 5).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        assert_eq!(info.provenance, PoolProvenance::Built);
+        assert_eq!(engine.cache_entries(), 1, "cache must survive the no-op");
+        assert!(engine.query(&q).unwrap().from_cache);
+        assert_eq!(engine.stats().pool_builds, 1);
+        assert_eq!(engine.stats().pool_reuses, 1);
+    }
+
+    #[test]
+    fn growing_pool_requests_extend_in_place_bit_identically() {
+        let mut engine = primed_engine(); // θ=300, seed 5
+        let q = query(0, 3);
+        engine.query(&q).unwrap();
+        let (info, action) = engine.ensure_pool(500, 5).unwrap();
+        assert_eq!(action, PoolAction::Extended);
+        assert_eq!(info.theta, 500);
+        assert_eq!(
+            info.provenance,
+            PoolProvenance::Extended { from_theta: 300 }
+        );
+        assert_eq!(engine.cache_entries(), 0, "answers may change with θ");
+        let grown = engine.query(&q).unwrap();
+        assert!(!grown.from_cache);
+        assert_eq!(engine.stats().pool_extends, 1);
+        assert_eq!(engine.stats().pool_builds, 1, "no from-scratch rebuild");
+
+        // The extended pool answers exactly like a freshly built θ=500 pool.
+        let mut scratch = Engine::new().with_threads(2);
+        scratch.load_graph(
+            generators::preferential_attachment(200, 3, true, 0.3, 11).unwrap(),
+            "pa-200".into(),
+        );
+        let (info, action) = scratch.ensure_pool(500, 5).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(info.provenance, PoolProvenance::Built);
+        let reference = scratch.query(&q).unwrap();
+        assert_eq!(grown.blockers, reference.blockers);
+        assert_eq!(grown.estimated_spread, reference.estimated_spread);
+        assert_eq!(
+            imin_core::snapshot::pool_digest(engine.pool().unwrap()),
+            imin_core::snapshot::pool_digest(scratch.pool().unwrap()),
+            "arena bytes are identical after the in-place extension"
+        );
+    }
+
+    #[test]
+    fn shrinking_or_reseeded_pool_requests_rebuild() {
+        let mut engine = primed_engine(); // θ=300, seed 5
+        let (info, action) = engine.ensure_pool(100, 5).unwrap();
+        assert_eq!(action, PoolAction::Built, "shrinking resamples exactly θ");
+        assert_eq!(info.theta, 100);
+        let (_, action) = engine.ensure_pool(100, 9).unwrap();
+        assert_eq!(action, PoolAction::Built, "a new seed is a new pool");
+        assert_eq!(engine.stats().pool_builds, 3);
+    }
+
+    #[test]
+    fn save_and_restore_round_trip_through_the_engine_api() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-engine-roundtrip-{}.iminsnap",
+            std::process::id()
+        ));
+        let mut engine = primed_engine();
+        let q = query(2, 3);
+        let before = engine.query(&q).unwrap();
+        let summary = engine.save_snapshot(&path).unwrap();
+        assert_eq!(summary.theta, 300);
+        assert!(summary.bytes_written > 0);
+        assert_eq!(engine.stats().snapshot_saves, 1);
+
+        let mut warm = Engine::new().with_threads(2);
+        let info = warm.restore_snapshot(&path).unwrap();
+        assert_eq!(info.theta, 300);
+        assert_eq!(info.seed, 5);
+        assert_eq!(
+            info.provenance,
+            PoolProvenance::Restored {
+                path: path.display().to_string()
+            }
+        );
+        assert_eq!(warm.graph_label(), "pa-200");
+        let after = warm.query(&q).unwrap();
+        assert!(!after.from_cache);
+        assert_eq!(before.blockers, after.blockers);
+        assert_eq!(before.estimated_spread, after.estimated_spread);
+        assert_eq!(warm.stats().snapshot_restores, 1);
+
+        // A matching POOL after the restore is a no-op on the restored pool.
+        let (_, action) = warm.ensure_pool(300, 5).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn snapshot_lifecycle_errors_are_explicit() {
+        let mut engine = Engine::new();
+        assert!(matches!(
+            engine.save_snapshot("/tmp/never-written.iminsnap"),
+            Err(EngineError::NoGraph)
+        ));
+        let graph = generators::preferential_attachment(50, 2, true, 0.3, 1).unwrap();
+        engine.load_graph(graph, "g".into());
+        assert!(matches!(
+            engine.save_snapshot("/tmp/never-written.iminsnap"),
+            Err(EngineError::NoPool)
+        ));
+        // A failed restore keeps the resident state untouched.
+        engine.build_pool(50, 1).unwrap();
+        let err = engine.restore_snapshot("/nonexistent/nowhere.iminsnap");
+        assert!(err.is_err());
+        assert_eq!(engine.pool_info().unwrap().theta, 50);
+        assert_eq!(engine.graph_label(), "g");
     }
 
     #[test]

@@ -14,8 +14,18 @@
 //!   results keyed by canonicalised query, and a batched
 //!   [`Engine::run_queries`] that fans a batch across the worker pool.
 //! * [`protocol`] — a newline-delimited text protocol (`LOAD`, `POOL`,
-//!   `QUERY`, `STATS`, `PING`, `QUIT`) with an `OK …` / `ERR …` reply per
-//!   request line, shared by the server, the client and the tests.
+//!   `QUERY`, `SAVE`, `RESTORE`, `STATS`, `PING`, `QUIT`) with an `OK …` /
+//!   `ERR …` reply per request line, shared by the server, the client and
+//!   the tests.
+//!
+//! The engine is **restartable**: `SAVE` persists the graph and the
+//! resident pool in the versioned binary snapshot format of
+//! [`imin_core::snapshot`], and `RESTORE` warm-starts a fresh process from
+//! that file by bulk-loading the arenas — orders of magnitude faster than
+//! resampling, with byte-identical query answers. `POOL` itself is
+//! idempotent and incremental: matching requests are no-ops and growing
+//! requests extend the resident pool in place via
+//! [`imin_core::SamplePool::extend_to`].
 //! * [`server`] / [`client`] — a threaded `std::net::TcpListener` server
 //!   (the `imin-serve` binary) and a small blocking client library (the
 //!   `imin-cli` binary).
@@ -53,8 +63,11 @@ pub mod server;
 
 pub use cache::LruCache;
 pub use client::Client;
-pub use engine::{Engine, EngineStats, PoolInfo, Query, QueryAlgorithm, QueryResult};
+pub use engine::{
+    Engine, EngineStats, PoolAction, PoolInfo, PoolProvenance, Query, QueryAlgorithm, QueryResult,
+};
 pub use error::EngineError;
+pub use imin_core::snapshot::{SnapshotError, SnapshotSummary};
 pub use imin_core::AlgorithmKind;
 pub use server::{answer_line, Server};
 

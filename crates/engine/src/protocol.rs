@@ -8,12 +8,24 @@
 //! LOAD pa n=5000 m0=4 seed=7 model=wc        load a preferential-attachment graph
 //! LOAD er n=500 p=0.01 seed=3 model=const:0.1  load an Erdős–Rényi graph
 //! LOAD file /path/to/edges.txt model=wc      load an edge list from disk
-//! POOL 10000 42                              build θ=10000 realisations, pool seed 42
+//! POOL 10000 42                              make θ=10000 realisations (seed 42) resident
 //! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
-//! STATS                                      engine counters and pool facts
+//! SAVE /var/lib/imin/wc50k.iminsnap          snapshot the graph + resident pool to disk
+//! RESTORE /var/lib/imin/wc50k.iminsnap       warm-start from a snapshot file
+//! STATS                                      engine counters, pool facts and provenance
 //! PING                                       liveness probe
 //! QUIT                                       close this connection
 //! ```
+//!
+//! `POOL` is idempotent and incremental: when the resident pool already has
+//! the requested `(θ, seed)` the request is a no-op (`source=resident`, the
+//! result cache survives), and when it has the same seed but a smaller θ
+//! the pool is grown in place (`source=extended`) — bit-identical to a
+//! fresh θ build — so only genuinely different pools are resampled
+//! (`source=built`). `SAVE`/`RESTORE` persist the pool in the versioned
+//! binary snapshot format of [`imin_core::snapshot`]; a restored engine
+//! answers queries byte-identically to the engine that saved it. Both take
+//! exactly one whitespace-free path argument.
 //!
 //! `model=` accepts `wc` (weighted cascade), `tri` / `tri:<seed>`
 //! (trivalency), `const:<p>`, and `keep` (use probabilities as loaded;
@@ -95,6 +107,16 @@ pub enum Request {
     },
     /// Answer one containment question.
     Query(Query),
+    /// Snapshot the loaded graph and resident pool to a file.
+    Save {
+        /// Destination path (single whitespace-free token).
+        path: String,
+    },
+    /// Warm-start the engine from a snapshot file.
+    Restore {
+        /// Source path (single whitespace-free token).
+        path: String,
+    },
     /// Report engine counters and pool facts.
     Stats,
     /// Liveness probe.
@@ -275,6 +297,22 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             })
         }
         "QUERY" => Ok(Request::Query(parse_query(&tokens[1..])?)),
+        "SAVE" | "RESTORE" => {
+            let path = tokens
+                .get(1)
+                .ok_or_else(|| format!("{verb} requires a snapshot path"))?;
+            if tokens.len() > 2 {
+                return Err(format!(
+                    "{verb} takes exactly one path (whitespace in paths is not supported)"
+                ));
+            }
+            let path = path.to_string();
+            Ok(if verb == "SAVE" {
+                Request::Save { path }
+            } else {
+                Request::Restore { path }
+            })
+        }
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
@@ -368,6 +406,18 @@ mod tests {
             panic!("expected a query")
         };
         assert_eq!(q.algorithm, AlgorithmKind::OutDegree);
+        assert_eq!(
+            parse_request("SAVE /tmp/pool.iminsnap").unwrap(),
+            Request::Save {
+                path: "/tmp/pool.iminsnap".into()
+            }
+        );
+        assert_eq!(
+            parse_request("restore /tmp/pool.iminsnap").unwrap(),
+            Request::Restore {
+                path: "/tmp/pool.iminsnap".into()
+            }
+        );
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
@@ -396,6 +446,10 @@ mod tests {
             ("QUERY ic seeds=1,x budget=1", "invalid seed"),
             ("QUERY ic seeds=1 budget=1 alg=magic", "unknown algorithm"),
             ("QUERY ic seeds=1 budget=1 frob=2", "unknown QUERY argument"),
+            ("SAVE", "requires a snapshot path"),
+            ("RESTORE", "requires a snapshot path"),
+            ("SAVE /a/b /c/d", "exactly one path"),
+            ("RESTORE a b", "exactly one path"),
         ] {
             let err = parse_request(line).expect_err(line);
             assert!(

@@ -175,16 +175,40 @@ fn execute(request: Request, engine: &mut Engine) -> String {
                 format!("OK n={n} m={m}")
             }
         },
-        Request::Pool { theta, seed } => match engine.build_pool(theta, seed) {
+        Request::Pool { theta, seed } => match engine.ensure_pool(theta, seed) {
             Err(err) => format!("ERR {err}"),
-            Ok(info) => format!(
-                "OK theta={} seed={} build_ms={} bytes={} live_edges={}",
+            Ok((info, action)) => format!(
+                "OK theta={} seed={} build_ms={} bytes={} live_edges={} source={}",
                 info.theta,
                 info.seed,
                 info.build_time.as_millis(),
                 info.memory_bytes,
-                info.live_edges
+                info.live_edges,
+                action.label()
             ),
+        },
+        Request::Save { path } => match engine.save_snapshot(&path) {
+            Err(err) => format!("ERR {err}"),
+            Ok(summary) => format!(
+                "OK path={path} bytes={} theta={} fingerprint={:016x}",
+                summary.bytes_written, summary.theta, summary.graph_fingerprint
+            ),
+        },
+        Request::Restore { path } => match engine.restore_snapshot(&path) {
+            Err(err) => format!("ERR {err}"),
+            Ok(info) => {
+                let (theta, seed, bytes, ms) = (
+                    info.theta,
+                    info.seed,
+                    info.memory_bytes,
+                    info.build_time.as_millis(),
+                );
+                let (n, m) = engine
+                    .graph()
+                    .map(|g| (g.num_vertices(), g.num_edges()))
+                    .unwrap_or((0, 0));
+                format!("OK n={n} m={m} theta={theta} seed={seed} bytes={bytes} restore_ms={ms}")
+            }
         },
         Request::Query(query) => run_query(&query, engine),
         Request::Stats => stats_line(engine),
@@ -230,13 +254,13 @@ fn stats_line(engine: &Engine) -> String {
     } else {
         engine.graph_label().to_string()
     };
-    let (theta, pool_seed, pool_bytes) = engine
+    let (theta, pool_seed, pool_bytes, pool_source) = engine
         .pool_info()
-        .map(|p| (p.theta, p.seed, p.memory_bytes))
-        .unwrap_or((0, 0, 0));
+        .map(|p| (p.theta, p.seed, p.memory_bytes, p.provenance.label()))
+        .unwrap_or((0, 0, 0, "none".into()));
     format!(
         "OK graph={label} n={n} m={m} theta={theta} pool_seed={pool_seed} pool_bytes={pool_bytes} \
-         queries={} cache_hits={} cache_entries={} threads={}",
+         pool_source={pool_source} queries={} cache_hits={} cache_entries={} threads={}",
         stats.queries,
         stats.cache_hits,
         engine.cache_entries(),

@@ -78,8 +78,15 @@ fn pool_rebuild_with_the_same_seed_reproduces_answers() {
     let mut engine = primed(4);
     let query = &queries()[0];
     let first = engine.query(query).unwrap();
-    engine.build_pool(600, 1234).unwrap(); // same (θ, seed): cache cleared,
-    let again = engine.query(query).unwrap(); // but answers must reproduce
+    // A POOL matching the resident (θ, seed) is a no-op: the cache survives.
+    engine.build_pool(600, 1234).unwrap();
+    assert!(engine.query(query).unwrap().from_cache);
+    // Force a genuine rebuild (different seed), then return to the original
+    // (θ, seed): the from-scratch pool must reproduce the answers
+    // bit-for-bit without any cache help.
+    engine.build_pool(600, 9).unwrap();
+    engine.build_pool(600, 1234).unwrap();
+    let again = engine.query(query).unwrap();
     assert!(!again.from_cache);
     assert_eq!(first.blockers, again.blockers);
     assert_eq!(first.estimated_spread, again.estimated_spread);

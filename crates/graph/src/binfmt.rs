@@ -1,0 +1,314 @@
+//! Binary (de)serialisation of [`DiGraph`] and structural fingerprinting.
+//!
+//! A graph is written as a self-contained little-endian *graph section*:
+//!
+//! | field         | size            | encoding                          |
+//! |---------------|-----------------|-----------------------------------|
+//! | `num_vertices`| 8 bytes         | `u64` LE                          |
+//! | `num_edges`   | 8 bytes         | `u64` LE                          |
+//! | `out_offsets` | `(n + 1) × 8`   | `u64` LE each                     |
+//! | `out_targets` | `m × 4`         | `u32` LE each                     |
+//! | `out_probs`   | `m × 8`         | `f64::to_bits` as `u64` LE each   |
+//!
+//! Only the out-CSR is stored: the in-adjacency and the integer coin
+//! thresholds are derived data and are rebuilt in `O(n + m)` on load, so the
+//! deserialised graph occupies the exact same in-memory layout as the
+//! original. The arrays are written as bulk slices (no per-edge framing),
+//! which keeps both directions bandwidth-bound.
+//!
+//! [`DiGraph::fingerprint`] hashes the same logical content (vertex count
+//! plus the out-CSR arenas, probabilities by bit pattern) into a 64-bit
+//! value. Two graphs have equal fingerprints iff they have identical
+//! topology *and* identical edge probabilities, up to hash collisions; the
+//! snapshot format of the core crate stores it so a resident pool can never
+//! be silently re-attached to the wrong graph.
+
+use crate::{DiGraph, Result};
+use std::io::{Read, Write};
+
+/// Byte size of the graph section [`DiGraph::write_binary`] emits.
+pub fn binary_size(graph: &DiGraph) -> u64 {
+    let n = graph.num_vertices() as u64;
+    let m = graph.num_edges() as u64;
+    16 + (n + 1) * 8 + m * 4 + m * 8
+}
+
+/// FNV-1a–style 64-bit word hash used by [`DiGraph::fingerprint`]. The
+/// stream is consumed as whole `u64` words, so it is cheap on the CSR
+/// arenas; this is a structural fingerprint, not a cryptographic hash.
+struct WordHash(u64);
+
+impl WordHash {
+    const OFFSET_BASIS: u64 = 0xCBF2_9CE4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn new() -> Self {
+        WordHash(Self::OFFSET_BASIS)
+    }
+
+    #[inline]
+    fn push(&mut self, word: u64) {
+        self.0 = (self.0 ^ word).wrapping_mul(Self::PRIME);
+    }
+
+    fn finish(&self) -> u64 {
+        // SplitMix64 finaliser for avalanche on the low bits.
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Chunked helpers: pack typed slices into a stack buffer and hand the
+/// writer large contiguous byte runs (and vice versa for reading), keeping
+/// serialisation bandwidth-bound without any `unsafe` transmutes.
+const CHUNK_WORDS: usize = 1024;
+
+fn write_u64s<W: Write>(w: &mut W, values: impl Iterator<Item = u64>) -> std::io::Result<()> {
+    let mut buf = [0u8; CHUNK_WORDS * 8];
+    let mut filled = 0usize;
+    for v in values {
+        buf[filled..filled + 8].copy_from_slice(&v.to_le_bytes());
+        filled += 8;
+        if filled == buf.len() {
+            w.write_all(&buf)?;
+            filled = 0;
+        }
+    }
+    if filled > 0 {
+        w.write_all(&buf[..filled])?;
+    }
+    Ok(())
+}
+
+/// Writes a `u32` slice as little-endian bytes, packed through a stack
+/// buffer so the writer sees large contiguous runs. Shared by the graph
+/// section writer and the pool-snapshot writer of the core crate.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_u32s<W: Write>(w: &mut W, values: &[u32]) -> std::io::Result<()> {
+    let mut buf = [0u8; CHUNK_WORDS * 4];
+    for chunk in values.chunks(CHUNK_WORDS) {
+        let mut filled = 0usize;
+        for v in chunk {
+            buf[filled..filled + 4].copy_from_slice(&v.to_le_bytes());
+            filled += 4;
+        }
+        w.write_all(&buf[..filled])?;
+    }
+    Ok(())
+}
+
+/// Reads `len` little-endian `u64` words. The vector grows as bytes
+/// actually arrive (bounded chunks), so a corrupt length cannot trigger an
+/// absurd up-front allocation: a lying header runs into EOF first.
+fn read_u64s<R: Read>(r: &mut R, len: usize) -> std::io::Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(len.min(1 << 22));
+    let mut buf = [0u8; CHUNK_WORDS * 8];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_WORDS);
+        r.read_exact(&mut buf[..take * 8])?;
+        out.extend(
+            buf[..take * 8]
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Reads `len` little-endian `u32` words with the same bounded-allocation
+/// strategy as [`read_u64s`].
+fn read_u32s<R: Read>(r: &mut R, len: usize) -> std::io::Result<Vec<u32>> {
+    let mut out = Vec::with_capacity(len.min(1 << 23));
+    let mut buf = [0u8; CHUNK_WORDS * 4];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_WORDS);
+        r.read_exact(&mut buf[..take * 4])?;
+        out.extend(
+            buf[..take * 4]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> std::io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+impl DiGraph {
+    /// Structural 64-bit fingerprint of the graph: vertex count, edge count,
+    /// the out-CSR offsets and targets, and every propagation probability by
+    /// exact bit pattern. Serialising and deserialising a graph preserves
+    /// its fingerprint; any change to topology or probabilities changes it
+    /// (up to hash collisions).
+    pub fn fingerprint(&self) -> u64 {
+        let (offsets, targets, probs) = self.raw_out_csr();
+        let mut h = WordHash::new();
+        h.push(self.num_vertices() as u64);
+        h.push(self.num_edges() as u64);
+        for &o in offsets {
+            h.push(o as u64);
+        }
+        for &t in targets {
+            h.push(t as u64);
+        }
+        for &p in probs {
+            h.push(p.to_bits());
+        }
+        h.finish()
+    }
+
+    /// Writes the graph as the binary section documented in [`crate::binfmt`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    pub fn write_binary<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let (offsets, targets, probs) = self.raw_out_csr();
+        w.write_all(&(self.num_vertices() as u64).to_le_bytes())?;
+        w.write_all(&(self.num_edges() as u64).to_le_bytes())?;
+        write_u64s(w, offsets.iter().map(|&o| o as u64))?;
+        write_u32s(w, targets)?;
+        write_u64s(w, probs.iter().map(|&p| p.to_bits()))?;
+        Ok(())
+    }
+
+    /// Reads a graph section previously written by [`DiGraph::write_binary`],
+    /// validating the CSR invariants and rebuilding the in-adjacency and the
+    /// coin thresholds.
+    ///
+    /// # Errors
+    /// Returns [`crate::GraphError::Io`] on I/O failure (including premature
+    /// EOF) and [`crate::GraphError::CorruptBinary`] /
+    /// [`crate::GraphError::VertexOutOfRange`] /
+    /// [`crate::GraphError::InvalidProbability`] when the section is not a
+    /// well-formed graph.
+    pub fn read_binary<R: Read>(r: &mut R) -> Result<DiGraph> {
+        let n = read_u64(r)?;
+        let m = read_u64(r)?;
+        if n >= u32::MAX as u64 {
+            return Err(crate::GraphError::TooManyVertices {
+                requested: n as usize,
+            });
+        }
+        let n = n as usize;
+        let m = m as usize;
+        let offsets: Vec<usize> = read_u64s(r, n + 1)?
+            .into_iter()
+            .map(|o| o as usize)
+            .collect();
+        let targets = read_u32s(r, m)?;
+        let probs: Vec<f64> = read_u64s(r, m)?.into_iter().map(f64::from_bits).collect();
+        DiGraph::from_raw_out_csr(n, offsets, targets, probs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, GraphError, VertexId};
+
+    fn sample_graph() -> DiGraph {
+        generators::preferential_attachment(180, 3, true, 0.37, 11).unwrap()
+    }
+
+    fn roundtrip(g: &DiGraph) -> DiGraph {
+        let mut bytes = Vec::new();
+        g.write_binary(&mut bytes).unwrap();
+        assert_eq!(bytes.len() as u64, binary_size(g), "binary_size is exact");
+        DiGraph::read_binary(&mut bytes.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let g = sample_graph();
+        let back = roundtrip(&g);
+        assert_eq!(back.num_vertices(), g.num_vertices());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert_eq!(back.fingerprint(), g.fingerprint());
+        assert!(back.validate().is_ok(), "derived arrays are consistent");
+        for u in g.vertices() {
+            assert_eq!(back.out_neighbors(u), g.out_neighbors(u));
+            assert_eq!(back.out_probabilities(u), g.out_probabilities(u));
+            assert_eq!(back.in_neighbors(u), g.in_neighbors(u));
+            assert_eq!(back.out_coin_thresholds(u), g.out_coin_thresholds(u));
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_roundtrip() {
+        for g in [
+            DiGraph::empty(0),
+            DiGraph::empty(5),
+            DiGraph::from_edges(2, vec![(VertexId::new(0), VertexId::new(1), 0.25)]).unwrap(),
+        ] {
+            let back = roundtrip(&g);
+            assert_eq!(back.fingerprint(), g.fingerprint());
+            assert!(back.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_sensitive_to_topology_and_probabilities() {
+        let g = sample_graph();
+        let same = generators::preferential_attachment(180, 3, true, 0.37, 11).unwrap();
+        assert_eq!(g.fingerprint(), same.fingerprint(), "deterministic");
+        let other_seed = generators::preferential_attachment(180, 3, true, 0.37, 12).unwrap();
+        assert_ne!(g.fingerprint(), other_seed.fingerprint());
+        let reweighted = g.map_probabilities(|_, _, p| p * 0.5).unwrap();
+        assert_ne!(g.fingerprint(), reweighted.fingerprint());
+    }
+
+    #[test]
+    fn truncated_sections_surface_io_errors() {
+        let g = sample_graph();
+        let mut bytes = Vec::new();
+        g.write_binary(&mut bytes).unwrap();
+        for cut in [0, 7, 16, 40, bytes.len() - 1] {
+            let err = DiGraph::read_binary(&mut &bytes[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Io(_)), "cut at {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_sections_surface_typed_errors() {
+        let g = sample_graph();
+        let mut bytes = Vec::new();
+        g.write_binary(&mut bytes).unwrap();
+
+        // Non-monotone offsets.
+        let mut broken = bytes.clone();
+        broken[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            DiGraph::read_binary(&mut broken.as_slice()),
+            Err(GraphError::CorruptBinary { .. })
+        ));
+
+        // A probability outside [0, 1].
+        let mut broken = bytes.clone();
+        let probs_start = bytes.len() - 8 * g.num_edges();
+        broken[probs_start..probs_start + 8].copy_from_slice(&2.5f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            DiGraph::read_binary(&mut broken.as_slice()),
+            Err(GraphError::InvalidProbability { .. })
+        ));
+
+        // An impossible vertex count.
+        let mut broken = bytes;
+        broken[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            DiGraph::read_binary(&mut broken.as_slice()),
+            Err(GraphError::TooManyVertices { .. })
+        ));
+    }
+}

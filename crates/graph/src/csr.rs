@@ -425,6 +425,109 @@ impl DiGraph {
             + self.out_thresholds.len() * std::mem::size_of::<u64>()
     }
 
+    /// Raw out-CSR arrays `(offsets, targets, probabilities)` — the exact
+    /// in-memory arenas, exposed crate-internally so the binary
+    /// (de)serialisation in [`crate::binfmt`] can write them as flat slices.
+    pub(crate) fn raw_out_csr(&self) -> (&[usize], &[u32], &[f64]) {
+        (&self.out_offsets, &self.out_targets, &self.out_probs)
+    }
+
+    /// Rebuilds a graph from its raw out-CSR arrays, validating the CSR
+    /// invariants and re-deriving the in-adjacency and the coin thresholds.
+    /// This is the deserialisation back end of [`crate::binfmt`].
+    pub(crate) fn from_raw_out_csr(
+        num_vertices: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<u32>,
+        out_probs: Vec<f64>,
+    ) -> Result<Self> {
+        let corrupt = |message: String| GraphError::CorruptBinary { message };
+        if num_vertices >= u32::MAX as usize {
+            return Err(GraphError::TooManyVertices {
+                requested: num_vertices,
+            });
+        }
+        let m = out_targets.len();
+        if out_offsets.len() != num_vertices + 1 {
+            return Err(corrupt(format!(
+                "offset array has {} entries, expected {}",
+                out_offsets.len(),
+                num_vertices + 1
+            )));
+        }
+        if out_offsets[0] != 0 || *out_offsets.last().expect("offsets are non-empty") != m {
+            return Err(corrupt("offset array does not span the edge list".into()));
+        }
+        if out_probs.len() != m {
+            return Err(corrupt(format!(
+                "probability array has {} entries, expected {m}",
+                out_probs.len()
+            )));
+        }
+        for w in out_offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(corrupt("offset array is not monotone".into()));
+            }
+        }
+        for u in 0..num_vertices {
+            let targets = &out_targets[out_offsets[u]..out_offsets[u + 1]];
+            for w in targets.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(corrupt(format!(
+                        "out-adjacency of vertex {u} is not strictly sorted"
+                    )));
+                }
+            }
+            if let Some(&last) = targets.last() {
+                if last as usize >= num_vertices {
+                    return Err(GraphError::VertexOutOfRange {
+                        vertex: last as usize,
+                        num_vertices,
+                    });
+                }
+            }
+        }
+        for &p in &out_probs {
+            validate_probability(p)?;
+        }
+
+        // Re-derive the in-adjacency with a counting sort. Iterating edges in
+        // (source, target) order fills each in-bucket in increasing source
+        // order, the same invariant `from_validated_triples` establishes.
+        let mut in_offsets = vec![0usize; num_vertices + 1];
+        for &v in &out_targets {
+            in_offsets[v as usize + 1] += 1;
+        }
+        for i in 0..num_vertices {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0u32; m];
+        let mut in_probs = vec![0f64; m];
+        {
+            let mut cursor = in_offsets.clone();
+            for u in 0..num_vertices {
+                for idx in out_offsets[u]..out_offsets[u + 1] {
+                    let v = out_targets[idx] as usize;
+                    let pos = cursor[v];
+                    in_sources[pos] = u as u32;
+                    in_probs[pos] = out_probs[idx];
+                    cursor[v] += 1;
+                }
+            }
+        }
+        let out_thresholds = out_probs.iter().map(|&p| coin_threshold(p)).collect();
+        Ok(DiGraph {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_probs,
+            out_thresholds,
+            in_offsets,
+            in_sources,
+            in_probs,
+        })
+    }
+
     /// Checks internal CSR invariants; used by tests and debug assertions.
     ///
     /// Verified invariants:

@@ -38,8 +38,15 @@ pub enum GraphError {
         /// Human-readable description of the problem.
         message: String,
     },
-    /// An underlying I/O error while reading or writing an edge list.
+    /// An underlying I/O error while reading or writing an edge list or a
+    /// binary graph section.
     Io(io::Error),
+    /// A binary graph section (see [`crate::binfmt`]) failed structural
+    /// validation during deserialisation.
+    CorruptBinary {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
     /// A generator was asked for an impossible configuration
     /// (e.g. more edges than the complete graph can hold).
     InvalidGeneratorArgument {
@@ -73,6 +80,9 @@ impl fmt::Display for GraphError {
                 write!(f, "edge-list parse error on line {line}: {message}")
             }
             GraphError::Io(err) => write!(f, "I/O error: {err}"),
+            GraphError::CorruptBinary { message } => {
+                write!(f, "corrupt binary graph section: {message}")
+            }
             GraphError::InvalidGeneratorArgument { message } => {
                 write!(f, "invalid generator argument: {message}")
             }

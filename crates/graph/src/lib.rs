@@ -24,6 +24,9 @@
 //!   (Definition 2).
 //! * [`stats`] — the per-dataset statistics reported in Table IV
 //!   (n, m, average degree, maximum degree).
+//! * [`binfmt`] — raw little-endian binary (de)serialisation of the CSR
+//!   arenas plus a structural [`DiGraph::fingerprint`], the graph half of
+//!   the core crate's pool-snapshot format.
 //!
 //! The graph is deliberately simple and cache friendly: vertices are dense
 //! `u32` identifiers wrapped in [`VertexId`], out- and in-adjacency are both
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 pub mod builder;
 pub mod csr;
 pub mod edgelist;
