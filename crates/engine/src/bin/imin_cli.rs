@@ -13,7 +13,7 @@
 //!
 //! `local` skips TCP entirely: the lines run through the same
 //! [`imin_engine::answer_line`] state machine the server uses, against an
-//! [`imin_engine::Engine`] living in this process — handy for one-off
+//! [`imin_engine::SharedEngine`] living in this process — handy for one-off
 //! experiments and air-gapped smoke tests. Algorithm names in `QUERY …
 //! alg=…` resolve through the [`imin_engine::AlgorithmKind`] registry in
 //! both modes, and the snapshot verbs work identically too: `SAVE <path>`
@@ -22,15 +22,14 @@
 //! resampling — the serverless way to prepare or consume pool snapshots
 //! (CI caches them as build artifacts).
 
-use imin_engine::{answer_line, Client, Engine};
+use imin_engine::{answer_line, Client, SharedEngine};
 use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::Mutex;
 
 /// One request line → one reply line, over TCP or in process.
 enum Session {
     Remote(Box<Client>),
-    Local(Box<Mutex<Engine>>),
+    Local(Box<SharedEngine>),
 }
 
 impl Session {
@@ -57,7 +56,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     let mut session = if addr.eq_ignore_ascii_case("local") {
-        Session::Local(Box::new(Mutex::new(Engine::new())))
+        Session::Local(Box::new(SharedEngine::new()))
     } else {
         match Client::connect(addr) {
             Ok(client) => Session::Remote(Box::new(client)),

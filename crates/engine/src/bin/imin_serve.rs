@@ -1,18 +1,30 @@
 //! `imin-serve` — the resident containment query server.
 //!
 //! ```text
-//! imin-serve [--addr HOST:PORT] [--threads N] [--cache N]
+//! imin-serve [--addr HOST:PORT] [--threads N] [--query-threads N]
+//!            [--cache N] [--max-inflight N]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7470`, port 0 for ephemeral), prints one
 //! `LISTENING <addr>` line to stdout so scripts can discover the port, then
 //! serves the line protocol forever. Drive it with `imin-cli` or any
 //! line-oriented TCP client (`nc`, telnet).
+//!
+//! Queries from different connections execute **concurrently** against the
+//! shared resident pool; identical in-flight queries compute once.
+//! `--threads` sets the pool-build worker count, `--query-threads` the
+//! parallelism *inside* one query (default: same as `--threads`; under
+//! many-client load `--query-threads 1` is usually right — cross-connection
+//! parallelism already saturates the cores and answers are bit-identical
+//! either way). `--max-inflight` bounds concurrently computing queries;
+//! beyond it the server answers `ERR busy retry_after_ms=…` instead of
+//! queueing unboundedly.
 
-use imin_engine::{Engine, Server};
+use imin_engine::{Server, SharedEngine};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: imin-serve [--addr HOST:PORT] [--threads N] [--cache N]";
+const USAGE: &str = "usage: imin-serve [--addr HOST:PORT] [--threads N] [--query-threads N] \
+                     [--cache N] [--max-inflight N]";
 
 /// Invalid arguments: usage on stderr, non-zero exit.
 fn usage() -> ExitCode {
@@ -23,7 +35,9 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7470".to_string();
     let mut threads: Option<usize> = None;
+    let mut query_threads: Option<usize> = None;
     let mut cache: Option<usize> = None;
+    let mut max_inflight: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = match arg.as_str() {
@@ -32,34 +46,51 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            "--addr" | "--threads" | "--cache" => match args.next() {
-                Some(v) => v,
-                None => return usage(),
-            },
+            "--addr" | "--threads" | "--query-threads" | "--cache" | "--max-inflight" => {
+                match args.next() {
+                    Some(v) => v,
+                    None => return usage(),
+                }
+            }
             _ => return usage(),
         };
-        match arg.as_str() {
-            "--addr" => addr = value,
-            "--threads" => match value.parse() {
-                Ok(n) => threads = Some(n),
-                Err(_) => return usage(),
-            },
-            "--cache" => match value.parse() {
-                Ok(n) => cache = Some(n),
-                Err(_) => return usage(),
-            },
+        let parse_into = |slot: &mut Option<usize>| match value.parse() {
+            Ok(n) => {
+                *slot = Some(n);
+                true
+            }
+            Err(_) => false,
+        };
+        let ok = match arg.as_str() {
+            "--addr" => {
+                addr = value;
+                true
+            }
+            "--threads" => parse_into(&mut threads),
+            "--query-threads" => parse_into(&mut query_threads),
+            "--cache" => parse_into(&mut cache),
+            "--max-inflight" => parse_into(&mut max_inflight),
             _ => unreachable!(),
+        };
+        if !ok {
+            return usage();
         }
     }
 
-    let mut engine = Engine::new();
+    let mut engine = SharedEngine::new();
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
+    }
+    if let Some(query_threads) = query_threads {
+        engine = engine.with_query_threads(query_threads);
     }
     if let Some(cache) = cache {
         engine = engine.with_cache_capacity(cache);
     }
-    let server = match Server::with_engine(&addr, engine) {
+    if let Some(max_inflight) = max_inflight {
+        engine = engine.with_max_inflight(max_inflight);
+    }
+    let server = match Server::with_shared(&addr, engine) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("imin-serve: cannot bind {addr}: {err}");

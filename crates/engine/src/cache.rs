@@ -52,6 +52,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         })
     }
 
+    /// Looks up `key` **without** refreshing its recency — for tests and
+    /// inspectors that must not perturb the eviction order they are
+    /// checking.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|entry| &entry.1)
+    }
+
     /// Inserts `key → value`, evicting the least-recently-used entry if the
     /// cache is full and `key` is not already present.
     pub fn insert(&mut self, key: K, value: V) {
@@ -86,7 +93,8 @@ mod tests {
         cache.insert("a", 1);
         cache.insert("b", 2);
         assert_eq!(cache.get(&"a"), Some(&1)); // refresh a
-        cache.insert("c", 3); // evicts b
+        assert_eq!(cache.peek(&"b"), Some(&2), "peek does not refresh");
+        cache.insert("c", 3); // evicts b despite the peek
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.get(&"b"), None);
         assert_eq!(cache.get(&"a"), Some(&1));

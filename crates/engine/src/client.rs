@@ -33,6 +33,9 @@ impl Client {
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        // Requests are single short lines awaiting a reply; letting Nagle
+        // batch them just adds the delayed-ACK stall to every round trip.
+        stream.set_nodelay(true)?;
         let writer = stream.try_clone()?;
         Ok(Client {
             reader: BufReader::new(stream),

@@ -508,6 +508,35 @@ impl Engine {
     }
 }
 
+/// The moved-out fields of an [`Engine`], used by
+/// [`crate::SharedEngine::from_engine`] to adopt a single-threaded engine's
+/// resident state and counters without re-deriving them.
+pub(crate) struct EngineParts {
+    pub graph: Option<DiGraph>,
+    pub graph_label: String,
+    pub pool: Option<SamplePool>,
+    pub pool_info: Option<PoolInfo>,
+    pub cache_capacity: usize,
+    pub stats: EngineStats,
+    pub threads: usize,
+}
+
+impl Engine {
+    /// Dismantles the engine into its resident state (the LRU cache's
+    /// entries are dropped — only its capacity carries over).
+    pub(crate) fn into_parts(self) -> EngineParts {
+        EngineParts {
+            graph: self.graph,
+            graph_label: self.graph_label,
+            pool: self.pool,
+            pool_info: self.pool_info,
+            cache_capacity: self.cache.capacity(),
+            stats: self.stats,
+            threads: self.threads,
+        }
+    }
+}
+
 /// Reproduces an [`EngineError`] for duplicate batch slots (the error type
 /// is not `Clone`; lifecycle variants survive exactly, everything else is
 /// demoted to its message).
@@ -523,7 +552,7 @@ fn clone_engine_error(err: &EngineError) -> EngineError {
 /// becomes a [`ContainmentRequest`] with a `Pooled` backend and is
 /// dispatched through the [`AlgorithmKind`] registry — no per-algorithm
 /// `match` lives in the engine.
-fn run_pooled(
+pub(crate) fn run_pooled(
     pool: &SamplePool,
     graph: &DiGraph,
     query: &Query,

@@ -12,6 +12,19 @@ pub enum EngineError {
     /// A protocol line could not be parsed; the payload is the reason sent
     /// back on the `ERR` line.
     Protocol(String),
+    /// The concurrent-query admission budget is exhausted: the server is
+    /// already computing its maximum number of in-flight queries. The
+    /// client should back off for roughly `retry_after_ms` milliseconds
+    /// (the server's running average compute latency) and retry — nothing
+    /// about the request itself is wrong.
+    Busy {
+        /// Suggested client backoff in milliseconds before retrying.
+        retry_after_ms: u64,
+    },
+    /// A request handler panicked; the engine recovered (no lock stays
+    /// poisoned, resident state is unchanged) and the connection survives.
+    /// The payload is the panic message.
+    Internal(String),
     /// An error bubbled up from the algorithm layer.
     Core(imin_core::IminError),
     /// An error bubbled up from the graph layer (generators, edge lists).
@@ -28,6 +41,10 @@ impl fmt::Display for EngineError {
             EngineError::NoGraph => write!(f, "no graph loaded (send LOAD first)"),
             EngineError::NoPool => write!(f, "no sample pool built (send POOL first)"),
             EngineError::Protocol(reason) => write!(f, "{reason}"),
+            EngineError::Busy { retry_after_ms } => {
+                write!(f, "busy retry_after_ms={retry_after_ms}")
+            }
+            EngineError::Internal(reason) => write!(f, "internal: {reason}"),
             EngineError::Core(err) => write!(f, "{err}"),
             EngineError::Graph(err) => write!(f, "{err}"),
             EngineError::Diffusion(err) => write!(f, "{err}"),
@@ -82,6 +99,10 @@ mod tests {
         assert!(EngineError::NoPool.to_string().contains("POOL"));
         let p = EngineError::Protocol("bad token".into());
         assert_eq!(p.to_string(), "bad token");
+        let busy = EngineError::Busy { retry_after_ms: 42 };
+        assert_eq!(busy.to_string(), "busy retry_after_ms=42");
+        let internal = EngineError::Internal("handler panicked".into());
+        assert!(internal.to_string().starts_with("internal:"));
         let c: EngineError = imin_core::IminError::ZeroBudget.into();
         assert!(std::error::Error::source(&c).is_some());
         let io: EngineError = std::io::Error::other("x").into();

@@ -13,6 +13,10 @@
 //!   resident [`imin_core::SamplePool`], an LRU cache of recent query
 //!   results keyed by canonicalised query, and a batched
 //!   [`Engine::run_queries`] that fans a batch across the worker pool.
+//!   [`SharedEngine`] is its concurrent counterpart: the same lifecycle
+//!   driven through `&self` from many connection threads at once, with
+//!   parallel read-side queries, single-flight coalescing of identical
+//!   in-flight questions, and admission control (see [`shared`]).
 //! * [`protocol`] — a newline-delimited text protocol (`LOAD`, `POOL`,
 //!   `QUERY`, `SAVE`, `RESTORE`, `STATS`, `PING`, `QUIT`) with an `OK …` /
 //!   `ERR …` reply per request line, shared by the server, the client and
@@ -60,6 +64,7 @@ pub mod engine;
 pub mod error;
 pub mod protocol;
 pub mod server;
+pub mod shared;
 
 pub use cache::LruCache;
 pub use client::Client;
@@ -70,6 +75,7 @@ pub use error::EngineError;
 pub use imin_core::snapshot::{SnapshotError, SnapshotSummary};
 pub use imin_core::AlgorithmKind;
 pub use server::{answer_line, Server};
+pub use shared::{ResidentView, ServingStats, SharedEngine, DEFAULT_MAX_INFLIGHT};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -36,6 +36,29 @@
 //! `outdegree`/`od`, `random`/`ra`, …); algorithms that cannot run against
 //! a resident pool (`baseline`, `exact`) parse fine and answer with an
 //! `ERR` explaining the unsupported backend.
+//!
+//! ## Serving under load
+//!
+//! Queries from different connections execute concurrently against the
+//! shared pool (see [`crate::shared`]); the protocol surface grows two
+//! things with that:
+//!
+//! * **`ERR busy retry_after_ms=<hint>`** — the admission budget
+//!   (`max_inflight` concurrently *computing* queries) is exhausted. The
+//!   request itself is fine; back off roughly `<hint>` milliseconds (the
+//!   server's running average compute latency) and resend. Cache hits and
+//!   coalesced duplicates are never rejected.
+//! * **`STATS` serving counters** — beyond the original fields, the reply
+//!   carries `query_threads=` and `max_inflight=` (configuration),
+//!   `inflight=` (gauge: queries computing right now), `coalesced=`
+//!   (queries answered by waiting on an identical in-flight computation),
+//!   `rejected=` (busy rejections), `computed=` (queries that actually
+//!   consulted the pool; `queries = cache_hits + coalesced + rejected +
+//!   computed + failed`), and per-verb latency sums `lat_load_us=`,
+//!   `lat_pool_us=`, `lat_query_us=`, `lat_save_us=`, `lat_restore_us=`.
+//!
+//! `ERR internal: <reason>` reports a panicking request handler: the
+//! engine recovers (no lock stays poisoned) and the connection stays open.
 
 use crate::engine::Query;
 use imin_core::AlgorithmKind;

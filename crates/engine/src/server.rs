@@ -1,26 +1,36 @@
 //! Threaded TCP server speaking the line protocol of [`crate::protocol`].
 //!
 //! One OS thread per connection, all connections sharing one
-//! [`Engine`] behind a mutex: queries are answered strictly one at a time,
-//! which keeps the engine's workspace reuse trivially sound (intra-query
-//! parallelism still uses the engine's worker threads). Every request line
-//! gets exactly one reply line; malformed input produces `ERR <reason>`
-//! and keeps the connection open.
+//! [`SharedEngine`]: queries execute **in parallel** against `Arc`
+//! snapshots of the immutable (graph, pool) pair, identical in-flight
+//! queries coalesce onto one computation, and the state-transition verbs
+//! (`LOAD` / `POOL` / `RESTORE`) remain exclusive — see [`crate::shared`]
+//! for the concurrency contract. Every request line gets exactly one reply
+//! line; malformed input (including invalid UTF-8) produces `ERR <reason>`
+//! and keeps the connection open, and a panicking handler answers
+//! `ERR internal: …` on its own connection without disturbing any other.
+//!
+//! Under overload the server sheds load instead of queueing unboundedly:
+//! once `max_inflight` distinct queries are computing, further distinct
+//! queries get `ERR busy retry_after_ms=<hint>` (cache hits and coalesced
+//! followers are always admitted — they cost no pool work).
 
 use crate::engine::{Engine, Query};
 use crate::protocol::{parse_request, LoadSpec, ModelSpec, Request};
+use crate::shared::{panic_message, SharedEngine};
 use imin_diffusion::ProbabilityModel;
 use imin_graph::edgelist::{load_edge_list, EdgeListOptions};
 use imin_graph::{generators, DiGraph};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// A bound (but not yet accepting) protocol server.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<Mutex<Engine>>,
+    engine: Arc<SharedEngine>,
 }
 
 impl Server {
@@ -30,19 +40,34 @@ impl Server {
     /// # Errors
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        Self::with_engine(addr, Engine::new())
+        Self::with_shared(addr, SharedEngine::new())
     }
 
-    /// Binds to `addr` with a caller-configured engine (thread count, cache
-    /// capacity, or even a pre-loaded graph).
+    /// Binds to `addr`, adopting a caller-configured single-threaded
+    /// [`Engine`] (thread count, cache capacity, or even a pre-loaded
+    /// graph) into a [`SharedEngine`].
     ///
     /// # Errors
     /// Propagates socket errors.
     pub fn with_engine(addr: impl ToSocketAddrs, engine: Engine) -> std::io::Result<Self> {
+        Self::with_shared(addr, SharedEngine::from_engine(engine))
+    }
+
+    /// Binds to `addr` with a caller-configured concurrent engine.
+    ///
+    /// # Errors
+    /// Propagates socket errors.
+    pub fn with_shared(addr: impl ToSocketAddrs, engine: SharedEngine) -> std::io::Result<Self> {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
-            engine: Arc::new(Mutex::new(engine)),
+            engine: Arc::new(engine),
         })
+    }
+
+    /// The shared engine every connection answers from — benchmarks and
+    /// tests use this to read counters or prime state in-process.
+    pub fn engine(&self) -> Arc<SharedEngine> {
+        Arc::clone(&self.engine)
     }
 
     /// The address the server is listening on (useful with port 0).
@@ -60,6 +85,9 @@ impl Server {
     pub fn run(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             let stream = stream?;
+            // One short reply line per request: Nagle only buys each round
+            // trip a delayed-ACK stall (~40ms on Linux loopback).
+            let _ = stream.set_nodelay(true);
             let engine = Arc::clone(&self.engine);
             std::thread::spawn(move || {
                 // A vanished client is not a server error.
@@ -84,14 +112,24 @@ impl Server {
 }
 
 /// Serves one connection: read a line, answer a line, until `QUIT` or EOF.
-fn serve_connection(stream: TcpStream, engine: &Mutex<Engine>) -> std::io::Result<()> {
+///
+/// Lines are read as **bytes** and converted lossily: a client that sends
+/// invalid UTF-8 gets a normal `ERR` reply (the replacement characters
+/// never parse as a verb) instead of having its connection dropped
+/// mid-session.
+fn serve_connection(stream: TcpStream, engine: &SharedEngine) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        if reader.read_until(b'\n', &mut buf)? == 0 {
+            break; // EOF
+        }
+        let line = String::from_utf8_lossy(&buf);
         // Blank lines still get a reply (`ERR empty request`) — a client
         // that sends one must not be left waiting forever.
-        let (reply, quit) = answer_line(&line, engine);
+        let (reply, quit) = answer_line(line.trim_end_matches(['\n', '\r']), engine);
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -104,16 +142,23 @@ fn serve_connection(stream: TcpStream, engine: &Mutex<Engine>) -> std::io::Resul
 
 /// Produces the reply line for one request line, plus whether the
 /// connection should close. This is the whole protocol state machine: the
-/// TCP server loops over it, and `imin-cli local` drives it against an
-/// in-process engine without any socket.
-pub fn answer_line(line: &str, engine: &Mutex<Engine>) -> (String, bool) {
+/// TCP server loops over it from any number of connection threads at once,
+/// and `imin-cli local` drives it against an in-process engine without any
+/// socket.
+///
+/// A handler that panics is caught here and answered as
+/// `ERR internal: <panic message>`; no engine lock stays poisoned (they
+/// all recover via [`std::sync::PoisonError::into_inner`]), so the
+/// connection — and every other connection — keeps working.
+pub fn answer_line(line: &str, engine: &SharedEngine) -> (String, bool) {
     match parse_request(line) {
         Err(reason) => (format!("ERR {reason}"), false),
         Ok(Request::Quit) => ("OK bye".into(), true),
         Ok(Request::Ping) => ("OK pong".into(), false),
         Ok(request) => {
-            let mut engine = engine.lock().expect("engine mutex poisoned");
-            (execute(request, &mut engine), false)
+            let reply = catch_unwind(AssertUnwindSafe(|| execute(request, engine)))
+                .unwrap_or_else(|panic| format!("ERR internal: {}", panic_message(&*panic)));
+            (reply, false)
         }
     }
 }
@@ -165,7 +210,11 @@ fn build_graph(spec: &LoadSpec) -> Result<(DiGraph, String), String> {
 }
 
 /// Executes a state-touching request against the engine.
-fn execute(request: Request, engine: &mut Engine) -> String {
+fn execute(request: Request, engine: &SharedEngine) -> String {
+    #[cfg(test)]
+    if panic_injected() {
+        panic!("injected handler panic");
+    }
     match request {
         Request::Load(spec) => match build_graph(&spec) {
             Err(reason) => format!("ERR {reason}"),
@@ -204,7 +253,8 @@ fn execute(request: Request, engine: &mut Engine) -> String {
                     info.build_time.as_millis(),
                 );
                 let (n, m) = engine
-                    .graph()
+                    .view()
+                    .graph
                     .map(|g| (g.num_vertices(), g.num_edges()))
                     .unwrap_or((0, 0));
                 format!("OK n={n} m={m} theta={theta} seed={seed} bytes={bytes} restore_ms={ms}")
@@ -212,13 +262,13 @@ fn execute(request: Request, engine: &mut Engine) -> String {
         },
         Request::Query(query) => run_query(&query, engine),
         Request::Stats => stats_line(engine),
-        // Ping/Quit are handled before the engine lock is taken.
+        // Ping/Quit are handled before the engine is consulted.
         Request::Ping => "OK pong".into(),
         Request::Quit => "OK bye".into(),
     }
 }
 
-fn run_query(query: &Query, engine: &mut Engine) -> String {
+fn run_query(query: &Query, engine: &SharedEngine) -> String {
     match engine.query(query) {
         Err(err) => format!("ERR {err}"),
         Ok(result) => {
@@ -243,37 +293,65 @@ fn run_query(query: &Query, engine: &mut Engine) -> String {
     }
 }
 
-fn stats_line(engine: &Engine) -> String {
+fn stats_line(engine: &SharedEngine) -> String {
     let stats = engine.stats();
-    let (n, m) = engine
-        .graph()
+    let view = engine.view();
+    let (n, m) = view
+        .graph
+        .as_ref()
         .map(|g| (g.num_vertices(), g.num_edges()))
         .unwrap_or((0, 0));
-    let label = if engine.graph_label().is_empty() {
+    let label = if view.graph_label.is_empty() {
         "none".to_string()
     } else {
-        engine.graph_label().to_string()
+        view.graph_label.clone()
     };
-    let (theta, pool_seed, pool_bytes, pool_source) = engine
-        .pool_info()
+    let (theta, pool_seed, pool_bytes, pool_source) = view
+        .pool_info
+        .as_ref()
         .map(|p| (p.theta, p.seed, p.memory_bytes, p.provenance.label()))
         .unwrap_or((0, 0, 0, "none".into()));
     format!(
         "OK graph={label} n={n} m={m} theta={theta} pool_seed={pool_seed} pool_bytes={pool_bytes} \
-         pool_source={pool_source} queries={} cache_hits={} cache_entries={} threads={}",
+         pool_source={pool_source} queries={} cache_hits={} cache_entries={} threads={} \
+         query_threads={} max_inflight={} inflight={} coalesced={} rejected={} computed={} \
+         lat_load_us={} lat_pool_us={} lat_query_us={} lat_save_us={} lat_restore_us={}",
         stats.queries,
         stats.cache_hits,
         engine.cache_entries(),
-        engine.threads()
+        engine.threads(),
+        engine.query_threads(),
+        engine.max_inflight(),
+        stats.inflight,
+        stats.coalesced,
+        stats.rejected,
+        stats.computed,
+        stats.lat_load_us,
+        stats.lat_pool_us,
+        stats.lat_query_us,
+        stats.lat_save_us,
+        stats.lat_restore_us,
     )
+}
+
+#[cfg(test)]
+thread_local! {
+    static INJECT_PANIC: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Test hook: makes the next [`execute`] calls on this thread panic, to
+/// prove the `ERR internal` recovery path.
+#[cfg(test)]
+fn panic_injected() -> bool {
+    INJECT_PANIC.with(|f| f.get())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn engine() -> Mutex<Engine> {
-        Mutex::new(Engine::new().with_threads(1))
+    fn engine() -> SharedEngine {
+        SharedEngine::new().with_threads(1)
     }
 
     #[test]
@@ -299,6 +377,13 @@ mod tests {
             reply.contains("queries=4") && reply.contains("cache_hits=1"),
             "{reply}"
         );
+        assert!(
+            reply.contains("computed=1")
+                && reply.contains("coalesced=0")
+                && reply.contains("rejected=0")
+                && reply.contains("inflight=0"),
+            "{reply}"
+        );
         let (reply, quit) = answer_line("QUIT", &engine);
         assert_eq!(reply, "OK bye");
         assert!(quit);
@@ -318,5 +403,29 @@ mod tests {
         let (reply, _) = answer_line("LOAD pa n=50 m0=2 seed=1 model=keep", &engine);
         assert!(reply.starts_with("ERR"), "{reply}");
         assert!(reply.contains("explicit model"), "{reply}");
+    }
+
+    #[test]
+    fn a_panicking_handler_answers_err_internal_and_the_engine_survives() {
+        let engine = engine();
+        let (reply, _) = answer_line("LOAD pa n=80 m0=2 seed=1 model=wc", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+        INJECT_PANIC.with(|f| f.set(true));
+        let (reply, quit) = answer_line("STATS", &engine);
+        INJECT_PANIC.with(|f| f.set(false));
+        assert_eq!(reply, "ERR internal: injected handler panic");
+        assert!(!quit, "an internal error must not close the connection");
+        // The engine is intact: no poisoned lock, resident state unchanged.
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(reply.starts_with("OK graph=pa("), "{reply}");
+        let (reply, _) = answer_line("POOL 100 3", &engine);
+        assert!(reply.starts_with("OK theta=100"), "{reply}");
+    }
+
+    #[test]
+    fn busy_rejections_render_the_typed_error() {
+        // No TCP needed: exhaust the admission budget directly.
+        let err = crate::EngineError::Busy { retry_after_ms: 7 };
+        assert_eq!(format!("ERR {err}"), "ERR busy retry_after_ms=7");
     }
 }

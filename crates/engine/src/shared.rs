@@ -1,0 +1,947 @@
+//! The concurrent serving core: shared-pool parallel queries, request
+//! coalescing and admission control.
+//!
+//! [`SharedEngine`] is the `&self` counterpart of the single-threaded
+//! [`Engine`]: every method takes a shared reference, so one instance can
+//! be driven from any number of connection threads simultaneously. It
+//! splits the engine's responsibilities by mutability:
+//!
+//! * **State transitions** (`LOAD` / `POOL` / `RESTORE`) are exclusive.
+//!   They take the write side of an `RwLock` around the resident
+//!   `(graph, pool)` pair, exactly like the old whole-engine mutex — these
+//!   verbs are rare and expensive, serialising them is the right shape.
+//! * **Queries** are read-side. A query clones `Arc` handles to the
+//!   immutable graph and pool under a brief read lock and then computes
+//!   *without holding any lock at all*: a built [`SamplePool`] never
+//!   changes, and pooled answers are bit-identical at any thread count, so
+//!   N connections re-rooting the same realisations concurrently is safe
+//!   and byte-stable by construction.
+//! * The **LRU result cache** lives behind its own fine-grained mutex —
+//!   a cache probe costs a hash lookup, never a pool traversal, so the
+//!   lock is held for nanoseconds and is invisible under load.
+//! * **Single-flight coalescing**: when N connections ask the identical
+//!   (canonicalised) question while it is still being computed, one
+//!   *leader* computes and N−1 *followers* block on a condvar and receive
+//!   a clone of the leader's answer — the pool is consulted exactly once.
+//! * **Admission control**: at most `max_inflight` *leaders* compute at
+//!   once. Beyond that, new distinct queries are rejected immediately with
+//!   the typed [`EngineError::Busy`] (`ERR busy retry_after_ms=…` on the
+//!   wire) instead of queueing unboundedly — followers and cache hits are
+//!   never rejected, they add no compute load.
+//!
+//! ## Consistency
+//!
+//! A pool swap (rebuild, extension, restore) bumps an internal *epoch*.
+//! Queries remember the epoch of the snapshot they computed against and
+//! only insert into the cache if the epoch still matches, so an answer
+//! computed against a superseded pool can never poison the cache of its
+//! successor. In-flight queries against the old pool finish normally (they
+//! hold their own `Arc`); `POOL` extensions and rebuilds wait for those
+//! references to drain before mutating or releasing the arenas, keeping
+//! peak memory at one pool.
+//!
+//! ## Poison-freedom
+//!
+//! No lock in this module propagates poisoning: a thread that panicked
+//! while holding one leaves the state as it was (mutating ops stage their
+//! new state fully before installing it), and every acquisition recovers
+//! the guard via [`std::sync::PoisonError::into_inner`]. One panicking
+//! handler therefore cannot take the whole server down — the connection
+//! answers `ERR internal …` and every other connection keeps working.
+
+use crate::cache::LruCache;
+use crate::engine::{
+    run_pooled, Engine, PoolAction, PoolInfo, PoolProvenance, Query, QueryKey, QueryResult,
+};
+use crate::{EngineError, Result};
+use imin_core::snapshot::{self, SnapshotSummary};
+use imin_core::SamplePool;
+use imin_graph::DiGraph;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Acquires a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-acquires an `RwLock`, recovering from poisoning.
+fn read_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-acquires an `RwLock`, recovering from poisoning.
+fn write_unpoisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The resident `(graph, pool)` pair plus its bookkeeping. Guarded by the
+/// state `RwLock`; queries only ever clone the two `Arc`s out of it.
+#[derive(Debug, Default)]
+struct ResidentState {
+    graph: Option<Arc<DiGraph>>,
+    graph_label: String,
+    pool: Option<Arc<SamplePool>>,
+    pool_info: Option<PoolInfo>,
+    /// Bumped on every graph/pool replacement; cache inserts are fenced on
+    /// it so answers from a superseded pool never land in the new cache.
+    epoch: u64,
+}
+
+/// The LRU cache plus the epoch its entries belong to.
+#[derive(Debug)]
+struct CacheState {
+    epoch: u64,
+    lru: LruCache<QueryKey, QueryResult>,
+}
+
+/// What a coalesced follower receives: the leader's answer, or its error
+/// demoted to a message (the typed error stays with the leader, mirroring
+/// the duplicate-slot convention of [`Engine::run_queries`]).
+type CoalescedOutcome = std::result::Result<QueryResult, String>;
+
+/// One in-flight computation that identical queries rendezvous on.
+#[derive(Debug, Default)]
+struct InflightSlot {
+    outcome: Mutex<Option<CoalescedOutcome>>,
+    ready: Condvar,
+}
+
+impl InflightSlot {
+    /// Blocks until the leader publishes, then returns a clone.
+    fn wait(&self) -> CoalescedOutcome {
+        let mut outcome = lock_unpoisoned(&self.outcome);
+        loop {
+            if let Some(published) = outcome.as_ref() {
+                return published.clone();
+            }
+            outcome = self
+                .ready
+                .wait(outcome)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Publishes the leader's outcome and wakes every follower.
+    fn publish(&self, published: CoalescedOutcome) {
+        *lock_unpoisoned(&self.outcome) = Some(published);
+        self.ready.notify_all();
+    }
+}
+
+/// Monotonic atomic counters (plus the `inflight` gauge) behind `STATS`.
+#[derive(Debug, Default)]
+struct Counters {
+    queries: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    rejected: AtomicU64,
+    computed: AtomicU64,
+    inflight: AtomicU64,
+    pool_builds: AtomicU64,
+    pool_extends: AtomicU64,
+    pool_reuses: AtomicU64,
+    graph_loads: AtomicU64,
+    snapshot_saves: AtomicU64,
+    snapshot_restores: AtomicU64,
+    lat_load_us: AtomicU64,
+    lat_pool_us: AtomicU64,
+    lat_query_us: AtomicU64,
+    lat_save_us: AtomicU64,
+    lat_restore_us: AtomicU64,
+    /// Wall-clock µs spent *computing* (leaders only) — the basis of the
+    /// `retry_after_ms` hint in [`EngineError::Busy`].
+    compute_us: AtomicU64,
+}
+
+/// A point-in-time copy of every serving counter, as reported by `STATS`.
+///
+/// The first eight fields carry the same meaning as [`crate::EngineStats`];
+/// the rest are new with the concurrent serving core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Queries received (cache hits, coalesced, rejected all included).
+    pub queries: u64,
+    /// Queries answered straight from the LRU cache.
+    pub cache_hits: u64,
+    /// Queries answered by waiting on an identical in-flight computation
+    /// (the pool was *not* consulted again).
+    pub coalesced: u64,
+    /// Queries rejected with `ERR busy …` by admission control.
+    pub rejected: u64,
+    /// Queries that actually computed against the pool (leaders).
+    pub computed: u64,
+    /// Leaders computing right now (a gauge, not a counter).
+    pub inflight: u64,
+    /// Pools built from scratch.
+    pub pool_builds: u64,
+    /// Pools grown in place via `extend_to`.
+    pub pool_extends: u64,
+    /// `POOL` requests satisfied by the already-resident pool.
+    pub pool_reuses: u64,
+    /// Graphs installed (`LOAD` and `RESTORE`).
+    pub graph_loads: u64,
+    /// Snapshots written via `SAVE`.
+    pub snapshot_saves: u64,
+    /// Snapshots restored via `RESTORE`.
+    pub snapshot_restores: u64,
+    /// Total µs spent inside `LOAD` handling (engine side).
+    pub lat_load_us: u64,
+    /// Total µs spent inside `POOL` handling.
+    pub lat_pool_us: u64,
+    /// Total µs spent inside `QUERY` handling (hits, waits and computes).
+    pub lat_query_us: u64,
+    /// Total µs spent inside `SAVE` handling.
+    pub lat_save_us: u64,
+    /// Total µs spent inside `RESTORE` handling.
+    pub lat_restore_us: u64,
+}
+
+/// `Arc` handles to the resident state — what a moment-in-time reader
+/// (`STATS`, benchmarks, parity checks) sees without blocking writers for
+/// longer than one field copy.
+#[derive(Clone, Debug)]
+pub struct ResidentView {
+    /// The loaded graph, if any.
+    pub graph: Option<Arc<DiGraph>>,
+    /// Label given to the loaded graph.
+    pub graph_label: String,
+    /// The resident pool, if any.
+    pub pool: Option<Arc<SamplePool>>,
+    /// The resident pool's build facts, if a pool exists.
+    pub pool_info: Option<PoolInfo>,
+}
+
+/// A containment query engine that many threads drive concurrently.
+///
+/// See the [module docs](self) for the concurrency model. The single
+/// ordering contract worth repeating: **pooled answers are byte-identical
+/// no matter how many connections race** — the pool is immutable, per-query
+/// credits accumulate in integers, and coalesced followers receive clones
+/// of the one computed answer.
+#[derive(Debug)]
+pub struct SharedEngine {
+    state: RwLock<ResidentState>,
+    cache: Mutex<CacheState>,
+    inflight: Mutex<HashMap<QueryKey, Arc<InflightSlot>>>,
+    counters: Counters,
+    threads: usize,
+    query_threads: usize,
+    max_inflight: usize,
+}
+
+impl Default for SharedEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Default cap on concurrently *computing* queries. Deliberately generous:
+/// it exists to bound memory and latency under pathological fan-in, not to
+/// pace a healthy workload.
+pub const DEFAULT_MAX_INFLIGHT: usize = 256;
+
+impl SharedEngine {
+    /// Creates an empty shared engine: default worker threads, one thread
+    /// per query, a 256-entry result cache and the default admission
+    /// budget ([`DEFAULT_MAX_INFLIGHT`]).
+    pub fn new() -> Self {
+        let threads = imin_diffusion::montecarlo::default_threads();
+        SharedEngine {
+            state: RwLock::new(ResidentState::default()),
+            cache: Mutex::new(CacheState {
+                epoch: 0,
+                lru: LruCache::new(256),
+            }),
+            inflight: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+            threads,
+            query_threads: threads,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+
+    /// Adopts a single-threaded [`Engine`]'s resident state and counters.
+    /// The LRU cache's *entries* are dropped (only the capacity carries
+    /// over) — they would be valid, but the engine is typically empty or
+    /// freshly primed when a server wraps it.
+    pub fn from_engine(engine: Engine) -> Self {
+        let parts = engine.into_parts();
+        let shared = SharedEngine::new()
+            .with_threads(parts.threads)
+            .with_cache_capacity(parts.cache_capacity);
+        {
+            let mut state = write_unpoisoned(&shared.state);
+            state.graph = parts.graph.map(Arc::new);
+            state.graph_label = parts.graph_label;
+            state.pool = parts.pool.map(Arc::new);
+            state.pool_info = parts.pool_info;
+        }
+        let c = &shared.counters;
+        c.queries.store(parts.stats.queries, Relaxed);
+        c.cache_hits.store(parts.stats.cache_hits, Relaxed);
+        c.pool_builds.store(parts.stats.pool_builds, Relaxed);
+        c.pool_extends.store(parts.stats.pool_extends, Relaxed);
+        c.pool_reuses.store(parts.stats.pool_reuses, Relaxed);
+        c.graph_loads.store(parts.stats.graph_loads, Relaxed);
+        c.snapshot_saves.store(parts.stats.snapshot_saves, Relaxed);
+        c.snapshot_restores
+            .store(parts.stats.snapshot_restores, Relaxed);
+        shared
+    }
+
+    /// Sets the worker-thread count for pool builds **and** resets the
+    /// per-query thread count to the same value (call
+    /// [`SharedEngine::with_query_threads`] *after* this to split them).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self.query_threads = self.threads;
+        self
+    }
+
+    /// Sets the intra-query thread count independently of the build
+    /// threads. Under concurrent load the right value is usually `1`:
+    /// parallelism across connections beats parallelism inside one query,
+    /// and answers are bit-identical either way.
+    pub fn with_query_threads(mut self, query_threads: usize) -> Self {
+        self.query_threads = query_threads.max(1);
+        self
+    }
+
+    /// Sets the LRU result-cache capacity (entries are dropped).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        let epoch = lock_unpoisoned(&self.cache).epoch;
+        self.cache = Mutex::new(CacheState {
+            epoch,
+            lru: LruCache::new(capacity),
+        });
+        self
+    }
+
+    /// Sets the admission budget: the number of queries allowed to compute
+    /// concurrently before new distinct queries get [`EngineError::Busy`].
+    pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight.max(1);
+        self
+    }
+
+    /// Pool-build worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Intra-query worker threads.
+    pub fn query_threads(&self) -> usize {
+        self.query_threads
+    }
+
+    /// The admission budget.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Number of entries currently cached.
+    pub fn cache_entries(&self) -> usize {
+        lock_unpoisoned(&self.cache).lru.len()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn stats(&self) -> ServingStats {
+        let c = &self.counters;
+        ServingStats {
+            queries: c.queries.load(Relaxed),
+            cache_hits: c.cache_hits.load(Relaxed),
+            coalesced: c.coalesced.load(Relaxed),
+            rejected: c.rejected.load(Relaxed),
+            computed: c.computed.load(Relaxed),
+            inflight: c.inflight.load(Relaxed),
+            pool_builds: c.pool_builds.load(Relaxed),
+            pool_extends: c.pool_extends.load(Relaxed),
+            pool_reuses: c.pool_reuses.load(Relaxed),
+            graph_loads: c.graph_loads.load(Relaxed),
+            snapshot_saves: c.snapshot_saves.load(Relaxed),
+            snapshot_restores: c.snapshot_restores.load(Relaxed),
+            lat_load_us: c.lat_load_us.load(Relaxed),
+            lat_pool_us: c.lat_pool_us.load(Relaxed),
+            lat_query_us: c.lat_query_us.load(Relaxed),
+            lat_save_us: c.lat_save_us.load(Relaxed),
+            lat_restore_us: c.lat_restore_us.load(Relaxed),
+        }
+    }
+
+    /// `Arc` handles to the resident graph/pool plus their facts.
+    pub fn view(&self) -> ResidentView {
+        let state = read_unpoisoned(&self.state);
+        ResidentView {
+            graph: state.graph.clone(),
+            graph_label: state.graph_label.clone(),
+            pool: state.pool.clone(),
+            pool_info: state.pool_info.clone(),
+        }
+    }
+
+    /// The suggested client backoff for a [`EngineError::Busy`] rejection:
+    /// the running average compute latency, clamped to `[1 ms, 10 s]`
+    /// (50 ms before anything has computed).
+    fn retry_after_ms(&self) -> u64 {
+        let computed = self.counters.computed.load(Relaxed);
+        if computed == 0 {
+            return 50;
+        }
+        let avg_us = self.counters.compute_us.load(Relaxed) / computed;
+        (avg_us / 1_000).clamp(1, 10_000)
+    }
+
+    /// Clears the cache and re-tags it with the (already bumped) epoch.
+    /// Callers hold the state write lock, which is the intended nesting
+    /// order (state → cache); the query path never holds both at once.
+    fn reset_cache(&self, epoch: u64) {
+        let mut cache = lock_unpoisoned(&self.cache);
+        cache.lru.clear();
+        cache.epoch = epoch;
+    }
+
+    /// Installs a graph, dropping any previous pool and cached results.
+    /// Exclusive: concurrent queries either finish against the old state
+    /// or start against the new one.
+    pub fn load_graph(&self, graph: DiGraph, label: String) {
+        let start = Instant::now();
+        {
+            let mut state = write_unpoisoned(&self.state);
+            state.graph = Some(Arc::new(graph));
+            state.graph_label = label;
+            state.pool = None;
+            state.pool_info = None;
+            state.epoch += 1;
+            self.reset_cache(state.epoch);
+        }
+        self.counters.graph_loads.fetch_add(1, Relaxed);
+        self.counters
+            .lat_load_us
+            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+    }
+
+    /// Makes a pool with exactly `(θ, seed)` resident — the same least-work
+    /// contract as [`Engine::ensure_pool`] (no-op / extend in place /
+    /// rebuild), executed exclusively. Queries in flight keep their own
+    /// `Arc` to the old pool; the extend and rebuild paths wait for those
+    /// references to drain before mutating or releasing the arenas, so
+    /// peak memory stays at one pool.
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] before a graph is loaded, or the underlying
+    /// build error (e.g. θ = 0, rejected before anything is dropped).
+    pub fn ensure_pool(&self, theta: usize, seed: u64) -> Result<(PoolInfo, PoolAction)> {
+        let start = Instant::now();
+        let result = self.ensure_pool_locked(theta, seed);
+        self.counters
+            .lat_pool_us
+            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        result
+    }
+
+    fn ensure_pool_locked(&self, theta: usize, seed: u64) -> Result<(PoolInfo, PoolAction)> {
+        let mut state = write_unpoisoned(&self.state);
+        let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
+        if theta == 0 {
+            return Err(imin_core::IminError::ZeroSamples.into());
+        }
+        if let Some(pool) = state.pool.as_ref() {
+            if pool.pool_seed() == seed && pool.theta() == theta {
+                self.counters.pool_reuses.fetch_add(1, Relaxed);
+                let info = state.pool_info.clone().expect("resident pool has info");
+                return Ok((info, PoolAction::Reused));
+            }
+        }
+        let grows = state
+            .pool
+            .as_ref()
+            .is_some_and(|p| p.pool_seed() == seed && p.theta() < theta);
+        if grows {
+            let pool_arc = state.pool.as_mut().expect("grows implies a pool");
+            // New queries are blocked by the write lock; in-flight ones
+            // still hold clones. Wait for them so the arena is exclusively
+            // ours — extension mutates it in place.
+            drain_to_exclusive(pool_arc);
+            let from_theta = pool_arc.theta();
+            let build = Instant::now();
+            Arc::get_mut(pool_arc)
+                .expect("drained to exclusive")
+                .extend_to(&graph, theta, self.threads)?;
+            let pool = state.pool.as_ref().expect("pool still resident");
+            let info = PoolInfo {
+                theta,
+                seed,
+                threads: self.threads,
+                build_time: build.elapsed(),
+                memory_bytes: pool.memory_bytes(),
+                live_edges: pool.total_live_edges(),
+                provenance: PoolProvenance::Extended { from_theta },
+            };
+            state.pool_info = Some(info.clone());
+            state.epoch += 1;
+            self.reset_cache(state.epoch);
+            self.counters.pool_extends.fetch_add(1, Relaxed);
+            return Ok((info, PoolAction::Extended));
+        }
+        // Rebuild: release the superseded pool (after its readers drain)
+        // *before* sampling the new one, and invalidate the cache at the
+        // same moment — those answers belonged to the old pool, which is
+        // about to stop existing.
+        if let Some(old) = state.pool.take() {
+            state.pool_info = None;
+            state.epoch += 1;
+            self.reset_cache(state.epoch);
+            drain_to_exclusive(&old);
+            drop(old);
+        }
+        let build = Instant::now();
+        let pool = SamplePool::build_with_threads(&graph, theta, seed, self.threads)?;
+        let info = PoolInfo {
+            theta,
+            seed,
+            threads: self.threads,
+            build_time: build.elapsed(),
+            memory_bytes: pool.memory_bytes(),
+            live_edges: pool.total_live_edges(),
+            provenance: PoolProvenance::Built,
+        };
+        state.pool = Some(Arc::new(pool));
+        state.pool_info = Some(info.clone());
+        state.epoch += 1;
+        self.reset_cache(state.epoch);
+        self.counters.pool_builds.fetch_add(1, Relaxed);
+        Ok((info, PoolAction::Built))
+    }
+
+    /// Writes the resident `(graph, pool)` to a snapshot file. Runs
+    /// **concurrently with queries**: it serialises from `Arc` clones
+    /// taken under a brief read lock, so a multi-gigabyte write never
+    /// stalls the query path (a simultaneous `POOL` rebuild waits for the
+    /// save's pool reference to drain, like any other reader).
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the engine
+    /// is primed, or the snapshot writer's error.
+    pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<SnapshotSummary> {
+        let start = Instant::now();
+        let (graph, pool, label) = {
+            let state = read_unpoisoned(&self.state);
+            (
+                state.graph.clone().ok_or(EngineError::NoGraph)?,
+                state.pool.clone().ok_or(EngineError::NoPool)?,
+                state.graph_label.clone(),
+            )
+        };
+        let summary = snapshot::save_snapshot(path.as_ref(), &graph, &pool, &label)?;
+        self.counters.snapshot_saves.fetch_add(1, Relaxed);
+        self.counters
+            .lat_save_us
+            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        Ok(summary)
+    }
+
+    /// Warm-starts from a snapshot file. The file is read and validated
+    /// *before* the write lock is taken, so the engine keeps serving from
+    /// its old state during the bulk load and swaps atomically at the end.
+    /// A failed restore leaves the resident state untouched.
+    ///
+    /// # Errors
+    /// Every snapshot defect surfaces as the typed
+    /// [`imin_core::SnapshotError`] inside [`EngineError::Core`].
+    pub fn restore_snapshot(&self, path: impl AsRef<Path>) -> Result<PoolInfo> {
+        let start = Instant::now();
+        let path = path.as_ref();
+        let restored = snapshot::load_snapshot(path)?;
+        let info = PoolInfo {
+            theta: restored.pool.theta(),
+            seed: restored.pool.pool_seed(),
+            threads: self.threads,
+            build_time: start.elapsed(),
+            memory_bytes: restored.pool.memory_bytes(),
+            live_edges: restored.pool.total_live_edges(),
+            provenance: PoolProvenance::Restored {
+                path: path.display().to_string(),
+            },
+        };
+        {
+            let mut state = write_unpoisoned(&self.state);
+            state.graph = Some(Arc::new(restored.graph));
+            state.graph_label = if restored.label.is_empty() {
+                format!("snapshot({})", path.display())
+            } else {
+                restored.label
+            };
+            state.pool = Some(Arc::new(restored.pool));
+            state.pool_info = Some(info.clone());
+            state.epoch += 1;
+            self.reset_cache(state.epoch);
+        }
+        self.counters.graph_loads.fetch_add(1, Relaxed);
+        self.counters.snapshot_restores.fetch_add(1, Relaxed);
+        self.counters
+            .lat_restore_us
+            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        Ok(info)
+    }
+
+    /// Answers one query. Cache hit → immediate clone. Identical question
+    /// already computing → wait for it (coalesced). Otherwise compute as a
+    /// leader against an `Arc` snapshot of the pool, subject to the
+    /// admission budget.
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the engine
+    /// is primed, [`EngineError::Busy`] when the admission budget is
+    /// exhausted, the algorithm's validation error, or
+    /// [`EngineError::Internal`] if the computation panicked (the engine
+    /// itself stays healthy).
+    pub fn query(&self, query: &Query) -> Result<QueryResult> {
+        let start = Instant::now();
+        let result = self.query_inner(query, start);
+        self.counters
+            .lat_query_us
+            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        result
+    }
+
+    fn query_inner(&self, query: &Query, start: Instant) -> Result<QueryResult> {
+        self.counters.queries.fetch_add(1, Relaxed);
+        let key = query.key();
+        let cached = {
+            let mut cache = lock_unpoisoned(&self.cache);
+            cache.lru.get(&key).cloned()
+        };
+        if let Some(mut hit) = cached {
+            self.counters.cache_hits.fetch_add(1, Relaxed);
+            hit.from_cache = true;
+            hit.elapsed = start.elapsed();
+            return Ok(hit);
+        }
+        // Snapshot the resident pair (and its epoch) before registering in
+        // the single-flight map, so rejected queries never leave a slot
+        // behind.
+        let (graph, pool, epoch) = {
+            let state = read_unpoisoned(&self.state);
+            (
+                state.graph.clone().ok_or(EngineError::NoGraph)?,
+                state.pool.clone().ok_or(EngineError::NoPool)?,
+                state.epoch,
+            )
+        };
+        enum Role {
+            Leader(Arc<InflightSlot>),
+            Follower(Arc<InflightSlot>),
+        }
+        let role = {
+            let mut inflight = lock_unpoisoned(&self.inflight);
+            if let Some(slot) = inflight.get(&key) {
+                Role::Follower(Arc::clone(slot))
+            } else {
+                // The check and the gauge increment share the map mutex, so
+                // the budget is exact: never more than `max_inflight`
+                // leaders compute at once.
+                if self.counters.inflight.load(Relaxed) >= self.max_inflight as u64 {
+                    drop(inflight);
+                    self.counters.rejected.fetch_add(1, Relaxed);
+                    return Err(EngineError::Busy {
+                        retry_after_ms: self.retry_after_ms(),
+                    });
+                }
+                self.counters.inflight.fetch_add(1, Relaxed);
+                let slot = Arc::new(InflightSlot::default());
+                inflight.insert(key.clone(), Arc::clone(&slot));
+                Role::Leader(slot)
+            }
+        };
+        match role {
+            Role::Follower(slot) => {
+                let outcome = slot.wait();
+                self.counters.coalesced.fetch_add(1, Relaxed);
+                match outcome {
+                    Ok(mut result) => {
+                        // Computed on our behalf, not fetched from the
+                        // cache: report it as a fresh answer with our own
+                        // wall-clock wait.
+                        result.from_cache = false;
+                        result.elapsed = start.elapsed();
+                        Ok(result)
+                    }
+                    Err(reason) => Err(EngineError::Protocol(reason)),
+                }
+            }
+            Role::Leader(slot) => {
+                let compute = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    run_pooled(&pool, &graph, query, self.query_threads, start)
+                }))
+                .unwrap_or_else(|panic| Err(EngineError::Internal(panic_message(&panic))));
+                if let Ok(result) = &outcome {
+                    let mut cache = lock_unpoisoned(&self.cache);
+                    // Only cache answers for the pool that is *still*
+                    // resident: a swap mid-compute bumped the epoch.
+                    if cache.epoch == epoch {
+                        cache.lru.insert(key.clone(), result.clone());
+                    }
+                }
+                slot.publish(match &outcome {
+                    Ok(result) => Ok(result.clone()),
+                    Err(err) => Err(err.to_string()),
+                });
+                lock_unpoisoned(&self.inflight).remove(&key);
+                self.counters.inflight.fetch_sub(1, Relaxed);
+                self.counters.computed.fetch_add(1, Relaxed);
+                self.counters
+                    .compute_us
+                    .fetch_add(compute.elapsed().as_micros() as u64, Relaxed);
+                outcome
+            }
+        }
+    }
+}
+
+/// Busy-waits (1 ms naps) until `arc` is the only strong reference. Callers
+/// hold the state write lock, so no new references can appear — existing
+/// readers (queries, saves) finish and drop theirs.
+fn drain_to_exclusive(arc: &Arc<SamplePool>) {
+    while Arc::strong_count(arc) > 1 {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "query handler panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QueryAlgorithm;
+    use imin_graph::{generators, VertexId};
+    use std::sync::Barrier;
+
+    fn wc_graph(n: usize, seed: u64) -> DiGraph {
+        imin_diffusion::ProbabilityModel::WeightedCascade
+            .apply(&generators::preferential_attachment(n, 3, true, 1.0, seed).unwrap())
+            .unwrap()
+    }
+
+    fn primed(theta: usize) -> SharedEngine {
+        let engine = SharedEngine::new().with_threads(1);
+        engine.load_graph(wc_graph(300, 11), "pa-300/WC".into());
+        engine.ensure_pool(theta, 5).unwrap();
+        engine
+    }
+
+    fn query(seed: usize, budget: usize) -> Query {
+        Query {
+            seeds: vec![VertexId::new(seed)],
+            budget,
+            algorithm: QueryAlgorithm::AdvancedGreedy,
+        }
+    }
+
+    #[test]
+    fn lifecycle_errors_match_the_single_threaded_engine() {
+        let engine = SharedEngine::new();
+        assert!(matches!(
+            engine.query(&query(0, 1)),
+            Err(EngineError::NoGraph)
+        ));
+        assert!(matches!(
+            engine.ensure_pool(10, 1),
+            Err(EngineError::NoGraph)
+        ));
+        assert!(matches!(
+            engine.save_snapshot("/tmp/never.iminsnap"),
+            Err(EngineError::NoGraph)
+        ));
+        engine.load_graph(wc_graph(60, 1), "g".into());
+        assert!(matches!(
+            engine.query(&query(0, 1)),
+            Err(EngineError::NoPool)
+        ));
+        assert!(engine.ensure_pool(0, 1).is_err(), "zero theta rejected");
+    }
+
+    #[test]
+    fn answers_match_the_single_threaded_engine_bit_for_bit() {
+        let shared = primed(200);
+        let mut classic = Engine::new().with_threads(1);
+        classic.load_graph(wc_graph(300, 11), "pa-300/WC".into());
+        classic.build_pool(200, 5).unwrap();
+        for q in [query(0, 3), query(7, 2), query(12, 4)] {
+            let a = shared.query(&q).unwrap();
+            let b = classic.query(&q).unwrap();
+            assert_eq!(a.blockers, b.blockers);
+            assert_eq!(a.estimated_spread, b.estimated_spread);
+        }
+    }
+
+    #[test]
+    fn identical_concurrent_queries_compute_once() {
+        let engine = Arc::new(primed(400));
+        let clients = 8usize;
+        let barrier = Arc::new(Barrier::new(clients));
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                engine.query(&query(1, 4)).unwrap()
+            }));
+        }
+        let answers: Vec<QueryResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for answer in &answers[1..] {
+            assert_eq!(answer.blockers, answers[0].blockers);
+            assert_eq!(answer.estimated_spread, answers[0].estimated_spread);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, clients as u64);
+        assert_eq!(stats.computed, 1, "exactly one pool consultation");
+        assert_eq!(
+            stats.cache_hits + stats.coalesced,
+            clients as u64 - 1,
+            "everyone else coalesced or hit the cache: {stats:?}"
+        );
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.inflight, 0, "gauge returns to zero");
+    }
+
+    #[test]
+    fn admission_control_rejects_distinct_queries_over_budget() {
+        // Budget 1 and a deliberately heavy query: the leader computes
+        // while we try to slip a distinct query past it.
+        let engine = Arc::new(SharedEngine::new().with_threads(1).with_max_inflight(1));
+        engine.load_graph(wc_graph(2_000, 3), "pa-2000/WC".into());
+        engine.ensure_pool(2_000, 9).unwrap();
+        let leader = {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || engine.query(&query(0, 6)).unwrap())
+        };
+        // Wait until the leader is definitely computing.
+        let deadline = Instant::now() + Duration::from_secs(60);
+        while engine.stats().inflight == 0 {
+            assert!(Instant::now() < deadline, "leader never started computing");
+            std::thread::yield_now();
+        }
+        let err = engine.query(&query(1, 2)).unwrap_err();
+        match err {
+            EngineError::Busy { retry_after_ms } => assert!(retry_after_ms >= 1),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(engine.stats().rejected, 1);
+        leader.join().unwrap();
+        // The budget frees up and the same query now succeeds.
+        assert!(engine.query(&query(1, 2)).is_ok());
+    }
+
+    #[test]
+    fn pool_swaps_invalidate_and_fence_the_cache() {
+        let engine = primed(200);
+        let q = query(2, 3);
+        let first = engine.query(&q).unwrap();
+        assert_eq!(engine.cache_entries(), 1);
+        // Matching POOL keeps the cache; a reseeded POOL clears it.
+        let (_, action) = engine.ensure_pool(200, 5).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        assert!(engine.query(&q).unwrap().from_cache);
+        let (_, action) = engine.ensure_pool(200, 6).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(engine.cache_entries(), 0);
+        let second = engine.query(&q).unwrap();
+        assert!(!second.from_cache);
+        // Growing extends in place, bit-identical to a fresh build.
+        let (info, action) = engine.ensure_pool(350, 6).unwrap();
+        assert_eq!(action, PoolAction::Extended);
+        assert_eq!(info.theta, 350);
+        let _ = first;
+    }
+
+    #[test]
+    fn save_and_restore_round_trip_concurrently_safe() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-shared-roundtrip-{}.iminsnap",
+            std::process::id()
+        ));
+        let engine = primed(150);
+        let q = query(4, 2);
+        let before = engine.query(&q).unwrap();
+        engine.save_snapshot(&path).unwrap();
+        let warm = SharedEngine::new().with_threads(1);
+        let info = warm.restore_snapshot(&path).unwrap();
+        assert_eq!(info.theta, 150);
+        let after = warm.query(&q).unwrap();
+        assert!(!after.from_cache);
+        assert_eq!(before.blockers, after.blockers);
+        assert_eq!(before.estimated_spread, after.estimated_spread);
+        assert_eq!(warm.stats().snapshot_restores, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_engine_adopts_state_and_counters() {
+        let mut engine = Engine::new().with_threads(1).with_cache_capacity(17);
+        engine.load_graph(wc_graph(120, 2), "pa-120/WC".into());
+        engine.build_pool(80, 3).unwrap();
+        let q = query(0, 2);
+        engine.query(&q).unwrap();
+        engine.query(&q).unwrap(); // cache hit
+        let shared = SharedEngine::from_engine(engine);
+        let stats = shared.stats();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.pool_builds, 1);
+        let view = shared.view();
+        assert_eq!(view.graph_label, "pa-120/WC");
+        assert_eq!(view.pool_info.unwrap().theta, 80);
+        // Entries were dropped but capacity carried over; answers still work.
+        assert_eq!(shared.cache_entries(), 0);
+        let again = shared.query(&q).unwrap();
+        assert!(!again.from_cache);
+    }
+
+    #[test]
+    fn poisoned_internal_locks_recover() {
+        let engine = Arc::new(primed(100));
+        let q = query(3, 2);
+        engine.query(&q).unwrap();
+        // Poison the cache mutex: panic while holding its guard.
+        {
+            let engine = Arc::clone(&engine);
+            let _ = std::thread::spawn(move || {
+                let _guard = engine.cache.lock().unwrap();
+                panic!("poison the cache lock");
+            })
+            .join();
+        }
+        assert!(engine.cache.is_poisoned());
+        // Queries keep working: hits, misses, and new inserts.
+        assert!(engine.query(&q).unwrap().from_cache);
+        assert!(!engine.query(&query(9, 2)).unwrap().from_cache);
+        // State transitions recover the RwLock the same way.
+        {
+            let engine = Arc::clone(&engine);
+            let _ = std::thread::spawn(move || {
+                let _guard = engine.state.write().unwrap();
+                panic!("poison the state lock");
+            })
+            .join();
+        }
+        engine.load_graph(wc_graph(80, 9), "recovered".into());
+        assert_eq!(engine.view().graph_label, "recovered");
+    }
+}

@@ -1,0 +1,177 @@
+//! Property tests for the LRU result cache — the one shared structure
+//! every concurrent query path touches.
+//!
+//! Sequentially, [`LruCache`] must agree with an executable specification
+//! (a naive tick-stamped map) on every observable: hit/miss answers,
+//! length, and which keys survive eviction. Under concurrent access
+//! (the cache lives behind a mutex in `SharedEngine`, so threads
+//! interleave at operation granularity) the integrity properties must
+//! hold at every instant: capacity is never exceeded and a hit never
+//! returns a value written for a different key.
+
+use imin_engine::LruCache;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// One cache operation, as generated data.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Get(u32),
+    Insert(u32, u64),
+}
+
+/// Executable specification: exactly the documented LRU semantics, written
+/// as naively as possible (linear scans, explicit ticks).
+struct SpecCache {
+    capacity: usize,
+    tick: u64,
+    entries: Vec<(u32, u64, u64)>, // (key, last-used tick, value)
+}
+
+impl SpecCache {
+    fn new(capacity: usize) -> Self {
+        SpecCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    fn get(&mut self, key: u32) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.iter_mut().find(|e| e.0 == key).map(|e| {
+            e.1 = tick;
+            e.2
+        })
+    }
+
+    fn insert(&mut self, key: u32, value: u64) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity && !self.entries.iter().any(|e| e.0 == key) {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.1)
+                .map(|(i, _)| i)
+                .expect("full cache has entries");
+            self.entries.remove(oldest);
+        }
+        match self.entries.iter_mut().find(|e| e.0 == key) {
+            Some(e) => *e = (key, self.tick, value),
+            None => self.entries.push((key, self.tick, value)),
+        }
+    }
+
+    fn peek(&self, key: u32) -> Option<u64> {
+        self.entries.iter().find(|e| e.0 == key).map(|e| e.2)
+    }
+}
+
+/// A generated workload: capacity, key universe size and an op sequence.
+fn workload() -> impl Strategy<Value = (usize, Vec<(u8, u32, u64)>)> {
+    (1usize..=8).prop_flat_map(|capacity| {
+        (
+            Just(capacity),
+            // Keys drawn from ~2× capacity so evictions are frequent.
+            collection::vec(
+                (0u8..2, 0u32..(capacity as u32 * 2 + 2), 0u64..1_000),
+                1..=120,
+            ),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lru_matches_the_executable_specification((capacity, raw_ops) in workload()) {
+        let universe = capacity as u32 * 2 + 2;
+        let mut cache: LruCache<u32, u64> = LruCache::new(capacity);
+        let mut spec = SpecCache::new(capacity);
+        for (kind, key, value) in raw_ops {
+            let op = if kind == 0 { Op::Get(key) } else { Op::Insert(key, value) };
+            match op {
+                Op::Get(k) => {
+                    prop_assert_eq!(cache.get(&k).copied(), spec.get(k), "get({}) diverged", k);
+                }
+                Op::Insert(k, v) => {
+                    cache.insert(k, v);
+                    spec.insert(k, v);
+                }
+            }
+            // Observables agree after every single step: size, capacity
+            // bound, and the exact surviving key set (peek does not perturb
+            // recency on either side).
+            prop_assert_eq!(cache.len(), spec.entries.len());
+            prop_assert!(cache.len() <= capacity, "capacity exceeded");
+            for k in 0..universe {
+                prop_assert_eq!(
+                    cache.peek(&k).copied(),
+                    spec.peek(k),
+                    "eviction order diverged at key {}",
+                    k
+                );
+            }
+        }
+    }
+}
+
+/// The per-key value invariant the concurrent test checks: any value ever
+/// stored under `k` is `stamp(k)`, so a cross-key mixup is detectable at
+/// every read.
+fn stamp(key: u32) -> u64 {
+    key as u64 * 31 + 7
+}
+
+#[test]
+fn concurrent_access_never_exceeds_capacity_or_crosses_keys() {
+    const THREADS: usize = 8;
+    const OPS_PER_THREAD: usize = 4_000;
+    const CAPACITY: usize = 16;
+    const UNIVERSE: u32 = 48;
+
+    let cache: Arc<Mutex<LruCache<u32, u64>>> = Arc::new(Mutex::new(LruCache::new(CAPACITY)));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xCAC4E ^ (t as u64) << 17);
+                let mut hits = 0usize;
+                for _ in 0..OPS_PER_THREAD {
+                    let key = rng.gen_range(0u32..UNIVERSE);
+                    let mut guard = cache.lock().expect("cache lock");
+                    if rng.gen_bool(0.5) {
+                        guard.insert(key, stamp(key));
+                    } else if let Some(&value) = guard.get(&key) {
+                        // The integrity property: a hit never returns a
+                        // value written for a different canonicalised key.
+                        assert_eq!(value, stamp(key), "cross-key value leak");
+                        hits += 1;
+                    }
+                    // The capacity property holds at every instant, not
+                    // just at the end.
+                    assert!(guard.len() <= CAPACITY, "capacity exceeded mid-run");
+                }
+                hits
+            })
+        })
+        .collect();
+    let total_hits: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(
+        total_hits > 0,
+        "the workload must actually exercise the hit path"
+    );
+
+    let final_cache = cache.lock().unwrap();
+    assert!(final_cache.len() <= CAPACITY);
+    for key in 0..UNIVERSE {
+        if let Some(&value) = final_cache.peek(&key) {
+            assert_eq!(value, stamp(key), "cross-key value leak at rest");
+        }
+    }
+}

@@ -1,26 +1,25 @@
-//! Snapshot protocol round-trips: a "restarted" engine (a fresh `Engine`
-//! behind the same `answer_line` state machine the TCP server and
-//! `imin-cli local` use) must answer queries byte-identically after
-//! `RESTORE`, `POOL` must be idempotent/incremental, and every snapshot
-//! failure mode must come back as a one-line `ERR …`, never a panic or a
-//! dropped connection.
+//! Snapshot protocol round-trips: a "restarted" engine (a fresh
+//! `SharedEngine` behind the same `answer_line` state machine the TCP
+//! server and `imin-cli local` use) must answer queries byte-identically
+//! after `RESTORE`, `POOL` must be idempotent/incremental, and every
+//! snapshot failure mode must come back as a one-line `ERR …`, never a
+//! panic or a dropped connection.
 
 use imin_engine::protocol::payload_field;
-use imin_engine::{answer_line, Engine};
+use imin_engine::{answer_line, SharedEngine};
 use std::path::PathBuf;
-use std::sync::Mutex;
 
-fn engine() -> Mutex<Engine> {
-    Mutex::new(Engine::new().with_threads(2))
+fn engine() -> SharedEngine {
+    SharedEngine::new().with_threads(2)
 }
 
-fn ok(line: &str, engine: &Mutex<Engine>) -> String {
+fn ok(line: &str, engine: &SharedEngine) -> String {
     let (reply, _) = answer_line(line, engine);
     assert!(reply.starts_with("OK"), "'{line}' failed: {reply}");
     reply
 }
 
-fn err(line: &str, engine: &Mutex<Engine>) -> String {
+fn err(line: &str, engine: &SharedEngine) -> String {
     let (reply, quit) = answer_line(line, engine);
     assert!(reply.starts_with("ERR"), "'{line}' should fail: {reply}");
     assert!(!quit, "errors must not drop the connection");
