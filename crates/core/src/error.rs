@@ -66,6 +66,14 @@ pub enum IminError {
         /// Edge count of the graph the pool was built from.
         pool_edges: usize,
     },
+    /// A pool held in a compressed or memory-mapped arena was asked to grow
+    /// in place; only the heap-resident raw write path supports
+    /// [`crate::SamplePool::extend_to`] — callers rebuild (or rebuild
+    /// compressed) instead.
+    PoolArenaImmutable {
+        /// Arena kind label (`"compressed"`, `"mmap-raw"`, …).
+        arena: &'static str,
+    },
     /// The exhaustive exact search was asked to enumerate more combinations
     /// than its configured limit.
     SearchSpaceTooLarge {
@@ -131,6 +139,10 @@ impl fmt::Display for IminError {
                 "the sample pool was built from a graph with {pool_vertices} vertices / \
                  {pool_edges} edges but was queried with a graph of {graph_vertices} vertices / \
                  {graph_edges} edges"
+            ),
+            IminError::PoolArenaImmutable { arena } => write!(
+                f,
+                "a pool stored in a {arena} arena cannot grow in place; rebuild it instead"
             ),
             IminError::SearchSpaceTooLarge {
                 candidates,
@@ -211,6 +223,10 @@ mod tests {
             limit: 1_000_000,
         };
         assert!(e.to_string().contains("exceeds"));
+        let e = IminError::PoolArenaImmutable {
+            arena: "compressed",
+        };
+        assert!(e.to_string().contains("cannot grow in place"));
         let e = IminError::PoolGraphMismatch {
             graph_vertices: 5,
             graph_edges: 7,

@@ -74,16 +74,21 @@
 //! assert!(result.blockers.len() <= 5);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the mmap module scopes an `allow` around the
+// two audited unsafe operations of the zero-copy snapshot reader; every
+// other module stays safe-only.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advanced_greedy;
+pub mod arena;
 pub mod baseline_greedy;
 pub mod decrease;
 pub mod error;
 pub mod exact_blocker;
 pub mod greedy_replace;
 pub mod heuristics;
+pub mod mmap;
 pub mod pool;
 pub mod problem;
 pub mod request;
@@ -94,6 +99,7 @@ pub mod solver;
 pub mod triggering;
 pub mod types;
 
+pub use arena::ArenaKind;
 pub use error::IminError;
 pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};

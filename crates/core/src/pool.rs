@@ -24,6 +24,18 @@
 //!   re-rooting + dominator trees, which is what makes a resident engine
 //!   answer follow-up queries orders of magnitude faster than a cold run.
 //!
+//! ## Storage backends
+//!
+//! Live-edge storage goes through a `PoolArena`: the
+//! sampling write path fills one consolidated raw-u32 CSR (two allocations
+//! for the whole pool), [`SamplePool::compress`] /
+//! [`SamplePool::build_compressed_with_threads`] re-encode it as
+//! delta-varint or per-sample bitset blobs at a fraction of the bytes, and
+//! [`crate::snapshot::map_snapshot`] serves either layout zero-copy out of
+//! a mapped snapshot file. Queries are **byte-identical across every
+//! backend**: decoding reproduces the exact stored adjacency order, and the
+//! estimator's integer accumulation never observes the layout.
+//!
 //! ## Determinism across thread counts
 //!
 //! The classic estimator derives one RNG stream per worker thread, so its
@@ -35,7 +47,12 @@
 //! every thread count. (The classic path keeps `f64` accumulators to remain
 //! bit-compatible with its parity references.)
 
+use crate::arena::{
+    encode_sample, ArenaBacking, ArenaKind, Blob, CompressedArena, PoolArena, RawArena, SampleView,
+    Words,
+};
 use crate::decrease::DecreaseEstimate;
+use crate::snapshot::SnapshotError;
 use crate::types::{BlockerSelection, SelectionStats};
 use crate::{IminError, Result};
 use imin_diffusion::live_edge::indexed_sample_seed;
@@ -43,6 +60,7 @@ use imin_domtree::DomTreeWorkspace;
 use imin_graph::{DiGraph, VertexId, THRESHOLD_ALWAYS};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
+use std::borrow::Cow;
 use std::ops::Range;
 use std::time::Instant;
 
@@ -51,61 +69,18 @@ const UNMAPPED: u32 = u32::MAX;
 /// standing in for the unified seed of §V.
 const VIRTUAL_ROOT: u32 = u32::MAX;
 
-/// One live-edge realisation of the whole graph in CSR form: the surviving
-/// out-edges of vertex `u` are `targets[offsets[u] .. offsets[u + 1]]`.
-/// Crate-visible so [`crate::snapshot`] can write/read the arenas as raw
-/// slices.
-#[derive(Clone, Debug, Default)]
-pub(crate) struct SampleAdjacency {
-    pub(crate) offsets: Vec<u32>,
-    pub(crate) targets: Vec<u32>,
-}
-
-impl SampleAdjacency {
-    #[inline]
-    fn neighbors(&self, u: u32) -> &[u32] {
-        let lo = self.offsets[u as usize] as usize;
-        let hi = self.offsets[u as usize + 1] as usize;
-        &self.targets[lo..hi]
-    }
-
-    /// Draws realisation `sample_idx` of the pool `(pool_seed, θ)` into this
-    /// buffer. Coin semantics are identical to the rooted IC sampler:
-    /// deterministic edges (threshold 0 / [`THRESHOLD_ALWAYS`]) never touch
-    /// the RNG, every probabilistic edge costs one `u64` compare.
-    fn fill(&mut self, graph: &DiGraph, pool_seed: u64, sample_idx: u64) {
-        let n = graph.num_vertices();
-        let mut rng = SmallRng::seed_from_u64(indexed_sample_seed(pool_seed, sample_idx));
-        self.offsets.clear();
-        self.offsets.reserve(n + 1);
-        self.offsets.push(0);
-        self.targets.clear();
-        for u in graph.vertices() {
-            let targets = graph.out_neighbors(u);
-            let thresholds = graph.out_coin_thresholds(u);
-            for (&t, &threshold) in targets.iter().zip(thresholds) {
-                let live = threshold == THRESHOLD_ALWAYS
-                    || (threshold != 0 && (rng.next_u64() >> 11) < threshold);
-                if live {
-                    self.targets.push(t);
-                }
-            }
-            self.offsets.push(self.targets.len() as u32);
-        }
-    }
-}
-
 /// A resident pool of θ live-edge realisations of one graph.
 ///
 /// Build it once per `(graph, θ, seed)` and answer any number of
 /// `(seeds, blocked, budget)` questions against it; the pool never changes
-/// after construction, so it can be shared immutably across query workers.
+/// after construction (except in-place θ-growth of the raw write path), so
+/// it can be shared immutably across query workers.
 #[derive(Clone, Debug)]
 pub struct SamplePool {
     num_vertices: usize,
     num_graph_edges: usize,
     pool_seed: u64,
-    samples: Vec<SampleAdjacency>,
+    arena: PoolArena,
 }
 
 /// Splits `0..total` into at most `workers` contiguous near-equal ranges
@@ -125,40 +100,134 @@ pub fn shard_ranges(total: usize, workers: usize) -> impl Iterator<Item = Range<
     })
 }
 
-/// Draws the realisations `first_index..first_index + samples.len()` of the
-/// pool `(graph, seed)` into `samples`, sharding contiguous index ranges
-/// across up to `threads` workers. Each sample owns its RNG stream, so the
-/// result is bit-identical for every `threads` value. Shared by the initial
-/// build and [`SamplePool::extend_to`].
-fn fill_samples(
+/// Draws realisation `sample_idx` of the pool `(pool_seed, θ)`: local
+/// offsets into `offsets` (exactly `n + 1` entries), live targets appended
+/// to `targets`. Coin semantics are identical to the rooted IC sampler:
+/// deterministic edges (threshold 0 / [`THRESHOLD_ALWAYS`]) never touch the
+/// RNG, every probabilistic edge costs one `u64` compare.
+fn fill_sample(
+    graph: &DiGraph,
+    pool_seed: u64,
+    sample_idx: u64,
+    offsets: &mut [u32],
+    targets: &mut Vec<u32>,
+) {
+    let mut rng = SmallRng::seed_from_u64(indexed_sample_seed(pool_seed, sample_idx));
+    let base = targets.len();
+    offsets[0] = 0;
+    for (u, slot) in graph.vertices().zip(offsets[1..].iter_mut()) {
+        let out = graph.out_neighbors(u);
+        let thresholds = graph.out_coin_thresholds(u);
+        for (&t, &threshold) in out.iter().zip(thresholds) {
+            let live = threshold == THRESHOLD_ALWAYS
+                || (threshold != 0 && (rng.next_u64() >> 11) < threshold);
+            if live {
+                targets.push(t);
+            }
+        }
+        *slot = (targets.len() - base) as u32;
+    }
+}
+
+/// Draws `count` consecutive realisations starting at `first_index` into
+/// `offsets_region` (`count × (n + 1)` words), sharded across up to
+/// `threads` workers. Returns each shard's concatenated targets in shard
+/// order; each sample owns its RNG stream, so the result is bit-identical
+/// for every `threads` value. Shared by the initial build and
+/// [`SamplePool::extend_to`].
+fn fill_raw_region(
     graph: &DiGraph,
     seed: u64,
-    samples: &mut [SampleAdjacency],
     first_index: usize,
+    offsets_region: &mut [u32],
     threads: usize,
-) {
-    let total = samples.len();
-    let threads = threads.max(1).min(total.max(1));
+) -> Vec<Vec<u32>> {
+    let stride = graph.num_vertices() + 1;
+    let count = offsets_region.len() / stride;
+    let threads = threads.max(1).min(count.max(1));
     if threads <= 1 {
-        for (i, sample) in samples.iter_mut().enumerate() {
-            sample.fill(graph, seed, (first_index + i) as u64);
+        let mut targets = Vec::new();
+        for (i, chunk) in offsets_region.chunks_exact_mut(stride).enumerate() {
+            fill_sample(graph, seed, (first_index + i) as u64, chunk, &mut targets);
         }
-    } else {
-        crossbeam::scope(|scope| {
-            let mut rest: &mut [SampleAdjacency] = samples;
-            for range in shard_ranges(total, threads) {
-                let (chunk, tail) = rest.split_at_mut(range.len());
-                rest = tail;
-                let chunk_start = first_index + range.start;
-                scope.spawn(move |_| {
-                    for (i, sample) in chunk.iter_mut().enumerate() {
-                        sample.fill(graph, seed, (chunk_start + i) as u64);
-                    }
-                });
-            }
-        })
-        .expect("sample-pool build worker panicked");
+        return vec![targets];
     }
+    let shards: Vec<Range<usize>> = shard_ranges(count, threads).collect();
+    let mut parts: Vec<Vec<u32>> = Vec::new();
+    parts.resize_with(shards.len(), Vec::new);
+    crossbeam::scope(|scope| {
+        let mut rest: &mut [u32] = offsets_region;
+        for (range, part) in shards.iter().zip(parts.iter_mut()) {
+            let (chunk, tail) = rest.split_at_mut(range.len() * stride);
+            rest = tail;
+            let chunk_start = first_index + range.start;
+            scope.spawn(move |_| {
+                for (i, sub) in chunk.chunks_exact_mut(stride).enumerate() {
+                    fill_sample(graph, seed, (chunk_start + i) as u64, sub, part);
+                }
+            });
+        }
+    })
+    .expect("sample-pool build worker panicked");
+    parts
+}
+
+/// Copies the graph's out-CSR (the slot space of bitset-encoded samples).
+pub(crate) fn graph_csr_copy(graph: &DiGraph) -> (Vec<u64>, Vec<u32>) {
+    let mut gr_offsets = Vec::with_capacity(graph.num_vertices() + 1);
+    let mut gr_targets = Vec::with_capacity(graph.num_edges());
+    gr_offsets.push(0u64);
+    for u in graph.vertices() {
+        gr_targets.extend_from_slice(graph.out_neighbors(u));
+        gr_offsets.push(gr_targets.len() as u64);
+    }
+    (gr_offsets, gr_targets)
+}
+
+/// One worker's output while building a compressed arena.
+#[derive(Default)]
+struct CompressedPart {
+    blob: Vec<u8>,
+    modes: Vec<u8>,
+    lens: Vec<u64>,
+    sizes: Vec<u64>,
+    error: Option<String>,
+}
+
+/// Assembles per-shard compressed parts (in shard order) into one arena.
+fn assemble_compressed(
+    parts: Vec<CompressedPart>,
+    gr_offsets: Vec<u64>,
+    gr_targets: Vec<u32>,
+) -> std::result::Result<CompressedArena, String> {
+    let theta: usize = parts.iter().map(|p| p.modes.len()).sum();
+    let total_bytes: usize = parts.iter().map(|p| p.blob.len()).sum();
+    let mut lens = Vec::with_capacity(theta);
+    let mut modes = Vec::with_capacity(theta);
+    let mut starts = Vec::with_capacity(theta + 1);
+    let mut data = Vec::with_capacity(total_bytes);
+    starts.push(0u64);
+    let mut acc = 0u64;
+    for part in parts {
+        if let Some(error) = part.error {
+            return Err(error);
+        }
+        lens.extend_from_slice(&part.lens);
+        modes.extend_from_slice(&part.modes);
+        for &sz in &part.sizes {
+            acc += sz;
+            starts.push(acc);
+        }
+        data.extend_from_slice(&part.blob);
+    }
+    Ok(CompressedArena {
+        lens,
+        modes,
+        starts,
+        data: Blob::Owned(data),
+        gr_offsets,
+        gr_targets,
+    })
 }
 
 impl SamplePool {
@@ -193,13 +262,174 @@ impl SamplePool {
         if theta == 0 {
             return Err(IminError::ZeroSamples);
         }
-        let mut samples = vec![SampleAdjacency::default(); theta];
-        fill_samples(graph, seed, &mut samples, 0, threads);
+        let n = graph.num_vertices();
+        let stride = n + 1;
+        let mut offsets = vec![0u32; theta * stride];
+        let parts = fill_raw_region(graph, seed, 0, &mut offsets, threads);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let mut targets = Vec::with_capacity(total);
+        for part in parts {
+            targets.extend_from_slice(&part);
+        }
+        let mut target_start = Vec::with_capacity(theta + 1);
+        target_start.push(0u64);
+        let mut acc = 0u64;
+        for i in 0..theta {
+            acc += u64::from(offsets[(i + 1) * stride - 1]);
+            target_start.push(acc);
+        }
+        let arena = RawArena {
+            stride,
+            target_start,
+            offsets: Words::Owned(offsets),
+            targets: Words::Owned(targets),
+        };
         Ok(SamplePool {
-            num_vertices: graph.num_vertices(),
+            num_vertices: n,
             num_graph_edges: graph.num_edges(),
             pool_seed: seed,
-            samples,
+            arena: PoolArena::raw(n, theta, arena),
+        })
+    }
+
+    /// Materialises a pool directly in the compressed arena layout, without
+    /// ever holding more than one worker's raw realisation at a time — the
+    /// peak-memory-friendly build for graphs whose raw pool would not fit.
+    ///
+    /// Bit-identical in content to [`SamplePool::build_with_threads`]
+    /// followed by [`SamplePool::compress`]: each worker draws a sample into
+    /// private scratch and encodes it immediately.
+    ///
+    /// # Errors
+    /// Returns [`IminError::ZeroSamples`] if `theta` is zero.
+    pub fn build_compressed_with_threads(
+        graph: &DiGraph,
+        theta: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Result<Self> {
+        if theta == 0 {
+            return Err(IminError::ZeroSamples);
+        }
+        let n = graph.num_vertices();
+        let (gr_offsets, gr_targets) = graph_csr_copy(graph);
+        let threads = threads.max(1).min(theta.max(1));
+        let shards: Vec<Range<usize>> = shard_ranges(theta, threads).collect();
+        let mut parts: Vec<CompressedPart> = Vec::new();
+        parts.resize_with(shards.len(), CompressedPart::default);
+        let encode_range = |range: &Range<usize>, part: &mut CompressedPart| {
+            let mut offsets = vec![0u32; n + 1];
+            let mut targets: Vec<u32> = Vec::new();
+            for idx in range.clone() {
+                targets.clear();
+                fill_sample(graph, seed, idx as u64, &mut offsets, &mut targets);
+                match encode_sample(&offsets, &targets, &gr_offsets, &gr_targets, &mut part.blob) {
+                    Ok((mode, sz)) => {
+                        part.modes.push(mode);
+                        part.lens.push(targets.len() as u64);
+                        part.sizes.push(sz as u64);
+                    }
+                    Err(reason) => {
+                        part.error = Some(format!("sample {idx}: {reason}"));
+                        return;
+                    }
+                }
+            }
+        };
+        if threads <= 1 {
+            encode_range(&shards[0], &mut parts[0]);
+        } else {
+            crossbeam::scope(|scope| {
+                for (range, part) in shards.iter().zip(parts.iter_mut()) {
+                    scope.spawn(|_| encode_range(range, part));
+                }
+            })
+            .expect("compressed-pool build worker panicked");
+        }
+        let arena = assemble_compressed(parts, gr_offsets, gr_targets)
+            .map_err(|reason| IminError::Snapshot(SnapshotError::Corrupt { reason }))?;
+        Ok(SamplePool {
+            num_vertices: n,
+            num_graph_edges: graph.num_edges(),
+            pool_seed: seed,
+            arena: PoolArena::compressed(n, theta, arena),
+        })
+    }
+
+    /// Re-encodes this pool into the compressed arena layout (delta-varint
+    /// or per-sample bitset, whichever is smaller per realisation). The
+    /// result answers every query **byte-identically** — compression is
+    /// lossless and preserves the stored adjacency order — so a resident
+    /// engine can swap arenas without invalidating cached answers.
+    ///
+    /// # Errors
+    /// Returns [`IminError::PoolGraphMismatch`] when `graph` is not the
+    /// graph this pool was drawn from, and a snapshot-corruption error when
+    /// a (restored) sample turns out not to be a sub-realisation of
+    /// `graph` at all.
+    pub fn compress(&self, graph: &DiGraph, threads: usize) -> Result<SamplePool> {
+        self.ensure_matches(graph)?;
+        let n = self.num_vertices;
+        let (gr_offsets, gr_targets) = graph_csr_copy(graph);
+        let theta = self.theta();
+        let threads = threads.max(1).min(theta.max(1));
+        let shards: Vec<Range<usize>> = shard_ranges(theta, threads).collect();
+        let mut parts: Vec<CompressedPart> = Vec::new();
+        parts.resize_with(shards.len(), CompressedPart::default);
+        let encode_range = |range: &Range<usize>, part: &mut CompressedPart| {
+            let mut scratch_offsets: Vec<u32> = Vec::new();
+            let mut scratch_targets: Vec<u32> = Vec::new();
+            for idx in range.clone() {
+                let view = self.arena.view(idx);
+                let (encoded, live) = match view {
+                    SampleView::Csr { offsets, targets } => (
+                        encode_sample(offsets, targets, &gr_offsets, &gr_targets, &mut part.blob),
+                        targets.len() as u64,
+                    ),
+                    other => {
+                        other.decode_into(n, &mut scratch_offsets, &mut scratch_targets);
+                        (
+                            encode_sample(
+                                &scratch_offsets,
+                                &scratch_targets,
+                                &gr_offsets,
+                                &gr_targets,
+                                &mut part.blob,
+                            ),
+                            scratch_targets.len() as u64,
+                        )
+                    }
+                };
+                match encoded {
+                    Ok((mode, sz)) => {
+                        part.modes.push(mode);
+                        part.lens.push(live);
+                        part.sizes.push(sz as u64);
+                    }
+                    Err(reason) => {
+                        part.error = Some(format!("sample {idx}: {reason}"));
+                        return;
+                    }
+                }
+            }
+        };
+        if threads <= 1 {
+            encode_range(&shards[0], &mut parts[0]);
+        } else {
+            crossbeam::scope(|scope| {
+                for (range, part) in shards.iter().zip(parts.iter_mut()) {
+                    scope.spawn(|_| encode_range(range, part));
+                }
+            })
+            .expect("pool-compression worker panicked");
+        }
+        let arena = assemble_compressed(parts, gr_offsets, gr_targets)
+            .map_err(|reason| IminError::Snapshot(SnapshotError::Corrupt { reason }))?;
+        Ok(SamplePool {
+            num_vertices: self.num_vertices,
+            num_graph_edges: self.num_graph_edges,
+            pool_seed: self.pool_seed,
+            arena: PoolArena::compressed(n, theta, arena),
         })
     }
 
@@ -215,7 +445,10 @@ impl SamplePool {
     ///
     /// # Errors
     /// Returns [`IminError::PoolGraphMismatch`] when `graph` does not have
-    /// the shape of the graph the pool was built from.
+    /// the shape of the graph the pool was built from, and
+    /// [`IminError::PoolArenaImmutable`] when the arena is compressed or
+    /// mapped — only the heap-resident raw write path can grow in place
+    /// (callers rebuild instead).
     pub fn extend_to(
         &mut self,
         graph: &DiGraph,
@@ -223,48 +456,72 @@ impl SamplePool {
         threads: usize,
     ) -> Result<usize> {
         self.ensure_matches(graph)?;
-        let old_theta = self.samples.len();
+        let old_theta = self.theta();
         if new_theta <= old_theta {
             return Ok(0);
         }
-        self.samples
-            .resize_with(new_theta, SampleAdjacency::default);
-        fill_samples(
+        if !self.arena.is_extendable() {
+            return Err(IminError::PoolArenaImmutable {
+                arena: self.arena.kind().as_str(),
+            });
+        }
+        let stride = self.num_vertices + 1;
+        let ArenaBacking::Raw(raw) = &mut self.arena.backing else {
+            unreachable!("is_extendable implies a raw backing");
+        };
+        let (Words::Owned(offsets), Words::Owned(targets)) = (&mut raw.offsets, &mut raw.targets)
+        else {
+            unreachable!("is_extendable implies owned words");
+        };
+        offsets.resize(new_theta * stride, 0);
+        let parts = fill_raw_region(
             graph,
             self.pool_seed,
-            &mut self.samples[old_theta..],
             old_theta,
+            &mut offsets[old_theta * stride..],
             threads,
         );
+        let added: usize = parts.iter().map(|p| p.len()).sum();
+        targets.reserve(added);
+        for part in parts {
+            targets.extend_from_slice(&part);
+        }
+        let mut acc = raw.target_start[old_theta];
+        for i in old_theta..new_theta {
+            acc += u64::from(offsets[(i + 1) * stride - 1]);
+            raw.target_start.push(acc);
+        }
+        self.arena.theta = new_theta;
         Ok(new_theta - old_theta)
     }
 
-    /// The stored realisations, for the snapshot writer.
-    pub(crate) fn samples(&self) -> &[SampleAdjacency] {
-        &self.samples
+    /// The live-edge storage, for the snapshot writer and readers.
+    pub(crate) fn arena(&self) -> &PoolArena {
+        &self.arena
     }
 
-    /// Reassembles a pool from deserialised parts. The caller (the snapshot
-    /// reader) is responsible for the arenas actually being the pool
-    /// `(graph, pool_seed, θ)` — integrity is enforced by the snapshot
-    /// checksum and the graph fingerprint, not re-derived here.
-    pub(crate) fn from_restored_parts(
+    /// Reassembles a pool around a deserialised arena. The caller (the
+    /// snapshot reader) is responsible for the arena actually being the
+    /// pool `(graph, pool_seed, θ)` — integrity is enforced by the snapshot
+    /// checksum, the graph fingerprint and structural validation, not
+    /// re-derived here.
+    pub(crate) fn from_arena(
         num_vertices: usize,
         num_graph_edges: usize,
         pool_seed: u64,
-        samples: Vec<SampleAdjacency>,
+        arena: PoolArena,
     ) -> Self {
         SamplePool {
             num_vertices,
             num_graph_edges,
             pool_seed,
-            samples,
+            arena,
         }
     }
 
     /// Number of realisations θ held by the pool.
     pub fn theta(&self) -> usize {
-        self.samples.len()
+        self.arena.theta
     }
 
     /// The base seed the pool was built from.
@@ -280,6 +537,17 @@ impl SamplePool {
     /// Number of edges of the graph the pool was drawn from.
     pub fn num_graph_edges(&self) -> usize {
         self.num_graph_edges
+    }
+
+    /// The storage backend currently holding the realisations.
+    pub fn arena_kind(&self) -> ArenaKind {
+        self.arena.kind()
+    }
+
+    /// Whether [`SamplePool::extend_to`] can grow this pool in place (true
+    /// only for the heap-resident raw write path).
+    pub fn is_extendable(&self) -> bool {
+        self.arena.is_extendable()
     }
 
     /// Checks that `graph` has the shape of the graph this pool was built
@@ -303,25 +571,69 @@ impl SamplePool {
 
     /// Total number of live edges stored across all realisations.
     pub fn total_live_edges(&self) -> usize {
-        self.samples.iter().map(|s| s.targets.len()).sum()
+        self.arena.total_live_edges() as usize
     }
 
-    /// Approximate heap memory held by the pool, in bytes.
+    /// Heap bytes resident for the pool: allocated arena capacity plus the
+    /// directory/table and struct footprint. Mapped arena bytes are *not*
+    /// counted here — see [`SamplePool::mapped_bytes`].
     pub fn memory_bytes(&self) -> usize {
-        self.samples
-            .iter()
-            .map(|s| (s.offsets.capacity() + s.targets.capacity()) * std::mem::size_of::<u32>())
-            .sum()
+        let (owned, _mapped) = self.arena.memory_bytes();
+        owned + std::mem::size_of::<Self>()
+    }
+
+    /// Bytes served directly from a mapped snapshot file (0 for
+    /// heap-resident arenas). These pages live in the page cache, not the
+    /// process heap, and are reclaimable under memory pressure.
+    pub fn mapped_bytes(&self) -> usize {
+        let (_owned, mapped) = self.arena.memory_bytes();
+        mapped
+    }
+
+    /// Bytes this pool would occupy in the heap-resident raw-u32 layout —
+    /// the denominator of [`SamplePool::compression_ratio`].
+    pub fn raw_equivalent_bytes(&self) -> u64 {
+        self.arena.raw_equivalent_bytes()
+    }
+
+    /// Stored arena bytes (heap + mapped) over the raw-equivalent bytes:
+    /// ≈ 1.0 for raw arenas, < 1.0 when compression wins.
+    pub fn compression_ratio(&self) -> f64 {
+        let (owned, mapped) = self.arena.memory_bytes();
+        (owned + mapped) as f64 / self.raw_equivalent_bytes() as f64
     }
 
     /// CSR view `(offsets, targets)` of realisation `idx`, for tests and
-    /// parity checks against the nested-vector reference sampler.
+    /// parity checks against the nested-vector reference sampler. Borrowed
+    /// slices for raw arenas; compressed arenas decode into owned vectors
+    /// (byte-identical content — use [`SamplePool::sample_csr_into`] with
+    /// reused buffers when iterating many samples).
     ///
     /// # Panics
     /// Panics if `idx >= theta`.
-    pub fn sample_csr(&self, idx: usize) -> (&[u32], &[u32]) {
-        let s = &self.samples[idx];
-        (&s.offsets, &s.targets)
+    pub fn sample_csr(&self, idx: usize) -> (Cow<'_, [u32]>, Cow<'_, [u32]>) {
+        match self.arena.view(idx) {
+            SampleView::Csr { offsets, targets } => {
+                (Cow::Borrowed(offsets), Cow::Borrowed(targets))
+            }
+            view => {
+                let mut offsets = Vec::new();
+                let mut targets = Vec::new();
+                view.decode_into(self.num_vertices, &mut offsets, &mut targets);
+                (Cow::Owned(offsets), Cow::Owned(targets))
+            }
+        }
+    }
+
+    /// Decodes realisation `idx` into the caller's buffers (cleared first),
+    /// byte-identical to the raw layout whatever the backend.
+    ///
+    /// # Panics
+    /// Panics if `idx >= theta`.
+    pub fn sample_csr_into(&self, idx: usize, offsets: &mut Vec<u32>, targets: &mut Vec<u32>) {
+        self.arena
+            .view(idx)
+            .decode_into(self.num_vertices, offsets, targets);
     }
 }
 
@@ -381,7 +693,10 @@ struct PoolWorkerScratch {
 
 impl PoolWorkerScratch {
     /// Re-roots every realisation in `range` at the seed set and
-    /// accumulates subtree sizes into `self.delta_sum`.
+    /// accumulates subtree sizes into `self.delta_sum`. Neighbour lists are
+    /// decoded through the pool's arena view — raw slices, varint streams
+    /// and bitset walks all feed the identical BFS, with zero steady-state
+    /// allocation.
     fn accumulate(
         &mut self,
         pool: &SamplePool,
@@ -403,7 +718,7 @@ impl PoolWorkerScratch {
         *reached_sum = 0;
         let only_seeds = 1 + seeds.len();
         for idx in range {
-            let sample = &pool.samples[idx];
+            let view = pool.arena.view(idx);
             cascade.reset(n);
             // Virtual root → every seed (the unified-seed edges of §V, all
             // with probability 1, so no coins are involved).
@@ -418,13 +733,13 @@ impl PoolWorkerScratch {
             while head < cascade.vertices.len() {
                 let u_global = cascade.vertices[head];
                 head += 1;
-                for &t in sample.neighbors(u_global) {
+                view.for_each_live(u_global, |t| {
                     if blocked[t as usize] {
-                        continue;
+                        return;
                     }
                     let t_local = cascade.intern(t);
                     cascade.targets.push(t_local);
-                }
+                });
                 cascade.offsets.push(cascade.targets.len() as u32);
             }
             let reached = cascade.vertices.len();
@@ -781,6 +1096,7 @@ pub fn pooled_greedy_replace_in(
 mod tests {
     use super::*;
     use crate::decrease::{decrease_es_computation, DecreaseConfig};
+    use crate::snapshot::pool_digest;
     use imin_diffusion::live_edge::sample_live_edges_indexed;
     use imin_graph::generators;
 
@@ -812,6 +1128,10 @@ mod tests {
         let g = deterministic_tree();
         assert!(matches!(
             SamplePool::build(&g, 0, 1),
+            Err(IminError::ZeroSamples)
+        ));
+        assert!(matches!(
+            SamplePool::build_compressed_with_threads(&g, 0, 1, 2),
             Err(IminError::ZeroSamples)
         ));
     }
@@ -849,6 +1169,63 @@ mod tests {
                     "sample {i}, vertex {u}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn compressed_pool_is_byte_identical_to_raw() {
+        let g = wc_pa(150, 21);
+        let raw = SamplePool::build_with_threads(&g, 40, 77, 2).unwrap();
+        let compressed = raw.compress(&g, 2).unwrap();
+        assert_eq!(compressed.arena_kind(), ArenaKind::Compressed);
+        assert_eq!(compressed.theta(), raw.theta());
+        assert_eq!(compressed.total_live_edges(), raw.total_live_edges());
+        assert_eq!(pool_digest(&compressed), pool_digest(&raw));
+        for i in 0..raw.theta() {
+            assert_eq!(compressed.sample_csr(i), raw.sample_csr(i), "sample {i}");
+        }
+        // Direct compressed build matches compress-after-build bit for bit.
+        for threads in [1usize, 3] {
+            let direct = SamplePool::build_compressed_with_threads(&g, 40, 77, threads).unwrap();
+            assert_eq!(pool_digest(&direct), pool_digest(&raw), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_weighted_cascade_pools() {
+        let g = wc_pa(2_000, 11);
+        let raw = SamplePool::build_with_threads(&g, 50, 5, 2).unwrap();
+        let compressed = raw.compress(&g, 2).unwrap();
+        let ratio = compressed.compression_ratio();
+        assert!(
+            ratio < 0.5,
+            "weighted-cascade realisations must compress below 0.5×, got {ratio:.3}"
+        );
+        assert!(raw.compression_ratio() >= 0.9, "raw arena ratio is ≈ 1");
+    }
+
+    #[test]
+    fn queries_are_byte_identical_across_arena_kinds_and_threads() {
+        let g = wc_pa(200, 17);
+        let n = g.num_vertices();
+        let raw = SamplePool::build(&g, 300, 23).unwrap();
+        let compressed = raw.compress(&g, 2).unwrap();
+        let forbidden = vec![false; n];
+        let seeds = [vid(0), vid(3)];
+        let mut ws = PoolWorkspace::new();
+        let ag_ref = pooled_advanced_greedy_in(&raw, &seeds, &forbidden, 4, 1, &mut ws).unwrap();
+        let gr_ref = pooled_greedy_replace_in(&raw, &g, &seeds, &forbidden, 4, 1, &mut ws).unwrap();
+        for threads in [1usize, 2, 8] {
+            let ag =
+                pooled_advanced_greedy_in(&compressed, &seeds, &forbidden, 4, threads, &mut ws)
+                    .unwrap();
+            assert_eq!(ag.blockers, ag_ref.blockers, "AG threads={threads}");
+            assert_eq!(ag.estimated_spread, ag_ref.estimated_spread);
+            let gr =
+                pooled_greedy_replace_in(&compressed, &g, &seeds, &forbidden, 4, threads, &mut ws)
+                    .unwrap();
+            assert_eq!(gr.blockers, gr_ref.blockers, "GR threads={threads}");
+            assert_eq!(gr.estimated_spread, gr_ref.estimated_spread);
         }
     }
 
@@ -1032,6 +1409,10 @@ mod tests {
             pooled_greedy_replace_in(&pool, &other, &[vid(0)], &[false; 4], 1, 1, &mut ws),
             Err(IminError::PoolGraphMismatch { .. })
         ));
+        assert!(matches!(
+            pool.compress(&other, 1),
+            Err(IminError::PoolGraphMismatch { .. })
+        ));
     }
 
     #[test]
@@ -1101,14 +1482,50 @@ mod tests {
     }
 
     #[test]
+    fn compressed_pools_cannot_extend_in_place() {
+        let g = wc_pa(60, 4);
+        let mut pool = SamplePool::build(&g, 10, 1)
+            .unwrap()
+            .compress(&g, 1)
+            .unwrap();
+        assert!(!pool.is_extendable());
+        assert_eq!(pool.extend_to(&g, 5, 1).unwrap(), 0, "no-op stays a no-op");
+        assert!(matches!(
+            pool.extend_to(&g, 20, 1),
+            Err(IminError::PoolArenaImmutable { .. })
+        ));
+        assert_eq!(pool.theta(), 10);
+    }
+
+    #[test]
     fn pool_accessors_report_sensible_numbers() {
         let g = deterministic_tree();
         let pool = SamplePool::build(&g, 4, 99).unwrap();
         assert_eq!(pool.theta(), 4);
         assert_eq!(pool.pool_seed(), 99);
         assert_eq!(pool.num_vertices(), 4);
+        assert_eq!(pool.arena_kind(), ArenaKind::Raw);
+        assert!(pool.is_extendable());
+        assert_eq!(pool.mapped_bytes(), 0);
         // All three edges are deterministic, so every realisation keeps them.
         assert_eq!(pool.total_live_edges(), 12);
         assert!(pool.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn memory_bytes_covers_every_stored_word() {
+        let g = wc_pa(300, 8);
+        let pool = SamplePool::build_with_threads(&g, 25, 6, 2).unwrap();
+        // Lower bound: the arenas alone hold θ×(n+1) offsets plus every live
+        // edge as u32, and the θ+1 target-start table as u64. The historical
+        // per-sample accounting missed headers and tables entirely.
+        let floor = 4 * (25 * (g.num_vertices() + 1) + pool.total_live_edges()) + 8 * (25 + 1);
+        assert!(
+            pool.memory_bytes() >= floor,
+            "memory_bytes {} below the arena floor {floor}",
+            pool.memory_bytes()
+        );
+        // And it stays a sane estimate: within 2× of the floor.
+        assert!(pool.memory_bytes() < 2 * floor);
     }
 }

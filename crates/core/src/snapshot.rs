@@ -4,18 +4,19 @@
 //! pooled estimator — tens of seconds at production θ — yet the pool
 //! depends only on `(graph, pool_seed, θ)`. A *snapshot* captures both the
 //! graph and the pool in one checksummed file, so a restarted engine
-//! warm-starts by bulk-loading the arenas instead of resampling, and a CI
-//! run restores a cached pool instead of rebuilding it.
+//! warm-starts by bulk-loading (or memory-mapping) the arenas instead of
+//! resampling, and a CI run restores a cached pool instead of rebuilding
+//! it.
 //!
-//! # File format (version 1)
+//! # File format
 //!
-//! All integers are **little-endian**. The file is a fixed 64-byte header,
-//! a checksummed payload, and an 8-byte checksum trailer:
+//! All integers are **little-endian**. Every version is a fixed 64-byte
+//! header, a checksummed payload, and an 8-byte checksum trailer:
 //!
 //! | offset | size | field |
 //! |--------|------|-------|
 //! | 0      | 8    | magic `b"IMINSNAP"` |
-//! | 8      | 4    | format version (`u32`, currently [`FORMAT_VERSION`]) |
+//! | 8      | 4    | format version (`u32`; this build reads 1 and 2) |
 //! | 12     | 4    | reserved, must be 0 |
 //! | 16     | 8    | graph fingerprint ([`DiGraph::fingerprint`]) |
 //! | 24     | 8    | pool seed (`u64`) |
@@ -24,23 +25,56 @@
 //! | 48     | 8    | number of edges `m` (`u64`) |
 //! | 56     | 8    | graph-label length in bytes (`u64`) |
 //!
-//! The payload follows immediately:
+//! Both versions open the payload identically:
 //!
 //! 1. the graph label (UTF-8, as many bytes as the header announced),
 //! 2. the graph section of [`imin_graph::binfmt`] (out-CSR arenas as raw
-//!    `u32`/`u64` slices),
-//! 3. the pool section: a table of θ per-sample live-edge counts
-//!    (`u64` each), then for every sample its CSR arenas verbatim —
-//!    `offsets` as `(n + 1) × u32` followed by `targets` as `count × u32`.
+//!    `u32`/`u64` slices).
 //!
-//! The trailer is a 64-bit checksum of the payload bytes (a 4-lane
-//! multiply–rotate word hash, boundary-independent and fast enough to keep
-//! restores bandwidth-bound). The header itself is validated field by
-//! field: bad magic, unsupported version, impossible sizes and a file
-//! shorter than the header demands all surface as typed
-//! [`SnapshotError`]s, and the fingerprint recomputed from the
-//! deserialised graph must match the header — a snapshot can never be
-//! silently paired with the wrong graph.
+//! ## Version 1 pool section (legacy, read-only)
+//!
+//! A table of θ per-sample live-edge counts (`u64` each), then for every
+//! sample its CSR arenas verbatim — `offsets` as `(n + 1) × u32` followed
+//! by `targets` as `count × u32`. Still readable; new files are always v2.
+//!
+//! ## Version 2 pool section
+//!
+//! An 8-byte section header — arena kind (`u32`: 1 = raw, 2 = compressed)
+//! plus 4 reserved zero bytes — then one of two layouts. *pad* means zero
+//! bytes up to the next 4096-byte **absolute file offset**, so every bulk
+//! array below starts page-aligned and a memory map can serve it in place:
+//!
+//! | raw (kind 1) | size |
+//! |---|---|
+//! | target-start table | `(θ + 1) × u64` |
+//! | *pad* | 0–4095 |
+//! | consolidated offsets | `θ × (n + 1) × u32` |
+//! | *pad* | 0–4095 |
+//! | consolidated targets | `total_live × u32` |
+//!
+//! | compressed (kind 2) | size |
+//! |---|---|
+//! | live-edge counts | `θ × u64` |
+//! | encoding tags (0 = varint, 1 = bitset) | `θ × u8` |
+//! | blob-start table | `(θ + 1) × u64` |
+//! | *pad* | 0–4095 |
+//! | sample blobs | `blob_start[θ]` bytes |
+//!
+//! The trailer is a 64-bit checksum of the payload bytes **including the
+//! pads** (a 4-lane multiply–rotate word hash, boundary-independent and
+//! fast enough to keep restores bandwidth-bound).
+//!
+//! Two restore paths read v2 files:
+//!
+//! * [`load_snapshot`] — bulk copy into heap arenas, full checksum and
+//!   eager structural validation (and the only reader of v1 files);
+//! * [`map_snapshot`] — maps the file and serves the bulk arrays zero-copy
+//!   out of the page cache. It validates the header, graph fingerprint and
+//!   directory tables eagerly but **skips the payload checksum** (hashing
+//!   the payload would fault in every page, defeating the point);
+//!   per-sample structural validation runs lazily on first touch, and a
+//!   corrupt sample surfaces as a diagnostic panic the serving layer
+//!   converts to a typed internal error.
 //!
 //! Every reader path is hardened: corrupt lengths are cross-checked
 //! against the exact file size *before* any allocation, so truncated,
@@ -48,35 +82,57 @@
 //! or absurd allocations.
 //!
 //! Set the `IMIN_SNAPSHOT_TRACE` environment variable to have
-//! [`load_snapshot`] print a phase breakdown (read+checksum versus
-//! convert+allocate) to stderr — the quickest way to tell a slow disk from
-//! slow memory provisioning when a restore underperforms.
+//! [`load_snapshot`] print a phase breakdown to stderr — the quickest way
+//! to tell a slow disk from slow memory provisioning when a restore
+//! underperforms.
 
-use crate::pool::{SampleAdjacency, SamplePool};
+use crate::arena::{ArenaBacking, Blob, CompressedArena, PoolArena, RawArena, Words, MODE_BITSET};
+use crate::mmap::Mmap;
+use crate::pool::{graph_csr_copy, SamplePool};
 use crate::{IminError, Result};
 use imin_graph::{binfmt, DiGraph};
 use std::fmt;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Magic bytes at offset 0 of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"IMINSNAP";
 
-/// Current snapshot format version. Bump when the layout changes; readers
-/// reject every other version with [`SnapshotError::UnsupportedVersion`].
-pub const FORMAT_VERSION: u32 = 1;
+/// Current snapshot format version (what [`save_snapshot`] writes). Readers
+/// accept 1 and 2; everything else is
+/// [`SnapshotError::UnsupportedVersion`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version the readers still accept.
+pub const OLDEST_READABLE_VERSION: u32 = 1;
 
 /// Fixed byte size of the snapshot header.
 pub const HEADER_BYTES: u64 = 64;
 
+/// Alignment of the v2 bulk arrays (absolute file offsets).
+const PAGE: u64 = 4096;
+
+/// Arena-kind tags of the v2 pool section header.
+const SECTION_RAW: u32 = 1;
+const SECTION_COMPRESSED: u32 = 2;
+
 /// Maximum accepted graph-label length, a sanity bound on header parsing.
 const MAX_LABEL_BYTES: u64 = 65_536;
+
+static ZERO_PAGE: [u8; PAGE as usize] = [0u8; PAGE as usize];
+
+/// Zero bytes needed to advance the absolute offset `abs` to the next page
+/// boundary (0 when already aligned).
+fn pad_len(abs: u64) -> usize {
+    ((PAGE - (abs % PAGE)) % PAGE) as usize
+}
 
 /// Errors produced while writing or reading snapshot files.
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// An underlying I/O failure (open, read, write, create).
+    /// An underlying I/O failure (open, read, write, create, map).
     Io(std::io::Error),
     /// The file is shorter than its own header/section sizes demand (or
     /// longer — trailing garbage is rejected too).
@@ -88,11 +144,11 @@ pub enum SnapshotError {
     },
     /// The file does not start with [`MAGIC`].
     BadMagic,
-    /// The file's format version is not [`FORMAT_VERSION`].
+    /// The file's format version is not one this build reads.
     UnsupportedVersion {
         /// Version stored in the file.
         found: u32,
-        /// Version this build supports.
+        /// Newest version this build supports.
         supported: u32,
     },
     /// The payload checksum does not match the trailer.
@@ -110,7 +166,8 @@ pub enum SnapshotError {
         computed: u64,
     },
     /// A structurally impossible value (zero θ, oversized label, per-sample
-    /// live-edge count exceeding `m`, header/graph-section disagreement, …).
+    /// live-edge count exceeding `m`, header/graph-section disagreement,
+    /// non-monotone directory tables, …).
     Corrupt {
         /// Human-readable description of the inconsistency.
         reason: String,
@@ -130,7 +187,8 @@ impl fmt::Display for SnapshotError {
             }
             SnapshotError::UnsupportedVersion { found, supported } => write!(
                 f,
-                "unsupported snapshot format version {found} (this build reads version {supported})"
+                "unsupported snapshot format version {found} (this build reads versions \
+                 {OLDEST_READABLE_VERSION} through {supported})"
             ),
             SnapshotError::ChecksumMismatch { stored, computed } => write!(
                 f,
@@ -307,6 +365,13 @@ impl<W: Write> ChecksumWriter<W> {
             written: 0,
         }
     }
+
+    /// Writes zero bytes until the **absolute file offset** (header + payload
+    /// written so far) reaches the next page boundary.
+    fn pad_to_page(&mut self) -> std::io::Result<()> {
+        let pad = pad_len(HEADER_BYTES + self.written);
+        self.write_all(&ZERO_PAGE[..pad])
+    }
 }
 
 impl<W: Write> Write for ChecksumWriter<W> {
@@ -322,7 +387,8 @@ impl<W: Write> Write for ChecksumWriter<W> {
     }
 }
 
-/// `Read` adapter that feeds everything it yields into the checksum.
+/// `Read` adapter that feeds everything it yields into the checksum (and
+/// counts it, which is what positions the pad skips).
 struct ChecksumReader<R: Read> {
     inner: R,
     sum: StreamChecksum,
@@ -334,6 +400,19 @@ impl<R: Read> ChecksumReader<R> {
             inner,
             sum: StreamChecksum::new(),
         }
+    }
+
+    /// Absolute file offset of the next unread payload byte.
+    fn abs(&self) -> u64 {
+        HEADER_BYTES + self.sum.total
+    }
+
+    /// Consumes (and checksums) the zero pad up to the next page boundary.
+    fn skip_pad(&mut self) -> std::result::Result<(), SnapshotError> {
+        let pad = pad_len(self.abs());
+        let mut buf = [0u8; PAGE as usize];
+        self.read_exact(&mut buf[..pad])?;
+        Ok(())
     }
 }
 
@@ -375,7 +454,7 @@ fn decode_header(bytes: &[u8; 64]) -> std::result::Result<(SnapshotHeader, u64),
         return Err(SnapshotError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 header bytes"));
-    if version != FORMAT_VERSION {
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(SnapshotError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -418,23 +497,108 @@ fn decode_header(bytes: &[u8; 64]) -> std::result::Result<(SnapshotHeader, u64),
     Ok((header, label_len))
 }
 
-/// Byte size of everything up to and including the per-sample length table,
-/// plus the minimum possible pool arenas (every sample has at least its
-/// `n + 1` offsets) and the trailer. Computed in `u128` so corrupt headers
-/// cannot overflow.
-fn min_file_size(n: u64, m: u64, theta: u64, label_len: u64) -> u128 {
+/// Byte size of the label + graph sections common to both versions.
+/// Computed in `u128` so corrupt headers cannot overflow.
+fn common_prefix_size(n: u64, m: u64, label_len: u64) -> u128 {
     // Saturating throughout: a hostile header must yield "impossibly big",
-    // never an arithmetic panic (n, m and θ can each be u64::MAX here).
-    let (n, m, theta) = (n as u128, m as u128, theta as u128);
+    // never an arithmetic panic (n and m can each be u64::MAX here).
+    let (n, m) = (n as u128, m as u128);
     let graph = 16u128
         .saturating_add((n + 1).saturating_mul(8))
         .saturating_add(m.saturating_mul(12));
     (HEADER_BYTES as u128)
         .saturating_add(label_len as u128)
         .saturating_add(graph)
-        .saturating_add(theta.saturating_mul(8))
-        .saturating_add(theta.saturating_mul((n + 1).saturating_mul(4)))
-        .saturating_add(8)
+}
+
+/// Minimum possible file size for the given header values — enough to bound
+/// θ and n against the actual file size *before* any table allocation. The
+/// v1 bound additionally includes every sample's `n + 1` offsets; the v2
+/// bound only the smallest possible directory (a compressed pool section).
+fn min_file_size(version: u32, n: u64, m: u64, theta: u64, label_len: u64) -> u128 {
+    let theta_u = theta as u128;
+    let base = common_prefix_size(n, m, label_len);
+    let pool = if version == 1 {
+        theta_u
+            .saturating_mul(8)
+            .saturating_add(theta_u.saturating_mul((n as u128 + 1).saturating_mul(4)))
+    } else {
+        // Section header + the smaller (compressed) directory: lens + modes
+        // + starts.
+        8u128
+            .saturating_add(theta_u.saturating_mul(9))
+            .saturating_add((theta_u + 1).saturating_mul(8))
+    };
+    base.saturating_add(pool).saturating_add(8)
+}
+
+// ---------------------------------------------------------------------------
+// Bulk I/O helpers
+// ---------------------------------------------------------------------------
+
+/// Writes a `u64` slice as little-endian bytes, chunked through a stack
+/// buffer so tables of any size stay allocation-free.
+fn write_u64s<W: Write>(w: &mut W, vals: &[u64]) -> std::io::Result<()> {
+    let mut buf = [0u8; 8 * 512];
+    for chunk in vals.chunks(512) {
+        for (i, v) in chunk.iter().enumerate() {
+            buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        w.write_all(&buf[..chunk.len() * 8])?;
+    }
+    Ok(())
+}
+
+/// Reads `len` little-endian `u64`s. `len` has been validated against the
+/// file size, so the allocation is bounded by what the file actually holds.
+fn read_u64s<R: Read>(r: &mut R, len: usize) -> std::result::Result<Vec<u64>, SnapshotError> {
+    let mut out = Vec::with_capacity(len);
+    let mut buf = vec![0u8; len.saturating_mul(8).min(4 << 20)];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 8);
+        let b = &mut buf[..take * 8];
+        r.read_exact(b)?;
+        out.extend(
+            b.chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte word"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Reads `len` little-endian `u32`s in bounded chunks (the multi-gigabyte
+/// bulk arrays of a v2 restore go through here).
+fn read_u32s<R: Read>(r: &mut R, len: usize) -> std::result::Result<Vec<u32>, SnapshotError> {
+    let mut out = Vec::with_capacity(len);
+    let mut buf = vec![0u8; len.saturating_mul(4).min(4 << 20)];
+    let mut remaining = len;
+    while remaining > 0 {
+        let take = remaining.min(buf.len() / 4);
+        let b = &mut buf[..take * 4];
+        r.read_exact(b)?;
+        out.extend(
+            b.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte word"))),
+        );
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Reads exactly `len` raw bytes (compressed blob section).
+fn read_bytes<R: Read>(r: &mut R, len: usize) -> std::result::Result<Vec<u8>, SnapshotError> {
+    let mut out = vec![0u8; len];
+    let mut filled = 0usize;
+    // Chunked so a corrupt-but-plausible length cannot demand one giant
+    // read_exact; `len` has already been validated against the file size.
+    while filled < len {
+        let take = (len - filled).min(16 << 20);
+        r.read_exact(&mut out[filled..filled + take])?;
+        filled += take;
+    }
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -452,8 +616,43 @@ pub struct SnapshotSummary {
     pub graph_fingerprint: u64,
 }
 
+fn encode_file_header(
+    version: u32,
+    graph: &DiGraph,
+    pool: &SamplePool,
+    label: &str,
+    fingerprint: u64,
+) -> [u8; HEADER_BYTES as usize] {
+    let mut header = [0u8; HEADER_BYTES as usize];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&version.to_le_bytes());
+    header[16..24].copy_from_slice(&fingerprint.to_le_bytes());
+    header[24..32].copy_from_slice(&pool.pool_seed().to_le_bytes());
+    header[32..40].copy_from_slice(&(pool.theta() as u64).to_le_bytes());
+    header[40..48].copy_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
+    header[48..56].copy_from_slice(&(graph.num_edges() as u64).to_le_bytes());
+    header[56..64].copy_from_slice(&(label.len() as u64).to_le_bytes());
+    header
+}
+
+fn check_label(label: &str) -> Result<()> {
+    if label.len() as u64 > MAX_LABEL_BYTES {
+        return Err(SnapshotError::Corrupt {
+            reason: format!(
+                "label of {} bytes exceeds the {MAX_LABEL_BYTES}-byte bound",
+                label.len()
+            ),
+        }
+        .into());
+    }
+    Ok(())
+}
+
 /// Writes `graph` and its resident `pool` (plus the engine-facing `label`)
-/// as one snapshot file at `path`, overwriting any existing file.
+/// as one version-2 snapshot file at `path`, overwriting any existing file.
+/// The pool section mirrors the pool's arena: a raw pool is written as
+/// page-aligned consolidated CSR arrays (mappable zero-copy on restore), a
+/// compressed pool as its directory plus blobs.
 ///
 /// # Errors
 /// Returns [`IminError::PoolGraphMismatch`] when the pool was not built
@@ -466,42 +665,40 @@ pub fn save_snapshot(
     label: &str,
 ) -> Result<SnapshotSummary> {
     pool.ensure_matches(graph)?;
-    if label.len() as u64 > MAX_LABEL_BYTES {
-        return Err(SnapshotError::Corrupt {
-            reason: format!(
-                "label of {} bytes exceeds the {MAX_LABEL_BYTES}-byte bound",
-                label.len()
-            ),
-        }
-        .into());
-    }
+    check_label(label)?;
     let fingerprint = graph.fingerprint();
     let file = File::create(path).map_err(SnapshotError::Io)?;
     let mut writer = BufWriter::with_capacity(4 << 20, file);
-
-    let mut header = [0u8; HEADER_BYTES as usize];
-    header[0..8].copy_from_slice(&MAGIC);
-    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
-    header[16..24].copy_from_slice(&fingerprint.to_le_bytes());
-    header[24..32].copy_from_slice(&pool.pool_seed().to_le_bytes());
-    header[32..40].copy_from_slice(&(pool.theta() as u64).to_le_bytes());
-    header[40..48].copy_from_slice(&(graph.num_vertices() as u64).to_le_bytes());
-    header[48..56].copy_from_slice(&(graph.num_edges() as u64).to_le_bytes());
-    header[56..64].copy_from_slice(&(label.len() as u64).to_le_bytes());
+    let header = encode_file_header(FORMAT_VERSION, graph, pool, label, fingerprint);
     writer.write_all(&header).map_err(SnapshotError::Io)?;
 
     let mut payload = ChecksumWriter::new(writer);
     let io_err = SnapshotError::Io;
     payload.write_all(label.as_bytes()).map_err(io_err)?;
     graph.write_binary(&mut payload).map_err(io_err)?;
-    for sample in pool.samples() {
-        payload
-            .write_all(&(sample.targets.len() as u64).to_le_bytes())
-            .map_err(io_err)?;
-    }
-    for sample in pool.samples() {
-        binfmt::write_u32s(&mut payload, &sample.offsets).map_err(io_err)?;
-        binfmt::write_u32s(&mut payload, &sample.targets).map_err(io_err)?;
+    match &pool.arena().backing {
+        ArenaBacking::Raw(raw) => {
+            payload
+                .write_all(&SECTION_RAW.to_le_bytes())
+                .and_then(|()| payload.write_all(&0u32.to_le_bytes()))
+                .map_err(io_err)?;
+            write_u64s(&mut payload, &raw.target_start).map_err(io_err)?;
+            payload.pad_to_page().map_err(io_err)?;
+            binfmt::write_u32s(&mut payload, raw.offsets.as_slice()).map_err(io_err)?;
+            payload.pad_to_page().map_err(io_err)?;
+            binfmt::write_u32s(&mut payload, raw.targets.as_slice()).map_err(io_err)?;
+        }
+        ArenaBacking::Compressed(c) => {
+            payload
+                .write_all(&SECTION_COMPRESSED.to_le_bytes())
+                .and_then(|()| payload.write_all(&0u32.to_le_bytes()))
+                .map_err(io_err)?;
+            write_u64s(&mut payload, &c.lens).map_err(io_err)?;
+            payload.write_all(&c.modes).map_err(io_err)?;
+            write_u64s(&mut payload, &c.starts).map_err(io_err)?;
+            payload.pad_to_page().map_err(io_err)?;
+            payload.write_all(c.data.as_slice()).map_err(io_err)?;
+        }
     }
     let checksum = payload.sum.value();
     let payload_bytes = payload.written;
@@ -515,6 +712,52 @@ pub fn save_snapshot(
     })
 }
 
+/// Writes the legacy version-1 layout (per-sample CSR arrays). Exposed
+/// (hidden) so the backward-compat and hostile-input tests, and the restore
+/// benchmarks, can produce genuine v1 files; new code always writes v2.
+#[doc(hidden)]
+pub fn save_snapshot_v1(
+    path: &Path,
+    graph: &DiGraph,
+    pool: &SamplePool,
+    label: &str,
+) -> Result<SnapshotSummary> {
+    pool.ensure_matches(graph)?;
+    check_label(label)?;
+    let fingerprint = graph.fingerprint();
+    let file = File::create(path).map_err(SnapshotError::Io)?;
+    let mut writer = BufWriter::with_capacity(4 << 20, file);
+    let header = encode_file_header(1, graph, pool, label, fingerprint);
+    writer.write_all(&header).map_err(SnapshotError::Io)?;
+
+    let mut payload = ChecksumWriter::new(writer);
+    let io_err = SnapshotError::Io;
+    payload.write_all(label.as_bytes()).map_err(io_err)?;
+    graph.write_binary(&mut payload).map_err(io_err)?;
+    let theta = pool.theta();
+    for i in 0..theta {
+        payload
+            .write_all(&pool.arena().sample_len(i).to_le_bytes())
+            .map_err(io_err)?;
+    }
+    let (mut offsets, mut targets) = (Vec::new(), Vec::new());
+    for i in 0..theta {
+        pool.sample_csr_into(i, &mut offsets, &mut targets);
+        binfmt::write_u32s(&mut payload, &offsets).map_err(io_err)?;
+        binfmt::write_u32s(&mut payload, &targets).map_err(io_err)?;
+    }
+    let checksum = payload.sum.value();
+    let payload_bytes = payload.written;
+    let mut writer = payload.inner;
+    writer.write_all(&checksum.to_le_bytes()).map_err(io_err)?;
+    writer.flush().map_err(io_err)?;
+    Ok(SnapshotSummary {
+        bytes_written: HEADER_BYTES + payload_bytes + 8,
+        theta,
+        graph_fingerprint: fingerprint,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Loading
 // ---------------------------------------------------------------------------
@@ -524,7 +767,8 @@ pub fn save_snapshot(
 pub struct RestoredSnapshot {
     /// The stored graph, with its derived arrays rebuilt.
     pub graph: DiGraph,
-    /// The stored pool, arenas bulk-loaded into their exact original layout.
+    /// The stored pool: heap arenas for [`load_snapshot`], arenas served
+    /// out of the mapping for [`map_snapshot`].
     pub pool: SamplePool,
     /// The label the graph was saved under (may be empty).
     pub label: String,
@@ -599,34 +843,111 @@ fn read_exact_sized(
     })
 }
 
-/// Reads `len` little-endian `u32`s through `scratch` into a fresh,
-/// exactly-sized vector. `len` has been validated against the file size, so
-/// the up-front allocation is safe and EOF cannot occur.
-fn read_u32_vec<R: Read>(
-    r: &mut R,
-    len: usize,
-    scratch: &mut [u8],
-    timings: &mut (std::time::Duration, std::time::Duration),
-) -> std::result::Result<Vec<u32>, SnapshotError> {
-    // `scratch` is allocated once per restore and sliced per array —
-    // re-zeroing ~200 KB per sample would cost a hidden full-pool memset
-    // across a multi-gigabyte restore.
-    let scratch = &mut scratch[..len * 4];
-    let t0 = std::time::Instant::now();
-    r.read_exact(scratch)?;
-    let t1 = std::time::Instant::now();
-    let out = scratch
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
-        .collect();
-    timings.0 += t1 - t0;
-    timings.1 += t1.elapsed();
-    Ok(out)
+fn corrupt(reason: String) -> IminError {
+    IminError::Snapshot(SnapshotError::Corrupt { reason })
 }
 
-/// Loads the snapshot at `path`: validates the header, bulk-loads the graph
-/// and pool arenas, and verifies the payload checksum and the graph
-/// fingerprint.
+/// Reads and cross-checks the label + graph sections shared by both
+/// versions, returning the graph.
+fn read_graph_section<R: Read>(
+    payload: &mut R,
+    header: &mut SnapshotHeader,
+    label_len: u64,
+) -> Result<DiGraph> {
+    let mut label = vec![0u8; label_len as usize];
+    payload
+        .read_exact(&mut label)
+        .map_err(SnapshotError::from)?;
+    header.label = String::from_utf8_lossy(&label).into_owned();
+    let graph = DiGraph::read_binary(payload).map_err(|err| match err {
+        imin_graph::GraphError::Io(io) => IminError::Snapshot(SnapshotError::from(io)),
+        other => corrupt(other.to_string()),
+    })?;
+    if graph.num_vertices() as u64 != header.num_vertices
+        || graph.num_edges() as u64 != header.num_edges
+    {
+        return Err(corrupt(format!(
+            "graph section is {}v/{}e but the header says {}v/{}e",
+            graph.num_vertices(),
+            graph.num_edges(),
+            header.num_vertices,
+            header.num_edges
+        )));
+    }
+    let computed_fingerprint = graph.fingerprint();
+    if computed_fingerprint != header.graph_fingerprint {
+        return Err(SnapshotError::FingerprintMismatch {
+            stored: header.graph_fingerprint,
+            computed: computed_fingerprint,
+        }
+        .into());
+    }
+    Ok(graph)
+}
+
+/// Validates a raw target-start table: monotone from 0, per-sample deltas
+/// bounded by `m`.
+fn check_target_start(target_start: &[u64], m: u64) -> Result<()> {
+    if target_start.first() != Some(&0) {
+        return Err(corrupt("target-start table does not begin at 0".into()));
+    }
+    for (i, w) in target_start.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(corrupt(format!(
+                "target-start table decreases at sample {i}"
+            )));
+        }
+        if w[1] - w[0] > m {
+            return Err(corrupt(format!(
+                "sample {i} claims {} live edges, graph has only {m}",
+                w[1] - w[0]
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a compressed directory (lens / modes / starts).
+fn check_compressed_directory(lens: &[u64], modes: &[u8], starts: &[u64], m: u64) -> Result<()> {
+    for (i, &len) in lens.iter().enumerate() {
+        if len > m {
+            return Err(corrupt(format!(
+                "sample {i} claims {len} live edges, graph has only {m}"
+            )));
+        }
+    }
+    for (i, &mode) in modes.iter().enumerate() {
+        if mode > MODE_BITSET {
+            return Err(corrupt(format!(
+                "sample {i} has unknown encoding tag {mode}"
+            )));
+        }
+    }
+    if starts.first() != Some(&0) {
+        return Err(corrupt("blob-start table does not begin at 0".into()));
+    }
+    if let Some(i) = starts.windows(2).position(|w| w[1] < w[0]) {
+        return Err(corrupt(format!("blob-start table decreases at sample {i}")));
+    }
+    Ok(())
+}
+
+fn check_exact_len(file_len: u64, exact: u128) -> Result<()> {
+    if u128::from(file_len) != exact {
+        return Err(SnapshotError::Truncated {
+            expected: exact.min(u64::MAX as u128) as u64,
+            actual: file_len,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Loads the snapshot at `path` into heap arenas: validates the header,
+/// bulk-loads the graph and pool sections, verifies the payload checksum
+/// and the graph fingerprint, and structurally validates every sample.
+/// Reads both format versions; a v1 file comes back as a consolidated raw
+/// arena bit-identical to the historical layout.
 ///
 /// # Errors
 /// Every failure mode is a typed [`SnapshotError`] wrapped in
@@ -648,6 +969,7 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
     // Every section length below derives from the header; reject files that
     // cannot possibly hold them before allocating anything.
     let min_len = min_file_size(
+        header.version,
         header.num_vertices,
         header.num_edges,
         header.theta,
@@ -661,113 +983,26 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
         .into());
     }
 
-    let mut payload = ChecksumReader::new(&mut file);
-    let mut label = vec![0u8; label_len as usize];
-    payload
-        .read_exact(&mut label)
-        .map_err(SnapshotError::from)?;
-    header.label = String::from_utf8_lossy(&label).into_owned();
-
-    let graph = DiGraph::read_binary(&mut payload).map_err(|err| match err {
-        imin_graph::GraphError::Io(io) => IminError::Snapshot(SnapshotError::from(io)),
-        other => IminError::Snapshot(SnapshotError::Corrupt {
-            reason: other.to_string(),
-        }),
-    })?;
-    if graph.num_vertices() != n || graph.num_edges() != m {
-        return Err(SnapshotError::Corrupt {
-            reason: format!(
-                "graph section is {}v/{}e but the header says {n}v/{m}e",
-                graph.num_vertices(),
-                graph.num_edges()
-            ),
-        }
-        .into());
-    }
-    let computed_fingerprint = graph.fingerprint();
-    if computed_fingerprint != header.graph_fingerprint {
-        return Err(SnapshotError::FingerprintMismatch {
-            stored: header.graph_fingerprint,
-            computed: computed_fingerprint,
-        }
-        .into());
-    }
-
-    // Per-sample live-edge counts, read as one bulk table; each realisation
-    // keeps a subset of the graph's edges, so any count above m is
-    // corruption.
-    let mut lens_bytes = vec![0u8; theta * 8];
-    payload
-        .read_exact(&mut lens_bytes)
-        .map_err(SnapshotError::from)?;
-    let lens: Vec<u64> = lens_bytes
-        .chunks_exact(8)
-        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte length")))
-        .collect();
-    drop(lens_bytes);
-    let mut arena_words: u128 = 0;
-    for (i, &len) in lens.iter().enumerate() {
-        if len > m as u64 {
-            return Err(SnapshotError::Corrupt {
-                reason: format!("sample {i} claims {len} live edges, graph has only {m}"),
-            }
-            .into());
-        }
-        arena_words += (n as u128 + 1) + len as u128;
-    }
-    let exact_len = HEADER_BYTES as u128
-        + label_len as u128
-        + binfmt::binary_size(&graph) as u128
-        + theta as u128 * 8
-        + arena_words * 4
-        + 8;
-    if file_len as u128 != exact_len {
-        return Err(SnapshotError::Truncated {
-            expected: exact_len.min(u64::MAX as u128) as u64,
-            actual: file_len,
-        }
-        .into());
-    }
-
     let trace = std::env::var_os("IMIN_SNAPSHOT_TRACE").is_some();
-    let phase_start = std::time::Instant::now();
-    let mut samples = Vec::with_capacity(theta);
-    let max_words = lens
-        .iter()
-        .map(|&len| len as usize)
-        .max()
-        .unwrap_or(0)
-        .max(n + 1);
-    let mut scratch = vec![0u8; max_words * 4];
-    let mut timings = (std::time::Duration::ZERO, std::time::Duration::ZERO);
-    for (i, &len) in lens.iter().enumerate() {
-        let offsets = read_u32_vec(&mut payload, n + 1, &mut scratch, &mut timings)?;
-        let targets = read_u32_vec(&mut payload, len as usize, &mut scratch, &mut timings)?;
-        // Structural validation while the arrays are cache-hot: the
-        // checksum catches accidental corruption, but a buggy or foreign
-        // writer can produce checksum-consistent arenas that would panic
-        // the estimator's BFS at query time. "Corrupt input never panics"
-        // extends to those.
-        let corrupt = |what: &str| SnapshotError::Corrupt {
-            reason: format!("sample {i}: {what}"),
-        };
-        if offsets[0] != 0 || u64::from(*offsets.last().expect("offsets are non-empty")) != len {
-            return Err(corrupt("offset array does not span its live-edge list").into());
-        }
-        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
-            return Err(corrupt("offset array is not monotone").into());
-        }
-        if targets.iter().any(|&t| t as usize >= n) {
-            return Err(corrupt("live-edge target out of vertex range").into());
-        }
-        samples.push(SampleAdjacency { offsets, targets });
+    let t_start = std::time::Instant::now();
+    let mut payload = ChecksumReader::new(&mut file);
+    let graph = read_graph_section(&mut payload, &mut header, label_len)?;
+    let prefix = common_prefix_size(header.num_vertices, header.num_edges, label_len);
+
+    let arena = if header.version == 1 {
+        load_v1_pool_section(&mut payload, &graph, theta, file_len, prefix)?
+    } else {
+        load_v2_pool_section(&mut payload, &graph, theta, file_len, prefix)?
+    };
+    if let Err((i, reason)) = arena.validate_all() {
+        return Err(corrupt(format!("sample {i}: {reason}")));
     }
     if trace {
         eprintln!(
-            "snapshot trace: samples phase {:.3}s (read+checksum {:.3}s, convert+alloc {:.3}s)",
-            phase_start.elapsed().as_secs_f64(),
-            timings.0.as_secs_f64(),
-            timings.1.as_secs_f64()
+            "snapshot trace: read+validate phase {:.3}s ({} bytes, v{})",
+            t_start.elapsed().as_secs_f64(),
+            file_len,
+            header.version
         );
     }
 
@@ -779,7 +1014,369 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
         return Err(SnapshotError::ChecksumMismatch { stored, computed }.into());
     }
 
-    let pool = SamplePool::from_restored_parts(n, m, header.pool_seed, samples);
+    let pool = SamplePool::from_arena(n, m, header.pool_seed, arena);
+    Ok(RestoredSnapshot {
+        graph,
+        pool,
+        label: header.label.clone(),
+        header,
+    })
+}
+
+/// Reads a legacy v1 pool section (per-sample CSR arrays) into a
+/// consolidated raw arena.
+fn load_v1_pool_section<R: Read>(
+    payload: &mut ChecksumReader<R>,
+    graph: &DiGraph,
+    theta: usize,
+    file_len: u64,
+    prefix: u128,
+) -> Result<PoolArena> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges() as u64;
+    let stride = n + 1;
+    // Per-sample live-edge counts; each realisation keeps a subset of the
+    // graph's edges, so any count above m is corruption.
+    let lens = read_u64s(payload, theta)?;
+    let mut target_start = Vec::with_capacity(theta + 1);
+    target_start.push(0u64);
+    let mut acc = 0u64;
+    for (i, &len) in lens.iter().enumerate() {
+        if len > m {
+            return Err(corrupt(format!(
+                "sample {i} claims {len} live edges, graph has only {m}"
+            )));
+        }
+        acc += len;
+        target_start.push(acc);
+    }
+    let total = acc as usize;
+    let exact = prefix
+        .saturating_add(theta as u128 * 8)
+        .saturating_add((theta as u128 * stride as u128 + total as u128) * 4)
+        .saturating_add(8);
+    check_exact_len(file_len, exact)?;
+
+    // Exact length verified against the real file: the two consolidated
+    // allocations below are bounded by bytes the file actually holds.
+    let mut offsets: Vec<u32> = Vec::with_capacity(theta * stride);
+    let mut targets: Vec<u32> = Vec::with_capacity(total);
+    let max_words = lens
+        .iter()
+        .map(|&len| len as usize)
+        .max()
+        .unwrap_or(0)
+        .max(stride);
+    let mut scratch = vec![0u8; max_words * 4];
+    for &len in &lens {
+        let buf = &mut scratch[..stride * 4];
+        payload.read_exact(buf).map_err(SnapshotError::from)?;
+        offsets.extend(
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte word"))),
+        );
+        let buf = &mut scratch[..len as usize * 4];
+        payload.read_exact(buf).map_err(SnapshotError::from)?;
+        targets.extend(
+            buf.chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte word"))),
+        );
+    }
+    Ok(PoolArena::raw(
+        n,
+        theta,
+        RawArena {
+            stride,
+            target_start,
+            offsets: Words::Owned(offsets),
+            targets: Words::Owned(targets),
+        },
+    ))
+}
+
+/// Reads a v2 pool section (either arena kind) into heap arenas.
+fn load_v2_pool_section<R: Read>(
+    payload: &mut ChecksumReader<R>,
+    graph: &DiGraph,
+    theta: usize,
+    file_len: u64,
+    prefix: u128,
+) -> Result<PoolArena> {
+    let n = graph.num_vertices();
+    let m = graph.num_edges() as u64;
+    let mut section = [0u8; 8];
+    payload
+        .read_exact(&mut section)
+        .map_err(SnapshotError::from)?;
+    let kind = u32::from_le_bytes(section[0..4].try_into().expect("4-byte kind"));
+    let reserved = u32::from_le_bytes(section[4..8].try_into().expect("4-byte reserved"));
+    if reserved != 0 {
+        return Err(corrupt(format!(
+            "reserved pool-section field is {reserved}, expected 0"
+        )));
+    }
+    match kind {
+        SECTION_RAW => {
+            let stride = n + 1;
+            let target_start = read_u64s(payload, theta + 1)?;
+            check_target_start(&target_start, m)?;
+            let total = target_start[theta];
+            let tables_end = prefix + 8 + (theta as u128 + 1) * 8;
+            let pad1 = pad_len(tables_end.min(u64::MAX as u128) as u64) as u128;
+            let offsets_bytes = theta as u128 * stride as u128 * 4;
+            let targets_at = tables_end + pad1 + offsets_bytes;
+            let pad2 = pad_len(targets_at.min(u64::MAX as u128) as u64) as u128;
+            let exact = targets_at + pad2 + total as u128 * 4 + 8;
+            check_exact_len(file_len, exact)?;
+            payload.skip_pad()?;
+            let offsets = read_u32s(payload, theta * stride)?;
+            payload.skip_pad()?;
+            let targets = read_u32s(payload, total as usize)?;
+            Ok(PoolArena::raw(
+                n,
+                theta,
+                RawArena {
+                    stride,
+                    target_start,
+                    offsets: Words::Owned(offsets),
+                    targets: Words::Owned(targets),
+                },
+            ))
+        }
+        SECTION_COMPRESSED => {
+            let lens = read_u64s(payload, theta)?;
+            let mut modes = vec![0u8; theta];
+            payload
+                .read_exact(&mut modes)
+                .map_err(SnapshotError::from)?;
+            let starts = read_u64s(payload, theta + 1)?;
+            check_compressed_directory(&lens, &modes, &starts, m)?;
+            let data_len = starts[theta];
+            let data_at = prefix + 8 + theta as u128 * 17 + 8;
+            let pad = pad_len(data_at.min(u64::MAX as u128) as u64) as u128;
+            let exact = data_at + pad + data_len as u128 + 8;
+            check_exact_len(file_len, exact)?;
+            payload.skip_pad()?;
+            let data = read_bytes(payload, data_len as usize)?;
+            let (gr_offsets, gr_targets) = graph_csr_copy(graph);
+            Ok(PoolArena::compressed(
+                n,
+                theta,
+                CompressedArena {
+                    lens,
+                    modes,
+                    starts,
+                    data: Blob::Owned(data),
+                    gr_offsets,
+                    gr_targets,
+                },
+            ))
+        }
+        other => Err(corrupt(format!("unknown pool-section arena kind {other}"))),
+    }
+}
+
+/// Bounds-checked slice of the mapped file.
+fn take(bytes: &[u8], at: usize, len: usize) -> std::result::Result<&[u8], SnapshotError> {
+    let end = at.checked_add(len).ok_or(SnapshotError::Truncated {
+        expected: u64::MAX,
+        actual: bytes.len() as u64,
+    })?;
+    if end > bytes.len() {
+        return Err(SnapshotError::Truncated {
+            expected: end as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    Ok(&bytes[at..end])
+}
+
+fn decode_u64_table(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte word")))
+        .collect()
+}
+
+/// Opens the version-2 snapshot at `path` as a **memory-mapped** pool: the
+/// graph and directory tables are deserialised eagerly (with the same
+/// header, fingerprint and exact-size validation as [`load_snapshot`]), but
+/// the bulk arrays stay in the mapping and are served zero-copy, so the
+/// restore cost is independent of pool size.
+///
+/// The payload checksum is **not** verified — hashing the payload would
+/// fault in every page, which is exactly what mapping avoids. Instead every
+/// sample is structurally validated on its first use; a corrupt sample
+/// raises a diagnostic panic that the serving layer converts to a typed
+/// internal error. Callers must keep the file unmodified while the pool is
+/// alive.
+///
+/// # Errors
+/// As [`load_snapshot`], plus [`SnapshotError::Corrupt`] for v1 files
+/// (their layout is not mappable — use the bulk loader) and on big-endian
+/// hosts (the on-disk words cannot be viewed in place).
+pub fn map_snapshot(path: &Path) -> Result<RestoredSnapshot> {
+    if cfg!(target_endian = "big") {
+        return Err(corrupt(
+            "memory-mapped restore requires a little-endian host; use the bulk loader".into(),
+        ));
+    }
+    let map = Arc::new(Mmap::map_file(path).map_err(SnapshotError::Io)?);
+    let bytes = map.bytes();
+    let file_len = bytes.len() as u64;
+    if bytes.len() < HEADER_BYTES as usize {
+        let probe = bytes.len().min(MAGIC.len());
+        if bytes[..probe] != MAGIC[..probe] {
+            return Err(SnapshotError::BadMagic.into());
+        }
+        return Err(SnapshotError::Truncated {
+            expected: HEADER_BYTES,
+            actual: file_len,
+        }
+        .into());
+    }
+    let header_bytes: [u8; HEADER_BYTES as usize] = bytes[..HEADER_BYTES as usize]
+        .try_into()
+        .expect("64 header bytes");
+    let (mut header, label_len) = decode_header(&header_bytes)?;
+    if header.version < 2 {
+        return Err(corrupt(format!(
+            "version-{} snapshots have no page-aligned sections and cannot be memory-mapped; \
+             use the bulk loader",
+            header.version
+        )));
+    }
+    let (n, m, theta) = (
+        header.num_vertices as usize,
+        header.num_edges,
+        header.theta as usize,
+    );
+    let min_len = min_file_size(
+        header.version,
+        header.num_vertices,
+        header.num_edges,
+        header.theta,
+        label_len,
+    );
+    if (file_len as u128) < min_len {
+        return Err(SnapshotError::Truncated {
+            expected: min_len.min(u64::MAX as u128) as u64,
+            actual: file_len,
+        }
+        .into());
+    }
+
+    // Label + graph: parsed out of the mapping through the ordinary binary
+    // reader (the graph is tiny next to the pool; its derived arrays have
+    // to be rebuilt on the heap anyway).
+    let label_bytes = take(bytes, HEADER_BYTES as usize, label_len as usize)?;
+    header.label = String::from_utf8_lossy(label_bytes).into_owned();
+    let graph_at = HEADER_BYTES as usize + label_len as usize;
+    let mut cursor = &bytes[graph_at..];
+    let before = cursor.len();
+    let graph = DiGraph::read_binary(&mut cursor).map_err(|err| match err {
+        imin_graph::GraphError::Io(io) => IminError::Snapshot(SnapshotError::from(io)),
+        other => corrupt(other.to_string()),
+    })?;
+    let graph_size = before - cursor.len();
+    if graph.num_vertices() != n || graph.num_edges() as u64 != m {
+        return Err(corrupt(format!(
+            "graph section is {}v/{}e but the header says {n}v/{m}e",
+            graph.num_vertices(),
+            graph.num_edges()
+        )));
+    }
+    let computed_fingerprint = graph.fingerprint();
+    if computed_fingerprint != header.graph_fingerprint {
+        return Err(SnapshotError::FingerprintMismatch {
+            stored: header.graph_fingerprint,
+            computed: computed_fingerprint,
+        }
+        .into());
+    }
+
+    let mut at = graph_at + graph_size;
+    let section = take(bytes, at, 8)?;
+    let kind = u32::from_le_bytes(section[0..4].try_into().expect("4-byte kind"));
+    let reserved = u32::from_le_bytes(section[4..8].try_into().expect("4-byte reserved"));
+    if reserved != 0 {
+        return Err(corrupt(format!(
+            "reserved pool-section field is {reserved}, expected 0"
+        )));
+    }
+    at += 8;
+    let arena = match kind {
+        SECTION_RAW => {
+            let stride = n + 1;
+            let target_start = decode_u64_table(take(bytes, at, (theta + 1) * 8)?);
+            at += (theta + 1) * 8;
+            check_target_start(&target_start, m)?;
+            let total = target_start[theta];
+            at += pad_len(at as u64);
+            let offsets_at = at;
+            let offsets_bytes = theta as u128 * stride as u128 * 4;
+            let targets_at_u128 = offsets_at as u128 + offsets_bytes;
+            let pad2 = pad_len(targets_at_u128.min(u64::MAX as u128) as u64) as u128;
+            let exact = targets_at_u128 + pad2 + total as u128 * 4 + 8;
+            check_exact_len(file_len, exact)?;
+            let targets_at = (targets_at_u128 + pad2) as usize;
+            PoolArena::raw(
+                n,
+                theta,
+                RawArena {
+                    stride,
+                    target_start,
+                    offsets: Words::Mapped {
+                        map: map.clone(),
+                        start: offsets_at,
+                        len: theta * stride,
+                    },
+                    targets: Words::Mapped {
+                        map: map.clone(),
+                        start: targets_at,
+                        len: total as usize,
+                    },
+                },
+            )
+        }
+        SECTION_COMPRESSED => {
+            let lens = decode_u64_table(take(bytes, at, theta * 8)?);
+            at += theta * 8;
+            let modes = take(bytes, at, theta)?.to_vec();
+            at += theta;
+            let starts = decode_u64_table(take(bytes, at, (theta + 1) * 8)?);
+            at += (theta + 1) * 8;
+            check_compressed_directory(&lens, &modes, &starts, m)?;
+            let data_len = starts[theta];
+            at += pad_len(at as u64);
+            let exact = at as u128 + data_len as u128 + 8;
+            check_exact_len(file_len, exact)?;
+            let (gr_offsets, gr_targets) = graph_csr_copy(&graph);
+            PoolArena::compressed(
+                n,
+                theta,
+                CompressedArena {
+                    lens,
+                    modes,
+                    starts,
+                    data: Blob::Mapped {
+                        map: map.clone(),
+                        start: at,
+                        len: data_len as usize,
+                    },
+                    gr_offsets,
+                    gr_targets,
+                },
+            )
+        }
+        other => return Err(corrupt(format!("unknown pool-section arena kind {other}"))),
+    };
+    let pool = SamplePool::from_arena(
+        n,
+        graph.num_edges(),
+        header.pool_seed,
+        arena.with_lazy_validation(),
+    );
     Ok(RestoredSnapshot {
         graph,
         pool,
@@ -799,20 +1396,23 @@ pub fn payload_checksum(payload: &[u8]) -> u64 {
 }
 
 /// Order-sensitive 64-bit digest of every arena byte of the pool (θ, the
-/// per-sample offsets and targets). Two pools have equal digests iff their
-/// stored realisations are byte-identical — the cheap way for benchmarks
-/// and tests to prove `extend_to` / save–restore bit-identity without
+/// per-sample offsets and targets, decoded to the canonical raw layout
+/// whatever the backend). Two pools have equal digests iff their stored
+/// realisations are byte-identical — the cheap way for benchmarks and tests
+/// to prove compress / `extend_to` / save–restore bit-identity without
 /// holding two multi-gigabyte pools side by side.
 pub fn pool_digest(pool: &SamplePool) -> u64 {
     let mut sum = StreamChecksum::new();
     sum.push_word(pool.theta() as u64);
-    for sample in pool.samples() {
-        sum.push_word(sample.offsets.len() as u64);
-        sum.push_word(sample.targets.len() as u64);
-        for &o in &sample.offsets {
+    let (mut offsets, mut targets) = (Vec::new(), Vec::new());
+    for i in 0..pool.theta() {
+        pool.sample_csr_into(i, &mut offsets, &mut targets);
+        sum.push_word(offsets.len() as u64);
+        sum.push_word(targets.len() as u64);
+        for &o in &offsets {
             sum.push_word(o as u64);
         }
-        for &t in &sample.targets {
+        for &t in &targets {
             sum.push_word(t as u64);
         }
     }
@@ -858,7 +1458,21 @@ mod tests {
     #[test]
     fn min_file_size_does_not_overflow_on_hostile_headers() {
         // u64::MAX everywhere must not panic (u128 arithmetic).
-        let huge = min_file_size(u64::MAX - 2, u64::MAX, u64::MAX, u64::MAX);
-        assert!(huge > u64::MAX as u128);
+        for version in [1u32, 2] {
+            let huge = min_file_size(version, u64::MAX - 2, u64::MAX, u64::MAX, u64::MAX);
+            assert!(huge > u64::MAX as u128);
+        }
+    }
+
+    #[test]
+    fn pad_len_reaches_the_next_page_boundary() {
+        assert_eq!(pad_len(0), 0);
+        assert_eq!(pad_len(4096), 0);
+        assert_eq!(pad_len(1), 4095);
+        assert_eq!(pad_len(4095), 1);
+        assert_eq!(pad_len(8192 + 17), 4096 - 17);
+        for abs in [0u64, 1, 63, 64, 4095, 4096, 4097, 123_456] {
+            assert_eq!((abs + pad_len(abs) as u64) % 4096, 0, "abs={abs}");
+        }
     }
 }

@@ -5,9 +5,10 @@
 
 use imin_core::pool::{pooled_advanced_greedy_in, pooled_decrease, PoolWorkspace};
 use imin_core::snapshot::{
-    load_snapshot, peek_header, pool_digest, save_snapshot, SnapshotError, FORMAT_VERSION,
+    load_snapshot, map_snapshot, peek_header, pool_digest, save_snapshot, save_snapshot_v1,
+    SnapshotError, FORMAT_VERSION,
 };
-use imin_core::{IminError, SamplePool};
+use imin_core::{ArenaKind, IminError, SamplePool};
 use imin_diffusion::ProbabilityModel;
 use imin_graph::{generators, DiGraph, VertexId};
 use std::path::PathBuf;
@@ -300,6 +301,183 @@ fn zero_theta_headers_are_corrupt() {
         "theta",
         |e| matches!(e, SnapshotError::Corrupt { .. }),
         "zeroed theta",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Format v2: compressed sections, v1 backward compatibility, mmap restore
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v1_snapshots_remain_readable() {
+    let graph = wc_pa(150, 7);
+    let pool = SamplePool::build_with_threads(&graph, 40, 99, 2).unwrap();
+    let tmp = TempSnap::new("v1-compat");
+    save_snapshot_v1(&tmp.0, &graph, &pool, "pa-150/wc").unwrap();
+    assert_eq!(peek_header(&tmp.0).unwrap().version, 1);
+    let restored = load_snapshot(&tmp.0).unwrap();
+    assert_eq!(restored.header.version, 1);
+    assert_eq!(restored.pool.arena_kind(), ArenaKind::Raw);
+    assert_eq!(pool_digest(&restored.pool), pool_digest(&pool));
+    for i in 0..pool.theta() {
+        assert_eq!(
+            restored.pool.sample_csr(i),
+            pool.sample_csr(i),
+            "sample {i}"
+        );
+    }
+}
+
+#[test]
+fn compressed_pools_round_trip_through_v2_snapshots() {
+    let graph = wc_pa(150, 7);
+    let raw = SamplePool::build_with_threads(&graph, 40, 99, 2).unwrap();
+    let pool = raw.compress(&graph, 2).unwrap();
+    assert_eq!(pool.arena_kind(), ArenaKind::Compressed);
+    let tmp = TempSnap::new("v2-compressed");
+    save_snapshot(&tmp.0, &graph, &pool, "pa-150/wc").unwrap();
+    let restored = load_snapshot(&tmp.0).unwrap();
+    assert_eq!(restored.pool.arena_kind(), ArenaKind::Compressed);
+    // The compressed round trip decodes to the same realisations as the raw
+    // pool it came from.
+    assert_eq!(pool_digest(&restored.pool), pool_digest(&raw));
+    for i in 0..raw.theta() {
+        assert_eq!(restored.pool.sample_csr(i), raw.sample_csr(i), "sample {i}");
+    }
+}
+
+#[test]
+fn mapped_snapshots_serve_byte_identical_queries() {
+    let graph = wc_pa(150, 7);
+    let raw = SamplePool::build_with_threads(&graph, 40, 99, 2).unwrap();
+    let compressed = raw.compress(&graph, 1).unwrap();
+    let seeds = [VertexId::new(0), VertexId::new(3)];
+    let forbidden = vec![false; graph.num_vertices()];
+    let mut ws = PoolWorkspace::new();
+    let reference = pooled_advanced_greedy_in(&raw, &seeds, &forbidden, 4, 1, &mut ws).unwrap();
+    for (tag, pool, kind) in [
+        ("map-raw", &raw, ArenaKind::MappedRaw),
+        ("map-compressed", &compressed, ArenaKind::MappedCompressed),
+    ] {
+        let tmp = TempSnap::new(tag);
+        save_snapshot(&tmp.0, &graph, pool, "pa-150/wc").unwrap();
+        let restored = map_snapshot(&tmp.0).unwrap();
+        assert_eq!(restored.pool.arena_kind(), kind, "{tag}");
+        assert_eq!(pool_digest(&restored.pool), pool_digest(&raw), "{tag}");
+        for threads in [1usize, 2, 8] {
+            let sel =
+                pooled_advanced_greedy_in(&restored.pool, &seeds, &forbidden, 4, threads, &mut ws)
+                    .unwrap();
+            assert_eq!(sel.blockers, reference.blockers, "{tag} threads={threads}");
+            assert_eq!(sel.estimated_spread, reference.estimated_spread);
+        }
+    }
+}
+
+#[test]
+fn map_snapshot_rejects_truncated_and_legacy_files() {
+    let (graph, pool, tmp) = saved_snapshot("map-trunc-src");
+    let bytes = std::fs::read(&tmp.0).unwrap();
+    for cut in [10, 70, bytes.len() / 2, bytes.len() - 3] {
+        let t = TempSnap::new(&format!("map-trunc-{cut}"));
+        std::fs::write(&t.0, &bytes[..cut]).unwrap();
+        match map_snapshot(&t.0) {
+            Err(IminError::Snapshot(SnapshotError::Truncated { .. })) => {}
+            other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // Version-1 files have no page-aligned sections; mapping must refuse
+    // with a pointer at the bulk loader rather than serving garbage.
+    let t = TempSnap::new("map-v1");
+    save_snapshot_v1(&t.0, &graph, &pool, "x").unwrap();
+    match map_snapshot(&t.0) {
+        Err(IminError::Snapshot(SnapshotError::Corrupt { reason })) => assert!(
+            reason.contains("memory-mapped"),
+            "unexpected reason: {reason}"
+        ),
+        other => panic!("expected Corrupt for a mapped v1 file, got {other:?}"),
+    }
+}
+
+/// Byte offset of the compressed section's lens table: header + label +
+/// graph section + the 8-byte pool-section header.
+fn compressed_lens_at(graph: &DiGraph, label_len: u64) -> usize {
+    let n = graph.num_vertices() as u64;
+    let m = graph.num_edges() as u64;
+    (64 + label_len + 16 + (n + 1) * 8 + m * 12 + 8) as usize
+}
+
+#[test]
+fn corrupt_compressed_directories_are_typed_errors_not_panics() {
+    let graph = wc_pa(150, 7);
+    let pool = SamplePool::build_with_threads(&graph, 40, 99, 2)
+        .unwrap()
+        .compress(&graph, 1)
+        .unwrap();
+    let tmp = TempSnap::new("compressed-forge-src");
+    save_snapshot(&tmp.0, &graph, &pool, "pa-150/wc").unwrap();
+    let bytes = std::fs::read(&tmp.0).unwrap();
+    let lens_at = compressed_lens_at(&graph, 9);
+
+    // A lens entry that disagrees with its blob fails sample validation.
+    let mut forged = bytes.clone();
+    let lens0 = u64::from_le_bytes(forged[lens_at..lens_at + 8].try_into().unwrap());
+    forged[lens_at..lens_at + 8].copy_from_slice(&(lens0 + 1).to_le_bytes());
+    reseal(&mut forged);
+    expect_snapshot_err(
+        forged,
+        "compressed-lens",
+        |e| matches!(e, SnapshotError::Corrupt { .. }),
+        "inflated lens entry with a valid checksum",
+    );
+
+    // An unknown mode tag dies in the directory check.
+    let modes_at = lens_at + pool.theta() * 8;
+    let mut forged = bytes.clone();
+    forged[modes_at] = 7;
+    reseal(&mut forged);
+    expect_snapshot_err(
+        forged,
+        "compressed-mode",
+        |e| matches!(e, SnapshotError::Corrupt { .. }),
+        "invalid mode tag with a valid checksum",
+    );
+
+    // Truncation inside the blob region is length-checked before any decode.
+    expect_snapshot_err(
+        bytes[..bytes.len() - 64].to_vec(),
+        "compressed-trunc",
+        |e| matches!(e, SnapshotError::Truncated { .. }),
+        "truncated blob region",
+    );
+}
+
+#[test]
+fn mapped_corruption_panics_with_a_diagnostic_on_first_touch() {
+    let graph = wc_pa(150, 7);
+    let pool = SamplePool::build_with_threads(&graph, 40, 99, 2)
+        .unwrap()
+        .compress(&graph, 1)
+        .unwrap();
+    let tmp = TempSnap::new("map-lazy-src");
+    save_snapshot(&tmp.0, &graph, &pool, "pa-150/wc").unwrap();
+    let mut forged = std::fs::read(&tmp.0).unwrap();
+    // Inflate sample 0's directory count. The map path skips the payload
+    // checksum (hashing would fault in the whole file), so the mapping
+    // succeeds and the defect must surface on first touch of the sample.
+    let lens_at = compressed_lens_at(&graph, 9);
+    let lens0 = u64::from_le_bytes(forged[lens_at..lens_at + 8].try_into().unwrap());
+    forged[lens_at..lens_at + 8].copy_from_slice(&(lens0 + 1).to_le_bytes());
+    let t = TempSnap::new("map-lazy");
+    std::fs::write(&t.0, &forged).unwrap();
+    let restored = map_snapshot(&t.0).unwrap();
+    let err =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| restored.pool.sample_csr(0)))
+            .unwrap_err();
+    let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(
+        msg.contains("corrupt") && msg.contains("sample 0"),
+        "diagnostic panic, got: {msg}"
     );
 }
 

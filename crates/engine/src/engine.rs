@@ -4,7 +4,7 @@ use crate::cache::LruCache;
 use crate::{EngineError, Result};
 use imin_core::pool::shard_ranges;
 use imin_core::snapshot::{self, SnapshotSummary};
-use imin_core::{AlgorithmKind, ContainmentRequest, SamplePool};
+use imin_core::{AlgorithmKind, ArenaKind, ContainmentRequest, SamplePool};
 use imin_graph::{DiGraph, VertexId};
 use std::collections::HashSet;
 use std::path::Path;
@@ -88,6 +88,13 @@ pub enum PoolProvenance {
         /// Path the snapshot was read from.
         path: String,
     },
+    /// The pool's arenas are served directly out of a memory-mapped
+    /// snapshot file (`RESTORE … mode=map`): no bulk copy happened, pages
+    /// fault in on first touch.
+    Mapped {
+        /// Path of the mapped snapshot file.
+        path: String,
+    },
 }
 
 impl PoolProvenance {
@@ -98,6 +105,31 @@ impl PoolProvenance {
             PoolProvenance::Built => "built".into(),
             PoolProvenance::Extended { from_theta } => format!("extended:{from_theta}"),
             PoolProvenance::Restored { path } => format!("restored:{path}"),
+            PoolProvenance::Mapped { path } => format!("mapped:{path}"),
+        }
+    }
+}
+
+/// How `RESTORE` should bring a snapshot's arenas back into the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RestoreMode {
+    /// Bulk-load the arenas onto the heap (the only mode before snapshot
+    /// format v2). Works for every readable snapshot version.
+    #[default]
+    Copy,
+    /// Memory-map the snapshot and serve arena slices straight from the
+    /// page cache — first-query-ready in milliseconds regardless of pool
+    /// size. Requires a v2 snapshot and a little-endian host; per-sample
+    /// validation is deferred to first touch.
+    Map,
+}
+
+impl RestoreMode {
+    /// Protocol token (`copy` / `map`).
+    pub fn label(self) -> &'static str {
+        match self {
+            RestoreMode::Copy => "copy",
+            RestoreMode::Map => "map",
         }
     }
 }
@@ -137,15 +169,45 @@ pub struct PoolInfo {
     pub seed: u64,
     /// Worker threads used for the build.
     pub threads: usize,
-    /// Wall-clock time of the build, extension or restore that produced the
-    /// current pool state.
+    /// Wall-clock time of the build, extension, compression or restore
+    /// that produced the current pool state.
     pub build_time: Duration,
-    /// Approximate heap bytes held by the pool.
+    /// True resident bytes held by the pool: every owned allocation's
+    /// capacity (elements, `Vec` headers and all) plus bytes served out of
+    /// a mapping, as reported by [`SamplePool::memory_bytes`] and
+    /// [`SamplePool::mapped_bytes`].
     pub memory_bytes: usize,
     /// Total live edges stored across all realisations.
     pub live_edges: usize,
+    /// Which arena backend holds the realisations.
+    pub arena: ArenaKind,
+    /// `(owned + mapped) / raw-equivalent` bytes — 1.0-ish for raw arenas,
+    /// well below 1 for compressed ones.
+    pub compression_ratio: f64,
     /// How the pool came to be.
     pub provenance: PoolProvenance,
+}
+
+impl PoolInfo {
+    /// Records the facts of `pool` as it currently stands.
+    pub(crate) fn for_pool(
+        pool: &SamplePool,
+        threads: usize,
+        build_time: Duration,
+        provenance: PoolProvenance,
+    ) -> Self {
+        PoolInfo {
+            theta: pool.theta(),
+            seed: pool.pool_seed(),
+            threads,
+            build_time,
+            memory_bytes: pool.memory_bytes() + pool.mapped_bytes(),
+            live_edges: pool.total_live_edges(),
+            arena: pool.arena_kind(),
+            compression_ratio: pool.compression_ratio(),
+            provenance,
+        }
+    }
 }
 
 /// Monotonic counters served by `STATS`.
@@ -159,6 +221,8 @@ pub struct EngineStats {
     pub pool_builds: u64,
     /// Pools grown in place via `extend_to` since the engine started.
     pub pool_extends: u64,
+    /// Pools re-encoded into a compressed arena via `COMPRESS`.
+    pub pool_compressions: u64,
     /// `POOL` requests satisfied by the already-resident pool (no-ops).
     pub pool_reuses: u64,
     /// Graphs loaded since the engine started.
@@ -272,19 +336,18 @@ impl Engine {
                 let info = self.pool_info.as_ref().expect("resident pool has info");
                 return Ok((info, PoolAction::Reused));
             }
-            if pool.pool_seed() == seed && pool.theta() < theta {
+            // Compressed and mapped arenas cannot grow in place — a growing
+            // request against one falls through to the rebuild path below.
+            if pool.pool_seed() == seed && pool.theta() < theta && pool.is_extendable() {
                 let from_theta = pool.theta();
                 let start = Instant::now();
                 pool.extend_to(graph, theta, self.threads)?;
-                let info = PoolInfo {
-                    theta,
-                    seed,
-                    threads: self.threads,
-                    build_time: start.elapsed(),
-                    memory_bytes: pool.memory_bytes(),
-                    live_edges: pool.total_live_edges(),
-                    provenance: PoolProvenance::Extended { from_theta },
-                };
+                let info = PoolInfo::for_pool(
+                    pool,
+                    self.threads,
+                    start.elapsed(),
+                    PoolProvenance::Extended { from_theta },
+                );
                 self.pool_info = Some(info);
                 self.cache.clear();
                 self.stats.pool_extends += 1;
@@ -302,15 +365,7 @@ impl Engine {
         self.cache.clear();
         let start = Instant::now();
         let pool = SamplePool::build_with_threads(graph, theta, seed, self.threads)?;
-        let info = PoolInfo {
-            theta,
-            seed,
-            threads: self.threads,
-            build_time: start.elapsed(),
-            memory_bytes: pool.memory_bytes(),
-            live_edges: pool.total_live_edges(),
-            provenance: PoolProvenance::Built,
-        };
+        let info = PoolInfo::for_pool(&pool, self.threads, start.elapsed(), PoolProvenance::Built);
         self.pool = Some(pool);
         self.pool_info = Some(info);
         self.cache.clear();
@@ -328,6 +383,36 @@ impl Engine {
     /// Same conditions as [`Engine::ensure_pool`].
     pub fn build_pool(&mut self, theta: usize, seed: u64) -> Result<&PoolInfo> {
         self.ensure_pool(theta, seed).map(|(info, _)| info)
+    }
+
+    /// Re-encodes the resident pool into a compressed arena (delta-varint
+    /// or per-sample bitset, whichever is smaller). Queries against the
+    /// compressed pool are byte-identical to the raw pool, so the result
+    /// cache **survives**; an already-compressed pool is a no-op. The
+    /// compressed pool can no longer [`SamplePool::extend_to`] — a growing
+    /// `POOL` request afterwards rebuilds from scratch.
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the engine
+    /// is primed, or the encoder's error for a pool/graph mismatch.
+    pub fn compress_pool(&mut self) -> Result<&PoolInfo> {
+        let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
+        if pool.arena_kind() == ArenaKind::Compressed {
+            return Ok(self.pool_info.as_ref().expect("resident pool has info"));
+        }
+        let start = Instant::now();
+        let compressed = pool.compress(graph, self.threads)?;
+        let provenance = self
+            .pool_info
+            .as_ref()
+            .map(|info| info.provenance.clone())
+            .unwrap_or(PoolProvenance::Built);
+        let info = PoolInfo::for_pool(&compressed, self.threads, start.elapsed(), provenance);
+        self.pool = Some(compressed);
+        self.pool_info = Some(info);
+        self.stats.pool_compressions += 1;
+        Ok(self.pool_info.as_ref().expect("pool info just set"))
     }
 
     /// Writes the loaded graph and the resident pool as a snapshot file —
@@ -357,20 +442,40 @@ impl Engine {
     /// [`imin_core::SnapshotError`] inside [`EngineError::Core`]; the
     /// engine keeps its previous state on failure.
     pub fn restore_snapshot(&mut self, path: impl AsRef<Path>) -> Result<&PoolInfo> {
+        self.restore_snapshot_with(path, RestoreMode::Copy)
+    }
+
+    /// [`Engine::restore_snapshot`] with an explicit [`RestoreMode`]:
+    /// `Copy` bulk-loads the arenas onto the heap, `Map` memory-maps the
+    /// file and serves the arenas zero-copy (v2 snapshots only — a mapped
+    /// pool is first-query-ready without reading the bulk arrays at all).
+    ///
+    /// # Errors
+    /// Same conditions as [`Engine::restore_snapshot`]; additionally,
+    /// `Map` rejects v1 snapshots and big-endian hosts with a typed
+    /// [`imin_core::SnapshotError::Corrupt`].
+    pub fn restore_snapshot_with(
+        &mut self,
+        path: impl AsRef<Path>,
+        mode: RestoreMode,
+    ) -> Result<&PoolInfo> {
         let path = path.as_ref();
         let start = Instant::now();
-        let restored = snapshot::load_snapshot(path)?;
-        let info = PoolInfo {
-            theta: restored.pool.theta(),
-            seed: restored.pool.pool_seed(),
-            threads: self.threads,
-            build_time: start.elapsed(),
-            memory_bytes: restored.pool.memory_bytes(),
-            live_edges: restored.pool.total_live_edges(),
-            provenance: PoolProvenance::Restored {
-                path: path.display().to_string(),
-            },
+        let (restored, provenance) = match mode {
+            RestoreMode::Copy => (
+                snapshot::load_snapshot(path)?,
+                PoolProvenance::Restored {
+                    path: path.display().to_string(),
+                },
+            ),
+            RestoreMode::Map => (
+                snapshot::map_snapshot(path)?,
+                PoolProvenance::Mapped {
+                    path: path.display().to_string(),
+                },
+            ),
         };
+        let info = PoolInfo::for_pool(&restored.pool, self.threads, start.elapsed(), provenance);
         self.graph = Some(restored.graph);
         self.graph_label = if restored.label.is_empty() {
             format!("snapshot({})", path.display())
@@ -895,6 +1000,96 @@ mod tests {
                 "{algorithm:?}: {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn compress_pool_keeps_the_cache_and_the_answers() {
+        let mut engine = primed_engine();
+        let q = query(0, 3);
+        let raw = engine.query(&q).unwrap();
+        assert_eq!(engine.pool_info().unwrap().arena, imin_core::ArenaKind::Raw);
+        let info = engine.compress_pool().unwrap();
+        assert_eq!(info.arena, imin_core::ArenaKind::Compressed);
+        assert!(info.compression_ratio > 0.0);
+        assert_eq!(
+            info.provenance,
+            PoolProvenance::Built,
+            "provenance survives"
+        );
+        assert_eq!(
+            engine.cache_entries(),
+            1,
+            "compressed answers are byte-identical, the cache must survive"
+        );
+        assert!(engine.query(&q).unwrap().from_cache);
+        // Fresh questions against the compressed arena match the raw pool.
+        let q2 = query(1, 2);
+        let mut scratch = primed_engine();
+        let reference = scratch.query(&q2).unwrap();
+        let compressed = engine.query(&q2).unwrap();
+        assert_eq!(reference.blockers, compressed.blockers);
+        assert_eq!(reference.estimated_spread, compressed.estimated_spread);
+        assert_eq!(reference.samples_consulted, compressed.samples_consulted);
+        let _ = raw;
+        assert_eq!(engine.stats().pool_compressions, 1);
+        // Compressing twice is a no-op.
+        engine.compress_pool().unwrap();
+        assert_eq!(engine.stats().pool_compressions, 1);
+    }
+
+    #[test]
+    fn ensure_pool_rebuilds_rather_than_extends_a_compressed_pool() {
+        let mut engine = primed_engine(); // θ=300, seed 5
+        engine.compress_pool().unwrap();
+        let (info, action) = engine.ensure_pool(500, 5).unwrap();
+        assert_eq!(
+            action,
+            PoolAction::Built,
+            "compressed arenas cannot grow in place"
+        );
+        assert_eq!(info.theta, 500);
+        assert_eq!(info.arena, imin_core::ArenaKind::Raw);
+        assert_eq!(engine.stats().pool_extends, 0);
+        // A matching request still reuses the compressed pool as-is.
+        let mut again = primed_engine();
+        again.compress_pool().unwrap();
+        let (info, action) = again.ensure_pool(300, 5).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        assert_eq!(info.arena, imin_core::ArenaKind::Compressed);
+    }
+
+    #[test]
+    fn mapped_restore_answers_byte_identically_to_a_copy_restore() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-engine-maprestore-{}.iminsnap",
+            std::process::id()
+        ));
+        let mut engine = primed_engine();
+        let q = query(2, 3);
+        let before = engine.query(&q).unwrap();
+        engine.save_snapshot(&path).unwrap();
+
+        let mut warm = Engine::new().with_threads(2);
+        let info = warm.restore_snapshot_with(&path, RestoreMode::Map).unwrap();
+        assert_eq!(info.theta, 300);
+        assert_eq!(info.arena, imin_core::ArenaKind::MappedRaw);
+        assert_eq!(
+            info.provenance,
+            PoolProvenance::Mapped {
+                path: path.display().to_string()
+            }
+        );
+        let after = warm.query(&q).unwrap();
+        assert!(!after.from_cache);
+        assert_eq!(before.blockers, after.blockers);
+        assert_eq!(before.estimated_spread, after.estimated_spread);
+
+        // A growing POOL on the mapped pool rebuilds instead of extending.
+        let (info, action) = warm.ensure_pool(400, 5).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(info.arena, imin_core::ArenaKind::Raw);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{
     Engine, EngineStats, PoolAction, PoolInfo, PoolProvenance, Query, QueryAlgorithm, QueryResult,
+    RestoreMode,
 };
 pub use error::EngineError;
 pub use imin_core::snapshot::{SnapshotError, SnapshotSummary};

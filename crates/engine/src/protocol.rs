@@ -11,7 +11,9 @@
 //! POOL 10000 42                              make θ=10000 realisations (seed 42) resident
 //! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
 //! SAVE /var/lib/imin/wc50k.iminsnap          snapshot the graph + resident pool to disk
-//! RESTORE /var/lib/imin/wc50k.iminsnap       warm-start from a snapshot file
+//! RESTORE /var/lib/imin/wc50k.iminsnap       warm-start from a snapshot file (bulk copy)
+//! RESTORE /var/lib/imin/wc50k.iminsnap mode=map  warm-start zero-copy via mmap
+//! COMPRESS                                   re-encode the resident pool in place
 //! STATS                                      engine counters, pool facts and provenance
 //! PING                                       liveness probe
 //! QUIT                                       close this connection
@@ -25,7 +27,13 @@
 //! (`source=built`). `SAVE`/`RESTORE` persist the pool in the versioned
 //! binary snapshot format of [`imin_core::snapshot`]; a restored engine
 //! answers queries byte-identically to the engine that saved it. Both take
-//! exactly one whitespace-free path argument.
+//! exactly one whitespace-free path argument; `RESTORE` additionally
+//! accepts `mode=copy` (default: bulk-read the file into owned arenas) or
+//! `mode=map` (serve sample data zero-copy out of a memory-mapped v2
+//! snapshot — pages fault in lazily, so the first query is ready long
+//! before a bulk read would finish). `COMPRESS` re-encodes the resident
+//! pool into the delta-varint/bitset arena without touching the result
+//! cache — compressed pools answer byte-identically.
 //!
 //! `model=` accepts `wc` (weighted cascade), `tri` / `tri:<seed>`
 //! (trivalency), `const:<p>`, and `keep` (use probabilities as loaded;
@@ -60,7 +68,7 @@
 //! `ERR internal: <reason>` reports a panicking request handler: the
 //! engine recovers (no lock stays poisoned) and the connection stays open.
 
-use crate::engine::Query;
+use crate::engine::{Query, RestoreMode};
 use imin_core::AlgorithmKind;
 use imin_graph::VertexId;
 
@@ -139,7 +147,11 @@ pub enum Request {
     Restore {
         /// Source path (single whitespace-free token).
         path: String,
+        /// Bulk copy (default) or zero-copy mmap.
+        mode: RestoreMode,
     },
+    /// Re-encode the resident pool into the compressed arena.
+    Compress,
     /// Report engine counters and pool facts.
     Stats,
     /// Liveness probe.
@@ -324,17 +336,44 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             let path = tokens
                 .get(1)
                 .ok_or_else(|| format!("{verb} requires a snapshot path"))?;
-            if tokens.len() > 2 {
-                return Err(format!(
-                    "{verb} takes exactly one path (whitespace in paths is not supported)"
-                ));
-            }
             let path = path.to_string();
-            Ok(if verb == "SAVE" {
-                Request::Save { path }
-            } else {
-                Request::Restore { path }
-            })
+            if verb == "SAVE" {
+                if tokens.len() > 2 {
+                    return Err(
+                        "SAVE takes exactly one path (whitespace in paths is not supported)".into(),
+                    );
+                }
+                return Ok(Request::Save { path });
+            }
+            let mut mode = RestoreMode::Copy;
+            for token in &tokens[2..] {
+                let (key, value) = parse_kv(token).map_err(|_| {
+                    "RESTORE takes exactly one path (whitespace in paths is not supported) \
+                     plus an optional mode=copy|map"
+                        .to_string()
+                })?;
+                match key.to_ascii_lowercase().as_str() {
+                    "mode" => {
+                        mode = match value.to_ascii_lowercase().as_str() {
+                            "copy" => RestoreMode::Copy,
+                            "map" => RestoreMode::Map,
+                            other => {
+                                return Err(format!(
+                                    "unknown RESTORE mode '{other}' (expected copy or map)"
+                                ))
+                            }
+                        }
+                    }
+                    other => return Err(format!("unknown RESTORE argument '{other}'")),
+                }
+            }
+            Ok(Request::Restore { path, mode })
+        }
+        "COMPRESS" => {
+            if tokens.len() > 1 {
+                return Err("COMPRESS takes no arguments".into());
+            }
+            Ok(Request::Compress)
         }
         "STATS" => Ok(Request::Stats),
         "PING" => Ok(Request::Ping),
@@ -438,9 +477,25 @@ mod tests {
         assert_eq!(
             parse_request("restore /tmp/pool.iminsnap").unwrap(),
             Request::Restore {
-                path: "/tmp/pool.iminsnap".into()
+                path: "/tmp/pool.iminsnap".into(),
+                mode: RestoreMode::Copy,
             }
         );
+        assert_eq!(
+            parse_request("RESTORE /tmp/pool.iminsnap mode=map").unwrap(),
+            Request::Restore {
+                path: "/tmp/pool.iminsnap".into(),
+                mode: RestoreMode::Map,
+            }
+        );
+        assert_eq!(
+            parse_request("restore /tmp/pool.iminsnap MODE=COPY").unwrap(),
+            Request::Restore {
+                path: "/tmp/pool.iminsnap".into(),
+                mode: RestoreMode::Copy,
+            }
+        );
+        assert_eq!(parse_request("compress").unwrap(), Request::Compress);
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
@@ -473,6 +528,9 @@ mod tests {
             ("RESTORE", "requires a snapshot path"),
             ("SAVE /a/b /c/d", "exactly one path"),
             ("RESTORE a b", "exactly one path"),
+            ("RESTORE a mode=zerocopy", "unknown RESTORE mode"),
+            ("RESTORE a frob=1", "unknown RESTORE argument"),
+            ("COMPRESS now", "no arguments"),
         ] {
             let err = parse_request(line).expect_err(line);
             assert!(

@@ -243,7 +243,7 @@ fn execute(request: Request, engine: &SharedEngine) -> String {
                 summary.bytes_written, summary.theta, summary.graph_fingerprint
             ),
         },
-        Request::Restore { path } => match engine.restore_snapshot(&path) {
+        Request::Restore { path, mode } => match engine.restore_snapshot_with(&path, mode) {
             Err(err) => format!("ERR {err}"),
             Ok(info) => {
                 let (theta, seed, bytes, ms) = (
@@ -257,8 +257,24 @@ fn execute(request: Request, engine: &SharedEngine) -> String {
                     .graph
                     .map(|g| (g.num_vertices(), g.num_edges()))
                     .unwrap_or((0, 0));
-                format!("OK n={n} m={m} theta={theta} seed={seed} bytes={bytes} restore_ms={ms}")
+                format!(
+                    "OK n={n} m={m} theta={theta} seed={seed} bytes={bytes} restore_ms={ms} \
+                     mode={} arena={}",
+                    mode.label(),
+                    info.arena.as_str()
+                )
             }
+        },
+        Request::Compress => match engine.compress_pool() {
+            Err(err) => format!("ERR {err}"),
+            Ok(info) => format!(
+                "OK theta={} bytes={} ratio={:.4} arena={} compress_ms={}",
+                info.theta,
+                info.memory_bytes,
+                info.compression_ratio,
+                info.arena.as_str(),
+                info.build_time.as_millis()
+            ),
         },
         Request::Query(query) => run_query(&query, engine),
         Request::Stats => stats_line(engine),
@@ -306,14 +322,24 @@ fn stats_line(engine: &SharedEngine) -> String {
     } else {
         view.graph_label.clone()
     };
-    let (theta, pool_seed, pool_bytes, pool_source) = view
+    let (theta, pool_seed, pool_bytes, pool_source, pool_arena, pool_ratio) = view
         .pool_info
         .as_ref()
-        .map(|p| (p.theta, p.seed, p.memory_bytes, p.provenance.label()))
-        .unwrap_or((0, 0, 0, "none".into()));
+        .map(|p| {
+            (
+                p.theta,
+                p.seed,
+                p.memory_bytes,
+                p.provenance.label(),
+                p.arena.as_str(),
+                p.compression_ratio,
+            )
+        })
+        .unwrap_or((0, 0, 0, "none".into(), "none", 0.0));
     format!(
         "OK graph={label} n={n} m={m} theta={theta} pool_seed={pool_seed} pool_bytes={pool_bytes} \
-         pool_source={pool_source} queries={} cache_hits={} cache_entries={} threads={} \
+         pool_source={pool_source} pool_arena={pool_arena} pool_ratio={pool_ratio:.4} \
+         queries={} cache_hits={} cache_entries={} threads={} \
          query_threads={} max_inflight={} inflight={} coalesced={} rejected={} computed={} \
          lat_load_us={} lat_pool_us={} lat_query_us={} lat_save_us={} lat_restore_us={}",
         stats.queries,
@@ -387,6 +413,63 @@ mod tests {
         let (reply, quit) = answer_line("QUIT", &engine);
         assert_eq!(reply, "OK bye");
         assert!(quit);
+    }
+
+    #[test]
+    fn compress_and_mapped_restore_over_the_protocol_surface() {
+        let engine = engine();
+        let (reply, _) = answer_line("COMPRESS", &engine);
+        assert!(reply.starts_with("ERR"), "COMPRESS before LOAD: {reply}");
+        let (reply, _) = answer_line("LOAD pa n=150 m0=3 seed=7 model=wc", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+        let (reply, _) = answer_line("POOL 120 5", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+        let (raw_answer, _) = answer_line("QUERY ic seeds=0 budget=2", &engine);
+        assert!(raw_answer.starts_with("OK blockers="), "{raw_answer}");
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(
+            reply.contains("pool_arena=raw") && reply.contains(" pool_ratio="),
+            "{reply}"
+        );
+
+        let (reply, _) = answer_line("COMPRESS", &engine);
+        assert!(
+            reply.starts_with("OK theta=120") && reply.contains("arena=compressed"),
+            "{reply}"
+        );
+        let (compressed_answer, _) = answer_line("QUERY ic seeds=0 budget=2", &engine);
+        assert!(
+            compressed_answer.contains("cached=true"),
+            "{compressed_answer}"
+        );
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(reply.contains("pool_arena=compressed"), "{reply}");
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-server-maprestore-{}.iminsnap",
+            std::process::id()
+        ));
+        let (reply, _) = answer_line(&format!("SAVE {}", path.display()), &engine);
+        assert!(reply.starts_with("OK path="), "{reply}");
+        let fresh = SharedEngine::new().with_threads(1);
+        let (reply, _) = answer_line(&format!("RESTORE {} mode=map", path.display()), &fresh);
+        assert!(
+            reply.contains("mode=map") && reply.contains("arena=mmap-compressed"),
+            "{reply}"
+        );
+        let (mapped_answer, _) = answer_line("QUERY ic seeds=0 budget=2", &fresh);
+        // Same blockers/spread as the raw pool; only the cached= flag differs.
+        let strip = |s: &str| {
+            s.split_whitespace()
+                .filter(|tok| !tok.starts_with("cached=") && !tok.starts_with("elapsed_us="))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(strip(&raw_answer), strip(&mapped_answer));
+        let (reply, _) = answer_line("STATS", &fresh);
+        assert!(reply.contains("pool_arena=mmap-compressed"), "{reply}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

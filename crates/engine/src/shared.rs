@@ -52,6 +52,7 @@
 use crate::cache::LruCache;
 use crate::engine::{
     run_pooled, Engine, PoolAction, PoolInfo, PoolProvenance, Query, QueryKey, QueryResult,
+    RestoreMode,
 };
 use crate::{EngineError, Result};
 use imin_core::snapshot::{self, SnapshotSummary};
@@ -144,6 +145,7 @@ struct Counters {
     inflight: AtomicU64,
     pool_builds: AtomicU64,
     pool_extends: AtomicU64,
+    pool_compressions: AtomicU64,
     pool_reuses: AtomicU64,
     graph_loads: AtomicU64,
     snapshot_saves: AtomicU64,
@@ -181,6 +183,8 @@ pub struct ServingStats {
     pub pool_builds: u64,
     /// Pools grown in place via `extend_to`.
     pub pool_extends: u64,
+    /// Pools re-encoded into a compressed arena via `COMPRESS`.
+    pub pool_compressions: u64,
     /// `POOL` requests satisfied by the already-resident pool.
     pub pool_reuses: u64,
     /// Graphs installed (`LOAD` and `RESTORE`).
@@ -286,6 +290,8 @@ impl SharedEngine {
         c.cache_hits.store(parts.stats.cache_hits, Relaxed);
         c.pool_builds.store(parts.stats.pool_builds, Relaxed);
         c.pool_extends.store(parts.stats.pool_extends, Relaxed);
+        c.pool_compressions
+            .store(parts.stats.pool_compressions, Relaxed);
         c.pool_reuses.store(parts.stats.pool_reuses, Relaxed);
         c.graph_loads.store(parts.stats.graph_loads, Relaxed);
         c.snapshot_saves.store(parts.stats.snapshot_saves, Relaxed);
@@ -361,6 +367,7 @@ impl SharedEngine {
             inflight: c.inflight.load(Relaxed),
             pool_builds: c.pool_builds.load(Relaxed),
             pool_extends: c.pool_extends.load(Relaxed),
+            pool_compressions: c.pool_compressions.load(Relaxed),
             pool_reuses: c.pool_reuses.load(Relaxed),
             graph_loads: c.graph_loads.load(Relaxed),
             snapshot_saves: c.snapshot_saves.load(Relaxed),
@@ -457,10 +464,12 @@ impl SharedEngine {
                 return Ok((info, PoolAction::Reused));
             }
         }
+        // Compressed and mapped arenas cannot grow in place — a growing
+        // request against one falls through to the rebuild path below.
         let grows = state
             .pool
             .as_ref()
-            .is_some_and(|p| p.pool_seed() == seed && p.theta() < theta);
+            .is_some_and(|p| p.pool_seed() == seed && p.theta() < theta && p.is_extendable());
         if grows {
             let pool_arc = state.pool.as_mut().expect("grows implies a pool");
             // New queries are blocked by the write lock; in-flight ones
@@ -473,15 +482,12 @@ impl SharedEngine {
                 .expect("drained to exclusive")
                 .extend_to(&graph, theta, self.threads)?;
             let pool = state.pool.as_ref().expect("pool still resident");
-            let info = PoolInfo {
-                theta,
-                seed,
-                threads: self.threads,
-                build_time: build.elapsed(),
-                memory_bytes: pool.memory_bytes(),
-                live_edges: pool.total_live_edges(),
-                provenance: PoolProvenance::Extended { from_theta },
-            };
+            let info = PoolInfo::for_pool(
+                pool,
+                self.threads,
+                build.elapsed(),
+                PoolProvenance::Extended { from_theta },
+            );
             state.pool_info = Some(info.clone());
             state.epoch += 1;
             self.reset_cache(state.epoch);
@@ -501,15 +507,7 @@ impl SharedEngine {
         }
         let build = Instant::now();
         let pool = SamplePool::build_with_threads(&graph, theta, seed, self.threads)?;
-        let info = PoolInfo {
-            theta,
-            seed,
-            threads: self.threads,
-            build_time: build.elapsed(),
-            memory_bytes: pool.memory_bytes(),
-            live_edges: pool.total_live_edges(),
-            provenance: PoolProvenance::Built,
-        };
+        let info = PoolInfo::for_pool(&pool, self.threads, build.elapsed(), PoolProvenance::Built);
         state.pool = Some(Arc::new(pool));
         state.pool_info = Some(info.clone());
         state.epoch += 1;
@@ -554,20 +552,42 @@ impl SharedEngine {
     /// Every snapshot defect surfaces as the typed
     /// [`imin_core::SnapshotError`] inside [`EngineError::Core`].
     pub fn restore_snapshot(&self, path: impl AsRef<Path>) -> Result<PoolInfo> {
+        self.restore_snapshot_with(path, RestoreMode::Copy)
+    }
+
+    /// [`SharedEngine::restore_snapshot`] with an explicit [`RestoreMode`].
+    /// `Map` skips the bulk copy entirely: the snapshot is memory-mapped
+    /// after eager header/directory validation and arena slices are served
+    /// straight from the page cache — first-query-ready in milliseconds
+    /// regardless of pool size, with per-sample validation deferred to
+    /// first touch (a corrupt sample answers `ERR internal …`, the engine
+    /// stays healthy).
+    ///
+    /// # Errors
+    /// Same as [`SharedEngine::restore_snapshot`]; `Map` additionally
+    /// rejects v1 snapshots and big-endian hosts.
+    pub fn restore_snapshot_with(
+        &self,
+        path: impl AsRef<Path>,
+        mode: RestoreMode,
+    ) -> Result<PoolInfo> {
         let start = Instant::now();
         let path = path.as_ref();
-        let restored = snapshot::load_snapshot(path)?;
-        let info = PoolInfo {
-            theta: restored.pool.theta(),
-            seed: restored.pool.pool_seed(),
-            threads: self.threads,
-            build_time: start.elapsed(),
-            memory_bytes: restored.pool.memory_bytes(),
-            live_edges: restored.pool.total_live_edges(),
-            provenance: PoolProvenance::Restored {
-                path: path.display().to_string(),
-            },
+        let (restored, provenance) = match mode {
+            RestoreMode::Copy => (
+                snapshot::load_snapshot(path)?,
+                PoolProvenance::Restored {
+                    path: path.display().to_string(),
+                },
+            ),
+            RestoreMode::Map => (
+                snapshot::map_snapshot(path)?,
+                PoolProvenance::Mapped {
+                    path: path.display().to_string(),
+                },
+            ),
         };
+        let info = PoolInfo::for_pool(&restored.pool, self.threads, start.elapsed(), provenance);
         {
             let mut state = write_unpoisoned(&self.state);
             state.graph = Some(Arc::new(restored.graph));
@@ -586,6 +606,39 @@ impl SharedEngine {
         self.counters
             .lat_restore_us
             .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        Ok(info)
+    }
+
+    /// Re-encodes the resident pool into a compressed arena (delta-varint
+    /// or per-sample bitset per realisation, whichever is smaller).
+    /// Compressed pools answer queries **byte-identically** to the raw pool
+    /// they came from, so the result cache and epoch survive — in-flight
+    /// queries finish against their own `Arc` of the raw pool and their
+    /// answers stay valid. An already-compressed pool is a no-op.
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the engine
+    /// is primed, or the encoder's error.
+    pub fn compress_pool(&self) -> Result<PoolInfo> {
+        let mut state = write_unpoisoned(&self.state);
+        let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
+        let pool = state.pool.clone().ok_or(EngineError::NoPool)?;
+        if pool.arena_kind() == imin_core::ArenaKind::Compressed {
+            return Ok(state.pool_info.clone().expect("resident pool has info"));
+        }
+        let start = Instant::now();
+        let compressed = pool.compress(&graph, self.threads)?;
+        let provenance = state
+            .pool_info
+            .as_ref()
+            .map(|info| info.provenance.clone())
+            .unwrap_or(PoolProvenance::Built);
+        let info = PoolInfo::for_pool(&compressed, self.threads, start.elapsed(), provenance);
+        state.pool = Some(Arc::new(compressed));
+        state.pool_info = Some(info.clone());
+        // No epoch bump and no cache reset: compressed answers are
+        // byte-identical, every cached and in-flight answer stays correct.
+        self.counters.pool_compressions.fetch_add(1, Relaxed);
         Ok(info)
     }
 
@@ -889,6 +942,62 @@ mod tests {
         assert_eq!(before.blockers, after.blockers);
         assert_eq!(before.estimated_spread, after.estimated_spread);
         assert_eq!(warm.stats().snapshot_restores, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compress_pool_swaps_arenas_without_disturbing_answers() {
+        let engine = primed(200);
+        let q = query(2, 3);
+        let raw = engine.query(&q).unwrap();
+        assert_eq!(engine.cache_entries(), 1);
+        let info = engine.compress_pool().unwrap();
+        assert_eq!(info.arena, imin_core::ArenaKind::Compressed);
+        assert_eq!(
+            engine.cache_entries(),
+            1,
+            "byte-identical answers: the cache survives the swap"
+        );
+        assert!(engine.query(&q).unwrap().from_cache);
+        let fresh = engine.query(&query(7, 2)).unwrap();
+        let reference = primed(200).query(&query(7, 2)).unwrap();
+        assert_eq!(fresh.blockers, reference.blockers);
+        assert_eq!(fresh.estimated_spread, reference.estimated_spread);
+        let _ = raw;
+        let stats = engine.stats();
+        assert_eq!(stats.pool_compressions, 1);
+        // Idempotent; a growing POOL afterwards rebuilds instead of extending.
+        engine.compress_pool().unwrap();
+        assert_eq!(engine.stats().pool_compressions, 1);
+        let (_, action) = engine.ensure_pool(300, 5).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(engine.stats().pool_extends, 0);
+    }
+
+    #[test]
+    fn mapped_restore_serves_queries_from_the_snapshot_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-shared-maprestore-{}.iminsnap",
+            std::process::id()
+        ));
+        let engine = primed(150);
+        let q = query(4, 2);
+        let before = engine.query(&q).unwrap();
+        engine.save_snapshot(&path).unwrap();
+        let warm = SharedEngine::new().with_threads(1);
+        let info = warm
+            .restore_snapshot_with(&path, crate::engine::RestoreMode::Map)
+            .unwrap();
+        assert_eq!(info.theta, 150);
+        assert_eq!(info.arena, imin_core::ArenaKind::MappedRaw);
+        assert_eq!(
+            info.provenance.label(),
+            format!("mapped:{}", path.display())
+        );
+        let after = warm.query(&q).unwrap();
+        assert_eq!(before.blockers, after.blockers);
+        assert_eq!(before.estimated_spread, after.estimated_spread);
         let _ = std::fs::remove_file(&path);
     }
 
