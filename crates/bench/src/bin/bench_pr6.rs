@@ -368,7 +368,7 @@ fn main() {
     oracle.load_graph(oracle_graph, "oracle".into());
     oracle.build_pool(cfg.theta, 7).expect("oracle pool");
     for (line, blockers, spread) in &stress_answers {
-        let Ok(Request::Query(query)) = parse_request(line) else {
+        let Ok(Request::Query { query, .. }) = parse_request(line) else {
             panic!("stress line must parse: {line}");
         };
         let expect = oracle.query(&query).expect("oracle query");

@@ -31,6 +31,7 @@
 //! With a single seed it takes the historical single-source path, so
 //! results are bit-identical to [`decrease_es_computation_in`].
 
+use crate::pool::{lap, ticks, PhaseSplit, LAP_STRIDE};
 use crate::sampler::{CompactSample, IcLiveEdgeSampler, SpreadSampler};
 use crate::{IminError, Result};
 use imin_domtree::DomTreeWorkspace;
@@ -110,11 +111,25 @@ struct WorkerScratch {
     domtree: DomTreeWorkspace,
     sizes: Vec<u64>,
     delta_sum: Vec<f64>,
+    /// Nanoseconds spent in the sample / domtree / credit phases of the
+    /// last accumulate call, estimated by stride-sampled lapping (all
+    /// zero when it ran untimed). Workers fill these plain slots; the
+    /// calling thread folds them into its `imin_obs` span after the join.
+    phase_ns: [u64; 3],
 }
+
+/// `phase_ns` slot indices of [`WorkerScratch`].
+const DN_SAMPLE: usize = 0;
+const DN_DOMTREE: usize = 1;
+const DN_CREDIT: usize = 2;
 
 impl WorkerScratch {
     /// Draws `samples` live-edge samples and accumulates raw subtree sizes
-    /// into `self.delta_sum`; returns the summed cascade sizes.
+    /// into `self.delta_sum`; returns the summed cascade sizes. When
+    /// `timed` is set, per-phase wall-clock nanoseconds are estimated into
+    /// `self.phase_ns` by stride-sampled lapping (untimed calls never
+    /// read the clock).
+    #[allow(clippy::too_many_arguments)]
     fn accumulate<S: SpreadSampler + ?Sized>(
         &mut self,
         sampler: &S,
@@ -123,6 +138,7 @@ impl WorkerScratch {
         blocked: &[bool],
         samples: usize,
         seed: u64,
+        timed: bool,
     ) -> f64 {
         let n = graph.num_vertices();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -133,12 +149,20 @@ impl WorkerScratch {
             domtree,
             sizes,
             delta_sum,
+            phase_ns,
         } = self;
         delta_sum.clear();
         delta_sum.resize(n, 0.0);
+        *phase_ns = [0; 3];
         let mut reached_sum = 0.0f64;
-        for _ in 0..samples {
+        let split = timed.then(PhaseSplit::begin);
+        for i in 0..samples {
+            let sampled = timed && i & (LAP_STRIDE - 1) == 0;
+            let mut mark = if sampled { ticks() } else { 0 };
             sampler.sample(graph, source, blocked, &mut rng, sample);
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_SAMPLE]);
+            }
             let reached = sample.num_reached();
             reached_sum += reached as f64;
             if reached <= 1 {
@@ -152,6 +176,9 @@ impl WorkerScratch {
                 sample.targets(),
                 VertexId::new(0),
             );
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_DOMTREE]);
+            }
             dt.subtree_sizes_into(sizes);
             let globals = sample.vertices();
             // Skip the source (local 0): blocking a seed is not allowed and
@@ -159,6 +186,12 @@ impl WorkerScratch {
             for local in 1..reached {
                 delta_sum[globals[local] as usize] += sizes[local] as f64;
             }
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_CREDIT]);
+            }
+        }
+        if let Some(split) = split {
+            split.split(phase_ns);
         }
         reached_sum
     }
@@ -176,6 +209,7 @@ impl WorkerScratch {
         blocked: &[bool],
         samples: usize,
         seed: u64,
+        timed: bool,
     ) -> f64 {
         let n = graph.num_vertices();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -184,14 +218,22 @@ impl WorkerScratch {
             domtree,
             sizes,
             delta_sum,
+            phase_ns,
         } = self;
         delta_sum.clear();
         delta_sum.resize(n, 0.0);
+        *phase_ns = [0; 3];
         let mut reached_sum = 0.0f64;
         // Local 0 is the virtual root; it is bookkeeping, not spread.
         let only_seeds = 1 + seeds.len();
-        for _ in 0..samples {
+        let split = timed.then(PhaseSplit::begin);
+        for i in 0..samples {
+            let sampled = timed && i & (LAP_STRIDE - 1) == 0;
+            let mut mark = if sampled { ticks() } else { 0 };
             sampler.sample_multi(graph, seeds, blocked, &mut rng, sample);
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_SAMPLE]);
+            }
             let reached = sample.num_reached();
             reached_sum += (reached - 1) as f64;
             if reached <= only_seeds {
@@ -205,6 +247,9 @@ impl WorkerScratch {
                 sample.targets(),
                 VertexId::new(0),
             );
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_DOMTREE]);
+            }
             dt.subtree_sizes_into(sizes);
             let globals = sample.vertices();
             for local in 1..reached {
@@ -214,8 +259,24 @@ impl WorkerScratch {
                 }
                 delta_sum[g] += sizes[local] as f64;
             }
+            if sampled {
+                lap(&mut mark, &mut phase_ns[DN_CREDIT]);
+            }
+        }
+        if let Some(split) = split {
+            split.split(phase_ns);
         }
         reached_sum
+    }
+}
+
+/// Folds every worker's `phase_ns` slots into the calling thread's span.
+fn merge_phase_ns(workers: &[WorkerScratch]) {
+    use imin_obs::{span, Phase};
+    for worker in workers {
+        span::add_ns(Phase::Sample, worker.phase_ns[DN_SAMPLE]);
+        span::add_ns(Phase::DomTree, worker.phase_ns[DN_DOMTREE]);
+        span::add_ns(Phase::Credit, worker.phase_ns[DN_CREDIT]);
     }
 }
 
@@ -348,10 +409,15 @@ pub fn decrease_es_computation_in<S: SpreadSampler + ?Sized>(
     }
 
     let threads = config.threads.max(1).min(config.theta);
+    // Sampled on the calling thread; workers only fill plain slots.
+    let timed = imin_obs::span::active();
     let workers = workspace.ensure_workers(threads);
     let reached_sum = accumulate_sharded(workers, threads, config, |worker, samples, seed| {
-        worker.accumulate(sampler, graph, source, blocked, samples, seed)
+        worker.accumulate(sampler, graph, source, blocked, samples, seed, timed)
     });
+    if timed {
+        merge_phase_ns(workers);
+    }
     Ok(finalise(merged_delta(workers), reached_sum, config.theta))
 }
 
@@ -464,6 +530,7 @@ pub fn decrease_es_multi_in<S: SpreadSampler + ?Sized>(
     }
 
     let threads = config.threads.max(1).min(config.theta);
+    let timed = imin_obs::span::active();
     let DecreaseWorkspace {
         workers,
         staged_seeds,
@@ -480,8 +547,12 @@ pub fn decrease_es_multi_in<S: SpreadSampler + ?Sized>(
             blocked,
             samples,
             seed,
+            timed,
         )
     });
+    if timed {
+        merge_phase_ns(workers);
+    }
     Ok(finalise(merged_delta(workers), reached_sum, config.theta))
 }
 

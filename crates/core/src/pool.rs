@@ -689,6 +689,110 @@ struct PoolWorkerScratch {
     /// thread-count-independent — the determinism contract of the pool.
     delta_sum: Vec<u64>,
     reached_sum: u64,
+    /// Nanoseconds spent in the decode / bfs / domtree / credit phases of
+    /// the last `accumulate` call, estimated by profiling a prefix of the
+    /// realisations (all zero when it ran untimed). Workers fill these
+    /// plain slots; the calling thread folds them into its `imin_obs`
+    /// span after the join.
+    phase_ns: [u64; 4],
+}
+
+/// `phase_ns` slot indices of [`PoolWorkerScratch`].
+const PN_DECODE: usize = 0;
+const PN_BFS: usize = 1;
+const PN_DOMTREE: usize = 2;
+const PN_CREDIT: usize = 3;
+
+/// Stride for sampled phase lapping in the runtime-branched estimator
+/// loops ([`crate::decrease`]): one sample iteration in `LAP_STRIDE`
+/// reads the clock at each phase boundary, the rest skip the laps, and
+/// [`PhaseSplit`] spreads the loop's measured wall time across the
+/// phases in the sampled proportions. The phase *total* stays exact
+/// while per-phase attribution carries only the ~1/√(θ/stride) sampling
+/// error. Power of two so the stride test compiles to a mask.
+pub(crate) const LAP_STRIDE: usize = 16;
+
+/// Number of leading samples a *timed* pooled accumulate routes through
+/// the instrumented monomorphisation to measure the phase mix; the rest
+/// run the untimed loop at full speed and [`PhaseSplit`] spreads the
+/// call's total wall time by the profiled proportions. Keeping the
+/// instrumented instance off the bulk of the work matters far more than
+/// the clock reads themselves: the extra code in the loop body was
+/// observed degrading the BFS codegen by 4–13% depending on build, while
+/// a 128-sample profile prefix bounds that to ~0.2% of a θ=10⁴ query.
+/// Phase totals stay exact by construction; per-phase attribution
+/// carries the ~1/√PROFILE_SAMPLES sampling error per round.
+const PROFILE_SAMPLES: usize = 128;
+
+/// A cheap monotonic tick source for phase lapping. On x86-64 this is a
+/// single `rdtsc` instruction — a fraction of the `clock_gettime` call
+/// behind `Instant::now`. Ticks never leave the module: [`PhaseSplit`]
+/// only uses their *ratios*, so the TSC frequency needs no calibration;
+/// non-x86 targets fall back to `Instant`.
+#[inline]
+pub(crate) fn ticks() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `rdtsc` has no preconditions — it only reads the
+    // time-stamp counter.
+    #[allow(unsafe_code)]
+    unsafe {
+        core::arch::x86_64::_rdtsc()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Advances `mark` to the current tick and adds the elapsed ticks to
+/// `slot`. Chaining laps this way costs one tick read per phase boundary.
+#[inline]
+pub(crate) fn lap(mark: &mut u64, slot: &mut u64) {
+    let now = ticks();
+    *slot += now.wrapping_sub(*mark);
+    *mark = now;
+}
+
+/// `Instant`-denominated lap for coarse, once-per-request phase boundaries
+/// (the snapshot load/validate/map phases), where a full clock read per
+/// lap is noise and no tick-to-nanosecond scaling pass runs afterwards.
+pub(crate) fn lap_instant(mark: &mut Instant, slot: &mut u64) {
+    let now = Instant::now();
+    *slot += now.duration_since(*mark).as_nanos() as u64;
+    *mark = now;
+}
+
+/// Spreads a lapped loop's total wall time across its phase slots in the
+/// proportion of their sampled tick counts: `begin` before the loop,
+/// `split` after it. The slots then sum to the loop's measured elapsed
+/// time exactly — whatever fraction of iterations was sampled and
+/// whatever the tick frequency.
+pub(crate) struct PhaseSplit {
+    start: Instant,
+}
+
+impl PhaseSplit {
+    pub(crate) fn begin() -> Self {
+        PhaseSplit {
+            start: Instant::now(),
+        }
+    }
+
+    /// Rewrites tick-denominated `slots` in place as nanoseconds summing
+    /// to the elapsed time since `begin`. All-zero slots are left alone
+    /// (an empty loop has nothing to attribute).
+    pub(crate) fn split(&self, slots: &mut [u64]) {
+        let total: u64 = slots.iter().sum();
+        if total == 0 {
+            return;
+        }
+        let elapsed = self.start.elapsed().as_nanos() as f64;
+        for slot in slots.iter_mut() {
+            *slot = (*slot as f64 / total as f64 * elapsed) as u64;
+        }
+    }
 }
 
 impl PoolWorkerScratch {
@@ -697,7 +801,42 @@ impl PoolWorkerScratch {
     /// decoded through the pool's arena view — raw slices, varint streams
     /// and bitset walks all feed the identical BFS, with zero steady-state
     /// allocation.
+    ///
+    /// When `timed` is set, per-phase wall-clock nanoseconds are estimated
+    /// into `self.phase_ns` by prefix profiling: the first
+    /// [`PROFILE_SAMPLES`] realisations run through the instrumented
+    /// monomorphisation (which laps every phase boundary), the bulk runs
+    /// the untimed loop, and the call's total wall time is spread across
+    /// the phases in the profiled proportions. The untimed
+    /// monomorphisation compiles every clock read out, so an
+    /// uninstrumented query pays nothing. Both variants run the identical
+    /// accumulation logic, so answers are byte-identical with timing on
+    /// and off.
     fn accumulate(
+        &mut self,
+        pool: &SamplePool,
+        seeds: &[u32],
+        is_seed: &[bool],
+        blocked: &[bool],
+        range: Range<usize>,
+        timed: bool,
+    ) {
+        self.delta_sum.clear();
+        self.delta_sum.resize(pool.num_vertices, 0);
+        self.reached_sum = 0;
+        self.phase_ns = [0; 4];
+        if timed {
+            let split = PhaseSplit::begin();
+            let profile_end = range.end.min(range.start + PROFILE_SAMPLES);
+            self.accumulate_impl::<true>(pool, seeds, is_seed, blocked, range.start..profile_end);
+            self.accumulate_impl::<false>(pool, seeds, is_seed, blocked, profile_end..range.end);
+            split.split(&mut self.phase_ns);
+        } else {
+            self.accumulate_impl::<false>(pool, seeds, is_seed, blocked, range);
+        }
+    }
+
+    fn accumulate_impl<const TIMED: bool>(
         &mut self,
         pool: &SamplePool,
         seeds: &[u32],
@@ -712,13 +851,15 @@ impl PoolWorkerScratch {
             sizes,
             delta_sum,
             reached_sum,
+            phase_ns,
         } = self;
-        delta_sum.clear();
-        delta_sum.resize(n, 0);
-        *reached_sum = 0;
         let only_seeds = 1 + seeds.len();
         for idx in range {
+            let mut mark = if TIMED { ticks() } else { 0 };
             let view = pool.arena.view(idx);
+            if TIMED {
+                lap(&mut mark, &mut phase_ns[PN_DECODE]);
+            }
             cascade.reset(n);
             // Virtual root → every seed (the unified-seed edges of §V, all
             // with probability 1, so no coins are involved).
@@ -742,6 +883,9 @@ impl PoolWorkerScratch {
                 });
                 cascade.offsets.push(cascade.targets.len() as u32);
             }
+            if TIMED {
+                lap(&mut mark, &mut phase_ns[PN_BFS]);
+            }
             let reached = cascade.vertices.len();
             // The virtual root is bookkeeping, not spread.
             *reached_sum += (reached - 1) as u64;
@@ -756,12 +900,18 @@ impl PoolWorkerScratch {
                 &cascade.targets,
                 VertexId::new(0),
             );
+            if TIMED {
+                lap(&mut mark, &mut phase_ns[PN_DOMTREE]);
+            }
             tree.subtree_sizes_into(sizes);
             for (&global, &size) in cascade.vertices[1..reached].iter().zip(&sizes[1..reached]) {
                 if is_seed[global as usize] {
                     continue;
                 }
                 delta_sum[global as usize] += size;
+            }
+            if TIMED {
+                lap(&mut mark, &mut phase_ns[PN_CREDIT]);
             }
         }
     }
@@ -873,6 +1023,9 @@ pub fn pooled_decrease_in(
     workspace.stage_seeds(n, seeds, blocked)?;
     let theta = pool.theta();
     let threads = threads.max(1).min(theta);
+    // Sampled on the calling thread: workers collect plain nanosecond
+    // slots, and only the caller's span (if any) aggregates them.
+    let timed = imin_obs::span::active();
     let PoolWorkspace {
         workers,
         seeds: staged,
@@ -883,16 +1036,19 @@ pub fn pooled_decrease_in(
     }
     let workers = &mut workers[..threads];
     if threads <= 1 {
-        workers[0].accumulate(pool, staged, is_seed, blocked, 0..theta);
+        workers[0].accumulate(pool, staged, is_seed, blocked, 0..theta, timed);
     } else {
         crossbeam::scope(|scope| {
             for (worker, range) in workers.iter_mut().zip(shard_ranges(theta, threads)) {
                 let (staged, is_seed) = (&*staged, &*is_seed);
-                scope.spawn(move |_| worker.accumulate(pool, staged, is_seed, blocked, range));
+                scope.spawn(move |_| {
+                    worker.accumulate(pool, staged, is_seed, blocked, range, timed)
+                });
             }
         })
         .expect("pooled-estimator worker panicked");
     }
+    let merge_start = timed.then(Instant::now);
     // Integer merge: order-independent, hence thread-count-independent.
     let (first, rest) = workers.split_at_mut(1);
     let delta_sum = &mut first[0].delta_sum;
@@ -904,11 +1060,25 @@ pub fn pooled_decrease_in(
         }
     }
     let inv = 1.0 / theta as f64;
-    Ok(DecreaseEstimate {
+    let estimate = DecreaseEstimate {
         delta: delta_sum.iter().map(|&d| d as f64 * inv).collect(),
         average_reached: reached_total as f64 * inv,
         samples: theta,
-    })
+    };
+    if timed {
+        use imin_obs::{span, Phase};
+        for worker in workers.iter() {
+            span::add_ns(Phase::Decode, worker.phase_ns[PN_DECODE]);
+            span::add_ns(Phase::Bfs, worker.phase_ns[PN_BFS]);
+            span::add_ns(Phase::DomTree, worker.phase_ns[PN_DOMTREE]);
+            span::add_ns(Phase::Credit, worker.phase_ns[PN_CREDIT]);
+        }
+        if let Some(start) = merge_start {
+            // Merge + finalisation scale with n, like credit accumulation.
+            span::add_ns(Phase::Credit, start.elapsed().as_nanos() as u64);
+        }
+    }
+    Ok(estimate)
 }
 
 /// One-shot convenience over [`pooled_decrease_in`] with a fresh workspace.
@@ -922,6 +1092,22 @@ pub fn pooled_decrease(
     threads: usize,
 ) -> Result<DecreaseEstimate> {
     pooled_decrease_in(pool, seeds, blocked, threads, &mut PoolWorkspace::new())
+}
+
+/// `DecreaseEstimate::best_candidate` with the scan attributed to the
+/// `select` phase of the caller's span when `timed` is set.
+fn timed_best(
+    estimate: &DecreaseEstimate,
+    timed: bool,
+    pred: impl Fn(VertexId) -> bool,
+) -> Option<VertexId> {
+    if !timed {
+        return estimate.best_candidate(pred);
+    }
+    let start = Instant::now();
+    let chosen = estimate.best_candidate(pred);
+    imin_obs::span::add_ns(imin_obs::Phase::Select, start.elapsed().as_nanos() as u64);
+    chosen
 }
 
 /// Validates the query-shaped inputs shared by the pooled greedy loops.
@@ -961,6 +1147,7 @@ pub fn pooled_advanced_greedy_in(
 ) -> Result<BlockerSelection> {
     let start = Instant::now();
     validate_pooled_query(pool, forbidden, budget)?;
+    let timed = imin_obs::span::active();
     let n = pool.num_vertices();
     let mut blocked = vec![false; n];
     let mut blockers = Vec::with_capacity(budget);
@@ -969,7 +1156,7 @@ pub fn pooled_advanced_greedy_in(
     for round in 0..budget {
         let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
         stats.samples_drawn += estimate.samples;
-        let chosen = estimate.best_candidate(|v| {
+        let chosen = timed_best(&estimate, timed, |v| {
             !workspace.is_seed[v.index()] && !blocked[v.index()] && !forbidden[v.index()]
         });
         let Some(chosen) = chosen else {
@@ -1010,6 +1197,7 @@ pub fn pooled_greedy_replace_in(
     let start = Instant::now();
     validate_pooled_query(pool, forbidden, budget)?;
     pool.ensure_matches(graph)?;
+    let timed = imin_obs::span::active();
     let n = pool.num_vertices();
     let mut blocked = vec![false; n];
     let mut blockers: Vec<VertexId> = Vec::with_capacity(budget);
@@ -1041,7 +1229,7 @@ pub fn pooled_greedy_replace_in(
         stats.rounds += 1;
         let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
         stats.samples_drawn += estimate.samples;
-        let chosen = estimate.best_candidate(|v| {
+        let chosen = timed_best(&estimate, timed, |v| {
             candidate_pool.contains(&v) && eligible(v, &blocked, &workspace.is_seed)
         });
         let Some(chosen) = chosen else { break };
@@ -1056,7 +1244,9 @@ pub fn pooled_greedy_replace_in(
         stats.rounds += 1;
         let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
         stats.samples_drawn += estimate.samples;
-        let chosen = estimate.best_candidate(|v| eligible(v, &blocked, &workspace.is_seed));
+        let chosen = timed_best(&estimate, timed, |v| {
+            eligible(v, &blocked, &workspace.is_seed)
+        });
         let Some(chosen) = chosen else { break };
         estimated_spread = Some(estimate.average_reached - estimate.delta[chosen.index()]);
         blocked[chosen.index()] = true;
@@ -1070,7 +1260,9 @@ pub fn pooled_greedy_replace_in(
         stats.rounds += 1;
         let estimate = pooled_decrease_in(pool, seeds, &blocked, threads, workspace)?;
         stats.samples_drawn += estimate.samples;
-        let chosen = estimate.best_candidate(|v| eligible(v, &blocked, &workspace.is_seed));
+        let chosen = timed_best(&estimate, timed, |v| {
+            eligible(v, &blocked, &workspace.is_seed)
+        });
         let Some(chosen) = chosen else {
             blocked[u.index()] = true;
             break;

@@ -81,10 +81,13 @@
 //! oversized or bit-flipped files produce [`SnapshotError`]s, never panics
 //! or absurd allocations.
 //!
-//! Set the `IMIN_SNAPSHOT_TRACE` environment variable to have
-//! [`load_snapshot`] print a phase breakdown to stderr — the quickest way
-//! to tell a slow disk from slow memory provisioning when a restore
-//! underperforms.
+//! Restore phases (`snap_read`, `snap_validate`, `snap_map`) are reported
+//! through the `imin_obs` span layer, so a serving engine surfaces them in
+//! its `METRICS` histograms and access log. Setting the
+//! `IMIN_SNAPSHOT_TRACE` environment variable additionally prints the same
+//! breakdown to stderr from [`load_snapshot`] / [`map_snapshot`] — the
+//! quickest way to tell a slow disk from slow memory provisioning when a
+//! restore underperforms.
 
 use crate::arena::{ArenaBacking, Blob, CompressedArena, PoolArena, RawArena, Words, MODE_BITSET};
 use crate::mmap::Mmap;
@@ -983,8 +986,12 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
         .into());
     }
 
+    // Restore phases feed the observability span (restores are rare, so
+    // the two clock reads are always taken); `IMIN_SNAPSHOT_TRACE` prints
+    // the same breakdown to stderr for quick command-line diagnosis.
     let trace = std::env::var_os("IMIN_SNAPSHOT_TRACE").is_some();
-    let t_start = std::time::Instant::now();
+    let (mut read_ns, mut validate_ns) = (0u64, 0u64);
+    let mut mark = std::time::Instant::now();
     let mut payload = ChecksumReader::new(&mut file);
     let graph = read_graph_section(&mut payload, &mut header, label_len)?;
     let prefix = common_prefix_size(header.num_vertices, header.num_edges, label_len);
@@ -994,16 +1001,9 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
     } else {
         load_v2_pool_section(&mut payload, &graph, theta, file_len, prefix)?
     };
+    crate::pool::lap_instant(&mut mark, &mut read_ns);
     if let Err((i, reason)) = arena.validate_all() {
         return Err(corrupt(format!("sample {i}: {reason}")));
-    }
-    if trace {
-        eprintln!(
-            "snapshot trace: read+validate phase {:.3}s ({} bytes, v{})",
-            t_start.elapsed().as_secs_f64(),
-            file_len,
-            header.version
-        );
     }
 
     let computed = payload.sum.value();
@@ -1012,6 +1012,21 @@ pub fn load_snapshot(path: &Path) -> Result<RestoredSnapshot> {
     let stored = u64::from_le_bytes(trailer);
     if stored != computed {
         return Err(SnapshotError::ChecksumMismatch { stored, computed }.into());
+    }
+    crate::pool::lap_instant(&mut mark, &mut validate_ns);
+    imin_obs::span::add_ns(imin_obs::Phase::SnapRead, read_ns);
+    imin_obs::span::add_ns(imin_obs::Phase::SnapValidate, validate_ns);
+    if trace {
+        imin_obs::trace_line(
+            "snapshot",
+            &format!(
+                "read {:.3}s validate {:.3}s ({} bytes, v{})",
+                read_ns as f64 / 1e9,
+                validate_ns as f64 / 1e9,
+                file_len,
+                header.version
+            ),
+        );
     }
 
     let pool = SamplePool::from_arena(n, m, header.pool_seed, arena);
@@ -1221,7 +1236,10 @@ pub fn map_snapshot(path: &Path) -> Result<RestoredSnapshot> {
             "memory-mapped restore requires a little-endian host; use the bulk loader".into(),
         ));
     }
+    let (mut map_ns, mut validate_ns) = (0u64, 0u64);
+    let mut mark = std::time::Instant::now();
     let map = Arc::new(Mmap::map_file(path).map_err(SnapshotError::Io)?);
+    crate::pool::lap_instant(&mut mark, &mut map_ns);
     let bytes = map.bytes();
     let file_len = bytes.len() as u64;
     if bytes.len() < HEADER_BYTES as usize {
@@ -1371,6 +1389,23 @@ pub fn map_snapshot(path: &Path) -> Result<RestoredSnapshot> {
         }
         other => return Err(corrupt(format!("unknown pool-section arena kind {other}"))),
     };
+    // Header decode, graph parse, fingerprint and directory checks: the
+    // eager part of a mapped restore (per-sample validation is lazy).
+    crate::pool::lap_instant(&mut mark, &mut validate_ns);
+    imin_obs::span::add_ns(imin_obs::Phase::SnapMap, map_ns);
+    imin_obs::span::add_ns(imin_obs::Phase::SnapValidate, validate_ns);
+    if std::env::var_os("IMIN_SNAPSHOT_TRACE").is_some() {
+        imin_obs::trace_line(
+            "snapshot",
+            &format!(
+                "map {:.3}s validate {:.3}s ({} bytes, v{}, lazy samples)",
+                map_ns as f64 / 1e9,
+                validate_ns as f64 / 1e9,
+                file_len,
+                header.version
+            ),
+        );
+    }
     let pool = SamplePool::from_arena(
         n,
         graph.num_edges(),

@@ -9,7 +9,10 @@
 //!
 //! Each command argument is sent as one request line and the raw reply line
 //! is printed to stdout. Exits non-zero if the connection fails or any
-//! reply is an `ERR` line, so it doubles as a CI smoke probe.
+//! reply is an `ERR` line, so it doubles as a CI smoke probe. `METRICS` is
+//! the one multi-line reply (`OK lines=<n>` plus `n` lines of Prometheus
+//! exposition) — `imin-cli HOST:PORT METRICS` prints it whole, byte-for-byte
+//! identical to local mode, so it works as a scrape shim.
 //!
 //! `local` skips TCP entirely: the lines run through the same
 //! [`imin_engine::answer_line`] state machine the server uses, against an
@@ -40,6 +43,14 @@ impl Session {
     fn send(&mut self, line: &str) -> imin_engine::Result<(String, bool)> {
         match self {
             Session::Remote(client) => {
+                // METRICS is the protocol's one multi-line reply: read the
+                // whole exposition and reassemble the exact bytes local
+                // mode prints, so both modes stay interchangeable.
+                if line.trim().eq_ignore_ascii_case("METRICS") {
+                    let body = client.metrics()?;
+                    let body = body.trim_end_matches('\n');
+                    return Ok((format!("OK lines={}\n{body}", body.lines().count()), false));
+                }
                 let reply = client.send_raw(line)?;
                 let closed = reply == "OK bye";
                 Ok((reply, closed))

@@ -3,6 +3,7 @@
 //! ```text
 //! imin-serve [--addr HOST:PORT] [--threads N] [--query-threads N]
 //!            [--cache N] [--max-inflight N]
+//!            [--log text|json] [--slow-query-ms N] [--no-obs]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7470`, port 0 for ephemeral), prints one
@@ -19,12 +20,19 @@
 //! either way). `--max-inflight` bounds concurrently computing queries;
 //! beyond it the server answers `ERR busy retry_after_ms=…` instead of
 //! queueing unboundedly.
+//!
+//! Observability: `--log text|json` writes one structured access-log line
+//! per request to stderr; requests at or above `--slow-query-ms`
+//! (default 1000) additionally log their per-phase breakdown. `--no-obs`
+//! disables phase spans and traces entirely (verb latency histograms and
+//! the `METRICS` exposition stay on — they are effectively free).
 
-use imin_engine::{Server, SharedEngine};
+use imin_engine::{AccessLog, LogFormat, Server, SharedEngine};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: imin-serve [--addr HOST:PORT] [--threads N] [--query-threads N] \
-                     [--cache N] [--max-inflight N]";
+                     [--cache N] [--max-inflight N] [--log text|json] [--slow-query-ms N] \
+                     [--no-obs]";
 
 /// Invalid arguments: usage on stderr, non-zero exit.
 fn usage() -> ExitCode {
@@ -38,6 +46,9 @@ fn main() -> ExitCode {
     let mut query_threads: Option<usize> = None;
     let mut cache: Option<usize> = None;
     let mut max_inflight: Option<usize> = None;
+    let mut log_format: Option<LogFormat> = None;
+    let mut slow_query_ms: u64 = 1_000;
+    let mut observability = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let value = match arg.as_str() {
@@ -46,12 +57,16 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            "--addr" | "--threads" | "--query-threads" | "--cache" | "--max-inflight" => {
-                match args.next() {
-                    Some(v) => v,
-                    None => return usage(),
-                }
+            // Valueless flags settle before the value pull below.
+            "--no-obs" => {
+                observability = false;
+                continue;
             }
+            "--addr" | "--threads" | "--query-threads" | "--cache" | "--max-inflight" | "--log"
+            | "--slow-query-ms" => match args.next() {
+                Some(v) => v,
+                None => return usage(),
+            },
             _ => return usage(),
         };
         let parse_into = |slot: &mut Option<usize>| match value.parse() {
@@ -70,6 +85,20 @@ fn main() -> ExitCode {
             "--query-threads" => parse_into(&mut query_threads),
             "--cache" => parse_into(&mut cache),
             "--max-inflight" => parse_into(&mut max_inflight),
+            "--log" => match value.parse::<LogFormat>() {
+                Ok(format) => {
+                    log_format = Some(format);
+                    true
+                }
+                Err(_) => false,
+            },
+            "--slow-query-ms" => match value.parse() {
+                Ok(ms) => {
+                    slow_query_ms = ms;
+                    true
+                }
+                Err(_) => false,
+            },
             _ => unreachable!(),
         };
         if !ok {
@@ -77,7 +106,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut engine = SharedEngine::new();
+    let mut engine = SharedEngine::new().with_observability(observability);
     if let Some(threads) = threads {
         engine = engine.with_threads(threads);
     }
@@ -90,13 +119,16 @@ fn main() -> ExitCode {
     if let Some(max_inflight) = max_inflight {
         engine = engine.with_max_inflight(max_inflight);
     }
-    let server = match Server::with_shared(&addr, engine) {
+    let mut server = match Server::with_shared(&addr, engine) {
         Ok(server) => server,
         Err(err) => {
             eprintln!("imin-serve: cannot bind {addr}: {err}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(format) = log_format {
+        server = server.with_access_log(AccessLog::to_stderr(format, slow_query_ms));
+    }
     match server.local_addr() {
         Ok(local) => println!("LISTENING {local}"),
         Err(err) => {

@@ -18,10 +18,12 @@ pub struct LruCache<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
-    /// Creates a cache holding at most `capacity` entries (at least 1).
+    /// Creates a cache holding at most `capacity` entries. Capacity `0`
+    /// disables the cache outright — every lookup misses and inserts are
+    /// dropped — for callers that must measure or serve the uncached path.
     pub fn new(capacity: usize) -> Self {
         LruCache {
-            capacity: capacity.max(1),
+            capacity,
             tick: 0,
             map: HashMap::new(),
         }
@@ -60,8 +62,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     /// Inserts `key → value`, evicting the least-recently-used entry if the
-    /// cache is full and `key` is not already present.
+    /// cache is full and `key` is not already present. A capacity-0 cache
+    /// drops the entry.
     pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some(oldest) = self
@@ -113,9 +119,15 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_clamped_and_clear_empties() {
+    fn capacity_zero_disables_caching_and_clear_empties() {
         let mut cache = LruCache::new(0);
-        assert_eq!(cache.capacity(), 1);
+        assert_eq!(cache.capacity(), 0);
+        cache.insert(1u32, ());
+        cache.insert(2u32, ());
+        assert_eq!(cache.get(&1u32), None, "capacity 0 never stores");
+        assert!(cache.is_empty());
+
+        let mut cache = LruCache::new(1);
         cache.insert(1u32, ());
         cache.insert(2u32, ());
         assert_eq!(cache.len(), 1);

@@ -149,6 +149,33 @@ impl Client {
         self.send("STATS")
     }
 
+    /// `METRICS`: reads the multi-line Prometheus exposition. The server
+    /// answers `OK lines=<n>` followed by exactly `n` exposition lines;
+    /// this reads them all and returns the exposition body (no header,
+    /// trailing newline included).
+    ///
+    /// # Errors
+    /// Protocol or I/O errors as in [`Client::send`]; a malformed header
+    /// is a protocol error.
+    pub fn metrics(&mut self) -> Result<String> {
+        let header = self.send_raw("METRICS")?;
+        let payload = parse_reply(&header).map_err(EngineError::Protocol)?;
+        let lines: usize = payload_field(&payload, "lines")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| EngineError::Protocol(format!("missing lines= in '{header}'")))?;
+        let mut body = String::new();
+        for _ in 0..lines {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(EngineError::Protocol(
+                    "server closed the connection mid-exposition".into(),
+                ));
+            }
+            body.push_str(&line);
+        }
+        Ok(body)
+    }
+
     /// `PING`: liveness probe.
     ///
     /// # Errors

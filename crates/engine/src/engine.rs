@@ -52,6 +52,30 @@ impl Query {
     }
 }
 
+/// How a query's answer was produced — surfaced in the trace suffix and
+/// the access log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Disposition {
+    /// A leader computed the answer against the resident pool.
+    #[default]
+    Computed,
+    /// The answer was served from the LRU result cache.
+    CacheHit,
+    /// The request rode along on an identical in-flight computation.
+    Coalesced,
+}
+
+impl Disposition {
+    /// Stable lowercase name used in traces and access-log records.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Disposition::Computed => "computed",
+            Disposition::CacheHit => "cache_hit",
+            Disposition::Coalesced => "coalesced",
+        }
+    }
+}
+
 /// The engine's answer to a [`Query`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryResult {
@@ -69,6 +93,15 @@ pub struct QueryResult {
     pub from_cache: bool,
     /// Wall-clock time to produce (or fetch) the answer.
     pub elapsed: Duration,
+    /// How this answer was produced (computed / cache hit / coalesced).
+    pub disposition: Disposition,
+    /// Per-request trace id assigned by [`crate::SharedEngine`] (0 when
+    /// the result came from the plain [`Engine`], which assigns none).
+    pub trace_id: u64,
+    /// Per-phase time breakdown of the computation that produced this
+    /// answer, when observability was enabled. Cache hits and coalesced
+    /// answers carry the breakdown of the original leader computation.
+    pub phases: Option<imin_obs::PhaseBreakdown>,
 }
 
 /// How the resident pool came to be — surfaced by `STATS` so operators can
@@ -278,7 +311,7 @@ impl Engine {
         self
     }
 
-    /// Sets the LRU result-cache capacity.
+    /// Sets the LRU result-cache capacity (`0` disables result caching).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = LruCache::new(capacity);
         self
@@ -525,6 +558,7 @@ impl Engine {
             self.stats.cache_hits += 1;
             let mut result = hit.clone();
             result.from_cache = true;
+            result.disposition = Disposition::CacheHit;
             result.elapsed = start.elapsed();
             return Ok(result);
         }
@@ -557,6 +591,7 @@ impl Engine {
                 self.stats.cache_hits += 1;
                 let mut result = hit.clone();
                 result.from_cache = true;
+                result.disposition = Disposition::CacheHit;
                 result.elapsed = start.elapsed();
                 outcomes.push(Some(Ok(result)));
             } else {
@@ -682,6 +717,9 @@ pub(crate) fn run_pooled(
         samples_consulted: selection.stats.samples_drawn,
         from_cache: false,
         elapsed: start.elapsed(),
+        disposition: Disposition::Computed,
+        trace_id: 0,
+        phases: None,
     })
 }
 

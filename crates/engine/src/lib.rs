@@ -18,9 +18,9 @@
 //!   parallel read-side queries, single-flight coalescing of identical
 //!   in-flight questions, and admission control (see [`shared`]).
 //! * [`protocol`] — a newline-delimited text protocol (`LOAD`, `POOL`,
-//!   `QUERY`, `SAVE`, `RESTORE`, `STATS`, `PING`, `QUIT`) with an `OK …` /
-//!   `ERR …` reply per request line, shared by the server, the client and
-//!   the tests.
+//!   `QUERY`, `SAVE`, `RESTORE`, `STATS`, `METRICS`, `PING`, `QUIT`) with
+//!   an `OK …` / `ERR …` reply per request line, shared by the server, the
+//!   client and the tests.
 //!
 //! The engine is **restartable**: `SAVE` persists the graph and the
 //! resident pool in the versioned binary snapshot format of
@@ -62,6 +62,7 @@ pub mod cache;
 pub mod client;
 pub mod engine;
 pub mod error;
+pub(crate) mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod shared;
@@ -69,12 +70,13 @@ pub mod shared;
 pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{
-    Engine, EngineStats, PoolAction, PoolInfo, PoolProvenance, Query, QueryAlgorithm, QueryResult,
-    RestoreMode,
+    Disposition, Engine, EngineStats, PoolAction, PoolInfo, PoolProvenance, Query, QueryAlgorithm,
+    QueryResult, RestoreMode,
 };
 pub use error::EngineError;
 pub use imin_core::snapshot::{SnapshotError, SnapshotSummary};
 pub use imin_core::AlgorithmKind;
+pub use imin_obs::{AccessLog, AccessRecord, LogFormat, Phase, PhaseBreakdown};
 pub use server::{answer_line, Server};
 pub use shared::{ResidentView, ServingStats, SharedEngine, DEFAULT_MAX_INFLIGHT};
 

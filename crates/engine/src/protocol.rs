@@ -2,7 +2,10 @@
 //!
 //! Every request is one line; every reply is one line starting with `OK `
 //! or `ERR `. Parse errors never drop the connection — the server answers
-//! `ERR <reason>` and keeps reading. Verbs are case-insensitive.
+//! `ERR <reason>` and keeps reading. Verbs are case-insensitive. The one
+//! multi-line exception is `METRICS`: its `OK lines=<n>` header announces
+//! exactly `n` further lines of Prometheus text-format exposition, so
+//! line-oriented clients know precisely how much to read.
 //!
 //! ```text
 //! LOAD pa n=5000 m0=4 seed=7 model=wc        load a preferential-attachment graph
@@ -10,11 +13,13 @@
 //! LOAD file /path/to/edges.txt model=wc      load an edge list from disk
 //! POOL 10000 42                              make θ=10000 realisations (seed 42) resident
 //! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
+//! QUERY ic seeds=1,2 budget=5 trace=1        same, with a per-phase trace in the reply
 //! SAVE /var/lib/imin/wc50k.iminsnap          snapshot the graph + resident pool to disk
 //! RESTORE /var/lib/imin/wc50k.iminsnap       warm-start from a snapshot file (bulk copy)
 //! RESTORE /var/lib/imin/wc50k.iminsnap mode=map  warm-start zero-copy via mmap
 //! COMPRESS                                   re-encode the resident pool in place
 //! STATS                                      engine counters, pool facts and provenance
+//! METRICS                                    Prometheus text exposition (multi-line reply)
 //! PING                                       liveness probe
 //! QUIT                                       close this connection
 //! ```
@@ -54,8 +59,9 @@
 //! * **`ERR busy retry_after_ms=<hint>`** — the admission budget
 //!   (`max_inflight` concurrently *computing* queries) is exhausted. The
 //!   request itself is fine; back off roughly `<hint>` milliseconds (the
-//!   server's running average compute latency) and resend. Cache hits and
-//!   coalesced duplicates are never rejected.
+//!   p95 of the server's compute-latency histogram — robust against a
+//!   single pathological query, unlike a running mean) and resend. Cache
+//!   hits and coalesced duplicates are never rejected.
 //! * **`STATS` serving counters** — beyond the original fields, the reply
 //!   carries `query_threads=` and `max_inflight=` (configuration),
 //!   `inflight=` (gauge: queries computing right now), `coalesced=`
@@ -63,7 +69,22 @@
 //!   `rejected=` (busy rejections), `computed=` (queries that actually
 //!   consulted the pool; `queries = cache_hits + coalesced + rejected +
 //!   computed + failed`), and per-verb latency sums `lat_load_us=`,
-//!   `lat_pool_us=`, `lat_query_us=`, `lat_save_us=`, `lat_restore_us=`.
+//!   `lat_pool_us=`, `lat_query_us=`, `lat_save_us=`, `lat_restore_us=`
+//!   (each the sum of the corresponding `METRICS` latency histogram).
+//!
+//! ## Observability
+//!
+//! * **`QUERY … trace=1`** — the `OK` reply additionally carries
+//!   `trace_id=<id>` (the engine-assigned request id, also written to the
+//!   access log), `disposition=<computed|cache_hit|coalesced>`, and
+//!   `phases=<name>:<µs>,…` — the per-phase wall-clock breakdown of the
+//!   computation that produced the answer (`phases=none` when the server
+//!   runs with `--no-obs`). Cache hits and coalesced answers report the
+//!   breakdown of the original computation.
+//! * **`METRICS`** — the full Prometheus text-format exposition: serving
+//!   counters, resident graph/pool gauges, and latency histograms per
+//!   verb, per algorithm and per query/snapshot phase. The reply is
+//!   `OK lines=<n>` followed by exactly `n` exposition lines.
 //!
 //! `ERR internal: <reason>` reports a panicking request handler: the
 //! engine recovers (no lock stays poisoned) and the connection stays open.
@@ -137,7 +158,12 @@ pub enum Request {
         seed: u64,
     },
     /// Answer one containment question.
-    Query(Query),
+    Query {
+        /// The parsed question.
+        query: Query,
+        /// Whether the reply should carry a per-phase trace (`trace=1`).
+        trace: bool,
+    },
     /// Snapshot the loaded graph and resident pool to a file.
     Save {
         /// Destination path (single whitespace-free token).
@@ -154,6 +180,8 @@ pub enum Request {
     Compress,
     /// Report engine counters and pool facts.
     Stats,
+    /// Emit the Prometheus text-format exposition (multi-line reply).
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Close the connection.
@@ -283,7 +311,7 @@ fn parse_load(tokens: &[&str]) -> Result<LoadSpec, String> {
     }
 }
 
-fn parse_query(tokens: &[&str]) -> Result<Query, String> {
+fn parse_query(tokens: &[&str]) -> Result<(Query, bool), String> {
     let model = tokens
         .first()
         .ok_or("QUERY requires a diffusion model token (ic)")?;
@@ -295,20 +323,33 @@ fn parse_query(tokens: &[&str]) -> Result<Query, String> {
     let mut seeds: Option<Vec<VertexId>> = None;
     let mut budget: Option<usize> = None;
     let mut algorithm = AlgorithmKind::AdvancedGreedy;
+    let mut trace = false;
     for token in &tokens[1..] {
         let (key, value) = parse_kv(token)?;
         match key.to_ascii_lowercase().as_str() {
             "seeds" => seeds = Some(parse_seeds(value)?),
             "budget" => budget = Some(parse_num("budget", value)?),
             "alg" => algorithm = parse_algorithm(value)?,
+            "trace" => {
+                trace = match value.to_ascii_lowercase().as_str() {
+                    "1" | "true" => true,
+                    "0" | "false" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid trace value '{other}' (expected 0, 1, true or false)"
+                        ))
+                    }
+                }
+            }
             other => return Err(format!("unknown QUERY argument '{other}'")),
         }
     }
-    Ok(Query {
+    let query = Query {
         seeds: seeds.ok_or("QUERY requires seeds=<v1,v2,...>")?,
         budget: budget.ok_or("QUERY requires budget=<b>")?,
         algorithm,
-    })
+    };
+    Ok((query, trace))
 }
 
 /// Parses one request line.
@@ -331,7 +372,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 seed: parse_num("seed", seed)?,
             })
         }
-        "QUERY" => Ok(Request::Query(parse_query(&tokens[1..])?)),
+        "QUERY" => {
+            let (query, trace) = parse_query(&tokens[1..])?;
+            Ok(Request::Query { query, trace })
+        }
         "SAVE" | "RESTORE" => {
             let path = tokens
                 .get(1)
@@ -376,6 +420,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Compress)
         }
         "STATS" => Ok(Request::Stats),
+        "METRICS" => {
+            if tokens.len() > 1 {
+                return Err("METRICS takes no arguments".into());
+            }
+            Ok(Request::Metrics)
+        }
         "PING" => Ok(Request::Ping),
         "QUIT" => Ok(Request::Quit),
         other => Err(format!("unknown command '{other}'")),
@@ -456,18 +506,22 @@ mod tests {
             }
         );
         let req = parse_request("QUERY ic seeds=1,2,3 budget=10 alg=replace").unwrap();
-        let Request::Query(q) = req else {
+        let Request::Query { query: q, trace } = req else {
             panic!("expected a query")
         };
         assert_eq!(q.seeds.len(), 3);
         assert_eq!(q.budget, 10);
         assert_eq!(q.algorithm, AlgorithmKind::GreedyReplace);
+        assert!(!trace, "trace defaults to off");
         // Any registry spelling is accepted — one dispatch table for all.
-        let req = parse_request("QUERY ic seeds=4 budget=2 alg=od").unwrap();
-        let Request::Query(q) = req else {
+        let req = parse_request("QUERY ic seeds=4 budget=2 alg=od trace=1").unwrap();
+        let Request::Query { query: q, trace } = req else {
             panic!("expected a query")
         };
         assert_eq!(q.algorithm, AlgorithmKind::OutDegree);
+        assert!(trace);
+        let req = parse_request("QUERY ic seeds=4 budget=2 trace=false").unwrap();
+        assert!(matches!(req, Request::Query { trace: false, .. }));
         assert_eq!(
             parse_request("SAVE /tmp/pool.iminsnap").unwrap(),
             Request::Save {
@@ -497,6 +551,7 @@ mod tests {
         );
         assert_eq!(parse_request("compress").unwrap(), Request::Compress);
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("metrics").unwrap(), Request::Metrics);
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
     }
@@ -524,6 +579,11 @@ mod tests {
             ("QUERY ic seeds=1,x budget=1", "invalid seed"),
             ("QUERY ic seeds=1 budget=1 alg=magic", "unknown algorithm"),
             ("QUERY ic seeds=1 budget=1 frob=2", "unknown QUERY argument"),
+            (
+                "QUERY ic seeds=1 budget=1 trace=maybe",
+                "invalid trace value",
+            ),
+            ("METRICS now", "no arguments"),
             ("SAVE", "requires a snapshot path"),
             ("RESTORE", "requires a snapshot path"),
             ("SAVE /a/b /c/d", "exactly one path"),

@@ -14,23 +14,31 @@
 //! once `max_inflight` distinct queries are computing, further distinct
 //! queries get `ERR busy retry_after_ms=<hint>` (cache hits and coalesced
 //! followers are always admitted — they cost no pool work).
+//!
+//! With [`Server::with_access_log`] every request additionally produces one
+//! structured access-log line (text or JSON): verb, outcome, wall-clock
+//! latency, disposition and trace id, plus the per-phase breakdown for
+//! requests at or above the log's slow-query threshold.
 
 use crate::engine::{Engine, Query};
 use crate::protocol::{parse_request, LoadSpec, ModelSpec, Request};
-use crate::shared::{panic_message, SharedEngine};
+use crate::shared::{panic_message, take_last_observation, SharedEngine};
 use imin_diffusion::ProbabilityModel;
 use imin_graph::edgelist::{load_edge_list, EdgeListOptions};
 use imin_graph::{generators, DiGraph};
+use imin_obs::{AccessLog, AccessRecord};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A bound (but not yet accepting) protocol server.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     engine: Arc<SharedEngine>,
+    access_log: Option<Arc<AccessLog>>,
 }
 
 impl Server {
@@ -61,7 +69,16 @@ impl Server {
         Ok(Server {
             listener: TcpListener::bind(addr)?,
             engine: Arc::new(engine),
+            access_log: None,
         })
+    }
+
+    /// Attaches a structured access log: one line per request on every
+    /// connection (see [`AccessLog`] for the text/JSON schema).
+    #[must_use]
+    pub fn with_access_log(mut self, log: AccessLog) -> Self {
+        self.access_log = Some(Arc::new(log));
+        self
     }
 
     /// The shared engine every connection answers from — benchmarks and
@@ -89,9 +106,10 @@ impl Server {
             // trip a delayed-ACK stall (~40ms on Linux loopback).
             let _ = stream.set_nodelay(true);
             let engine = Arc::clone(&self.engine);
+            let access_log = self.access_log.clone();
             std::thread::spawn(move || {
                 // A vanished client is not a server error.
-                let _ = serve_connection(stream, &engine);
+                let _ = serve_connection(stream, &engine, access_log.as_deref());
             });
         }
         Ok(())
@@ -117,7 +135,11 @@ impl Server {
 /// invalid UTF-8 gets a normal `ERR` reply (the replacement characters
 /// never parse as a verb) instead of having its connection dropped
 /// mid-session.
-fn serve_connection(stream: TcpStream, engine: &SharedEngine) -> std::io::Result<()> {
+fn serve_connection(
+    stream: TcpStream,
+    engine: &SharedEngine,
+    access_log: Option<&AccessLog>,
+) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let mut buf = Vec::new();
@@ -127,9 +149,14 @@ fn serve_connection(stream: TcpStream, engine: &SharedEngine) -> std::io::Result
             break; // EOF
         }
         let line = String::from_utf8_lossy(&buf);
+        let line = line.trim_end_matches(['\n', '\r']);
         // Blank lines still get a reply (`ERR empty request`) — a client
         // that sends one must not be left waiting forever.
-        let (reply, quit) = answer_line(line.trim_end_matches(['\n', '\r']), engine);
+        let start = Instant::now();
+        let (reply, quit) = answer_line(line, engine);
+        if let Some(log) = access_log {
+            log_request(log, line, &reply, start.elapsed().as_micros() as u64);
+        }
         writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -138,6 +165,27 @@ fn serve_connection(stream: TcpStream, engine: &SharedEngine) -> std::io::Result
         }
     }
     Ok(())
+}
+
+/// Emits one access-log line for a served request. The verb is the first
+/// whitespace token of the request line (uppercased, `-` when blank); the
+/// engine's thread-local observation supplies disposition, trace id and
+/// phase breakdown when the verb produced one.
+fn log_request(log: &AccessLog, line: &str, reply: &str, latency_us: u64) {
+    let verb = line
+        .split_whitespace()
+        .next()
+        .map(|tok| tok.to_ascii_uppercase())
+        .unwrap_or_else(|| "-".into());
+    let observation = take_last_observation();
+    log.record(&AccessRecord {
+        verb: &verb,
+        ok: reply.starts_with("OK"),
+        latency_us,
+        disposition: observation.as_ref().map_or("-", |o| o.disposition),
+        trace_id: observation.as_ref().map_or(0, |o| o.trace_id),
+        phases: observation.as_ref().and_then(|o| o.phases.as_ref()),
+    });
 }
 
 /// Produces the reply line for one request line, plus whether the
@@ -276,15 +324,20 @@ fn execute(request: Request, engine: &SharedEngine) -> String {
                 info.build_time.as_millis()
             ),
         },
-        Request::Query(query) => run_query(&query, engine),
+        Request::Query { query, trace } => run_query(&query, trace, engine),
         Request::Stats => stats_line(engine),
+        Request::Metrics => {
+            let text = engine.metrics_text();
+            let body = text.trim_end_matches('\n');
+            format!("OK lines={}\n{body}", body.lines().count())
+        }
         // Ping/Quit are handled before the engine is consulted.
         Request::Ping => "OK pong".into(),
         Request::Quit => "OK bye".into(),
     }
 }
 
-fn run_query(query: &Query, engine: &SharedEngine) -> String {
+fn run_query(query: &Query, trace: bool, engine: &SharedEngine) -> String {
     match engine.query(query) {
         Err(err) => format!("ERR {err}"),
         Ok(result) => {
@@ -294,7 +347,7 @@ fn run_query(query: &Query, engine: &SharedEngine) -> String {
                 .map(|b| b.raw().to_string())
                 .collect::<Vec<_>>()
                 .join(",");
-            format!(
+            let mut reply = format!(
                 "OK blockers={blockers} spread={} cached={} rounds={} samples={} elapsed_us={}",
                 result
                     .estimated_spread
@@ -304,7 +357,20 @@ fn run_query(query: &Query, engine: &SharedEngine) -> String {
                 result.rounds,
                 result.samples_consulted,
                 result.elapsed.as_micros()
-            )
+            );
+            if trace {
+                let phases = result
+                    .phases
+                    .as_ref()
+                    .map(|p| p.render(&imin_obs::QUERY_PHASES))
+                    .unwrap_or_else(|| "none".into());
+                reply.push_str(&format!(
+                    " trace_id={} disposition={} phases={phases}",
+                    result.trace_id,
+                    result.disposition.as_str()
+                ));
+            }
+            reply
         }
     }
 }

@@ -51,17 +51,20 @@
 
 use crate::cache::LruCache;
 use crate::engine::{
-    run_pooled, Engine, PoolAction, PoolInfo, PoolProvenance, Query, QueryKey, QueryResult,
-    RestoreMode,
+    run_pooled, Disposition, Engine, PoolAction, PoolInfo, PoolProvenance, Query, QueryKey,
+    QueryResult, RestoreMode,
 };
+use crate::metrics::{self, EngineMetrics, Verb};
 use crate::{EngineError, Result};
 use imin_core::snapshot::{self, SnapshotSummary};
 use imin_core::SamplePool;
 use imin_graph::DiGraph;
+use imin_obs::{span, Phase, PhaseBreakdown, QUERY_PHASES, SNAPSHOT_PHASES};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
@@ -135,6 +138,8 @@ impl InflightSlot {
 }
 
 /// Monotonic atomic counters (plus the `inflight` gauge) behind `STATS`.
+/// Latency lives in [`EngineMetrics`] histograms, not here — the `lat_*`
+/// sums reported by `STATS` are read back from the per-verb histograms.
 #[derive(Debug, Default)]
 struct Counters {
     queries: AtomicU64,
@@ -150,14 +155,34 @@ struct Counters {
     graph_loads: AtomicU64,
     snapshot_saves: AtomicU64,
     snapshot_restores: AtomicU64,
-    lat_load_us: AtomicU64,
-    lat_pool_us: AtomicU64,
-    lat_query_us: AtomicU64,
-    lat_save_us: AtomicU64,
-    lat_restore_us: AtomicU64,
-    /// Wall-clock µs spent *computing* (leaders only) — the basis of the
-    /// `retry_after_ms` hint in [`EngineError::Busy`].
-    compute_us: AtomicU64,
+}
+
+/// What the engine observed while answering the calling thread's most
+/// recent request — the access log's source of truth. Stored in a
+/// thread-local by the query/restore paths and drained by the server after
+/// the reply is written, so the plumbing never widens a public signature.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Observation {
+    /// Engine-assigned request id (0 when the verb assigns none).
+    pub(crate) trace_id: u64,
+    /// How the answer was produced (`computed`, `cache_hit`, `coalesced`,
+    /// `rejected`, `error`, `restore`).
+    pub(crate) disposition: &'static str,
+    /// Per-phase breakdown, when spans were active for this request.
+    pub(crate) phases: Option<PhaseBreakdown>,
+}
+
+thread_local! {
+    static LAST_OBSERVATION: Cell<Option<Observation>> = const { Cell::new(None) };
+}
+
+/// Takes (and clears) the calling thread's last [`Observation`].
+pub(crate) fn take_last_observation() -> Option<Observation> {
+    LAST_OBSERVATION.with(|cell| cell.take())
+}
+
+fn set_observation(observation: Observation) {
+    LAST_OBSERVATION.with(|cell| cell.set(Some(observation)));
 }
 
 /// A point-in-time copy of every serving counter, as reported by `STATS`.
@@ -193,7 +218,8 @@ pub struct ServingStats {
     pub snapshot_saves: u64,
     /// Snapshots restored via `RESTORE`.
     pub snapshot_restores: u64,
-    /// Total µs spent inside `LOAD` handling (engine side).
+    /// Total µs spent inside `LOAD` handling (engine side; the sum of the
+    /// `verb="load"` latency histogram).
     pub lat_load_us: u64,
     /// Total µs spent inside `POOL` handling.
     pub lat_pool_us: u64,
@@ -233,9 +259,11 @@ pub struct SharedEngine {
     cache: Mutex<CacheState>,
     inflight: Mutex<HashMap<QueryKey, Arc<InflightSlot>>>,
     counters: Counters,
+    metrics: EngineMetrics,
     threads: usize,
     query_threads: usize,
     max_inflight: usize,
+    observability: AtomicBool,
 }
 
 impl Default for SharedEngine {
@@ -263,9 +291,11 @@ impl SharedEngine {
             }),
             inflight: Mutex::new(HashMap::new()),
             counters: Counters::default(),
+            metrics: EngineMetrics::default(),
             threads,
             query_threads: threads,
             max_inflight: DEFAULT_MAX_INFLIGHT,
+            observability: AtomicBool::new(true),
         }
     }
 
@@ -318,7 +348,8 @@ impl SharedEngine {
         self
     }
 
-    /// Sets the LRU result-cache capacity (entries are dropped).
+    /// Sets the LRU result-cache capacity (entries are dropped). Capacity
+    /// `0` disables result caching: every query recomputes.
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         let epoch = lock_unpoisoned(&self.cache).epoch;
         self.cache = Mutex::new(CacheState {
@@ -333,6 +364,40 @@ impl SharedEngine {
     pub fn with_max_inflight(mut self, max_inflight: usize) -> Self {
         self.max_inflight = max_inflight.max(1);
         self
+    }
+
+    /// Enables or disables phase observability (default: enabled). When
+    /// disabled, per-phase spans are never armed and replies carry no
+    /// trace breakdown; verb/algorithm/compute latency histograms keep
+    /// recording either way (they back `STATS` and the busy hint).
+    pub fn with_observability(self, enabled: bool) -> Self {
+        self.observability.store(enabled, Relaxed);
+        self
+    }
+
+    /// Flips phase observability on a live engine — no rebuild, no pool
+    /// swap. In-flight queries keep the setting they started with (the
+    /// flag is read once at query entry); the next request sees the new
+    /// one. The read is a relaxed load of one byte, so leaving tracing on
+    /// or off costs the serving path nothing either way.
+    pub fn set_observability(&self, enabled: bool) {
+        self.observability.store(enabled, Relaxed);
+    }
+
+    /// Whether phase spans and traces are enabled.
+    pub fn observability(&self) -> bool {
+        self.observability.load(Relaxed)
+    }
+
+    /// The metric registry (verb/algorithm/phase/compute histograms).
+    pub(crate) fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Renders the complete Prometheus text-format exposition — the body
+    /// of the `METRICS` protocol verb.
+    pub fn metrics_text(&self) -> String {
+        metrics::render(self)
     }
 
     /// Pool-build worker threads.
@@ -372,11 +437,11 @@ impl SharedEngine {
             graph_loads: c.graph_loads.load(Relaxed),
             snapshot_saves: c.snapshot_saves.load(Relaxed),
             snapshot_restores: c.snapshot_restores.load(Relaxed),
-            lat_load_us: c.lat_load_us.load(Relaxed),
-            lat_pool_us: c.lat_pool_us.load(Relaxed),
-            lat_query_us: c.lat_query_us.load(Relaxed),
-            lat_save_us: c.lat_save_us.load(Relaxed),
-            lat_restore_us: c.lat_restore_us.load(Relaxed),
+            lat_load_us: self.metrics.verb(Verb::Load).sum_us(),
+            lat_pool_us: self.metrics.verb(Verb::Pool).sum_us(),
+            lat_query_us: self.metrics.verb(Verb::Query).sum_us(),
+            lat_save_us: self.metrics.verb(Verb::Save).sum_us(),
+            lat_restore_us: self.metrics.verb(Verb::Restore).sum_us(),
         }
     }
 
@@ -392,15 +457,12 @@ impl SharedEngine {
     }
 
     /// The suggested client backoff for a [`EngineError::Busy`] rejection:
-    /// the running average compute latency, clamped to `[1 ms, 10 s]`
-    /// (50 ms before anything has computed).
+    /// the p95 of compute latency (robust against outliers, unlike the
+    /// running mean it replaced), clamped to `[1 ms, 10 s]` (50 ms before
+    /// anything has computed). Recomputed at most once per new computed
+    /// query — see [`EngineMetrics::retry_after_ms`].
     fn retry_after_ms(&self) -> u64 {
-        let computed = self.counters.computed.load(Relaxed);
-        if computed == 0 {
-            return 50;
-        }
-        let avg_us = self.counters.compute_us.load(Relaxed) / computed;
-        (avg_us / 1_000).clamp(1, 10_000)
+        self.metrics.retry_after_ms()
     }
 
     /// Clears the cache and re-tags it with the (already bumped) epoch.
@@ -427,9 +489,9 @@ impl SharedEngine {
             self.reset_cache(state.epoch);
         }
         self.counters.graph_loads.fetch_add(1, Relaxed);
-        self.counters
-            .lat_load_us
-            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        self.metrics
+            .verb(Verb::Load)
+            .record_us(start.elapsed().as_micros() as u64);
     }
 
     /// Makes a pool with exactly `(θ, seed)` resident — the same least-work
@@ -445,9 +507,9 @@ impl SharedEngine {
     pub fn ensure_pool(&self, theta: usize, seed: u64) -> Result<(PoolInfo, PoolAction)> {
         let start = Instant::now();
         let result = self.ensure_pool_locked(theta, seed);
-        self.counters
-            .lat_pool_us
-            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        self.metrics
+            .verb(Verb::Pool)
+            .record_us(start.elapsed().as_micros() as u64);
         result
     }
 
@@ -527,6 +589,14 @@ impl SharedEngine {
     /// is primed, or the snapshot writer's error.
     pub fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<SnapshotSummary> {
         let start = Instant::now();
+        let result = self.save_snapshot_inner(path.as_ref());
+        self.metrics
+            .verb(Verb::Save)
+            .record_us(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn save_snapshot_inner(&self, path: &Path) -> Result<SnapshotSummary> {
         let (graph, pool, label) = {
             let state = read_unpoisoned(&self.state);
             (
@@ -535,11 +605,8 @@ impl SharedEngine {
                 state.graph_label.clone(),
             )
         };
-        let summary = snapshot::save_snapshot(path.as_ref(), &graph, &pool, &label)?;
+        let summary = snapshot::save_snapshot(path, &graph, &pool, &label)?;
         self.counters.snapshot_saves.fetch_add(1, Relaxed);
-        self.counters
-            .lat_save_us
-            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
         Ok(summary)
     }
 
@@ -572,7 +639,30 @@ impl SharedEngine {
         mode: RestoreMode,
     ) -> Result<PoolInfo> {
         let start = Instant::now();
-        let path = path.as_ref();
+        let observability = self.observability();
+        if observability {
+            span::begin();
+        }
+        let result = self.restore_snapshot_inner(path.as_ref(), mode);
+        let breakdown = span::take();
+        if observability && result.is_ok() {
+            for phase in SNAPSHOT_PHASES {
+                self.metrics.phase(phase).record_us(breakdown.get(phase));
+            }
+            set_observation(Observation {
+                trace_id: 0,
+                disposition: "restore",
+                phases: Some(breakdown),
+            });
+        }
+        self.metrics
+            .verb(Verb::Restore)
+            .record_us(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn restore_snapshot_inner(&self, path: &Path, mode: RestoreMode) -> Result<PoolInfo> {
+        let start = Instant::now();
         let (restored, provenance) = match mode {
             RestoreMode::Copy => (
                 snapshot::load_snapshot(path)?,
@@ -603,9 +693,6 @@ impl SharedEngine {
         }
         self.counters.graph_loads.fetch_add(1, Relaxed);
         self.counters.snapshot_restores.fetch_add(1, Relaxed);
-        self.counters
-            .lat_restore_us
-            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
         Ok(info)
     }
 
@@ -620,6 +707,15 @@ impl SharedEngine {
     /// [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the engine
     /// is primed, or the encoder's error.
     pub fn compress_pool(&self) -> Result<PoolInfo> {
+        let verb_start = Instant::now();
+        let result = self.compress_pool_inner();
+        self.metrics
+            .verb(Verb::Compress)
+            .record_us(verb_start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn compress_pool_inner(&self) -> Result<PoolInfo> {
         let mut state = write_unpoisoned(&self.state);
         let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
         let pool = state.pool.clone().ok_or(EngineError::NoPool)?;
@@ -655,29 +751,55 @@ impl SharedEngine {
     /// itself stays healthy).
     pub fn query(&self, query: &Query) -> Result<QueryResult> {
         let start = Instant::now();
-        let result = self.query_inner(query, start);
-        self.counters
-            .lat_query_us
-            .fetch_add(start.elapsed().as_micros() as u64, Relaxed);
+        let trace_id = self.metrics.next_trace_id();
+        let result = self.query_inner(query, start, trace_id);
+        self.metrics
+            .verb(Verb::Query)
+            .record_us(start.elapsed().as_micros() as u64);
+        set_observation(match &result {
+            Ok(answer) => Observation {
+                trace_id,
+                disposition: answer.disposition.as_str(),
+                phases: answer.phases,
+            },
+            Err(EngineError::Busy { .. }) => Observation {
+                trace_id,
+                disposition: "rejected",
+                phases: None,
+            },
+            Err(_) => Observation {
+                trace_id,
+                disposition: "error",
+                phases: None,
+            },
+        });
         result
     }
 
-    fn query_inner(&self, query: &Query, start: Instant) -> Result<QueryResult> {
+    fn query_inner(&self, query: &Query, start: Instant, trace_id: u64) -> Result<QueryResult> {
         self.counters.queries.fetch_add(1, Relaxed);
         let key = query.key();
+        let probe_start = Instant::now();
         let cached = {
             let mut cache = lock_unpoisoned(&self.cache);
             cache.lru.get(&key).cloned()
         };
+        let probe_us = probe_start.elapsed().as_micros() as u64;
         if let Some(mut hit) = cached {
             self.counters.cache_hits.fetch_add(1, Relaxed);
             hit.from_cache = true;
             hit.elapsed = start.elapsed();
+            // The stored phase breakdown (the original leader's) rides
+            // along — a trace of a cache hit shows what the answer cost
+            // when it was computed.
+            hit.disposition = Disposition::CacheHit;
+            hit.trace_id = trace_id;
             return Ok(hit);
         }
         // Snapshot the resident pair (and its epoch) before registering in
         // the single-flight map, so rejected queries never leave a slot
         // behind.
+        let clone_start = Instant::now();
         let (graph, pool, epoch) = {
             let state = read_unpoisoned(&self.state);
             (
@@ -686,6 +808,7 @@ impl SharedEngine {
                 state.epoch,
             )
         };
+        let clone_us = clone_start.elapsed().as_micros() as u64;
         enum Role {
             Leader(Arc<InflightSlot>),
             Follower(Arc<InflightSlot>),
@@ -719,9 +842,13 @@ impl SharedEngine {
                     Ok(mut result) => {
                         // Computed on our behalf, not fetched from the
                         // cache: report it as a fresh answer with our own
-                        // wall-clock wait.
+                        // wall-clock wait. The leader's phase breakdown
+                        // rides along — it describes the one computation
+                        // this answer came from.
                         result.from_cache = false;
                         result.elapsed = start.elapsed();
+                        result.disposition = Disposition::Coalesced;
+                        result.trace_id = trace_id;
                         Ok(result)
                     }
                     Err(reason) => Err(EngineError::Protocol(reason)),
@@ -729,10 +856,35 @@ impl SharedEngine {
             }
             Role::Leader(slot) => {
                 let compute = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let observability = self.observability();
+                if observability {
+                    // Arm the thread-local span: the pooled solver laps its
+                    // decode/bfs/domtree/credit/select work into it.
+                    span::begin();
+                }
+                let mut outcome = catch_unwind(AssertUnwindSafe(|| {
                     run_pooled(&pool, &graph, query, self.query_threads, start)
                 }))
                 .unwrap_or_else(|panic| Err(EngineError::Internal(panic_message(&panic))));
+                // Always drain the span, even on error or panic — a stale
+                // active span would pollute the next query on this thread.
+                let mut breakdown = span::take();
+                let compute_us = compute.elapsed().as_micros() as u64;
+                if let Ok(result) = &mut outcome {
+                    result.trace_id = trace_id;
+                    if observability {
+                        breakdown.add_us(Phase::Probe, probe_us);
+                        breakdown.add_us(Phase::Clone, clone_us);
+                        result.phases = Some(breakdown);
+                        for phase in QUERY_PHASES {
+                            self.metrics.phase(phase).record_us(breakdown.get(phase));
+                        }
+                    }
+                }
+                self.metrics.compute().record_us(compute_us);
+                self.metrics
+                    .algorithm(query.algorithm)
+                    .record_us(compute_us);
                 if let Ok(result) = &outcome {
                     let mut cache = lock_unpoisoned(&self.cache);
                     // Only cache answers for the pool that is *still*
@@ -748,9 +900,6 @@ impl SharedEngine {
                 lock_unpoisoned(&self.inflight).remove(&key);
                 self.counters.inflight.fetch_sub(1, Relaxed);
                 self.counters.computed.fetch_add(1, Relaxed);
-                self.counters
-                    .compute_us
-                    .fetch_add(compute.elapsed().as_micros() as u64, Relaxed);
                 outcome
             }
         }

@@ -8,7 +8,13 @@
 //!    exactly one of cache-hit / coalesced / computed / rejected, the
 //!    in-flight gauge returns to zero, and nothing is rejected under the
 //!    default admission budget.
-//! 3. **Liveness**: after the storm the server still answers a clean
+//! 3. **Metrics coherence**: the `METRICS` exposition parses as
+//!    well-formed Prometheus text (strict mini-parser below) and its
+//!    histogram counts agree with the serving counters — the query-verb
+//!    histogram saw every query, each query phase recorded once per
+//!    computed leader, and the per-algorithm histograms partition the
+//!    computed count.
+//! 4. **Liveness**: after the storm the server still answers a clean
 //!    lifecycle on a fresh connection — no poisoned lock anywhere.
 //!
 //! Plus focused tests for the two load-shedding behaviours: guaranteed
@@ -17,6 +23,7 @@
 
 use imin_engine::protocol::{parse_request, payload_field, Request};
 use imin_engine::{Client, Engine, Server, SharedEngine};
+use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -49,7 +56,7 @@ fn schedule(thread: usize) -> Vec<String> {
 /// single-threaded engine primed identically to the server, formatted
 /// exactly like the server's reply fields.
 fn oracle_answer(engine: &mut Engine, line: &str) -> (String, String) {
-    let Ok(Request::Query(query)) = parse_request(line) else {
+    let Ok(Request::Query { query, .. }) = parse_request(line) else {
         panic!("oracle got a non-query line: {line}");
     };
     let result = engine.query(&query).expect("oracle query");
@@ -154,6 +161,49 @@ fn thirty_two_clients_answer_byte_identically_to_the_serial_oracle() {
     assert!(
         stats.computed >= 1 + 4 + (CLIENTS * QUERIES_PER_CLIENT / 3) as u64,
         "every distinct question computes at least once: {stats:?}"
+    );
+
+    // Metrics coherence: the exposition is well-formed and its histogram
+    // counts agree with the counters scraped above.
+    let samples = parse_exposition(&shared.metrics_text());
+    assert_eq!(
+        metric_value(
+            &samples,
+            "imin_request_duration_seconds_count",
+            &[("verb", "query")]
+        ),
+        stats.queries as f64,
+        "the query-verb histogram must see every query"
+    );
+    for phase in [
+        "clone", "probe", "sample", "decode", "bfs", "domtree", "credit", "select",
+    ] {
+        assert_eq!(
+            metric_value(
+                &samples,
+                "imin_query_phase_seconds_count",
+                &[("phase", phase)]
+            ),
+            stats.computed as f64,
+            "phase '{phase}' must record exactly once per computed leader"
+        );
+    }
+    let per_algorithm: f64 = samples
+        .iter()
+        .filter(|s| s.name == "imin_algorithm_compute_seconds_count")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        per_algorithm, stats.computed as f64,
+        "per-algorithm histograms must partition the computed count"
+    );
+    assert_eq!(
+        metric_value(&samples, "imin_queries_total", &[]),
+        stats.queries as f64
+    );
+    assert_eq!(
+        metric_value(&samples, "imin_query_rejected_total", &[]),
+        0.0
     );
 
     // Liveness: a fresh connection runs a clean lifecycle afterwards.
@@ -275,4 +325,188 @@ fn exhausted_admission_budget_answers_err_busy_over_the_wire() {
         .expect("retry reply");
     assert!(retry.starts_with("OK blockers="), "{retry}");
     assert_eq!(shared.stats().inflight, 0);
+}
+
+/// One parsed exposition sample: metric name, label pairs, value.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Parses one `{…}` label block, honouring quoted values (which may
+/// contain commas — graph labels do) and backslash escapes.
+fn parse_labels(block: &str) -> Vec<(String, String)> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        let mut name = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            name.push(c);
+            chars.next();
+        }
+        assert_eq!(chars.next(), Some('='), "label without '=': {block}");
+        assert_eq!(chars.next(), Some('"'), "unquoted label value: {block}");
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => value.push(chars.next().expect("dangling escape")),
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => panic!("unterminated label value: {block}"),
+            }
+        }
+        labels.push((name, value));
+        match chars.next() {
+            Some(',') => continue,
+            None => return labels,
+            Some(c) => panic!("unexpected '{c}' after a label in {block}"),
+        }
+    }
+}
+
+/// A label-set key that ignores `le`, for grouping histogram buckets into
+/// series.
+fn series_key(labels: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect();
+    parts.sort();
+    parts.join(",")
+}
+
+/// A deliberately strict parser for the subset of the Prometheus text
+/// format the engine emits. Every line must be a `# HELP`/`# TYPE`
+/// comment or a `name[{labels}] value` sample, and every family announced
+/// as a histogram must have cumulative non-decreasing buckets whose
+/// `+Inf` bucket equals `_count`, plus a `_sum` sample per series.
+fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(comment) = line.strip_prefix("# ") {
+            let mut tokens = comment.splitn(3, ' ');
+            match tokens.next().expect("comment keyword") {
+                "HELP" => {
+                    tokens.next().expect("HELP metric name");
+                    assert!(tokens.next().is_some(), "HELP without text: '{line}'");
+                }
+                "TYPE" => {
+                    let name = tokens.next().expect("TYPE metric name").to_string();
+                    let kind = tokens.next().expect("TYPE kind").to_string();
+                    assert!(
+                        matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                        "unknown TYPE '{kind}' in '{line}'"
+                    );
+                    types.insert(name, kind);
+                }
+                other => panic!("unknown comment keyword '{other}' in '{line}'"),
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample without a value: '{line}'"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("non-numeric value in '{line}'"));
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let rest = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unclosed label block in '{line}'"));
+                (name.to_string(), parse_labels(rest))
+            }
+            None => (series.to_string(), Vec::new()),
+        };
+        samples.push(Sample {
+            name,
+            labels,
+            value,
+        });
+    }
+    for sample in &samples {
+        let family = sample
+            .name
+            .strip_suffix("_bucket")
+            .or_else(|| sample.name.strip_suffix("_sum"))
+            .or_else(|| sample.name.strip_suffix("_count"))
+            .filter(|family| types.get(*family).is_some_and(|k| k == "histogram"))
+            .unwrap_or(&sample.name);
+        assert!(
+            types.contains_key(family),
+            "sample '{}' has no # TYPE announcement",
+            sample.name
+        );
+    }
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{family}_bucket");
+        let mut series: HashMap<String, Vec<(f64, f64)>> = HashMap::new();
+        for sample in samples.iter().filter(|s| s.name == bucket_name) {
+            let le = sample
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .unwrap_or_else(|| panic!("{bucket_name} sample without le"));
+            let le = if le.1 == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.1.parse().expect("numeric le")
+            };
+            series
+                .entry(series_key(&sample.labels))
+                .or_default()
+                .push((le, sample.value));
+        }
+        assert!(!series.is_empty(), "histogram {family} has no buckets");
+        for (key, mut buckets) in series {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for pair in buckets.windows(2) {
+                assert!(
+                    pair[1].1 >= pair[0].1,
+                    "{family}{{{key}}} buckets must be cumulative"
+                );
+            }
+            let (last_le, inf_count) = *buckets.last().unwrap();
+            assert!(last_le.is_infinite(), "{family}{{{key}}} must end at +Inf");
+            let count = samples
+                .iter()
+                .find(|s| s.name == format!("{family}_count") && series_key(&s.labels) == key)
+                .unwrap_or_else(|| panic!("{family}{{{key}}} missing _count"));
+            assert_eq!(
+                inf_count, count.value,
+                "{family}{{{key}}}: +Inf bucket must equal _count"
+            );
+            assert!(
+                samples
+                    .iter()
+                    .any(|s| s.name == format!("{family}_sum") && series_key(&s.labels) == key),
+                "{family}{{{key}}} missing _sum"
+            );
+        }
+    }
+    samples
+}
+
+/// Looks up one sample by name and (a subset of) its labels.
+fn metric_value(samples: &[Sample], name: &str, labels: &[(&str, &str)]) -> f64 {
+    samples
+        .iter()
+        .find(|s| {
+            s.name == name
+                && labels
+                    .iter()
+                    .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+        })
+        .unwrap_or_else(|| panic!("missing metric {name} {labels:?}"))
+        .value
 }

@@ -1,0 +1,140 @@
+//! Prometheus text-format exposition helpers.
+//!
+//! Minimal hand-rolled writers for the
+//! [text-based exposition format](https://prometheus.io/docs/instrumenting/exposition_formats/):
+//! one `# HELP` / `# TYPE` header per family, `name{labels} value` sample
+//! lines, and cumulative histogram rendering from a
+//! [`HistogramSnapshot`] with bucket bounds
+//! converted from microseconds to seconds (the Prometheus base unit).
+
+use crate::hist::{HistogramSnapshot, BUCKETS};
+use std::fmt::Write;
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline must be backslash-escaped.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `{k1="v1",k2="v2"}` label block ("" for no labels). Values
+/// are escaped; keys are trusted (they come from code, not input).
+pub fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Appends a `# HELP` / `# TYPE` family header.
+pub fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Appends one `name{labels} value` sample line with an integer value.
+pub fn sample_u64(out: &mut String, name: &str, labels: &[(&str, &str)], value: u64) {
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Appends one `name{labels} value` sample line with a float value.
+pub fn sample_f64(out: &mut String, name: &str, labels: &[(&str, &str)], value: f64) {
+    let _ = writeln!(out, "{name}{} {value}", label_block(labels));
+}
+
+/// Appends the `_bucket`/`_sum`/`_count` series of one histogram with the
+/// given extra labels. Bucket `le` bounds are the histogram's inclusive
+/// microsecond upper bounds converted to seconds; the saturating last
+/// bucket is folded into `+Inf`.
+pub fn histogram(out: &mut String, name: &str, labels: &[(&str, &str)], snap: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, &n) in snap.buckets.iter().enumerate().take(BUCKETS - 1) {
+        cumulative += n;
+        let le_seconds = HistogramSnapshot::bucket_upper_bound_us(i) as f64 / 1e6;
+        let mut bucket_labels: Vec<(&str, &str)> = labels.to_vec();
+        let le = format!("{le_seconds}");
+        bucket_labels.push(("le", &le));
+        let _ = writeln!(
+            out,
+            "{name}_bucket{} {cumulative}",
+            label_block(&bucket_labels)
+        );
+    }
+    let count = snap.count();
+    let mut inf_labels: Vec<(&str, &str)> = labels.to_vec();
+    inf_labels.push(("le", "+Inf"));
+    let _ = writeln!(out, "{name}_bucket{} {count}", label_block(&inf_labels));
+    let _ = writeln!(
+        out,
+        "{name}_sum{} {}",
+        label_block(labels),
+        snap.sum_us as f64 / 1e6
+    );
+    let _ = writeln!(out, "{name}_count{} {count}", label_block(labels));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(
+            label_block(&[("verb", "query"), ("x", "a\"b")]),
+            "{verb=\"query\",x=\"a\\\"b\"}"
+        );
+        assert_eq!(label_block(&[]), "");
+    }
+
+    #[test]
+    fn histogram_series_are_cumulative_and_consistent() {
+        let h = Histogram::new();
+        h.record_us(1); // bucket 0
+        h.record_us(3); // bucket 1
+        h.record_us(1_000_000); // bucket 19
+        let mut out = String::new();
+        family(&mut out, "t_seconds", "test", "histogram");
+        histogram(&mut out, "t_seconds", &[("verb", "query")], &h.snapshot());
+
+        let buckets: Vec<(&str, u64)> = out
+            .lines()
+            .filter(|l| l.starts_with("t_seconds_bucket"))
+            .map(|l| {
+                let (head, value) = l.rsplit_once(' ').unwrap();
+                (head, value.parse::<u64>().unwrap())
+            })
+            .collect();
+        assert_eq!(buckets.len(), BUCKETS, "31 finite bounds + one +Inf");
+        // Cumulative counts never decrease and +Inf equals the count.
+        let mut prev = 0;
+        for &(_, v) in &buckets {
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert!(buckets.last().unwrap().0.contains("le=\"+Inf\""));
+        assert_eq!(buckets.last().unwrap().1, 3);
+        // Bucket bounds are in seconds: 1 µs → 1e-6.
+        assert!(out.contains("le=\"0.000001\""), "{out}");
+        assert!(out.contains("t_seconds_sum{verb=\"query\"} 1.000004"));
+        assert!(out.contains("t_seconds_count{verb=\"query\"} 3"));
+    }
+}

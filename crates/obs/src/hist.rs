@@ -1,0 +1,237 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is 32 power-of-two microsecond buckets of `AtomicU64`
+//! plus an atomic running sum and max. Recording is wait-free (one
+//! `fetch_add` into the bucket, one into the sum, one `fetch_max`);
+//! quantile reads walk the cumulative bucket counts and answer with the
+//! bucket's inclusive upper bound, clamped by the observed maximum — an
+//! upper estimate that is exact to within a factor of two and never
+//! undershoots the true quantile by more than one bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of log2 buckets per histogram. Bucket `i` covers
+/// `[2^i, 2^(i+1))` microseconds (bucket 0 additionally absorbs 0), so 32
+/// buckets span `[0, 2^32) µs` ≈ 71 minutes, far beyond any single
+/// request; larger values saturate into the last bucket.
+pub const BUCKETS: usize = 32;
+
+/// Inclusive upper bound of bucket `i` in microseconds.
+#[inline]
+fn upper_bound_us(i: usize) -> u64 {
+    (2u64 << i) - 1
+}
+
+/// Bucket index for a microsecond value.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        ((63 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// A wait-free latency histogram with log2 microsecond buckets.
+///
+/// All methods take `&self`; the histogram is safe to record into from any
+/// number of threads concurrently. Reads (`count`, `quantile_us`,
+/// [`Histogram::snapshot`]) are racy against in-flight writers in the
+/// benign sense: they observe some interleaving of recent records.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds.
+    #[inline]
+    pub fn record_us(&self, us: u64) {
+        self.buckets[bucket_index(us)].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.max_us.fetch_max(us, Relaxed);
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Sum of all recorded values in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Relaxed)
+    }
+
+    /// Largest recorded value in microseconds (0 when empty).
+    pub fn max_us(&self) -> u64 {
+        self.max_us.load(Relaxed)
+    }
+
+    /// Upper estimate of the `q`-quantile in microseconds (`q` in
+    /// `[0, 1]`). Returns 0 for an empty histogram. The answer is the
+    /// inclusive upper bound of the bucket holding the rank-`⌈q·count⌉`
+    /// observation, clamped by the observed maximum.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.snapshot().quantile_us(q)
+    }
+
+    /// A point-in-time copy of the bucket counts, sum and max.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+            sum_us: self.sum_us.load(Relaxed),
+            max_us: self.max_us.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: plain integers, no atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (bucket `i` covers `[2^i, 2^(i+1))` µs).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of recorded values in microseconds.
+    pub sum_us: u64,
+    /// Largest recorded value in microseconds.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive upper bound of bucket `i` in microseconds.
+    pub fn bucket_upper_bound_us(i: usize) -> u64 {
+        upper_bound_us(i)
+    }
+
+    /// Upper estimate of the `q`-quantile in microseconds; see
+    /// [`Histogram::quantile_us`].
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                if i == BUCKETS - 1 {
+                    // The saturating bucket has no meaningful upper bound.
+                    return self.max_us;
+                }
+                return upper_bound_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        assert_eq!(upper_bound_us(0), 1);
+        assert_eq!(upper_bound_us(9), 1023);
+        assert_eq!(upper_bound_us(10), 2047);
+    }
+
+    #[test]
+    fn quantiles_answer_bucket_upper_bounds_clamped_by_max() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram");
+        for _ in 0..99 {
+            h.record_us(1_000); // bucket 9, ub 1023
+        }
+        h.record_us(10_000_000); // one outlier
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum_us(), 99_000 + 10_000_000);
+        assert_eq!(h.max_us(), 10_000_000);
+        // rank ⌈0.5·100⌉ = 50 lands in the 1 ms bucket.
+        assert_eq!(h.quantile_us(0.5), 1023);
+        assert_eq!(h.quantile_us(0.95), 1023);
+        // rank 100 is the outlier; its bucket's ub is clamped by max.
+        assert_eq!(h.quantile_us(1.0), 10_000_000.min(upper_bound_us(23)));
+    }
+
+    #[test]
+    fn max_clamps_single_observation_quantiles() {
+        let h = Histogram::new();
+        h.record_us(5);
+        // bucket 2 has ub 7, but the max is 5.
+        assert_eq!(h.quantile_us(0.5), 5);
+        assert_eq!(h.quantile_us(0.99), 5);
+        assert_eq!(h.max_us(), 5);
+    }
+
+    #[test]
+    fn saturating_bucket_reports_the_observed_max() {
+        let h = Histogram::new();
+        h.record_us(u64::MAX / 2);
+        assert_eq!(h.quantile_us(0.5), u64::MAX / 2);
+    }
+
+    #[test]
+    fn snapshot_matches_the_live_histogram() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 100, 1_000, 100_000] {
+            h.record_us(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), h.count());
+        assert_eq!(s.sum_us, h.sum_us());
+        assert_eq!(s.max_us, h.max_us());
+        assert_eq!(s.quantile_us(0.9), h.quantile_us(0.9));
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record_us(t * 1_000 + i % 977);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(h.count(), threads * per_thread);
+    }
+}

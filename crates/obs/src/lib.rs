@@ -1,0 +1,33 @@
+//! # imin-obs
+//!
+//! Std-only observability primitives for the IMIN engine: lock-free
+//! log-bucketed latency [`Histogram`]s, per-phase query [`span`]s threaded
+//! through the pooled solver path, Prometheus text-format exposition
+//! helpers ([`expo`]), and a structured access log ([`AccessLog`]).
+//!
+//! The crate is deliberately dependency-free (the build environment has no
+//! crates.io access) and allocation-light: recording a latency is one
+//! atomic add into a power-of-two bucket, and phase spans accumulate into
+//! a `Cell`-based thread-local that costs nothing when inactive.
+//!
+//! ```
+//! use imin_obs::Histogram;
+//!
+//! let hist = Histogram::new();
+//! hist.record_us(120);
+//! hist.record_us(95_000);
+//! assert_eq!(hist.count(), 2);
+//! assert!(hist.quantile_us(0.5) >= 120);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod log;
+pub mod span;
+
+pub use hist::{Histogram, HistogramSnapshot, BUCKETS};
+pub use log::{trace_line, AccessLog, AccessRecord, LogFormat};
+pub use span::{Phase, PhaseBreakdown, PHASE_COUNT, QUERY_PHASES, SNAPSHOT_PHASES};
