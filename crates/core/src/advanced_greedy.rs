@@ -59,6 +59,10 @@ impl BlockerSolver for AdvancedGreedy {
                     workspace,
                 )
             }),
+            ref other => Err(crate::IminError::BackendUnsupported {
+                algorithm: self.kind().name(),
+                backend: other.label(),
+            }),
         }
     }
 }

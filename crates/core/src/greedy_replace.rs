@@ -78,6 +78,10 @@ impl BlockerSolver for GreedyReplace {
                     workspace,
                 )
             }),
+            ref other => Err(crate::IminError::BackendUnsupported {
+                algorithm: self.kind().name(),
+                backend: other.label(),
+            }),
         }
     }
 }

@@ -158,6 +158,12 @@ impl BlockerSolver for OutNeighbors {
                     pooled_decrease_in(pool, request.seeds(), &blocked, threads, workspace)
                 })?
             }
+            ref other => {
+                return Err(crate::IminError::BackendUnsupported {
+                    algorithm: self.kind().name(),
+                    backend: other.label(),
+                })
+            }
         };
         let mut neighbors: Vec<VertexId> = Vec::new();
         for &s in request.seeds() {

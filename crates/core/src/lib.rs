@@ -92,6 +92,7 @@ pub mod mmap;
 pub mod pool;
 pub mod problem;
 pub mod request;
+pub mod ris;
 pub mod sampler;
 pub mod seed_merge;
 pub mod snapshot;
@@ -104,6 +105,7 @@ pub use error::IminError;
 pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};
 pub use request::{ContainmentRequest, ContainmentRequestBuilder, EvalBackend, ForbiddenSet};
+pub use ris::{sketch_greedy_in, RisGreedy, SketchPool};
 pub use snapshot::{RestoredSnapshot, SnapshotError, SnapshotHeader, SnapshotSummary};
 pub use solver::{AlgorithmKind, BlockerSolver};
 pub use types::{AlgorithmConfig, BlockerSelection, SelectionStats};

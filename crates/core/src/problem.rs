@@ -95,12 +95,20 @@ impl ImninProblem {
         // blocker); the original seeds stay in the forbidden mask.
         let mut forbidden = self.forbidden.clone();
         forbidden[self.merged.super_seed.index()] = false;
-        let request = ContainmentRequest::builder(g)
+        let builder = ContainmentRequest::builder(g)
             .seed(self.merged.super_seed)
             .budget(budget)
-            .forbid_mask(forbidden)
-            .fresh_from(config)
-            .build()?;
+            .forbid_mask(forbidden);
+        // RisGreedy runs on reverse sketches, not forward samples; θ doubles
+        // as θ_r so one config drives every algorithm of the registry.
+        let request = if algorithm == Algorithm::RisGreedy {
+            builder
+                .mcs_rounds(config.mcs_rounds)
+                .sketch(config.theta, config.seed, config.threads)
+                .build()?
+        } else {
+            builder.fresh_from(config).build()?
+        };
         let mut selection = algorithm.solver().solve(g, &request)?;
         // Heuristics run on the merged graph but must only return original
         // vertices; the forbidden mask already excludes seeds and the
@@ -207,7 +215,7 @@ mod tests {
         assert_eq!(Algorithm::GreedyReplace.label(), "GR");
         assert_eq!(Algorithm::BaselineGreedy.label(), "BG");
         assert!(Algorithm::all().contains(&Algorithm::Exact));
-        assert_eq!(Algorithm::all().len(), 9);
+        assert_eq!(Algorithm::all().len(), 10);
     }
 
     #[test]
@@ -260,6 +268,7 @@ mod tests {
             Algorithm::AdvancedGreedy,
             Algorithm::GreedyReplace,
             Algorithm::OutNeighbors,
+            Algorithm::RisGreedy,
         ] {
             assert!(
                 matches!(p.solve(alg, 2, &zero_theta), Err(IminError::ZeroSamples)),

@@ -45,6 +45,7 @@
 //! ```
 
 use crate::pool::SamplePool;
+use crate::ris::SketchPool;
 use crate::types::AlgorithmConfig;
 use crate::{IminError, Result};
 use imin_graph::{DiGraph, VertexId};
@@ -142,6 +143,27 @@ pub enum EvalBackend<'p> {
         /// (a performance knob only — results never depend on it).
         threads: usize,
     },
+    /// Transient reverse-reachable sketches: θ_r reverse BFS sketches are
+    /// drawn for this one request and discarded (see [`crate::ris`]).
+    Sketch {
+        /// Number of reverse-reachable sketches θ_r.
+        theta_r: usize,
+        /// Base RNG seed the indexed per-sketch streams derive from.
+        seed: u64,
+        /// Worker threads for the sketch build (a performance knob only —
+        /// sketches are bit-identical at any thread count).
+        threads: usize,
+    },
+    /// A resident [`SketchPool`]: coverage lookups against pre-built
+    /// reverse-reachable sketches, no sampling at query time (see
+    /// [`crate::ris`]).
+    SketchPooled {
+        /// The borrowed resident sketch pool.
+        pool: &'p SketchPool,
+        /// Worker threads (a performance knob only — results never depend
+        /// on it).
+        threads: usize,
+    },
 }
 
 impl EvalBackend<'_> {
@@ -150,23 +172,30 @@ impl EvalBackend<'_> {
         match self {
             EvalBackend::Fresh { .. } => "fresh",
             EvalBackend::Pooled { .. } => "pooled",
+            EvalBackend::Sketch { .. } => "sketch",
+            EvalBackend::SketchPooled { .. } => "sketch-pooled",
         }
     }
 
     /// The RNG seed randomised algorithms should derive from: the `Fresh`
-    /// base seed, or the pool seed under `Pooled` (so pooled answers stay a
-    /// pure function of the pool identity).
+    /// or `Sketch` base seed, or the pool seed under `Pooled` /
+    /// `SketchPooled` (so pooled answers stay a pure function of the pool
+    /// identity).
     pub fn rng_seed(&self) -> u64 {
         match self {
-            EvalBackend::Fresh { seed, .. } => *seed,
+            EvalBackend::Fresh { seed, .. } | EvalBackend::Sketch { seed, .. } => *seed,
             EvalBackend::Pooled { pool, .. } => pool.pool_seed(),
+            EvalBackend::SketchPooled { pool, .. } => pool.pool_seed(),
         }
     }
 
-    /// The worker-thread count of either backend.
+    /// The worker-thread count of any backend.
     pub fn threads(&self) -> usize {
         match self {
-            EvalBackend::Fresh { threads, .. } | EvalBackend::Pooled { threads, .. } => *threads,
+            EvalBackend::Fresh { threads, .. }
+            | EvalBackend::Pooled { threads, .. }
+            | EvalBackend::Sketch { threads, .. }
+            | EvalBackend::SketchPooled { threads, .. } => *threads,
         }
     }
 }
@@ -341,6 +370,24 @@ impl<'p> ContainmentRequestBuilder<'p> {
         self
     }
 
+    /// Selects the transient reverse-sketch backend with explicit θ_r /
+    /// seed / threads (see [`crate::ris`]).
+    pub fn sketch(mut self, theta_r: usize, seed: u64, threads: usize) -> Self {
+        self.backend = Some(EvalBackend::Sketch {
+            theta_r,
+            seed,
+            threads,
+        });
+        self
+    }
+
+    /// Selects a resident reverse-sketch pool as the backend (results
+    /// never depend on `threads` — see [`crate::ris`]).
+    pub fn sketch_pooled(mut self, pool: &'p SketchPool, threads: usize) -> Self {
+        self.backend = Some(EvalBackend::SketchPooled { pool, threads });
+        self
+    }
+
     /// Sets any explicit backend.
     pub fn backend(mut self, backend: EvalBackend<'p>) -> Self {
         self.backend = Some(backend);
@@ -409,13 +456,20 @@ impl<'p> ContainmentRequestBuilder<'p> {
         // [`IminError::ZeroSamples`] from the estimator exactly as the
         // legacy entry points did — heuristics that never sample keep
         // accepting a zeroed config.
-        if let EvalBackend::Pooled { pool, .. } = backend {
-            if pool.num_vertices() != n || pool.num_graph_edges() != self.num_edges {
+        let pool_shape = match backend {
+            EvalBackend::Pooled { pool, .. } => Some((pool.num_vertices(), pool.num_graph_edges())),
+            EvalBackend::SketchPooled { pool, .. } => {
+                Some((pool.num_vertices(), pool.num_graph_edges()))
+            }
+            _ => None,
+        };
+        if let Some((pool_vertices, pool_edges)) = pool_shape {
+            if pool_vertices != n || pool_edges != self.num_edges {
                 return Err(IminError::PoolGraphMismatch {
                     graph_vertices: n,
                     graph_edges: self.num_edges,
-                    pool_vertices: pool.num_vertices(),
-                    pool_edges: pool.num_graph_edges(),
+                    pool_vertices,
+                    pool_edges,
                 });
             }
         }

@@ -27,6 +27,7 @@ use crate::exact_blocker::ExactBlocker;
 use crate::greedy_replace::GreedyReplace;
 use crate::heuristics::{Degree, OutDegree, OutNeighbors, PageRank, Rand};
 use crate::request::ContainmentRequest;
+use crate::ris::RisGreedy;
 use crate::types::BlockerSelection;
 use crate::{IminError, Result};
 use imin_graph::DiGraph;
@@ -75,6 +76,9 @@ pub enum AlgorithmKind {
     /// Exhaustive search over all blocker sets (the `Exact` oracle; only
     /// feasible on very small graphs).
     Exact,
+    /// CELF lazy greedy over reverse-reachable sketches (`RIS`; extension —
+    /// runs on the sketch backends only, see [`crate::ris`]).
+    RisGreedy,
 }
 
 /// One registry row: kind, canonical name, paper label, accepted aliases.
@@ -142,6 +146,12 @@ const REGISTRY: &[AlgorithmEntry] = &[
         label: "EXACT",
         aliases: &["ex"],
     },
+    AlgorithmEntry {
+        kind: AlgorithmKind::RisGreedy,
+        name: "ris-greedy",
+        label: "RIS",
+        aliases: &["ris", "risgreedy", "sketch-greedy"],
+    },
 ];
 
 impl AlgorithmKind {
@@ -175,6 +185,7 @@ impl AlgorithmKind {
             AlgorithmKind::BaselineGreedy,
             AlgorithmKind::AdvancedGreedy,
             AlgorithmKind::GreedyReplace,
+            AlgorithmKind::RisGreedy,
             AlgorithmKind::Exact,
         ]
     }
@@ -191,6 +202,7 @@ impl AlgorithmKind {
             AlgorithmKind::OutNeighbors => &OutNeighbors,
             AlgorithmKind::PageRank => &PageRank,
             AlgorithmKind::Exact => &ExactBlocker,
+            AlgorithmKind::RisGreedy => &RisGreedy,
         }
     }
 
@@ -246,10 +258,52 @@ mod tests {
         assert_eq!(AlgorithmKind::BaselineGreedy.label(), "BG");
         assert_eq!(AlgorithmKind::GreedyReplace.name(), "replace");
         assert!(AlgorithmKind::all().contains(&AlgorithmKind::Exact));
-        assert_eq!(AlgorithmKind::all().len(), 9);
+        assert_eq!(AlgorithmKind::all().len(), 10);
         assert_eq!(AlgorithmKind::all().len(), REGISTRY.len());
         assert!(AlgorithmKind::known_names().contains("advanced"));
         assert!(AlgorithmKind::known_names().contains("gr"));
+        assert!(AlgorithmKind::known_names().contains("ris"));
+    }
+
+    #[test]
+    fn every_registered_spelling_round_trips_case_insensitively() {
+        // Every variant, every accepted spelling, in every case mix the
+        // protocol might see (`ALG=RIS-GREEDY`, `alg=Advanced`, …): all of
+        // them must resolve through the single `FromStr` entry point.
+        for entry in REGISTRY {
+            let mut spellings: Vec<String> = vec![entry.name.into(), entry.label.into()];
+            spellings.extend(entry.aliases.iter().map(|a| a.to_string()));
+            for spelling in spellings {
+                for cased in [
+                    spelling.clone(),
+                    spelling.to_ascii_uppercase(),
+                    spelling.to_ascii_lowercase(),
+                    // Title-case the first character.
+                    {
+                        let mut chars = spelling.chars();
+                        match chars.next() {
+                            Some(first) => first.to_ascii_uppercase().to_string() + chars.as_str(),
+                            None => String::new(),
+                        }
+                    },
+                ] {
+                    assert_eq!(
+                        cased.parse::<AlgorithmKind>().unwrap(),
+                        entry.kind,
+                        "spelling {cased:?} must resolve to {:?}",
+                        entry.kind
+                    );
+                }
+            }
+        }
+        assert_eq!(
+            "RIS-GREEDY".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::RisGreedy
+        );
+        assert_eq!(
+            "Advanced".parse::<AlgorithmKind>().unwrap(),
+            AlgorithmKind::AdvancedGreedy
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::cache::LruCache;
 use crate::{EngineError, Result};
 use imin_core::pool::shard_ranges;
 use imin_core::snapshot::{self, SnapshotSummary};
-use imin_core::{AlgorithmKind, ArenaKind, ContainmentRequest, SamplePool};
+use imin_core::{AlgorithmKind, ArenaKind, ContainmentRequest, SamplePool, SketchPool};
 use imin_graph::{DiGraph, VertexId};
 use std::collections::HashSet;
 use std::path::Path;
@@ -243,6 +243,85 @@ impl PoolInfo {
     }
 }
 
+/// Which estimator family a `POOL` request targets — the `backend=` key of
+/// the protocol's `POOL` command.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PoolBackend {
+    /// Forward live-edge realisations ([`SamplePool`]) — the default, and
+    /// the backend every forward algorithm (AG, GR, heuristics) runs on.
+    #[default]
+    Forward,
+    /// Reverse-reachable sketches ([`SketchPool`]) — the backend
+    /// `ris-greedy` runs on.
+    Sketch,
+}
+
+impl PoolBackend {
+    /// Protocol token (`forward` / `sketch`).
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolBackend::Forward => "forward",
+            PoolBackend::Sketch => "sketch",
+        }
+    }
+
+    /// Parses a `backend=` value from the protocol (case-insensitive).
+    pub fn parse(token: &str) -> Option<Self> {
+        if token.eq_ignore_ascii_case("forward") {
+            Some(PoolBackend::Forward)
+        } else if token.eq_ignore_ascii_case("sketch") {
+            Some(PoolBackend::Sketch)
+        } else {
+            None
+        }
+    }
+}
+
+/// Facts about the resident reverse-sketch pool, recorded when it was
+/// built — the sketch-backend counterpart of [`PoolInfo`].
+#[derive(Clone, Debug)]
+pub struct SketchPoolInfo {
+    /// Number of reverse sketches θ_r.
+    pub theta_r: usize,
+    /// Base pool seed.
+    pub seed: u64,
+    /// Worker threads used for the build.
+    pub threads: usize,
+    /// Wall-clock time of the build.
+    pub build_time: Duration,
+    /// Resident bytes held by the sketch pool (every owned allocation's
+    /// capacity, as reported by [`SketchPool::memory_bytes`]).
+    pub memory_bytes: usize,
+    /// Total vertex memberships stored across all sketches.
+    pub total_members: usize,
+    /// Mean vertices per sketch.
+    pub avg_sketch_size: f64,
+    /// How the sketch pool came to be (always `Built` today — sketch pools
+    /// have no snapshot format yet).
+    pub provenance: PoolProvenance,
+}
+
+impl SketchPoolInfo {
+    /// Records the facts of `pool` as it currently stands.
+    pub(crate) fn for_pool(
+        pool: &SketchPool,
+        threads: usize,
+        build_time: Duration,
+        provenance: PoolProvenance,
+    ) -> Self {
+        SketchPoolInfo {
+            theta_r: pool.theta_r(),
+            seed: pool.pool_seed(),
+            threads,
+            build_time,
+            memory_bytes: pool.memory_bytes(),
+            total_members: pool.total_members(),
+            avg_sketch_size: pool.avg_sketch_size(),
+            provenance,
+        }
+    }
+}
+
 /// Monotonic counters served by `STATS`.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
@@ -258,6 +337,11 @@ pub struct EngineStats {
     pub pool_compressions: u64,
     /// `POOL` requests satisfied by the already-resident pool (no-ops).
     pub pool_reuses: u64,
+    /// Sketch pools built from scratch since the engine started.
+    pub sketch_builds: u64,
+    /// `POOL … backend=sketch` requests satisfied by the already-resident
+    /// sketch pool (no-ops).
+    pub sketch_reuses: u64,
     /// Graphs loaded since the engine started.
     pub graph_loads: u64,
     /// Snapshots written via `SAVE`.
@@ -277,6 +361,8 @@ pub struct Engine {
     graph_label: String,
     pool: Option<SamplePool>,
     pool_info: Option<PoolInfo>,
+    sketch: Option<SketchPool>,
+    sketch_info: Option<SketchPoolInfo>,
     cache: LruCache<QueryKey, QueryResult>,
     stats: EngineStats,
     threads: usize,
@@ -297,6 +383,8 @@ impl Engine {
             graph_label: String::new(),
             pool: None,
             pool_info: None,
+            sketch: None,
+            sketch_info: None,
             cache: LruCache::new(256),
             stats: EngineStats::default(),
             threads: imin_diffusion::montecarlo::default_threads(),
@@ -322,12 +410,14 @@ impl Engine {
         self.threads
     }
 
-    /// Installs a graph, dropping any previous pool and cached results.
+    /// Installs a graph, dropping any previous pools and cached results.
     pub fn load_graph(&mut self, graph: DiGraph, label: String) {
         self.graph = Some(graph);
         self.graph_label = label;
         self.pool = None;
         self.pool_info = None;
+        self.sketch = None;
+        self.sketch_info = None;
         self.cache.clear();
         self.stats.graph_loads += 1;
     }
@@ -418,6 +508,57 @@ impl Engine {
         self.ensure_pool(theta, seed).map(|(info, _)| info)
     }
 
+    /// Makes a reverse-sketch pool with exactly `(θ_r, seed)` resident —
+    /// the `POOL … backend=sketch` counterpart of [`Engine::ensure_pool`].
+    /// A matching resident sketch pool is a **no-op** (the result cache
+    /// survives); anything else rebuilds from scratch (sketch pools never
+    /// extend in place — reverse BFS roots are drawn per sketch, so a
+    /// different θ_r is a different pool). The forward pool, if any, stays
+    /// resident untouched: both backends can serve queries side by side.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NoGraph`] before a graph is loaded, or the
+    /// underlying build error (θ_r = 0, empty graph).
+    pub fn ensure_sketch_pool(
+        &mut self,
+        theta_r: usize,
+        seed: u64,
+    ) -> Result<(&SketchPoolInfo, PoolAction)> {
+        let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
+        if theta_r == 0 {
+            return Err(imin_core::IminError::ZeroSamples.into());
+        }
+        if let Some(sketch) = self.sketch.as_ref() {
+            if sketch.pool_seed() == seed && sketch.theta_r() == theta_r {
+                self.stats.sketch_reuses += 1;
+                let info = self
+                    .sketch_info
+                    .as_ref()
+                    .expect("resident sketch pool has info");
+                return Ok((info, PoolAction::Reused));
+            }
+        }
+        // Release the superseded sketch pool before building the new one
+        // (same single-resident-peak policy as the forward pool), and drop
+        // cached answers — `ris-greedy` entries belonged to the old pool.
+        self.sketch = None;
+        self.sketch_info = None;
+        self.cache.clear();
+        let start = Instant::now();
+        let sketch = SketchPool::build_with_threads(graph, theta_r, seed, self.threads)?;
+        let info = SketchPoolInfo::for_pool(
+            &sketch,
+            self.threads,
+            start.elapsed(),
+            PoolProvenance::Built,
+        );
+        self.sketch = Some(sketch);
+        self.sketch_info = Some(info);
+        self.stats.sketch_builds += 1;
+        let info = self.sketch_info.as_ref().expect("sketch info just set");
+        Ok((info, PoolAction::Built))
+    }
+
     /// Re-encodes the resident pool into a compressed arena (delta-varint
     /// or per-sample bitset, whichever is smaller). Queries against the
     /// compressed pool are byte-identical to the raw pool, so the result
@@ -454,10 +595,21 @@ impl Engine {
     ///
     /// # Errors
     /// Returns [`EngineError::NoGraph`] / [`EngineError::NoPool`] before the
-    /// engine is primed, or the snapshot writer's error.
+    /// engine is primed, [`EngineError::BackendUnsupported`] when only a
+    /// sketch pool is resident (snapshot format v2 describes forward sample
+    /// arenas only), or the snapshot writer's error.
     pub fn save_snapshot(&mut self, path: impl AsRef<Path>) -> Result<SnapshotSummary> {
         let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
-        let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
+        let pool = match self.pool.as_ref() {
+            Some(pool) => pool,
+            None if self.sketch.is_some() => {
+                return Err(EngineError::BackendUnsupported {
+                    operation: "SAVE",
+                    backend: PoolBackend::Sketch.label(),
+                })
+            }
+            None => return Err(EngineError::NoPool),
+        };
         let summary = snapshot::save_snapshot(path.as_ref(), graph, pool, &self.graph_label)?;
         self.stats.snapshot_saves += 1;
         Ok(summary)
@@ -517,6 +669,8 @@ impl Engine {
         };
         self.pool = Some(restored.pool);
         self.pool_info = Some(info);
+        self.sketch = None;
+        self.sketch_info = None;
         self.cache.clear();
         self.stats.graph_loads += 1;
         self.stats.snapshot_restores += 1;
@@ -532,6 +686,16 @@ impl Engine {
     /// The resident pool's build facts, if a pool exists.
     pub fn pool_info(&self) -> Option<&PoolInfo> {
         self.pool_info.as_ref()
+    }
+
+    /// The resident reverse-sketch pool, if one exists.
+    pub fn sketch_pool(&self) -> Option<&SketchPool> {
+        self.sketch.as_ref()
+    }
+
+    /// The resident sketch pool's build facts, if a sketch pool exists.
+    pub fn sketch_pool_info(&self) -> Option<&SketchPoolInfo> {
+        self.sketch_info.as_ref()
     }
 
     /// Monotonic counters.
@@ -563,8 +727,14 @@ impl Engine {
             return Ok(result);
         }
         let graph = self.graph.as_ref().ok_or(EngineError::NoGraph)?;
-        let pool = self.pool.as_ref().ok_or(EngineError::NoPool)?;
-        let result = run_pooled(pool, graph, query, self.threads, start)?;
+        let result = run_resident(
+            self.pool.as_ref(),
+            self.sketch.as_ref(),
+            graph,
+            query,
+            self.threads,
+            start,
+        )?;
         self.cache.insert(key, result.clone());
         Ok(result)
     }
@@ -603,17 +773,17 @@ impl Engine {
             }
         }
         if !miss_queries.is_empty() {
-            let computed = match (self.graph.as_ref(), self.pool.as_ref()) {
-                (Some(graph), Some(pool)) => {
-                    run_pooled_batch(pool, graph, &miss_queries, self.threads)
-                }
-                (None, _) => miss_queries
+            let computed = match self.graph.as_ref() {
+                Some(graph) => run_resident_batch(
+                    self.pool.as_ref(),
+                    self.sketch.as_ref(),
+                    graph,
+                    &miss_queries,
+                    self.threads,
+                ),
+                None => miss_queries
                     .iter()
                     .map(|_| Err(EngineError::NoGraph))
-                    .collect(),
-                (_, None) => miss_queries
-                    .iter()
-                    .map(|_| Err(EngineError::NoPool))
                     .collect(),
             };
             for (key, outcome) in miss_keys.iter().zip(computed) {
@@ -656,6 +826,8 @@ pub(crate) struct EngineParts {
     pub graph_label: String,
     pub pool: Option<SamplePool>,
     pub pool_info: Option<PoolInfo>,
+    pub sketch: Option<SketchPool>,
+    pub sketch_info: Option<SketchPoolInfo>,
     pub cache_capacity: usize,
     pub stats: EngineStats,
     pub threads: usize,
@@ -670,6 +842,8 @@ impl Engine {
             graph_label: self.graph_label,
             pool: self.pool,
             pool_info: self.pool_info,
+            sketch: self.sketch,
+            sketch_info: self.sketch_info,
             cache_capacity: self.cache.capacity(),
             stats: self.stats,
             threads: self.threads,
@@ -684,8 +858,61 @@ fn clone_engine_error(err: &EngineError) -> EngineError {
     match err {
         EngineError::NoGraph => EngineError::NoGraph,
         EngineError::NoPool => EngineError::NoPool,
+        EngineError::NoSketchPool => EngineError::NoSketchPool,
         other => EngineError::Protocol(other.to_string()),
     }
+}
+
+/// Routes one query to the backend its algorithm runs on: `ris-greedy`
+/// needs the resident sketch pool ([`EngineError::NoSketchPool`] when
+/// absent), every forward algorithm needs the resident sample pool
+/// ([`EngineError::NoPool`]). Both pools may be resident at once.
+pub(crate) fn run_resident(
+    pool: Option<&SamplePool>,
+    sketch: Option<&SketchPool>,
+    graph: &DiGraph,
+    query: &Query,
+    threads: usize,
+    start: Instant,
+) -> Result<QueryResult> {
+    if query.algorithm == AlgorithmKind::RisGreedy {
+        let sketch = sketch.ok_or(EngineError::NoSketchPool)?;
+        run_sketch(sketch, graph, query, threads, start)
+    } else {
+        let pool = pool.ok_or(EngineError::NoPool)?;
+        run_pooled(pool, graph, query, threads, start)
+    }
+}
+
+/// Runs one `ris-greedy` query against the resident sketch pool — the
+/// sketch-backend counterpart of [`run_pooled`].
+pub(crate) fn run_sketch(
+    sketch: &SketchPool,
+    graph: &DiGraph,
+    query: &Query,
+    threads: usize,
+    start: Instant,
+) -> Result<QueryResult> {
+    let mut seeds = query.seeds.clone();
+    seeds.sort_unstable();
+    seeds.dedup();
+    let request = ContainmentRequest::builder(graph)
+        .seeds(seeds)
+        .budget(query.budget)
+        .sketch_pooled(sketch, threads)
+        .build()?;
+    let selection = query.algorithm.solver().solve(graph, &request)?;
+    Ok(QueryResult {
+        blockers: selection.blockers,
+        estimated_spread: selection.estimated_spread,
+        rounds: selection.stats.rounds,
+        samples_consulted: selection.stats.samples_drawn,
+        from_cache: false,
+        elapsed: start.elapsed(),
+        disposition: Disposition::Computed,
+        trace_id: 0,
+        phases: None,
+    })
 }
 
 /// Runs one query against the pool with the given parallelism: the query
@@ -726,8 +953,9 @@ pub(crate) fn run_pooled(
 /// Fans a batch of distinct queries across worker threads; each worker runs
 /// its queries single-threaded with its own workspace, so the batch is
 /// deterministic and identical to a sequential run.
-fn run_pooled_batch(
-    pool: &SamplePool,
+fn run_resident_batch(
+    pool: Option<&SamplePool>,
+    sketch: Option<&SketchPool>,
     graph: &DiGraph,
     queries: &[Query],
     threads: usize,
@@ -739,7 +967,7 @@ fn run_pooled_batch(
     if workers <= 1 {
         return queries
             .iter()
-            .map(|q| run_pooled(pool, graph, q, threads_per_query, Instant::now()))
+            .map(|q| run_resident(pool, sketch, graph, q, threads_per_query, Instant::now()))
             .collect();
     }
     let mut outcomes: Vec<Vec<Result<QueryResult>>> = Vec::new();
@@ -750,7 +978,9 @@ fn run_pooled_batch(
             handles.push(scope.spawn(move |_| {
                 chunk
                     .iter()
-                    .map(|q| run_pooled(pool, graph, q, threads_per_query, Instant::now()))
+                    .map(|q| {
+                        run_resident(pool, sketch, graph, q, threads_per_query, Instant::now())
+                    })
                     .collect::<Vec<_>>()
             }));
         }
@@ -1128,6 +1358,109 @@ mod tests {
         assert_eq!(action, PoolAction::Built);
         assert_eq!(info.arena, imin_core::ArenaKind::Raw);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sketch_pool_residency_reuses_and_rebuilds() {
+        let mut engine = Engine::new().with_threads(2);
+        let graph = generators::preferential_attachment(200, 3, true, 0.3, 11).unwrap();
+        engine.load_graph(graph, "pa-200".into());
+        // ris-greedy before any sketch pool → typed lifecycle error.
+        let q = Query {
+            seeds: vec![vid(0)],
+            budget: 3,
+            algorithm: QueryAlgorithm::RisGreedy,
+        };
+        assert!(matches!(engine.query(&q), Err(EngineError::NoSketchPool)));
+
+        let (info, action) = engine.ensure_sketch_pool(400, 7).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(info.theta_r, 400);
+        assert_eq!(info.seed, 7);
+        assert!(info.memory_bytes > 0);
+        let first = engine.query(&q).unwrap();
+        assert!(first.blockers.len() <= 3);
+        assert!(!first.blockers.contains(&vid(0)));
+        assert_eq!(first.samples_consulted, 400);
+
+        // Matching request is a no-op that keeps the cache.
+        let (_, action) = engine.ensure_sketch_pool(400, 7).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        assert!(engine.query(&q).unwrap().from_cache);
+        assert_eq!(engine.stats().sketch_builds, 1);
+        assert_eq!(engine.stats().sketch_reuses, 1);
+
+        // A different (θ_r, seed) rebuilds and drops cached answers.
+        let (info, action) = engine.ensure_sketch_pool(600, 7).unwrap();
+        assert_eq!(action, PoolAction::Built);
+        assert_eq!(info.theta_r, 600);
+        assert_eq!(engine.cache_entries(), 0);
+        assert_eq!(engine.stats().sketch_builds, 2);
+    }
+
+    #[test]
+    fn both_backends_serve_side_by_side() {
+        let mut engine = primed_engine(); // forward θ=300, seed 5
+        engine.ensure_sketch_pool(400, 7).unwrap();
+        assert!(
+            engine.pool().is_some(),
+            "forward pool survives sketch build"
+        );
+        let forward = engine.query(&query(0, 3)).unwrap();
+        let sketch = engine
+            .query(&Query {
+                seeds: vec![vid(0)],
+                budget: 3,
+                algorithm: QueryAlgorithm::RisGreedy,
+            })
+            .unwrap();
+        assert!(!forward.blockers.is_empty());
+        assert!(!sketch.blockers.is_empty());
+        // Batch routing dispatches per algorithm too.
+        let batch = engine.run_queries(&[
+            query(1, 2),
+            Query {
+                seeds: vec![vid(1)],
+                budget: 2,
+                algorithm: QueryAlgorithm::RisGreedy,
+            },
+        ]);
+        assert!(batch.iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn save_on_a_sketch_only_engine_is_a_typed_backend_error() {
+        let mut engine = Engine::new().with_threads(2);
+        let graph = generators::preferential_attachment(100, 3, true, 0.3, 3).unwrap();
+        engine.load_graph(graph, "pa-100".into());
+        engine.ensure_sketch_pool(100, 1).unwrap();
+        let err = engine
+            .save_snapshot("/tmp/never-written-sketch.iminsnap")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::BackendUnsupported {
+                    operation: "SAVE",
+                    backend: "sketch"
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(engine.stats().snapshot_saves, 0);
+    }
+
+    #[test]
+    fn loading_a_graph_drops_the_sketch_pool() {
+        let mut engine = Engine::new().with_threads(2);
+        let graph = generators::preferential_attachment(100, 3, true, 0.3, 3).unwrap();
+        engine.load_graph(graph, "pa-100".into());
+        engine.ensure_sketch_pool(100, 1).unwrap();
+        assert!(engine.sketch_pool().is_some());
+        let graph = generators::preferential_attachment(80, 3, true, 0.3, 4).unwrap();
+        engine.load_graph(graph, "pa-80".into());
+        assert!(engine.sketch_pool().is_none());
+        assert!(engine.sketch_pool_info().is_none());
     }
 
     #[test]

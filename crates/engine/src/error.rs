@@ -9,6 +9,18 @@ pub enum EngineError {
     NoGraph,
     /// A query was issued before a sample pool was built.
     NoPool,
+    /// A `ris-greedy` query was issued before a sketch pool was built.
+    NoSketchPool,
+    /// The requested operation is not defined for the resident pool's
+    /// backend — e.g. `SAVE` while a sketch pool is resident (snapshot
+    /// format v2 only describes forward sample arenas). The payload says
+    /// which operation and which backend.
+    BackendUnsupported {
+        /// The protocol operation that was refused.
+        operation: &'static str,
+        /// The resident backend it cannot run on.
+        backend: &'static str,
+    },
     /// A protocol line could not be parsed; the payload is the reason sent
     /// back on the `ERR` line.
     Protocol(String),
@@ -40,6 +52,14 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoGraph => write!(f, "no graph loaded (send LOAD first)"),
             EngineError::NoPool => write!(f, "no sample pool built (send POOL first)"),
+            EngineError::NoSketchPool => write!(
+                f,
+                "no sketch pool built (send POOL <theta_r> <seed> backend=sketch first)"
+            ),
+            EngineError::BackendUnsupported { operation, backend } => write!(
+                f,
+                "backend unsupported: {operation} is not defined for the {backend} backend"
+            ),
             EngineError::Protocol(reason) => write!(f, "{reason}"),
             EngineError::Busy { retry_after_ms } => {
                 write!(f, "busy retry_after_ms={retry_after_ms}")
@@ -97,6 +117,17 @@ mod tests {
     fn display_and_sources() {
         assert!(EngineError::NoGraph.to_string().contains("LOAD"));
         assert!(EngineError::NoPool.to_string().contains("POOL"));
+        assert!(EngineError::NoSketchPool
+            .to_string()
+            .contains("backend=sketch"));
+        let unsupported = EngineError::BackendUnsupported {
+            operation: "SAVE",
+            backend: "sketch",
+        };
+        assert!(
+            unsupported.to_string().starts_with("backend unsupported"),
+            "the wire reply must start with 'ERR backend unsupported': {unsupported}"
+        );
         let p = EngineError::Protocol("bad token".into());
         assert_eq!(p.to_string(), "bad token");
         let busy = EngineError::Busy { retry_after_ms: 42 };

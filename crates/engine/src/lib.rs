@@ -70,8 +70,8 @@ pub mod shared;
 pub use cache::LruCache;
 pub use client::Client;
 pub use engine::{
-    Disposition, Engine, EngineStats, PoolAction, PoolInfo, PoolProvenance, Query, QueryAlgorithm,
-    QueryResult, RestoreMode,
+    Disposition, Engine, EngineStats, PoolAction, PoolBackend, PoolInfo, PoolProvenance, Query,
+    QueryAlgorithm, QueryResult, RestoreMode, SketchPoolInfo,
 };
 pub use error::EngineError;
 pub use imin_core::snapshot::{SnapshotError, SnapshotSummary};

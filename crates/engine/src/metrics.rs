@@ -198,7 +198,7 @@ pub(crate) fn render(engine: &SharedEngine) -> String {
     );
 
     // ---- Counters ---------------------------------------------------------
-    let counters: [(&str, &str, u64); 12] = [
+    let counters: [(&str, &str, u64); 14] = [
         (
             "imin_queries_total",
             "Queries received (cache hits, coalesced and rejected included).",
@@ -243,6 +243,16 @@ pub(crate) fn render(engine: &SharedEngine) -> String {
             "imin_pool_reuses_total",
             "POOL requests satisfied by the already-resident pool.",
             stats.pool_reuses,
+        ),
+        (
+            "imin_sketch_builds_total",
+            "Reverse-sketch pools built from scratch (POOL backend=sketch).",
+            stats.sketch_builds,
+        ),
+        (
+            "imin_sketch_reuses_total",
+            "Sketch POOL requests satisfied by the already-resident sketch pool.",
+            stats.sketch_reuses,
         ),
         (
             "imin_graph_loads_total",
@@ -378,6 +388,35 @@ pub(crate) fn render(engine: &SharedEngine) -> String {
                 ("graph", &view.graph_label),
             ],
             1,
+        );
+    }
+
+    if let Some(info) = view.sketch_info.as_ref() {
+        expo::family(
+            &mut out,
+            "imin_sketch_theta",
+            "Reverse sketches held by the resident sketch pool.",
+            "gauge",
+        );
+        expo::sample_u64(&mut out, "imin_sketch_theta", &[], info.theta_r as u64);
+        expo::family(
+            &mut out,
+            "imin_sketch_bytes",
+            "Resident bytes held by the sketch pool.",
+            "gauge",
+        );
+        expo::sample_u64(&mut out, "imin_sketch_bytes", &[], info.memory_bytes as u64);
+        expo::family(
+            &mut out,
+            "imin_sketch_members",
+            "Vertex memberships stored across all sketches.",
+            "gauge",
+        );
+        expo::sample_u64(
+            &mut out,
+            "imin_sketch_members",
+            &[],
+            info.total_members as u64,
         );
     }
 

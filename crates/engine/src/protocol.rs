@@ -12,6 +12,7 @@
 //! LOAD er n=500 p=0.01 seed=3 model=const:0.1  load an Erdős–Rényi graph
 //! LOAD file /path/to/edges.txt model=wc      load an edge list from disk
 //! POOL 10000 42                              make θ=10000 realisations (seed 42) resident
+//! POOL 20000 42 backend=sketch               make θ_r=20000 reverse sketches resident
 //! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
 //! QUERY ic seeds=1,2 budget=5 trace=1        same, with a per-phase trace in the reply
 //! SAVE /var/lib/imin/wc50k.iminsnap          snapshot the graph + resident pool to disk
@@ -29,7 +30,15 @@
 //! result cache survives), and when it has the same seed but a smaller θ
 //! the pool is grown in place (`source=extended`) — bit-identical to a
 //! fresh θ build — so only genuinely different pools are resampled
-//! (`source=built`). `SAVE`/`RESTORE` persist the pool in the versioned
+//! (`source=built`). `POOL` additionally accepts `backend=forward|sketch`
+//! (default `forward`): `backend=sketch` makes a pool of θ_r
+//! reverse-reachable sketches resident instead, the estimator `ris-greedy`
+//! queries run on. The two backends are independently resident — building
+//! one never evicts the other — and the sketch reply carries `backend=sketch`
+//! plus sketch facts (`members=`, `avg_size=`) so clients can tell them
+//! apart. Sketch pools never extend in place: a changed `(θ_r, seed)`
+//! always rebuilds (`source=built`). `SAVE`/`RESTORE` persist the *forward*
+//! pool in the versioned
 //! binary snapshot format of [`imin_core::snapshot`]; a restored engine
 //! answers queries byte-identically to the engine that saved it. Both take
 //! exactly one whitespace-free path argument; `RESTORE` additionally
@@ -38,7 +47,9 @@
 //! snapshot — pages fault in lazily, so the first query is ready long
 //! before a bulk read would finish). `COMPRESS` re-encodes the resident
 //! pool into the delta-varint/bitset arena without touching the result
-//! cache — compressed pools answer byte-identically.
+//! cache — compressed pools answer byte-identically. Sketch pools have no
+//! snapshot format: `SAVE` while only a sketch pool is resident answers
+//! `ERR backend unsupported: …`.
 //!
 //! `model=` accepts `wc` (weighted cascade), `tri` / `tri:<seed>`
 //! (trivalency), `const:<p>`, and `keep` (use probabilities as loaded;
@@ -89,7 +100,7 @@
 //! `ERR internal: <reason>` reports a panicking request handler: the
 //! engine recovers (no lock stays poisoned) and the connection stays open.
 
-use crate::engine::{Query, RestoreMode};
+use crate::engine::{PoolBackend, Query, RestoreMode};
 use imin_core::AlgorithmKind;
 use imin_graph::VertexId;
 
@@ -150,12 +161,16 @@ pub enum LoadSpec {
 pub enum Request {
     /// Load a graph, dropping any pool and cached results.
     Load(LoadSpec),
-    /// Build the resident sample pool.
+    /// Build the resident sample pool (forward realisations or reverse
+    /// sketches, per `backend=`).
     Pool {
-        /// Number of realisations θ.
+        /// Number of realisations θ (forward) or sketches θ_r (sketch).
         theta: usize,
         /// Base pool seed.
         seed: u64,
+        /// Which estimator family to make resident (`backend=forward`,
+        /// the default, or `backend=sketch`).
+        backend: PoolBackend,
     },
     /// Answer one containment question.
     Query {
@@ -364,12 +379,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "POOL" => {
             let theta = tokens.get(1).ok_or("POOL requires <theta> <seed>")?;
             let seed = tokens.get(2).ok_or("POOL requires <theta> <seed>")?;
-            if tokens.len() > 3 {
-                return Err("POOL takes exactly two arguments".into());
+            let mut backend = PoolBackend::Forward;
+            for token in &tokens[3..] {
+                let (key, value) = parse_kv(token).map_err(|_| {
+                    "POOL takes <theta> <seed> plus an optional backend=forward|sketch".to_string()
+                })?;
+                match key.to_ascii_lowercase().as_str() {
+                    "backend" => {
+                        backend = PoolBackend::parse(value).ok_or_else(|| {
+                            format!("unknown POOL backend '{value}' (expected forward or sketch)")
+                        })?
+                    }
+                    other => return Err(format!("unknown POOL argument '{other}'")),
+                }
             }
             Ok(Request::Pool {
                 theta: parse_num("theta", theta)?,
                 seed: parse_num("seed", seed)?,
+                backend,
             })
         }
         "QUERY" => {
@@ -502,7 +529,24 @@ mod tests {
             parse_request("POOL 10000 42").unwrap(),
             Request::Pool {
                 theta: 10000,
-                seed: 42
+                seed: 42,
+                backend: PoolBackend::Forward,
+            }
+        );
+        assert_eq!(
+            parse_request("POOL 20000 42 backend=sketch").unwrap(),
+            Request::Pool {
+                theta: 20000,
+                seed: 42,
+                backend: PoolBackend::Sketch,
+            }
+        );
+        assert_eq!(
+            parse_request("pool 100 1 BACKEND=Forward").unwrap(),
+            Request::Pool {
+                theta: 100,
+                seed: 1,
+                backend: PoolBackend::Forward,
             }
         );
         let req = parse_request("QUERY ic seeds=1,2,3 budget=10 alg=replace").unwrap();
@@ -570,7 +614,9 @@ mod tests {
             ("LOAD pa n=10 m0=4 frob=1", "unknown LOAD argument"),
             ("POOL", "requires"),
             ("POOL 10", "requires"),
-            ("POOL 10 1 2", "exactly two"),
+            ("POOL 10 1 2", "backend=forward|sketch"),
+            ("POOL 10 1 backend=quantum", "unknown POOL backend"),
+            ("POOL 10 1 frob=2", "unknown POOL argument"),
             ("QUERY", "model token"),
             ("QUERY lt seeds=1 budget=1", "unsupported diffusion model"),
             ("QUERY ic budget=1", "seeds="),

@@ -20,7 +20,7 @@
 //! latency, disposition and trace id, plus the per-phase breakdown for
 //! requests at or above the log's slow-query threshold.
 
-use crate::engine::{Engine, Query};
+use crate::engine::{Engine, PoolBackend, Query};
 use crate::protocol::{parse_request, LoadSpec, ModelSpec, Request};
 use crate::shared::{panic_message, take_last_observation, SharedEngine};
 use imin_diffusion::ProbabilityModel;
@@ -272,15 +272,37 @@ fn execute(request: Request, engine: &SharedEngine) -> String {
                 format!("OK n={n} m={m}")
             }
         },
-        Request::Pool { theta, seed } => match engine.ensure_pool(theta, seed) {
+        Request::Pool {
+            theta,
+            seed,
+            backend: PoolBackend::Forward,
+        } => match engine.ensure_pool(theta, seed) {
             Err(err) => format!("ERR {err}"),
             Ok((info, action)) => format!(
-                "OK theta={} seed={} build_ms={} bytes={} live_edges={} source={}",
+                "OK theta={} seed={} build_ms={} bytes={} live_edges={} source={} backend=forward",
                 info.theta,
                 info.seed,
                 info.build_time.as_millis(),
                 info.memory_bytes,
                 info.live_edges,
+                action.label()
+            ),
+        },
+        Request::Pool {
+            theta,
+            seed,
+            backend: PoolBackend::Sketch,
+        } => match engine.ensure_sketch_pool(theta, seed) {
+            Err(err) => format!("ERR {err}"),
+            Ok((info, action)) => format!(
+                "OK theta={} seed={} build_ms={} bytes={} members={} avg_size={:.2} source={} \
+                 backend=sketch",
+                info.theta_r,
+                info.seed,
+                info.build_time.as_millis(),
+                info.memory_bytes,
+                info.total_members,
+                info.avg_sketch_size,
                 action.label()
             ),
         },
@@ -402,12 +424,28 @@ fn stats_line(engine: &SharedEngine) -> String {
             )
         })
         .unwrap_or((0, 0, 0, "none".into(), "none", 0.0));
+    let (sketch_theta, sketch_seed, sketch_bytes, sketch_members, sketch_source) = view
+        .sketch_info
+        .as_ref()
+        .map(|s| {
+            (
+                s.theta_r,
+                s.seed,
+                s.memory_bytes,
+                s.total_members,
+                s.provenance.label(),
+            )
+        })
+        .unwrap_or((0, 0, 0, 0, "none".into()));
     format!(
         "OK graph={label} n={n} m={m} theta={theta} pool_seed={pool_seed} pool_bytes={pool_bytes} \
          pool_source={pool_source} pool_arena={pool_arena} pool_ratio={pool_ratio:.4} \
          queries={} cache_hits={} cache_entries={} threads={} \
          query_threads={} max_inflight={} inflight={} coalesced={} rejected={} computed={} \
-         lat_load_us={} lat_pool_us={} lat_query_us={} lat_save_us={} lat_restore_us={}",
+         lat_load_us={} lat_pool_us={} lat_query_us={} lat_save_us={} lat_restore_us={} \
+         sketch_theta={sketch_theta} sketch_seed={sketch_seed} sketch_bytes={sketch_bytes} \
+         sketch_members={sketch_members} sketch_source={sketch_source} \
+         sketch_builds={} sketch_reuses={}",
         stats.queries,
         stats.cache_hits,
         engine.cache_entries(),
@@ -423,6 +461,8 @@ fn stats_line(engine: &SharedEngine) -> String {
         stats.lat_query_us,
         stats.lat_save_us,
         stats.lat_restore_us,
+        stats.sketch_builds,
+        stats.sketch_reuses,
     )
 }
 
@@ -536,6 +576,65 @@ mod tests {
         let (reply, _) = answer_line("STATS", &fresh);
         assert!(reply.contains("pool_arena=mmap-compressed"), "{reply}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sketch_backend_walks_the_whole_lifecycle_over_the_protocol() {
+        let engine = engine();
+        let (reply, _) = answer_line("LOAD pa n=150 m0=3 seed=7 model=wc", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+        // ris-greedy before the sketch pool: typed lifecycle error.
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ris-greedy", &engine);
+        assert!(reply.starts_with("ERR no sketch pool"), "{reply}");
+        let (reply, _) = answer_line("POOL 400 9 backend=sketch", &engine);
+        assert!(reply.starts_with("OK theta=400 seed=9"), "{reply}");
+        assert!(
+            reply.contains("source=built") && reply.ends_with("backend=sketch"),
+            "{reply}"
+        );
+        assert!(
+            reply.contains(" members=") && reply.contains(" avg_size="),
+            "{reply}"
+        );
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ris-greedy", &engine);
+        assert!(reply.starts_with("OK blockers="), "{reply}");
+        assert!(reply.contains("samples=400"), "{reply}");
+        // Case-insensitive registry spelling resolves over the wire too.
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=RIS-GREEDY", &engine);
+        assert!(reply.contains("cached=true"), "{reply}");
+        // A matching sketch POOL is a reuse that keeps the cache.
+        let (reply, _) = answer_line("POOL 400 9 backend=sketch", &engine);
+        assert!(reply.contains("source=resident"), "{reply}");
+        // SAVE with only a sketch pool resident: typed backend error.
+        let (reply, _) = answer_line("SAVE /tmp/never-sketch.iminsnap", &engine);
+        assert!(reply.starts_with("ERR backend unsupported"), "{reply}");
+        assert!(
+            reply.contains("SAVE") && reply.contains("sketch"),
+            "{reply}"
+        );
+        // STATS carries the sketch-pool facts next to the forward fields.
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(
+            reply.contains("sketch_theta=400")
+                && reply.contains("sketch_seed=9")
+                && reply.contains("sketch_source=built")
+                && reply.contains("sketch_builds=1")
+                && reply.contains("sketch_reuses=1"),
+            "{reply}"
+        );
+        // The forward pool builds alongside; forward queries and SAVE work.
+        let (reply, _) = answer_line("POOL 200 5", &engine);
+        assert!(
+            reply.starts_with("OK theta=200 seed=5") && reply.ends_with("backend=forward"),
+            "{reply}"
+        );
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ag", &engine);
+        assert!(reply.starts_with("OK blockers="), "{reply}");
+        let (reply, _) = answer_line("STATS", &engine);
+        assert!(
+            reply.contains("theta=200") && reply.contains("sketch_theta=400"),
+            "both backends resident: {reply}"
+        );
     }
 
     #[test]

@@ -51,13 +51,13 @@
 
 use crate::cache::LruCache;
 use crate::engine::{
-    run_pooled, Disposition, Engine, PoolAction, PoolInfo, PoolProvenance, Query, QueryKey,
-    QueryResult, RestoreMode,
+    run_resident, Disposition, Engine, PoolAction, PoolBackend, PoolInfo, PoolProvenance, Query,
+    QueryKey, QueryResult, RestoreMode, SketchPoolInfo,
 };
 use crate::metrics::{self, EngineMetrics, Verb};
 use crate::{EngineError, Result};
 use imin_core::snapshot::{self, SnapshotSummary};
-use imin_core::SamplePool;
+use imin_core::{AlgorithmKind, SamplePool, SketchPool};
 use imin_graph::DiGraph;
 use imin_obs::{span, Phase, PhaseBreakdown, QUERY_PHASES, SNAPSHOT_PHASES};
 use std::cell::Cell;
@@ -91,6 +91,8 @@ struct ResidentState {
     graph_label: String,
     pool: Option<Arc<SamplePool>>,
     pool_info: Option<PoolInfo>,
+    sketch: Option<Arc<SketchPool>>,
+    sketch_info: Option<SketchPoolInfo>,
     /// Bumped on every graph/pool replacement; cache inserts are fenced on
     /// it so answers from a superseded pool never land in the new cache.
     epoch: u64,
@@ -152,6 +154,8 @@ struct Counters {
     pool_extends: AtomicU64,
     pool_compressions: AtomicU64,
     pool_reuses: AtomicU64,
+    sketch_builds: AtomicU64,
+    sketch_reuses: AtomicU64,
     graph_loads: AtomicU64,
     snapshot_saves: AtomicU64,
     snapshot_restores: AtomicU64,
@@ -212,6 +216,10 @@ pub struct ServingStats {
     pub pool_compressions: u64,
     /// `POOL` requests satisfied by the already-resident pool.
     pub pool_reuses: u64,
+    /// Sketch pools built from scratch (`POOL … backend=sketch`).
+    pub sketch_builds: u64,
+    /// Sketch `POOL` requests satisfied by the resident sketch pool.
+    pub sketch_reuses: u64,
     /// Graphs installed (`LOAD` and `RESTORE`).
     pub graph_loads: u64,
     /// Snapshots written via `SAVE`.
@@ -244,6 +252,10 @@ pub struct ResidentView {
     pub pool: Option<Arc<SamplePool>>,
     /// The resident pool's build facts, if a pool exists.
     pub pool_info: Option<PoolInfo>,
+    /// The resident reverse-sketch pool, if any.
+    pub sketch: Option<Arc<SketchPool>>,
+    /// The resident sketch pool's build facts, if a sketch pool exists.
+    pub sketch_info: Option<SketchPoolInfo>,
 }
 
 /// A containment query engine that many threads drive concurrently.
@@ -314,6 +326,8 @@ impl SharedEngine {
             state.graph_label = parts.graph_label;
             state.pool = parts.pool.map(Arc::new);
             state.pool_info = parts.pool_info;
+            state.sketch = parts.sketch.map(Arc::new);
+            state.sketch_info = parts.sketch_info;
         }
         let c = &shared.counters;
         c.queries.store(parts.stats.queries, Relaxed);
@@ -323,6 +337,8 @@ impl SharedEngine {
         c.pool_compressions
             .store(parts.stats.pool_compressions, Relaxed);
         c.pool_reuses.store(parts.stats.pool_reuses, Relaxed);
+        c.sketch_builds.store(parts.stats.sketch_builds, Relaxed);
+        c.sketch_reuses.store(parts.stats.sketch_reuses, Relaxed);
         c.graph_loads.store(parts.stats.graph_loads, Relaxed);
         c.snapshot_saves.store(parts.stats.snapshot_saves, Relaxed);
         c.snapshot_restores
@@ -434,6 +450,8 @@ impl SharedEngine {
             pool_extends: c.pool_extends.load(Relaxed),
             pool_compressions: c.pool_compressions.load(Relaxed),
             pool_reuses: c.pool_reuses.load(Relaxed),
+            sketch_builds: c.sketch_builds.load(Relaxed),
+            sketch_reuses: c.sketch_reuses.load(Relaxed),
             graph_loads: c.graph_loads.load(Relaxed),
             snapshot_saves: c.snapshot_saves.load(Relaxed),
             snapshot_restores: c.snapshot_restores.load(Relaxed),
@@ -453,6 +471,8 @@ impl SharedEngine {
             graph_label: state.graph_label.clone(),
             pool: state.pool.clone(),
             pool_info: state.pool_info.clone(),
+            sketch: state.sketch.clone(),
+            sketch_info: state.sketch_info.clone(),
         }
     }
 
@@ -485,6 +505,8 @@ impl SharedEngine {
             state.graph_label = label;
             state.pool = None;
             state.pool_info = None;
+            state.sketch = None;
+            state.sketch_info = None;
             state.epoch += 1;
             self.reset_cache(state.epoch);
         }
@@ -578,6 +600,78 @@ impl SharedEngine {
         Ok((info, PoolAction::Built))
     }
 
+    /// Makes a reverse-sketch pool with exactly `(θ_r, seed)` resident —
+    /// the `POOL … backend=sketch` counterpart of
+    /// [`SharedEngine::ensure_pool`], executed exclusively. A matching
+    /// resident sketch pool is a no-op that keeps the cache; anything else
+    /// rebuilds from scratch (sketch pools never extend in place). The
+    /// forward pool, if any, stays resident untouched. In-flight
+    /// `ris-greedy` queries keep their own `Arc` to the old sketch pool;
+    /// the rebuild waits for those references to drain before releasing the
+    /// arenas, so peak memory stays at one sketch pool.
+    ///
+    /// # Errors
+    /// [`EngineError::NoGraph`] before a graph is loaded, or the underlying
+    /// build error (θ_r = 0, rejected before anything is dropped).
+    pub fn ensure_sketch_pool(
+        &self,
+        theta_r: usize,
+        seed: u64,
+    ) -> Result<(SketchPoolInfo, PoolAction)> {
+        let start = Instant::now();
+        let result = self.ensure_sketch_pool_locked(theta_r, seed);
+        self.metrics
+            .verb(Verb::Pool)
+            .record_us(start.elapsed().as_micros() as u64);
+        result
+    }
+
+    fn ensure_sketch_pool_locked(
+        &self,
+        theta_r: usize,
+        seed: u64,
+    ) -> Result<(SketchPoolInfo, PoolAction)> {
+        let mut state = write_unpoisoned(&self.state);
+        let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
+        if theta_r == 0 {
+            return Err(imin_core::IminError::ZeroSamples.into());
+        }
+        if let Some(sketch) = state.sketch.as_ref() {
+            if sketch.pool_seed() == seed && sketch.theta_r() == theta_r {
+                self.counters.sketch_reuses.fetch_add(1, Relaxed);
+                let info = state
+                    .sketch_info
+                    .clone()
+                    .expect("resident sketch pool has info");
+                return Ok((info, PoolAction::Reused));
+            }
+        }
+        // Release the superseded sketch pool (after its readers drain)
+        // before building the new one, and invalidate the cache — cached
+        // `ris-greedy` answers belonged to the old sketches.
+        if let Some(old) = state.sketch.take() {
+            state.sketch_info = None;
+            state.epoch += 1;
+            self.reset_cache(state.epoch);
+            drain_to_exclusive(&old);
+            drop(old);
+        }
+        let build = Instant::now();
+        let sketch = SketchPool::build_with_threads(&graph, theta_r, seed, self.threads)?;
+        let info = SketchPoolInfo::for_pool(
+            &sketch,
+            self.threads,
+            build.elapsed(),
+            PoolProvenance::Built,
+        );
+        state.sketch = Some(Arc::new(sketch));
+        state.sketch_info = Some(info.clone());
+        state.epoch += 1;
+        self.reset_cache(state.epoch);
+        self.counters.sketch_builds.fetch_add(1, Relaxed);
+        Ok((info, PoolAction::Built))
+    }
+
     /// Writes the resident `(graph, pool)` to a snapshot file. Runs
     /// **concurrently with queries**: it serialises from `Arc` clones
     /// taken under a brief read lock, so a multi-gigabyte write never
@@ -599,11 +693,21 @@ impl SharedEngine {
     fn save_snapshot_inner(&self, path: &Path) -> Result<SnapshotSummary> {
         let (graph, pool, label) = {
             let state = read_unpoisoned(&self.state);
-            (
-                state.graph.clone().ok_or(EngineError::NoGraph)?,
-                state.pool.clone().ok_or(EngineError::NoPool)?,
-                state.graph_label.clone(),
-            )
+            let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
+            // Snapshot format v2 describes forward sample arenas only: a
+            // sketch-only engine answers with a typed backend error rather
+            // than the misleading "no pool built".
+            let pool = match state.pool.clone() {
+                Some(pool) => pool,
+                None if state.sketch.is_some() => {
+                    return Err(EngineError::BackendUnsupported {
+                        operation: "SAVE",
+                        backend: PoolBackend::Sketch.label(),
+                    })
+                }
+                None => return Err(EngineError::NoPool),
+            };
+            (graph, pool, state.graph_label.clone())
         };
         let summary = snapshot::save_snapshot(path, &graph, &pool, &label)?;
         self.counters.snapshot_saves.fetch_add(1, Relaxed);
@@ -688,6 +792,8 @@ impl SharedEngine {
             };
             state.pool = Some(Arc::new(restored.pool));
             state.pool_info = Some(info.clone());
+            state.sketch = None;
+            state.sketch_info = None;
             state.epoch += 1;
             self.reset_cache(state.epoch);
         }
@@ -798,15 +904,20 @@ impl SharedEngine {
         }
         // Snapshot the resident pair (and its epoch) before registering in
         // the single-flight map, so rejected queries never leave a slot
-        // behind.
+        // behind. Only the backend the algorithm runs on is cloned —
+        // `ris-greedy` takes the sketch pool, everything else the forward
+        // pool — so the other backend can be swapped mid-compute freely.
         let clone_start = Instant::now();
-        let (graph, pool, epoch) = {
+        let (graph, pool, sketch, epoch) = {
             let state = read_unpoisoned(&self.state);
-            (
-                state.graph.clone().ok_or(EngineError::NoGraph)?,
-                state.pool.clone().ok_or(EngineError::NoPool)?,
-                state.epoch,
-            )
+            let graph = state.graph.clone().ok_or(EngineError::NoGraph)?;
+            if query.algorithm == AlgorithmKind::RisGreedy {
+                let sketch = state.sketch.clone().ok_or(EngineError::NoSketchPool)?;
+                (graph, None, Some(sketch), state.epoch)
+            } else {
+                let pool = state.pool.clone().ok_or(EngineError::NoPool)?;
+                (graph, Some(pool), None, state.epoch)
+            }
         };
         let clone_us = clone_start.elapsed().as_micros() as u64;
         enum Role {
@@ -863,7 +974,14 @@ impl SharedEngine {
                     span::begin();
                 }
                 let mut outcome = catch_unwind(AssertUnwindSafe(|| {
-                    run_pooled(&pool, &graph, query, self.query_threads, start)
+                    run_resident(
+                        pool.as_deref(),
+                        sketch.as_deref(),
+                        &graph,
+                        query,
+                        self.query_threads,
+                        start,
+                    )
                 }))
                 .unwrap_or_else(|panic| Err(EngineError::Internal(panic_message(&panic))));
                 // Always drain the span, even on error or panic — a stale
@@ -909,7 +1027,7 @@ impl SharedEngine {
 /// Busy-waits (1 ms naps) until `arc` is the only strong reference. Callers
 /// hold the state write lock, so no new references can appear — existing
 /// readers (queries, saves) finish and drop theirs.
-fn drain_to_exclusive(arc: &Arc<SamplePool>) {
+fn drain_to_exclusive<T>(arc: &Arc<T>) {
     while Arc::strong_count(arc) > 1 {
         std::thread::sleep(Duration::from_millis(1));
     }
@@ -1170,6 +1288,92 @@ mod tests {
         assert_eq!(shared.cache_entries(), 0);
         let again = shared.query(&q).unwrap();
         assert!(!again.from_cache);
+    }
+
+    #[test]
+    fn sketch_queries_serve_concurrently_and_deterministically() {
+        let engine = Arc::new(primed(150));
+        engine.ensure_sketch_pool(400, 7).unwrap();
+        let sketch_query = Query {
+            seeds: vec![VertexId::new(1)],
+            budget: 4,
+            algorithm: QueryAlgorithm::RisGreedy,
+        };
+        let clients = 6usize;
+        let barrier = Arc::new(Barrier::new(clients));
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            let q = sketch_query.clone();
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                engine.query(&q).unwrap()
+            }));
+        }
+        let answers: Vec<QueryResult> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for answer in &answers[1..] {
+            assert_eq!(answer.blockers, answers[0].blockers);
+            assert_eq!(answer.estimated_spread, answers[0].estimated_spread);
+        }
+        // The shared answer matches the single-threaded engine bit for bit.
+        let mut classic = Engine::new().with_threads(1);
+        classic.load_graph(wc_graph(300, 11), "pa-300/WC".into());
+        classic.ensure_sketch_pool(400, 7).unwrap();
+        let reference = classic.query(&sketch_query).unwrap();
+        assert_eq!(answers[0].blockers, reference.blockers);
+        assert_eq!(answers[0].estimated_spread, reference.estimated_spread);
+        // Forward queries still work next to the sketch pool.
+        assert!(engine.query(&query(0, 2)).is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.sketch_builds, 1);
+        // Matching sketch POOL is a reuse.
+        let (_, action) = engine.ensure_sketch_pool(400, 7).unwrap();
+        assert_eq!(action, PoolAction::Reused);
+        assert_eq!(engine.stats().sketch_reuses, 1);
+    }
+
+    #[test]
+    fn ris_greedy_without_a_sketch_pool_is_a_typed_error() {
+        let engine = primed(100);
+        let err = engine
+            .query(&Query {
+                seeds: vec![VertexId::new(0)],
+                budget: 2,
+                algorithm: QueryAlgorithm::RisGreedy,
+            })
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NoSketchPool), "got {err:?}");
+    }
+
+    #[test]
+    fn save_on_a_sketch_only_shared_engine_is_a_typed_backend_error() {
+        let engine = SharedEngine::new().with_threads(1);
+        engine.load_graph(wc_graph(100, 3), "pa-100/WC".into());
+        engine.ensure_sketch_pool(100, 1).unwrap();
+        let err = engine
+            .save_snapshot("/tmp/never-written-shared-sketch.iminsnap")
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                EngineError::BackendUnsupported {
+                    operation: "SAVE",
+                    backend: "sketch"
+                }
+            ),
+            "got {err:?}"
+        );
+        assert_eq!(engine.stats().snapshot_saves, 0);
+        // With a forward pool also resident, SAVE works again.
+        engine.ensure_pool(50, 2).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "imin-shared-sketchsave-{}.iminsnap",
+            std::process::id()
+        ));
+        engine.save_snapshot(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -171,6 +171,97 @@ fn trace_replies_and_metrics_work_over_real_tcp() {
 }
 
 #[test]
+fn sketch_queries_record_their_phases_without_a_registry_restart() {
+    // One engine, no restarts: the rsample/cover histograms must appear in
+    // the exposition as soon as a sketch-backend query runs, because the
+    // phase registry is sized statically from the Phase enum.
+    let engine = SharedEngine::new().with_threads(1).with_query_threads(1);
+    engine.load_graph(wc_graph(400, 21), "sketch-obs".into());
+
+    // Before any sketch activity the phase series exist (count 0) — the
+    // family is static, not lazily registered.
+    let before = engine.metrics_text();
+    for phase in ["rsample", "cover"] {
+        let needle = format!("imin_query_phase_seconds_count{{phase=\"{phase}\"}} 0");
+        assert!(before.contains(&needle), "missing '{needle}' in exposition");
+    }
+
+    engine.ensure_sketch_pool(300, 9).unwrap();
+    let result = engine
+        .query(&Query {
+            seeds: vec![VertexId::new(1)],
+            budget: 3,
+            algorithm: QueryAlgorithm::RisGreedy,
+        })
+        .unwrap();
+    let phases = result.phases.expect("observability is on by default");
+    assert!(
+        phases.get(imin_engine::Phase::Cover) > 0,
+        "the cover phase must have been lapped: {phases:?}"
+    );
+
+    let text = engine.metrics_text();
+    for phase in ["cover", "select"] {
+        let needle = format!("imin_query_phase_seconds_count{{phase=\"{phase}\"}} 1");
+        assert!(text.contains(&needle), "missing '{needle}' in exposition");
+    }
+    assert!(
+        text.contains("imin_algorithm_compute_seconds_count{algorithm=\"ris-greedy\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("imin_sketch_builds_total 1"), "{text}");
+    assert!(text.contains("imin_sketch_theta 300"), "{text}");
+    assert!(text.contains("imin_sketch_bytes"), "{text}");
+
+    // The whole document stays well-formed Prometheus text format: every
+    // line is a comment or `name[{labels}] value`, every sample's family
+    // was announced by a preceding # TYPE, and histogram bucket counts are
+    // cumulative (monotone non-decreasing, ending at +Inf == _count).
+    let mut announced = std::collections::HashSet::new();
+    let mut last_bucket: Option<(String, u64)> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(typed) = rest.strip_prefix("TYPE ") {
+                let family = typed.split_whitespace().next().unwrap();
+                announced.insert(family.to_string());
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .expect("sample lines are 'series value'");
+        let name = series.split('{').next().unwrap();
+        let family = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_count")
+            .trim_end_matches("_sum");
+        assert!(
+            announced.contains(family) || announced.contains(name),
+            "sample '{name}' has no preceding # TYPE line"
+        );
+        assert!(
+            value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+            "unparseable sample value in '{line}'"
+        );
+        if name.ends_with("_bucket") {
+            let count: u64 = value.parse().expect("bucket counts are integers");
+            let key = series.split("le=").next().unwrap().to_string();
+            if let Some((prev_key, prev)) = &last_bucket {
+                if *prev_key == key {
+                    assert!(count >= *prev, "non-monotone buckets at '{line}'");
+                }
+            }
+            last_bucket = Some((key, count));
+        } else {
+            last_bucket = None;
+        }
+    }
+}
+
+#[test]
 fn snapshot_restore_records_the_snapshot_phases() {
     let engine = SharedEngine::new().with_threads(1);
     engine.load_graph(wc_graph(300, 19), "snap".into());

@@ -15,12 +15,13 @@
 use std::cell::Cell;
 
 /// Number of [`Phase`] variants; the length of a [`PhaseBreakdown`].
-pub const PHASE_COUNT: usize = 11;
+pub const PHASE_COUNT: usize = 13;
 
 /// A named phase of an instrumented request.
 ///
-/// The first eight variants decompose a pooled `QUERY` (the split the
-/// paper's Algorithms 2–4 are built around); the last three decompose a
+/// The first ten variants decompose a `QUERY` — eight for the pooled
+/// forward path (the split the paper's Algorithms 2–4 are built around)
+/// plus two for the reverse-sketch path; the last three decompose a
 /// snapshot `RESTORE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
@@ -43,6 +44,11 @@ pub enum Phase {
     Credit,
     /// Greedy blocker selection over the merged estimates.
     Select,
+    /// Reverse-sketch path: drawing θ_r reverse live-edge BFS sketches.
+    RSample,
+    /// Reverse-sketch path: seed-coverage lookups and per-sketch critical
+    /// (blockable) set extraction.
+    Cover,
     /// Snapshot restore: reading the graph and pool sections.
     SnapRead,
     /// Snapshot restore: structural validation and checksum verification.
@@ -52,7 +58,7 @@ pub enum Phase {
 }
 
 /// The query-path phases, in reporting order.
-pub const QUERY_PHASES: [Phase; 8] = [
+pub const QUERY_PHASES: [Phase; 10] = [
     Phase::Clone,
     Phase::Probe,
     Phase::Sample,
@@ -61,6 +67,8 @@ pub const QUERY_PHASES: [Phase; 8] = [
     Phase::DomTree,
     Phase::Credit,
     Phase::Select,
+    Phase::RSample,
+    Phase::Cover,
 ];
 
 /// The snapshot-restore phases, in reporting order.
@@ -79,6 +87,8 @@ impl Phase {
             Phase::DomTree => "domtree",
             Phase::Credit => "credit",
             Phase::Select => "select",
+            Phase::RSample => "rsample",
+            Phase::Cover => "cover",
             Phase::SnapRead => "snap_read",
             Phase::SnapValidate => "snap_validate",
             Phase::SnapMap => "snap_map",

@@ -12,7 +12,7 @@ use imin_core::heuristics::{
 };
 use imin_core::{
     AlgorithmConfig, AlgorithmKind, BlockerSelection, ContainmentRequest, ForbiddenSet, IminError,
-    SamplePool,
+    SamplePool, SketchPool,
 };
 use imin_diffusion::ProbabilityModel;
 use imin_graph::{generators, DiGraph, VertexId};
@@ -376,6 +376,154 @@ fn registry_round_trips_and_rejects_unknown_names() {
         "warp-drive".parse::<AlgorithmKind>(),
         Err(IminError::UnknownAlgorithm { .. })
     ));
+}
+
+/// Remaining (blocked) spread of a fixed blocker set, measured on the
+/// forward sample pool — the ground truth both backends are judged by.
+fn forward_blocked_spread(pool: &SamplePool, seeds: &[VertexId], blockers: &[VertexId]) -> f64 {
+    let mut blocked = vec![false; pool.num_vertices()];
+    for b in blockers {
+        blocked[b.index()] = true;
+    }
+    imin_core::pool::with_pool_workspace(|ws| {
+        imin_core::pool::pooled_decrease_in(pool, seeds, &blocked, 4, ws)
+    })
+    .unwrap()
+    .average_reached
+}
+
+#[test]
+fn sketch_greedy_matches_forward_greedy_on_the_planted_gateway_graph() {
+    // Every edge is deterministic, so a reverse sketch from root r is the
+    // exact set of vertices that reach r and the only estimation noise is
+    // root sampling. Sketch-greedy must recover (near-)optimal gateways
+    // and its blocked spread — measured on the *forward* pool — must sit
+    // within 5% of AdvancedGreedy's.
+    let (graph, seeds, gateways) = planted_gateway_graph();
+    let budget = 5usize;
+    let fwd_pool = SamplePool::build_with_threads(&graph, 4, 2023, 4).unwrap();
+    let spool = SketchPool::build_with_threads(&graph, 20_000, 2023, 4).unwrap();
+
+    let ag = {
+        let request = ContainmentRequest::builder(&graph)
+            .seeds(seeds.iter().copied())
+            .budget(budget)
+            .pooled_with_threads(&fwd_pool, 4)
+            .build()
+            .unwrap();
+        AlgorithmKind::AdvancedGreedy
+            .solver()
+            .solve(&graph, &request)
+            .unwrap()
+    };
+
+    let mut reference: Option<BlockerSelection> = None;
+    for threads in [1usize, 2, 8] {
+        let request = ContainmentRequest::builder(&graph)
+            .seeds(seeds.iter().copied())
+            .budget(budget)
+            .sketch_pooled(&spool, threads)
+            .build()
+            .unwrap();
+        let sel = AlgorithmKind::RisGreedy
+            .solver()
+            .solve(&graph, &request)
+            .unwrap();
+        for b in &sel.blockers {
+            assert!(gateways.contains(b), "sketch-greedy picked non-gateway {b}");
+        }
+        match &reference {
+            None => reference = Some(sel),
+            Some(prev) => {
+                assert_eq!(
+                    prev.blockers, sel.blockers,
+                    "sketch selection varies with thread count ({threads})"
+                );
+                assert_eq!(
+                    prev.estimated_spread, sel.estimated_spread,
+                    "sketch spread estimate varies with thread count ({threads})"
+                );
+            }
+        }
+    }
+    let sketch = reference.unwrap();
+
+    let ag_spread = forward_blocked_spread(&fwd_pool, &seeds, &ag.blockers);
+    let sketch_spread = forward_blocked_spread(&fwd_pool, &seeds, &sketch.blockers);
+    assert!(
+        sketch_spread <= ag_spread * 1.05,
+        "sketch blocked spread {sketch_spread:.1} not within 5% of AG {ag_spread:.1}"
+    );
+}
+
+#[test]
+fn sketch_greedy_blocked_spread_tracks_forward_greedy_on_weighted_cascade() {
+    // A probabilistic mid-size instance: both the forward pool and the
+    // sketch pool carry sampling noise, so we compare blocked-spread
+    // quality (on the shared forward pool) rather than exact selections.
+    let topology = generators::preferential_attachment(2_000, 3, true, 1.0, 97).unwrap();
+    let graph = ProbabilityModel::WeightedCascade.apply(&topology).unwrap();
+    let seeds = [vid(0), vid(1), vid(2)];
+    let budget = 8usize;
+    let fwd_pool = SamplePool::build_with_threads(&graph, 2_000, 7, 4).unwrap();
+
+    let forward_best = [AlgorithmKind::AdvancedGreedy, AlgorithmKind::GreedyReplace]
+        .into_iter()
+        .map(|kind| {
+            let request = ContainmentRequest::builder(&graph)
+                .seeds(seeds)
+                .budget(budget)
+                .pooled_with_threads(&fwd_pool, 4)
+                .build()
+                .unwrap();
+            let sel = kind.solver().solve(&graph, &request).unwrap();
+            forward_blocked_spread(&fwd_pool, &seeds, &sel.blockers)
+        })
+        .fold(f64::INFINITY, f64::min);
+
+    // Fresh sketch backend (pool built inside the solver) and all thread
+    // counts must agree bit-for-bit with the pooled sketch backend.
+    let spool = SketchPool::build_with_threads(&graph, 30_000, 7, 4).unwrap();
+    let mut reference: Option<BlockerSelection> = None;
+    for threads in [1usize, 2, 8] {
+        let pooled = ContainmentRequest::builder(&graph)
+            .seeds(seeds)
+            .budget(budget)
+            .sketch_pooled(&spool, threads)
+            .build()
+            .unwrap();
+        let sel = AlgorithmKind::RisGreedy
+            .solver()
+            .solve(&graph, &pooled)
+            .unwrap();
+        let fresh = ContainmentRequest::builder(&graph)
+            .seeds(seeds)
+            .budget(budget)
+            .sketch(30_000, 7, threads)
+            .build()
+            .unwrap();
+        let fresh_sel = AlgorithmKind::RisGreedy
+            .solver()
+            .solve(&graph, &fresh)
+            .unwrap();
+        assert_eq!(
+            sel.blockers, fresh_sel.blockers,
+            "threads={threads}: fresh and pooled sketch selections diverged"
+        );
+        match &reference {
+            None => reference = Some(sel),
+            Some(prev) => assert_eq!(
+                prev.blockers, sel.blockers,
+                "threads={threads}: sketch selection varies with thread count"
+            ),
+        }
+    }
+    let sketch = reference.unwrap();
+    let sketch_spread = forward_blocked_spread(&fwd_pool, &seeds, &sketch.blockers);
+    assert!(
+        sketch_spread <= forward_best * 1.05,
+        "sketch blocked spread {sketch_spread:.1} not within 5% of best forward {forward_best:.1}"
+    );
 }
 
 #[test]
