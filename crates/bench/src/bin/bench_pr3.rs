@@ -72,6 +72,7 @@ fn main() {
         seeds: vec![source],
         budget: BUDGET,
         algorithm: QueryAlgorithm::AdvancedGreedy,
+        intervention: imin_core::Intervention::BlockVertices,
     };
     let start = Instant::now();
     engine.build_pool(THETA, 7).expect("pool build");
@@ -97,6 +98,7 @@ fn main() {
             seeds: vec![seed],
             budget: BUDGET,
             algorithm: QueryAlgorithm::AdvancedGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         };
         let result = engine.query(&q).expect("resident query");
         assert!(!result.from_cache);

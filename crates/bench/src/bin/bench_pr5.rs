@@ -77,6 +77,7 @@ fn main() {
         seeds: vec![source],
         budget: BUDGET,
         algorithm: QueryAlgorithm::AdvancedGreedy,
+        intervention: imin_core::Intervention::BlockVertices,
     };
 
     // ---- Act 1: the cold rebuild a restarted server used to pay ----------

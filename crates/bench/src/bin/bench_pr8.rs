@@ -114,6 +114,7 @@ fn distinct_query(n: usize, k: u64) -> Query {
         seeds: vec![VertexId::new(a), VertexId::new(b)],
         budget: 2,
         algorithm: AlgorithmKind::AdvancedGreedy,
+        intervention: imin_core::Intervention::BlockVertices,
     }
 }
 

@@ -41,6 +41,11 @@ impl BlockerSolver for AdvancedGreedy {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if !matches!(request.intervention(), crate::Intervention::BlockVertices) {
+            // Edge blocking and prebunking run on the pooled dominator-tree
+            // machinery; the plain-greedy flavour takes no replacement pass.
+            return crate::intervene::solve_pooled_intervention(self.kind().name(), request, false);
+        }
         match *request.backend() {
             EvalBackend::Fresh {
                 theta,
@@ -125,6 +130,7 @@ pub(crate) fn fresh_advanced_greedy_with<S: SpreadSampler + ?Sized>(
     Ok(BlockerSelection {
         blockers,
         estimated_spread,
+        blocked_edges: Vec::new(),
         stats,
     })
 }

@@ -39,6 +39,11 @@ impl BlockerSolver for BaselineGreedy {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        crate::intervene::require_vertex(
+            request.intervention(),
+            self.kind().name(),
+            request.backend().label(),
+        )?;
         let EvalBackend::Fresh { seed, threads, .. } = *request.backend() else {
             return Err(IminError::BackendUnsupported {
                 algorithm: self.kind().name(),
@@ -100,6 +105,7 @@ impl BlockerSolver for BaselineGreedy {
         Ok(BlockerSelection {
             blockers,
             estimated_spread: Some(current_spread),
+            blocked_edges: Vec::new(),
             stats,
         })
     }

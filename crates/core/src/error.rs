@@ -35,6 +35,27 @@ pub enum IminError {
         /// Label of the backend it was asked to run on.
         backend: &'static str,
     },
+    /// The requested intervention family cannot run with the requested
+    /// algorithm×backend combination (e.g. edge blocking needs the pooled
+    /// dominator-tree machinery; the sketch backend answers vertex
+    /// requests only). `docs/protocol.md` tables the supported combos.
+    InterventionUnsupported {
+        /// Label of the algorithm that was asked to run.
+        algorithm: &'static str,
+        /// Label of the backend it was asked to run on.
+        backend: &'static str,
+        /// Family label of the intervention (`"vertex"`, `"edge"`,
+        /// `"prebunk"`).
+        intervention: &'static str,
+    },
+    /// An intervention specification could not be parsed or carries invalid
+    /// parameters (e.g. a prebunk `alpha` outside `[0, 1]`).
+    InvalidIntervention {
+        /// The offending specification, as supplied.
+        spec: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
     /// A string did not name any registered algorithm.
     UnknownAlgorithm {
         /// The unrecognised name.
@@ -116,6 +137,21 @@ impl fmt::Display for IminError {
             IminError::BackendUnsupported { algorithm, backend } => write!(
                 f,
                 "algorithm '{algorithm}' cannot run on the {backend} backend"
+            ),
+            IminError::InterventionUnsupported {
+                algorithm,
+                backend,
+                intervention,
+            } => write!(
+                f,
+                "intervention unsupported: '{intervention}' requests cannot run with algorithm \
+                 '{algorithm}' on the {backend} backend (see docs/protocol.md for the support \
+                 matrix)"
+            ),
+            IminError::InvalidIntervention { spec, reason } => write!(
+                f,
+                "invalid intervention '{spec}': {reason} (expected vertex, edge, or \
+                 prebunk:<alpha> with alpha in [0, 1])"
             ),
             IminError::UnknownAlgorithm { name } => write!(
                 f,
@@ -200,6 +236,18 @@ mod tests {
             backend: "pooled",
         };
         assert!(e.to_string().contains("cannot run"));
+        let e = IminError::InterventionUnsupported {
+            algorithm: "ris-greedy",
+            backend: "sketch",
+            intervention: "edge",
+        };
+        assert!(e.to_string().starts_with("intervention unsupported"));
+        assert!(e.to_string().contains("docs/protocol.md"));
+        let e = IminError::InvalidIntervention {
+            spec: "prebunk:2".into(),
+            reason: "alpha must be a finite probability in [0, 1]",
+        };
+        assert!(e.to_string().contains("invalid intervention 'prebunk:2'"));
         let e = IminError::UnknownAlgorithm {
             name: "magic".into(),
         };

@@ -40,6 +40,11 @@ impl BlockerSolver for ExactBlocker {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        crate::intervene::require_vertex(
+            request.intervention(),
+            self.kind().name(),
+            request.backend().label(),
+        )?;
         let EvalBackend::Fresh { seed, threads, .. } = *request.backend() else {
             return Err(IminError::BackendUnsupported {
                 algorithm: self.kind().name(),
@@ -295,6 +300,7 @@ pub fn exact_blocker_search_multi(
     Ok(BlockerSelection {
         blockers: best_set,
         estimated_spread: Some(best_spread),
+        blocked_edges: Vec::new(),
         stats,
     })
 }

@@ -53,6 +53,12 @@ impl BlockerSolver for GreedyReplace {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if !matches!(request.intervention(), crate::Intervention::BlockVertices) {
+            // Edge blocking and prebunking run on the pooled dominator-tree
+            // machinery, with the GreedyReplace flavour (seed-first edge
+            // rounds, prebunk replacement sweep).
+            return crate::intervene::solve_pooled_intervention(self.kind().name(), request, true);
+        }
         match *request.backend() {
             EvalBackend::Fresh {
                 theta,
@@ -311,6 +317,7 @@ pub(crate) fn fresh_greedy_replace_with<S: SpreadSampler + ?Sized>(
     Ok(BlockerSelection {
         blockers,
         estimated_spread,
+        blocked_edges: Vec::new(),
         stats,
     })
 }

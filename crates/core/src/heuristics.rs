@@ -52,6 +52,23 @@ impl BlockerSolver for Rand {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if matches!(request.intervention(), crate::Intervention::BlockEdges) {
+            let start = Instant::now();
+            let mut edges: Vec<(VertexId, VertexId)> =
+                graph.edges().map(|e| (e.source, e.target)).collect();
+            let mut rng = StdRng::seed_from_u64(request.backend().rng_seed());
+            edges.shuffle(&mut rng);
+            edges.truncate(request.budget());
+            let mut sel = BlockerSelection::new(Vec::new());
+            sel.blocked_edges = edges;
+            sel.stats = SelectionStats {
+                elapsed: start.elapsed(),
+                ..Default::default()
+            };
+            return Ok(sel);
+        }
+        // Vertex blocking and prebunking share the pick: `b` uniform random
+        // candidates, read as removed or prebunked respectively.
         let start = Instant::now();
         let mut pool: Vec<VertexId> = graph
             .vertices()
@@ -81,6 +98,25 @@ impl BlockerSolver for OutDegree {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if matches!(request.intervention(), crate::Intervention::BlockEdges) {
+            let start = Instant::now();
+            let mut edges: Vec<(VertexId, VertexId)> =
+                graph.edges().map(|e| (e.source, e.target)).collect();
+            // Cutting an edge into a high-fan-out vertex removes the one hop
+            // that unlocks that fan-out; rank by the target's out-degree,
+            // ties towards the lexicographically smaller edge.
+            edges.sort_by(|a, b| {
+                graph
+                    .out_degree(b.1)
+                    .cmp(&graph.out_degree(a.1))
+                    .then(a.cmp(b))
+            });
+            edges.truncate(request.budget());
+            let mut sel = BlockerSelection::new(Vec::new());
+            sel.blocked_edges = edges;
+            sel.stats.elapsed = start.elapsed();
+            return Ok(sel);
+        }
         let start = Instant::now();
         let blockers: Vec<VertexId> = vertices_by_out_degree(graph)
             .into_iter()
@@ -104,6 +140,13 @@ impl BlockerSolver for Degree {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if matches!(request.intervention(), crate::Intervention::BlockEdges) {
+            return Err(crate::IminError::InterventionUnsupported {
+                algorithm: self.kind().name(),
+                backend: request.backend().label(),
+                intervention: "edge",
+            });
+        }
         let start = Instant::now();
         let blockers: Vec<VertexId> = vertices_by_degree(graph)
             .into_iter()
@@ -129,6 +172,11 @@ impl BlockerSolver for OutNeighbors {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        crate::intervene::require_vertex(
+            request.intervention(),
+            self.kind().name(),
+            request.backend().label(),
+        )?;
         let start = Instant::now();
         let blocked = vec![false; graph.num_vertices()];
         let estimate = match *request.backend() {
@@ -201,6 +249,13 @@ impl BlockerSolver for PageRank {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        if matches!(request.intervention(), crate::Intervention::BlockEdges) {
+            return Err(crate::IminError::InterventionUnsupported {
+                algorithm: self.kind().name(),
+                backend: request.backend().label(),
+                intervention: "edge",
+            });
+        }
         let start = Instant::now();
         let scores = pagerank_scores(graph, 0.85, 30);
         let mut vertices: Vec<VertexId> = graph

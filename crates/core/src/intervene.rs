@@ -1,0 +1,896 @@
+//! Intervention families beyond vertex blocking — edge blocking and
+//! prebunking against a resident [`SamplePool`].
+//!
+//! The paper blocks *vertices*; the surrounding literature shows the same
+//! pooled-realisation machinery answers two sibling questions:
+//!
+//! * **Edge blocking** (Zehmakan & Maurya, arXiv 2308.08860): remove `k`
+//!   edges instead of vertices. In a stored realisation a removed edge is a
+//!   targeted live-edge deletion — and when the deleted edge `(u, v)` is
+//!   the *only* live in-edge of `v` among the reached region, deleting it
+//!   detaches exactly the vertices dominated by `v`, so the dominator-tree
+//!   subtree size prices the edge **exactly** per realisation.
+//! * **Prebunking** (Furutani et al., arXiv 2508.01124): a prebunked
+//!   vertex keeps transmitting, but *accepts* each incoming activation
+//!   only with probability `α`. Under the integer coin-threshold
+//!   representation of the pool this is conditional thinning: a stored
+//!   live edge into a prebunked vertex survives an `α`-coin drawn from a
+//!   deterministic per-(sample, edge) hash stream — untouched realisations
+//!   and vertices pay nothing, and `α = 1.0` keeps every edge, making the
+//!   estimate byte-identical to no intervention at all.
+//!
+//! [`Intervention`] is the request-level selector threaded through
+//! [`crate::ContainmentRequest`]; the greedy loops here mirror the pooled
+//! vertex loops of [`crate::pool`] (same integer accumulation, same
+//! bit-identical-at-any-thread-count contract) but live in their own module
+//! so the vertex hot path stays byte-stable.
+
+use crate::decrease::DecreaseEstimate;
+use crate::pool::{shard_ranges, SamplePool};
+use crate::request::{ContainmentRequest, EvalBackend};
+use crate::types::{BlockerSelection, SelectionStats};
+use crate::{IminError, Result};
+use imin_domtree::DomTreeWorkspace;
+use imin_graph::VertexId;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
+use std::time::Instant;
+
+/// Sentinel for "no local slot" in the dense renumbering.
+const UNMAPPED: u32 = u32::MAX;
+/// Global id stored at local 0: the virtual root above the seed set.
+const VIRTUAL_ROOT: u32 = u32::MAX;
+
+/// What a containment request removes from the cascade: the paper's vertex
+/// blocking (the default), edge blocking, or probabilistic prebunking.
+///
+/// The wire syntax accepted by [`FromStr`] (and printed by `Display`) is
+/// the protocol's `intervene=` parameter: `vertex`, `edge`, or
+/// `prebunk:<alpha>` with `alpha ∈ [0, 1]`.
+///
+/// ```
+/// use imin_core::Intervention;
+///
+/// assert_eq!("vertex".parse::<Intervention>().unwrap(), Intervention::BlockVertices);
+/// assert_eq!("edge".parse::<Intervention>().unwrap(), Intervention::BlockEdges);
+/// assert_eq!(
+///     "prebunk:0.25".parse::<Intervention>().unwrap(),
+///     Intervention::Prebunk { alpha: 0.25 },
+/// );
+/// assert!("prebunk:1.5".parse::<Intervention>().is_err());
+/// assert_eq!(Intervention::Prebunk { alpha: 0.25 }.to_string(), "prebunk:0.25");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Intervention {
+    /// Remove up to `budget` vertices — today's behaviour, byte-identical
+    /// to requests that never mention an intervention.
+    #[default]
+    BlockVertices,
+    /// Remove up to `budget` edges: each removal is a targeted live-edge
+    /// deletion in every pooled realisation.
+    BlockEdges,
+    /// Prebunk up to `budget` vertices: each keeps transmitting but accepts
+    /// incoming activations only with probability `alpha`.
+    Prebunk {
+        /// Acceptance probability of a prebunked vertex, in `[0, 1]`.
+        /// `alpha = 0.0` is equivalent to vertex blocking; `alpha = 1.0`
+        /// is a no-op.
+        alpha: f64,
+    },
+}
+
+impl Intervention {
+    /// Short family label used in error payloads and metrics:
+    /// `"vertex"`, `"edge"` or `"prebunk"` (without the `α`).
+    pub fn family(self) -> &'static str {
+        match self {
+            Intervention::BlockVertices => "vertex",
+            Intervention::BlockEdges => "edge",
+            Intervention::Prebunk { .. } => "prebunk",
+        }
+    }
+
+    /// Validates the parameters of the family (today: `alpha ∈ [0, 1]` and
+    /// finite for [`Intervention::Prebunk`]).
+    ///
+    /// # Errors
+    /// Returns [`IminError::InvalidIntervention`] on an out-of-range or
+    /// non-finite `alpha`.
+    pub fn validate(self) -> Result<()> {
+        if let Intervention::Prebunk { alpha } = self {
+            if !alpha.is_finite() || !(0.0..=1.0).contains(&alpha) {
+                return Err(IminError::InvalidIntervention {
+                    spec: self.to_string(),
+                    reason: "alpha must be a finite probability in [0, 1]",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Intervention {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intervention::BlockVertices => f.write_str("vertex"),
+            Intervention::BlockEdges => f.write_str("edge"),
+            Intervention::Prebunk { alpha } => write!(f, "prebunk:{alpha}"),
+        }
+    }
+}
+
+impl FromStr for Intervention {
+    type Err = IminError;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let lower = s.trim().to_ascii_lowercase();
+        let parsed = match lower.as_str() {
+            "vertex" | "vertices" => Intervention::BlockVertices,
+            "edge" | "edges" => Intervention::BlockEdges,
+            _ => match lower.strip_prefix("prebunk:") {
+                Some(alpha) => {
+                    let alpha: f64 = alpha.parse().map_err(|_| IminError::InvalidIntervention {
+                        spec: s.trim().to_string(),
+                        reason: "alpha is not a number",
+                    })?;
+                    Intervention::Prebunk { alpha }
+                }
+                None => {
+                    return Err(IminError::InvalidIntervention {
+                        spec: s.trim().to_string(),
+                        reason: "unknown intervention family",
+                    })
+                }
+            },
+        };
+        parsed.validate()?;
+        Ok(parsed)
+    }
+}
+
+/// `α` scaled to the pool's 2⁵³ integer coin range: an edge into a
+/// prebunked vertex survives iff `prebunk_coin(..) >> 11 < threshold`.
+/// `α = 1.0` maps to 2⁵³ itself, which every 53-bit draw is strictly below
+/// — so full acceptance keeps every edge *exactly* (no boundary case).
+fn alpha_threshold(alpha: f64) -> u64 {
+    if alpha >= 1.0 {
+        1u64 << 53
+    } else {
+        (alpha * (1u64 << 53) as f64) as u64
+    }
+}
+
+/// Deterministic per-(sample, edge) coin for prebunk thinning: a
+/// splitmix64-style finalizer over the pool seed, the realisation index and
+/// the edge endpoints. Pure function of its inputs, so estimates are
+/// byte-identical at any thread count and across repeated evaluations.
+#[inline]
+fn prebunk_coin(pool_seed: u64, sample_idx: u64, src: u32, dst: u32) -> u64 {
+    let mut x = pool_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(sample_idx.wrapping_add(1)))
+        ^ (((src as u64) << 32) | dst as u64);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x
+}
+
+/// What the re-rooted BFS filters and what the credit pass accumulates.
+enum Mode<'a> {
+    /// Skip deleted edges; credit each sole-in-edge `(u, v)` with
+    /// `subtree_size(v)` into the edge map.
+    Edge {
+        deleted: &'a HashSet<(u32, u32)>,
+        deleted_src: &'a [bool],
+    },
+    /// Thin live edges into prebunked vertices by the `α`-coin; credit
+    /// vertices exactly like the vertex estimator.
+    Prebunk {
+        prebunked: &'a [bool],
+        keep_threshold: u64,
+        pool_seed: u64,
+    },
+}
+
+/// Per-worker scratch for the intervention estimators: the re-rooted
+/// cascade (with per-vertex in-degree and sole-predecessor tracking, which
+/// the vertex path does not need), the dominator workspace and the integer
+/// accumulators. Merging across workers is pure `u64` addition, so results
+/// are thread-count-independent exactly like [`crate::pool`].
+#[derive(Default)]
+struct InterveneScratch {
+    vertices: Vec<u32>,
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+    local_of: Vec<u32>,
+    /// Live in-edges per local vertex (the virtual-root edge counts for
+    /// seeds, keeping them out of the sole-in-edge criterion).
+    in_count: Vec<u32>,
+    /// Global id of the first live predecessor per local vertex;
+    /// [`VIRTUAL_ROOT`] for seeds.
+    pred: Vec<u32>,
+    sample_offsets: Vec<u32>,
+    sample_targets: Vec<u32>,
+    domtree: DomTreeWorkspace,
+    sizes: Vec<u64>,
+    edge_delta: HashMap<(u32, u32), u64>,
+    vertex_delta: Vec<u64>,
+    reached_sum: u64,
+}
+
+impl InterveneScratch {
+    fn reset_cascade(&mut self, n: usize) {
+        for &v in self.vertices.iter().skip(1) {
+            self.local_of[v as usize] = UNMAPPED;
+        }
+        if self.local_of.len() < n {
+            self.local_of.resize(n, UNMAPPED);
+        }
+        self.vertices.clear();
+        self.vertices.push(VIRTUAL_ROOT);
+        self.offsets.clear();
+        self.offsets.push(0);
+        self.targets.clear();
+        self.in_count.clear();
+        self.in_count.push(0);
+        self.pred.clear();
+        self.pred.push(VIRTUAL_ROOT);
+    }
+
+    fn intern(&mut self, global: u32) -> u32 {
+        let slot = self.local_of[global as usize];
+        if slot != UNMAPPED {
+            return slot;
+        }
+        let local = self.vertices.len() as u32;
+        self.local_of[global as usize] = local;
+        self.vertices.push(global);
+        self.in_count.push(0);
+        self.pred.push(VIRTUAL_ROOT);
+        local
+    }
+
+    /// Re-roots every realisation in `range` under the intervention and
+    /// accumulates credit: subtree sizes per sole-in-edge for `Edge`,
+    /// per vertex for `Prebunk`.
+    fn accumulate(
+        &mut self,
+        pool: &SamplePool,
+        seeds: &[u32],
+        is_seed: &[bool],
+        range: Range<usize>,
+        mode: &Mode<'_>,
+    ) {
+        let n = pool.num_vertices();
+        self.edge_delta.clear();
+        self.vertex_delta.clear();
+        self.vertex_delta.resize(n, 0);
+        self.reached_sum = 0;
+        let only_seeds = 1 + seeds.len();
+        for idx in range {
+            pool.sample_csr_into(idx, &mut self.sample_offsets, &mut self.sample_targets);
+            self.reset_cascade(n);
+            // Virtual root → every seed, with probability 1.
+            for &s in seeds {
+                let local = self.intern(s);
+                self.in_count[local as usize] += 1;
+                self.targets.push(local);
+            }
+            self.offsets.push(self.targets.len() as u32);
+            let mut head = 1usize;
+            while head < self.vertices.len() {
+                let u_global = self.vertices[head];
+                head += 1;
+                let lo = self.sample_offsets[u_global as usize] as usize;
+                let hi = self.sample_offsets[u_global as usize + 1] as usize;
+                for ti in lo..hi {
+                    let t = self.sample_targets[ti];
+                    match *mode {
+                        Mode::Edge {
+                            deleted,
+                            deleted_src,
+                        } => {
+                            if deleted_src[u_global as usize] && deleted.contains(&(u_global, t)) {
+                                continue;
+                            }
+                        }
+                        Mode::Prebunk {
+                            prebunked,
+                            keep_threshold,
+                            pool_seed,
+                        } => {
+                            if prebunked[t as usize]
+                                && (prebunk_coin(pool_seed, idx as u64, u_global, t) >> 11)
+                                    >= keep_threshold
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                    let t_local = self.intern(t);
+                    self.in_count[t_local as usize] += 1;
+                    if self.in_count[t_local as usize] == 1 {
+                        self.pred[t_local as usize] = u_global;
+                    }
+                    self.targets.push(t_local);
+                }
+                self.offsets.push(self.targets.len() as u32);
+            }
+            let reached = self.vertices.len();
+            self.reached_sum += (reached - 1) as u64;
+            if reached <= only_seeds {
+                continue;
+            }
+            let tree =
+                self.domtree
+                    .compute_csr(reached, &self.offsets, &self.targets, VertexId::new(0));
+            tree.subtree_sizes_into(&mut self.sizes);
+            match *mode {
+                Mode::Edge { .. } => {
+                    // Exact marginal gain: if (pred, v) is v's only live
+                    // in-edge, deleting it detaches exactly the vertices
+                    // dominated by v. Seeds are excluded automatically —
+                    // their sole in-edge is the virtual-root edge.
+                    for v in 1..reached {
+                        if self.in_count[v] == 1 && self.pred[v] != VIRTUAL_ROOT {
+                            *self
+                                .edge_delta
+                                .entry((self.pred[v], self.vertices[v]))
+                                .or_insert(0) += self.sizes[v];
+                        }
+                    }
+                }
+                Mode::Prebunk { .. } => {
+                    for (&global, &size) in self.vertices[1..reached]
+                        .iter()
+                        .zip(&self.sizes[1..reached])
+                    {
+                        if is_seed[global as usize] {
+                            continue;
+                        }
+                        self.vertex_delta[global as usize] += size;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Canonicalises the seed set (sort, dedup, bounds-check) into plain
+/// buffers plus a membership mask.
+fn stage_seeds(n: usize, seeds: &[VertexId]) -> Result<(Vec<u32>, Vec<bool>)> {
+    if seeds.is_empty() {
+        return Err(IminError::EmptySeedSet);
+    }
+    let mut staged = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        if s.index() >= n {
+            return Err(IminError::SeedOutOfRange {
+                vertex: s.index(),
+                num_vertices: n,
+            });
+        }
+        staged.push(s.raw());
+    }
+    staged.sort_unstable();
+    staged.dedup();
+    let mut is_seed = vec![false; n];
+    for &s in &staged {
+        is_seed[s as usize] = true;
+    }
+    Ok((staged, is_seed))
+}
+
+/// Runs `accumulate` over the whole pool, sharded across `threads`
+/// workers, and merges the integer accumulators (order-independent, so
+/// results are bit-identical at any thread count).
+fn sharded_accumulate(
+    pool: &SamplePool,
+    seeds: &[u32],
+    is_seed: &[bool],
+    threads: usize,
+    mode: &Mode<'_>,
+) -> (HashMap<(u32, u32), u64>, Vec<u64>, u64) {
+    let theta = pool.theta();
+    let threads = threads.max(1).min(theta);
+    let mut workers: Vec<InterveneScratch> = Vec::new();
+    workers.resize_with(threads, InterveneScratch::default);
+    if threads <= 1 {
+        workers[0].accumulate(pool, seeds, is_seed, 0..theta, mode);
+    } else {
+        crossbeam::scope(|scope| {
+            for (worker, range) in workers.iter_mut().zip(shard_ranges(theta, threads)) {
+                scope.spawn(move |_| worker.accumulate(pool, seeds, is_seed, range, mode));
+            }
+        })
+        .expect("intervention-estimator worker panicked");
+    }
+    let mut iter = workers.into_iter();
+    let first = iter.next().expect("at least one worker");
+    let mut edge_delta = first.edge_delta;
+    let mut vertex_delta = first.vertex_delta;
+    let mut reached_total = first.reached_sum;
+    for worker in iter {
+        reached_total += worker.reached_sum;
+        for (edge, d) in worker.edge_delta {
+            *edge_delta.entry(edge).or_insert(0) += d;
+        }
+        for (acc, d) in vertex_delta.iter_mut().zip(worker.vertex_delta) {
+            *acc += d;
+        }
+    }
+    (edge_delta, vertex_delta, reached_total)
+}
+
+/// Algorithm 2 generalised to prebunking: estimates the spread decrease of
+/// every candidate vertex when the vertices of `prebunked` accept incoming
+/// activations only with probability `alpha`, by re-rooting the θ stored
+/// realisations through the deterministic thinning coins.
+///
+/// With `alpha = 1.0` the coin keeps every edge, so the returned estimate
+/// is byte-identical to [`crate::pool::pooled_decrease`] with nothing
+/// blocked — the property test pins this.
+///
+/// # Errors
+/// Returns an error on an empty/out-of-range seed set, a wrong-length
+/// `prebunked` mask, or an invalid `alpha`.
+pub fn pooled_prebunk_decrease(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    prebunked: &[bool],
+    alpha: f64,
+    threads: usize,
+) -> Result<DecreaseEstimate> {
+    let n = pool.num_vertices();
+    if prebunked.len() != n {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: prebunked.len(),
+                num_vertices: n,
+            },
+        ));
+    }
+    Intervention::Prebunk { alpha }.validate()?;
+    let (staged, is_seed) = stage_seeds(n, seeds)?;
+    let mode = Mode::Prebunk {
+        prebunked,
+        keep_threshold: alpha_threshold(alpha),
+        pool_seed: pool.pool_seed(),
+    };
+    let (_, vertex_delta, reached_total) =
+        sharded_accumulate(pool, &staged, &is_seed, threads, &mode);
+    let theta = pool.theta();
+    let inv = 1.0 / theta as f64;
+    Ok(DecreaseEstimate {
+        delta: vertex_delta.iter().map(|&d| d as f64 * inv).collect(),
+        average_reached: reached_total as f64 * inv,
+        samples: theta,
+    })
+}
+
+/// Greedy edge blocking against a borrowed resident pool: every round
+/// prices all live edges by the sole-in-edge dominator credit, deletes the
+/// best one from every realisation, and re-evaluates — so the reported
+/// `estimated_spread` is exact with respect to the pool, not an
+/// accumulation of stale estimates.
+///
+/// With `seed_first` set (the GreedyReplace-flavoured variant), rounds
+/// prefer edges leaving the seed set while any such edge still has positive
+/// credit, mirroring Algorithm 4's out-neighbour phase.
+///
+/// The selection stops early when no remaining edge has positive credit
+/// (deleting any edge would change nothing), so fewer than `budget` edges
+/// may be returned.
+///
+/// # Errors
+/// Returns an error on a zero budget or an empty/out-of-range seed set.
+pub fn pooled_edge_greedy_in(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    budget: usize,
+    threads: usize,
+    seed_first: bool,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    if budget == 0 {
+        return Err(IminError::ZeroBudget);
+    }
+    let n = pool.num_vertices();
+    let (staged, is_seed) = stage_seeds(n, seeds)?;
+    let theta = pool.theta();
+    let mut deleted: HashSet<(u32, u32)> = HashSet::new();
+    let mut deleted_src = vec![false; n];
+    let mut blocked_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    let mut estimated_spread = None;
+    for round in 0..budget {
+        let mode = Mode::Edge {
+            deleted: &deleted,
+            deleted_src: &deleted_src,
+        };
+        let (edge_delta, _, reached_total) =
+            sharded_accumulate(pool, &staged, &is_seed, threads, &mode);
+        stats.samples_drawn += theta;
+        let average_reached = reached_total as f64 / theta as f64;
+        // Deterministic argmax whatever the map's iteration order: largest
+        // credit first, ties towards the lexicographically smallest edge.
+        let mut best: Option<((u32, u32), u64)> = None;
+        for (&edge, &delta) in &edge_delta {
+            if seed_first
+                && !is_seed[edge.0 as usize]
+                && edge_delta
+                    .iter()
+                    .any(|(e, &d)| is_seed[e.0 as usize] && d > 0)
+            {
+                continue;
+            }
+            let better = match best {
+                None => delta > 0,
+                Some((b_edge, b_delta)) => delta > b_delta || (delta == b_delta && edge < b_edge),
+            };
+            if better {
+                best = Some((edge, delta));
+            }
+        }
+        let Some(((src, dst), delta)) = best else {
+            estimated_spread = Some(average_reached);
+            break;
+        };
+        estimated_spread = Some(average_reached - delta as f64 / theta as f64);
+        deleted.insert((src, dst));
+        deleted_src[src as usize] = true;
+        blocked_edges.push((VertexId::from_raw(src), VertexId::from_raw(dst)));
+        stats.rounds = round + 1;
+    }
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers: Vec::new(),
+        blocked_edges,
+        estimated_spread,
+        stats,
+    })
+}
+
+/// Greedy prebunking against a borrowed resident pool: every round prices
+/// candidates with [`pooled_prebunk_decrease`] under the prebunk set chosen
+/// so far, adds the best one, and finishes with one full evaluation pass so
+/// `estimated_spread` reflects the complete intervention (the per-round
+/// vertex credits are blocking credits — an upper bound on the prebunk
+/// gain whenever `alpha > 0` — so the final pass keeps the report honest).
+///
+/// With `replace` set (the GreedyReplace-flavoured variant), a reverse
+/// replacement sweep revisits each chosen vertex, mirroring Algorithm 4's
+/// phase 2 with the same early-termination rule.
+///
+/// # Errors
+/// Returns an error on a zero budget, an empty/out-of-range seed set, a
+/// wrong-length forbidden mask, or an invalid `alpha`.
+pub fn pooled_prebunk_greedy_in(
+    pool: &SamplePool,
+    seeds: &[VertexId],
+    forbidden: &[bool],
+    budget: usize,
+    alpha: f64,
+    threads: usize,
+    replace: bool,
+) -> Result<BlockerSelection> {
+    let start = Instant::now();
+    if budget == 0 {
+        return Err(IminError::ZeroBudget);
+    }
+    let n = pool.num_vertices();
+    if forbidden.len() != n {
+        return Err(IminError::Diffusion(
+            imin_diffusion::DiffusionError::MaskLengthMismatch {
+                mask_len: forbidden.len(),
+                num_vertices: n,
+            },
+        ));
+    }
+    Intervention::Prebunk { alpha }.validate()?;
+    let (_, is_seed) = stage_seeds(n, seeds)?;
+    let mut prebunked = vec![false; n];
+    let mut chosen_order: Vec<VertexId> = Vec::with_capacity(budget);
+    let mut stats = SelectionStats::default();
+    for round in 0..budget {
+        let estimate = pooled_prebunk_decrease(pool, seeds, &prebunked, alpha, threads)?;
+        stats.samples_drawn += estimate.samples;
+        let chosen = estimate.best_candidate(|v| {
+            !is_seed[v.index()] && !prebunked[v.index()] && !forbidden[v.index()]
+        });
+        let Some(chosen) = chosen else { break };
+        prebunked[chosen.index()] = true;
+        chosen_order.push(chosen);
+        stats.rounds = round + 1;
+    }
+    if replace {
+        for idx in (0..chosen_order.len()).rev() {
+            let u = chosen_order[idx];
+            prebunked[u.index()] = false;
+            stats.rounds += 1;
+            let estimate = pooled_prebunk_decrease(pool, seeds, &prebunked, alpha, threads)?;
+            stats.samples_drawn += estimate.samples;
+            let chosen = estimate.best_candidate(|v| {
+                !is_seed[v.index()] && !prebunked[v.index()] && !forbidden[v.index()]
+            });
+            let Some(chosen) = chosen else {
+                prebunked[u.index()] = true;
+                break;
+            };
+            prebunked[chosen.index()] = true;
+            chosen_order[idx] = chosen;
+            if chosen == u {
+                break;
+            }
+        }
+    }
+    // One final pass with the complete prebunk set applied: the honest
+    // expected spread under the intervention, exact w.r.t. the pool+coins.
+    let final_estimate = pooled_prebunk_decrease(pool, seeds, &prebunked, alpha, threads)?;
+    stats.samples_drawn += final_estimate.samples;
+    stats.elapsed = start.elapsed();
+    Ok(BlockerSelection {
+        blockers: chosen_order,
+        blocked_edges: Vec::new(),
+        estimated_spread: Some(final_estimate.average_reached),
+        stats,
+    })
+}
+
+/// Guard for vertex-only solvers: passes vertex-blocking requests through
+/// and rejects the sibling families with the typed unsupported error.
+pub(crate) fn require_vertex(
+    intervention: Intervention,
+    algorithm: &'static str,
+    backend: &'static str,
+) -> Result<()> {
+    match intervention {
+        Intervention::BlockVertices => Ok(()),
+        other => Err(IminError::InterventionUnsupported {
+            algorithm,
+            backend,
+            intervention: other.family(),
+        }),
+    }
+}
+
+/// Shared non-vertex dispatch for the pooled greedy family
+/// (AdvancedGreedy and GreedyReplace): routes edge-blocking and prebunking
+/// requests to the pooled selectors above, and rejects every other backend
+/// with the typed unsupported error — the fresh and sketch backends answer
+/// vertex requests only.
+///
+/// `replace_flavour` selects the GreedyReplace-shaped variants
+/// (`seed_first` edge rounds, prebunk replacement sweep).
+///
+/// The request's forbidden set is a vertex-level constraint and is ignored
+/// by edge blocking: an edge may be cut even when one of its endpoints is
+/// protected from *vertex* removal.
+pub(crate) fn solve_pooled_intervention(
+    algorithm: &'static str,
+    request: &ContainmentRequest<'_>,
+    replace_flavour: bool,
+) -> Result<BlockerSelection> {
+    match *request.backend() {
+        EvalBackend::Pooled { pool, threads } => match request.intervention() {
+            Intervention::BlockEdges => pooled_edge_greedy_in(
+                pool,
+                request.seeds(),
+                request.budget(),
+                threads,
+                replace_flavour,
+            ),
+            Intervention::Prebunk { alpha } => pooled_prebunk_greedy_in(
+                pool,
+                request.seeds(),
+                request.forbidden().mask(),
+                request.budget(),
+                alpha,
+                threads,
+                replace_flavour,
+            ),
+            Intervention::BlockVertices => {
+                unreachable!("vertex requests take the solver's own path")
+            }
+        },
+        ref other => Err(IminError::InterventionUnsupported {
+            algorithm,
+            backend: other.label(),
+            intervention: request.intervention().family(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::pooled_decrease;
+    use imin_graph::{generators, DiGraph};
+
+    fn vid(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// 0 -> 1 -> {2, 3}, plus a shortcut 0 -> 3, all probability 1.
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(
+            4,
+            vec![
+                (vid(0), vid(1), 1.0),
+                (vid(1), vid(2), 1.0),
+                (vid(1), vid(3), 1.0),
+                (vid(0), vid(3), 1.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn wc_pa(n: usize, seed: u64) -> DiGraph {
+        imin_diffusion::ProbabilityModel::WeightedCascade
+            .apply(&generators::preferential_attachment(n, 3, true, 1.0, seed).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn intervention_parses_and_round_trips() {
+        for (spec, expected) in [
+            ("vertex", Intervention::BlockVertices),
+            ("VERTEX", Intervention::BlockVertices),
+            ("edges", Intervention::BlockEdges),
+            ("prebunk:0.5", Intervention::Prebunk { alpha: 0.5 }),
+            ("prebunk:1", Intervention::Prebunk { alpha: 1.0 }),
+            ("prebunk:0", Intervention::Prebunk { alpha: 0.0 }),
+        ] {
+            assert_eq!(spec.parse::<Intervention>().unwrap(), expected, "{spec}");
+        }
+        for bad in [
+            "",
+            "prebunk",
+            "prebunk:",
+            "prebunk:x",
+            "prebunk:-0.1",
+            "prebunk:1.5",
+            "prebunk:nan",
+            "prebunk:inf",
+            "edgy",
+            "vertex:0.5",
+        ] {
+            assert!(
+                matches!(
+                    bad.parse::<Intervention>(),
+                    Err(IminError::InvalidIntervention { .. })
+                ),
+                "{bad:?} must be rejected"
+            );
+        }
+        let display = Intervention::Prebunk { alpha: 0.125 }.to_string();
+        assert_eq!(
+            display.parse::<Intervention>().unwrap().to_string(),
+            display
+        );
+    }
+
+    #[test]
+    fn edge_greedy_cuts_the_sole_feeder_edge() {
+        let g = diamond();
+        let pool = SamplePool::build(&g, 8, 3).unwrap();
+        // Deleting (1, 2) detaches only 2; (0, 1) detaches 1 and 2 (3 stays
+        // reachable via the shortcut). The greedy must take (0, 1) first.
+        let sel = pooled_edge_greedy_in(&pool, &[vid(0)], 1, 1, false).unwrap();
+        assert_eq!(sel.blocked_edges, vec![(vid(0), vid(1))]);
+        assert!(sel.blockers.is_empty());
+        // Spread 4.0 before (the seed counts); 2.0 after — seed plus vertex
+        // 3, which stays reachable through the shortcut.
+        assert_eq!(sel.estimated_spread, Some(2.0));
+        // A larger budget keeps cutting until no edge helps any more (the
+        // seed's own activation cannot be cut, so spread bottoms out at 1).
+        let all = pooled_edge_greedy_in(&pool, &[vid(0)], 4, 1, false).unwrap();
+        assert_eq!(all.blocked_edges, vec![(vid(0), vid(1)), (vid(0), vid(3))]);
+        assert_eq!(all.estimated_spread, Some(1.0));
+    }
+
+    #[test]
+    fn edge_greedy_is_thread_count_invariant() {
+        let g = wc_pa(300, 11);
+        let pool = SamplePool::build(&g, 64, 9).unwrap();
+        let one = pooled_edge_greedy_in(&pool, &[vid(0), vid(5)], 4, 1, false).unwrap();
+        let four = pooled_edge_greedy_in(&pool, &[vid(0), vid(5)], 4, 4, false).unwrap();
+        assert_eq!(one.blocked_edges, four.blocked_edges);
+        assert_eq!(one.estimated_spread, four.estimated_spread);
+    }
+
+    #[test]
+    fn prebunk_alpha_one_is_byte_identical_to_no_intervention() {
+        let g = wc_pa(400, 7);
+        let pool = SamplePool::build(&g, 128, 21).unwrap();
+        let none = vec![false; g.num_vertices()];
+        let baseline = pooled_decrease(&pool, &[vid(0), vid(3)], &none, 1).unwrap();
+        // Prebunk the whole graph at alpha = 1.0: the coin keeps every
+        // edge, so the estimate is byte-identical to no intervention.
+        let everyone = vec![true; g.num_vertices()];
+        for threads in [1, 4] {
+            let thinned =
+                pooled_prebunk_decrease(&pool, &[vid(0), vid(3)], &everyone, 1.0, threads).unwrap();
+            assert_eq!(
+                thinned.average_reached.to_bits(),
+                baseline.average_reached.to_bits()
+            );
+            assert_eq!(thinned.delta.len(), baseline.delta.len());
+            for (a, b) in thinned.delta.iter().zip(&baseline.delta) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn prebunk_alpha_zero_matches_vertex_blocking_estimates() {
+        let g = wc_pa(300, 5);
+        let pool = SamplePool::build(&g, 64, 13).unwrap();
+        // alpha = 0 never keeps an edge into the treated vertex — exactly a
+        // vertex block as far as reachability is concerned.
+        let mut mask = vec![false; g.num_vertices()];
+        mask[7] = true;
+        mask[11] = true;
+        let prebunk = pooled_prebunk_decrease(&pool, &[vid(0)], &mask, 0.0, 1).unwrap();
+        let blocked = pooled_decrease(&pool, &[vid(0)], &mask, 1).unwrap();
+        assert_eq!(
+            prebunk.average_reached.to_bits(),
+            blocked.average_reached.to_bits()
+        );
+    }
+
+    #[test]
+    fn prebunk_greedy_respects_constraints_and_reports_honest_spread() {
+        let g = wc_pa(300, 17);
+        let pool = SamplePool::build(&g, 64, 29).unwrap();
+        let mut forbidden = vec![false; g.num_vertices()];
+        forbidden[2] = true;
+        let baseline = pooled_decrease(&pool, &[vid(0)], &vec![false; g.num_vertices()], 1)
+            .unwrap()
+            .average_reached;
+        let sel = pooled_prebunk_greedy_in(&pool, &[vid(0)], &forbidden, 3, 0.3, 1, false).unwrap();
+        assert_eq!(sel.blockers.len(), 3);
+        assert!(!sel.blockers.contains(&vid(0)), "never the seed");
+        assert!(!sel.blockers.contains(&vid(2)), "never a forbidden vertex");
+        let spread = sel.estimated_spread.unwrap();
+        assert!(
+            spread <= baseline,
+            "prebunking must not increase the expected spread ({spread} > {baseline})"
+        );
+        // Thread-count invariance carries over to the full greedy.
+        let four =
+            pooled_prebunk_greedy_in(&pool, &[vid(0)], &forbidden, 3, 0.3, 4, false).unwrap();
+        assert_eq!(four.blockers, sel.blockers);
+        assert_eq!(four.estimated_spread, sel.estimated_spread);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let g = diamond();
+        let pool = SamplePool::build(&g, 4, 1).unwrap();
+        assert!(matches!(
+            pooled_edge_greedy_in(&pool, &[vid(0)], 0, 1, false),
+            Err(IminError::ZeroBudget)
+        ));
+        assert!(matches!(
+            pooled_edge_greedy_in(&pool, &[], 1, 1, false),
+            Err(IminError::EmptySeedSet)
+        ));
+        assert!(matches!(
+            pooled_edge_greedy_in(&pool, &[vid(9)], 1, 1, false),
+            Err(IminError::SeedOutOfRange { .. })
+        ));
+        assert!(matches!(
+            pooled_prebunk_greedy_in(&pool, &[vid(0)], &[false; 4], 1, 1.5, 1, false),
+            Err(IminError::InvalidIntervention { .. })
+        ));
+        assert!(matches!(
+            pooled_prebunk_decrease(&pool, &[vid(0)], &[false; 3], 0.5, 1),
+            Err(IminError::Diffusion(_))
+        ));
+    }
+}

@@ -53,6 +53,41 @@
 //! assert!(result.blockers.len() <= 5);
 //! ```
 //!
+//! ## Intervention families
+//!
+//! Blocking vertices is the paper's question, but the request carries a
+//! generalised [`Intervention`] ([`intervene`]): `BlockVertices` (the
+//! default — requests are byte-identical to before the field existed),
+//! `BlockEdges` (spend the budget deleting live edges, exact
+//! single-feeder dominator credit per pooled realisation), and
+//! `Prebunk { alpha }` (rescale the chosen vertices' acceptance
+//! probability by `alpha ∈ [0, 1]` via deterministic coin-threshold
+//! thinning — `alpha = 0.0` coincides with vertex blocking and
+//! `alpha = 1.0` evaluates byte-identically to no intervention). All
+//! three families are estimated exactly against the same pooled
+//! realisations, so their `estimated_spread` values are directly
+//! comparable. Solvers that cannot answer a family reject it with a
+//! typed [`IminError::InterventionUnsupported`].
+//!
+//! ```
+//! use imin_core::{AlgorithmKind, ContainmentRequest, Intervention, SamplePool};
+//! use imin_graph::{generators, VertexId};
+//!
+//! let graph = generators::preferential_attachment(300, 3, false, 0.1, 7).unwrap();
+//! let pool = SamplePool::build(&graph, 200, 42).unwrap();
+//! let request = ContainmentRequest::builder(&graph)
+//!     .seeds([VertexId::new(0)])
+//!     .budget(3)
+//!     .intervention(Intervention::BlockEdges) // or Prebunk { alpha: 0.25 }
+//!     .pooled(&pool)
+//!     .build()
+//!     .unwrap();
+//! let solver = AlgorithmKind::AdvancedGreedy.solver();
+//! let selection = solver.solve(&graph, &request).unwrap();
+//! assert!(selection.blockers.is_empty()); // edge budgets buy edges…
+//! assert!(selection.blocked_edges.len() <= 3); // …reported here instead
+//! ```
+//!
 //! [`ImninProblem`] remains the facade for the paper's unified-seed
 //! reduction (§V) and Monte-Carlo evaluation; its [`Algorithm`] enum is the
 //! same registry. The historical free functions (`advanced_greedy`,
@@ -88,6 +123,7 @@ pub mod error;
 pub mod exact_blocker;
 pub mod greedy_replace;
 pub mod heuristics;
+pub mod intervene;
 pub mod mmap;
 pub mod pool;
 pub mod problem;
@@ -102,6 +138,9 @@ pub mod types;
 
 pub use arena::ArenaKind;
 pub use error::IminError;
+pub use intervene::{
+    pooled_edge_greedy_in, pooled_prebunk_decrease, pooled_prebunk_greedy_in, Intervention,
+};
 pub use pool::{PoolWorkspace, SamplePool};
 pub use problem::{Algorithm, ImninProblem};
 pub use request::{ContainmentRequest, ContainmentRequestBuilder, EvalBackend, ForbiddenSet};

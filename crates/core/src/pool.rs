@@ -1172,6 +1172,7 @@ pub fn pooled_advanced_greedy_in(
     Ok(BlockerSelection {
         blockers,
         estimated_spread,
+        blocked_edges: Vec::new(),
         stats,
     })
 }
@@ -1280,6 +1281,7 @@ pub fn pooled_greedy_replace_in(
     Ok(BlockerSelection {
         blockers,
         estimated_spread,
+        blocked_edges: Vec::new(),
         stats,
     })
 }

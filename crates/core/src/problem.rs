@@ -9,6 +9,7 @@
 //! [`crate::AlgorithmKind::solver`]; there is no per-algorithm `match`
 //! here.
 
+use crate::intervene::Intervention;
 use crate::request::ContainmentRequest;
 use crate::seed_merge::{merge_seeds, MergedSeeds};
 use crate::types::{AlgorithmConfig, BlockerSelection};
@@ -90,6 +91,59 @@ impl ImninProblem {
         budget: usize,
         config: &AlgorithmConfig,
     ) -> Result<BlockerSelection> {
+        self.solve_with_intervention(algorithm, budget, config, Intervention::BlockVertices)
+    }
+
+    /// Runs the selected algorithm under an explicit [`Intervention`]
+    /// family: vertex blocking (identical to [`ImninProblem::solve`]), edge
+    /// blocking, or prebunking.
+    ///
+    /// Vertex requests keep the fresh self-sampling backend of `solve`. The
+    /// sibling families run the greedy algorithms on the pooled
+    /// dominator-tree machinery, so for those this facade builds a
+    /// θ-realisation [`crate::SamplePool`] from `config` first; the
+    /// rank-only heuristics that support a family run it directly.
+    /// Unsupported algorithm×family combinations return
+    /// [`IminError::InterventionUnsupported`].
+    pub fn solve_with_intervention(
+        &self,
+        algorithm: Algorithm,
+        budget: usize,
+        config: &AlgorithmConfig,
+        intervention: Intervention,
+    ) -> Result<BlockerSelection> {
+        // Edge blocking and prebunking skip the unified-seed reduction: the
+        // pooled selectors stage multi-seed cascades through a virtual root
+        // themselves, and running on the original graph keeps the selected
+        // edges/vertices (and the reported spread) in original-graph terms —
+        // a merged graph would leak untranslatable super-seed edges into an
+        // edge selection.
+        if !matches!(intervention, Intervention::BlockVertices) {
+            let needs_pool = matches!(
+                algorithm,
+                Algorithm::AdvancedGreedy | Algorithm::GreedyReplace
+            );
+            let pool = if needs_pool {
+                Some(crate::SamplePool::build_with_threads(
+                    &self.original,
+                    config.theta,
+                    config.seed,
+                    config.threads,
+                )?)
+            } else {
+                None
+            };
+            let builder = ContainmentRequest::builder(&self.original)
+                .seeds(self.seeds().iter().copied())
+                .budget(budget)
+                .intervention(intervention);
+            let request = if let Some(pool) = &pool {
+                builder.pooled_with_threads(pool, config.threads).build()?
+            } else {
+                builder.fresh_from(config).build()?
+            };
+            return algorithm.solver().solve(&self.original, &request);
+        }
         let g = &self.merged.graph;
         // The unified seed is the request seed (implicitly ineligible as a
         // blocker); the original seeds stay in the forbidden mask.
@@ -308,6 +362,70 @@ mod tests {
             (est - eval).abs() < 1e-6,
             "estimate {est} vs evaluation {eval}"
         );
+    }
+
+    #[test]
+    fn intervention_facade_routes_all_three_families() {
+        let g = funnel_graph();
+        let p = ImninProblem::new(&g, vec![vid(0)]).unwrap();
+        // Vertex requests are the plain solve.
+        let vertex = p
+            .solve_with_intervention(
+                Algorithm::GreedyReplace,
+                1,
+                &cfg(),
+                Intervention::BlockVertices,
+            )
+            .unwrap();
+        assert_eq!(
+            vertex.blockers,
+            p.solve(Algorithm::GreedyReplace, 1, &cfg())
+                .unwrap()
+                .blockers
+        );
+        // Edge blocking on the funnel: one cut cannot sever the hub (two
+        // disjoint paths feed it), so the best single edge cut removes the
+        // bigger of the two path legs.
+        let edge = p
+            .solve_with_intervention(
+                Algorithm::GreedyReplace,
+                2,
+                &cfg(),
+                Intervention::BlockEdges,
+            )
+            .unwrap();
+        assert!(edge.blockers.is_empty());
+        assert!(!edge.blocked_edges.is_empty() && edge.blocked_edges.len() <= 2);
+        for &(u, v) in &edge.blocked_edges {
+            assert!(g.has_edge(u, v), "selected edge must exist in the graph");
+        }
+        // Prebunking with alpha = 0 silences its targets completely, so the
+        // hub is the natural pick, as in vertex blocking.
+        let pre = p
+            .solve_with_intervention(
+                Algorithm::AdvancedGreedy,
+                1,
+                &cfg(),
+                Intervention::Prebunk { alpha: 0.0 },
+            )
+            .unwrap();
+        assert_eq!(pre.blockers, vec![vid(3)]);
+        assert!((pre.estimated_spread.unwrap() - 3.0).abs() < 1e-9);
+        // Vertex-only algorithms reject the sibling families with the typed
+        // error.
+        assert!(matches!(
+            p.solve_with_intervention(Algorithm::Exact, 1, &cfg(), Intervention::BlockEdges),
+            Err(IminError::InterventionUnsupported { .. })
+        ));
+        assert!(matches!(
+            p.solve_with_intervention(
+                Algorithm::RisGreedy,
+                1,
+                &cfg(),
+                Intervention::Prebunk { alpha: 0.5 }
+            ),
+            Err(IminError::InterventionUnsupported { .. })
+        ));
     }
 
     #[test]

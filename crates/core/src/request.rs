@@ -44,6 +44,7 @@
 //! assert!(selection.blockers.len() <= 5);
 //! ```
 
+use crate::intervene::Intervention;
 use crate::pool::SamplePool;
 use crate::ris::SketchPool;
 use crate::types::AlgorithmConfig;
@@ -213,6 +214,7 @@ pub struct ContainmentRequest<'p> {
     budget: usize,
     forbidden: ForbiddenSet,
     backend: EvalBackend<'p>,
+    intervention: Intervention,
     mcs_rounds: usize,
 }
 
@@ -242,6 +244,12 @@ impl<'p> ContainmentRequest<'p> {
     /// The evaluation backend.
     pub fn backend(&self) -> &EvalBackend<'p> {
         &self.backend
+    }
+
+    /// The intervention family the budget buys: vertex blocking (the
+    /// default), edge blocking, or prebunking.
+    pub fn intervention(&self) -> Intervention {
+        self.intervention
     }
 
     /// Monte-Carlo rounds for algorithms that simulate cascades
@@ -294,6 +302,7 @@ pub struct ContainmentRequestBuilder<'p> {
     budget: usize,
     forbidden: Option<ForbiddenSet>,
     backend: Option<EvalBackend<'p>>,
+    intervention: Intervention,
     mcs_rounds: usize,
 }
 
@@ -306,6 +315,7 @@ impl<'p> ContainmentRequestBuilder<'p> {
             budget: 0,
             forbidden: None,
             backend: None,
+            intervention: Intervention::default(),
             mcs_rounds: AlgorithmConfig::default().mcs_rounds,
         }
     }
@@ -394,6 +404,15 @@ impl<'p> ContainmentRequestBuilder<'p> {
         self
     }
 
+    /// Sets the intervention family (defaults to
+    /// [`Intervention::BlockVertices`], the paper's behaviour). The budget
+    /// then counts removed edges under [`Intervention::BlockEdges`] and
+    /// prebunked vertices under [`Intervention::Prebunk`].
+    pub fn intervention(mut self, intervention: Intervention) -> Self {
+        self.intervention = intervention;
+        self
+    }
+
     /// Sets the Monte-Carlo round count used by simulation-based algorithms
     /// (defaults to the paper's r = 10 000).
     pub fn mcs_rounds(mut self, rounds: usize) -> Self {
@@ -415,11 +434,14 @@ impl<'p> ContainmentRequestBuilder<'p> {
     ///   mis-built request).
     /// * [`IminError::PoolGraphMismatch`] — a `Pooled` backend's pool was
     ///   built from a graph of a different size.
+    /// * [`IminError::InvalidIntervention`] — a prebunk `alpha` outside
+    ///   `[0, 1]` (or non-finite).
     pub fn build(self) -> Result<ContainmentRequest<'p>> {
         let n = self.num_vertices;
         if self.budget == 0 {
             return Err(IminError::ZeroBudget);
         }
+        self.intervention.validate()?;
         if self.seeds.is_empty() {
             return Err(IminError::EmptySeedSet);
         }
@@ -492,6 +514,7 @@ impl<'p> ContainmentRequestBuilder<'p> {
             budget: self.budget,
             forbidden,
             backend,
+            intervention: self.intervention,
             mcs_rounds: self.mcs_rounds,
         })
     }

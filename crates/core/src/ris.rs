@@ -604,6 +604,7 @@ pub fn sketch_greedy_in(
     Ok(BlockerSelection {
         blockers,
         estimated_spread: Some(estimated),
+        blocked_edges: Vec::new(),
         stats: SelectionStats {
             samples_drawn: theta_r,
             mcs_rounds_run: 0,
@@ -625,6 +626,14 @@ impl BlockerSolver for RisGreedy {
 
     fn solve(&self, graph: &DiGraph, request: &ContainmentRequest<'_>) -> Result<BlockerSelection> {
         request.ensure_graph(graph)?;
+        // The reverse-reachable sketches answer vertex requests only: a
+        // sketch records *which* vertices cover a target, not the live edges
+        // a deletion or rescale would have to rewrite.
+        crate::intervene::require_vertex(
+            request.intervention(),
+            self.kind().name(),
+            request.backend().label(),
+        )?;
         match *request.backend() {
             EvalBackend::Sketch {
                 theta_r,

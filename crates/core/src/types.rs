@@ -112,6 +112,11 @@ pub struct BlockerSelection {
     /// after blocking (in original-graph terms, seeds included), if the
     /// algorithm produces one as a by-product.
     pub estimated_spread: Option<f64>,
+    /// Edges removed by an edge-blocking request
+    /// ([`crate::Intervention::BlockEdges`]), in selection order. Empty for
+    /// vertex-blocking and prebunking requests, whose choices land in
+    /// `blockers`.
+    pub blocked_edges: Vec<(VertexId, VertexId)>,
     /// Resource counters.
     pub stats: SelectionStats,
 }
@@ -122,6 +127,7 @@ impl BlockerSelection {
         BlockerSelection {
             blockers,
             estimated_spread: None,
+            blocked_edges: Vec::new(),
             stats: SelectionStats::default(),
         }
     }

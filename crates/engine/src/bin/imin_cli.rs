@@ -19,7 +19,11 @@
 //! [`imin_engine::SharedEngine`] living in this process — handy for one-off
 //! experiments and air-gapped smoke tests. Algorithm names in `QUERY …
 //! alg=…` resolve through the [`imin_engine::AlgorithmKind`] registry in
-//! both modes, and the snapshot verbs work identically too: `SAVE <path>`
+//! both modes, as do the intervention families — `QUERY … intervene=edge`
+//! and `QUERY … intervene=prebunk:<alpha>` spend the budget on edge
+//! removals or acceptance-rescaling instead of vertex blocking (see
+//! `docs/protocol.md` for the support matrix) —
+//! and the snapshot verbs work identically too: `SAVE <path>`
 //! writes the graph + resident pool from the in-process engine, and a later
 //! `imin-cli local "RESTORE <path>" "QUERY …"` warm-starts without
 //! resampling — the serverless way to prepare or consume pool snapshots

@@ -4,7 +4,9 @@ use crate::cache::LruCache;
 use crate::{EngineError, Result};
 use imin_core::pool::shard_ranges;
 use imin_core::snapshot::{self, SnapshotSummary};
-use imin_core::{AlgorithmKind, ArenaKind, ContainmentRequest, SamplePool, SketchPool};
+use imin_core::{
+    AlgorithmKind, ArenaKind, ContainmentRequest, Intervention, SamplePool, SketchPool,
+};
 use imin_graph::{DiGraph, VertexId};
 use std::collections::HashSet;
 use std::path::Path;
@@ -17,26 +19,35 @@ use std::time::{Duration, Instant};
 /// [`imin_core::IminError::BackendUnsupported`] error.
 pub type QueryAlgorithm = AlgorithmKind;
 
-/// One containment question: which `budget` vertices should be blocked to
-/// minimise the spread from `seeds`?
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One containment question: how should a budget of `budget` interventions
+/// be spent to minimise the spread from `seeds`? The default
+/// [`Intervention::BlockVertices`] asks the paper's question — which
+/// vertices to block; `intervene=edge`/`intervene=prebunk:<alpha>` requests
+/// ask for edge removals or prebunk targets instead.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Query {
     /// Misinformation seed vertices (order and duplicates are irrelevant —
     /// the engine canonicalises).
     pub seeds: Vec<VertexId>,
-    /// Maximum number of blockers.
+    /// Maximum number of blocked vertices, removed edges or prebunked
+    /// vertices, depending on `intervention`.
     pub budget: usize,
     /// Which algorithm to run (from the [`AlgorithmKind`] registry).
     pub algorithm: AlgorithmKind,
+    /// Which intervention family the budget buys.
+    pub intervention: Intervention,
 }
 
 /// Canonical cache key of a query: sorted deduplicated seeds + budget +
-/// algorithm.
+/// algorithm + intervention. The intervention is keyed by its canonical
+/// protocol rendering (`vertex`, `edge`, `prebunk:<alpha>`) so the key
+/// stays `Hash + Eq` despite the `f64` prebunk parameter.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub(crate) struct QueryKey {
     seeds: Vec<u32>,
     budget: usize,
     algorithm: AlgorithmKind,
+    intervention: String,
 }
 
 impl Query {
@@ -48,6 +59,7 @@ impl Query {
             seeds,
             budget: self.budget,
             algorithm: self.algorithm,
+            intervention: self.intervention.to_string(),
         }
     }
 }
@@ -79,8 +91,12 @@ impl Disposition {
 /// The engine's answer to a [`Query`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct QueryResult {
-    /// Chosen blockers in selection order.
+    /// Chosen blockers in selection order (prebunk targets for
+    /// `intervene=prebunk:<alpha>` queries; empty for edge queries).
     pub blockers: Vec<VertexId>,
+    /// Removed edges in selection order — filled by `intervene=edge`
+    /// queries, empty otherwise.
+    pub blocked_edges: Vec<(VertexId, VertexId)>,
     /// Estimated expected spread remaining after blocking, counting every
     /// seed as active (original-graph terms).
     pub estimated_spread: Option<f64>,
@@ -899,11 +915,13 @@ pub(crate) fn run_sketch(
     let request = ContainmentRequest::builder(graph)
         .seeds(seeds)
         .budget(query.budget)
+        .intervention(query.intervention)
         .sketch_pooled(sketch, threads)
         .build()?;
     let selection = query.algorithm.solver().solve(graph, &request)?;
     Ok(QueryResult {
         blockers: selection.blockers,
+        blocked_edges: selection.blocked_edges,
         estimated_spread: selection.estimated_spread,
         rounds: selection.stats.rounds,
         samples_consulted: selection.stats.samples_drawn,
@@ -934,11 +952,13 @@ pub(crate) fn run_pooled(
     let request = ContainmentRequest::builder(graph)
         .seeds(seeds)
         .budget(query.budget)
+        .intervention(query.intervention)
         .pooled_with_threads(pool, threads)
         .build()?;
     let selection = query.algorithm.solver().solve(graph, &request)?;
     Ok(QueryResult {
         blockers: selection.blockers,
+        blocked_edges: selection.blocked_edges,
         estimated_spread: selection.estimated_spread,
         rounds: selection.stats.rounds,
         samples_consulted: selection.stats.samples_drawn,
@@ -1014,6 +1034,7 @@ mod tests {
             seeds: vec![vid(seed)],
             budget,
             algorithm: QueryAlgorithm::AdvancedGreedy,
+            intervention: Intervention::BlockVertices,
         }
     }
 
@@ -1241,6 +1262,7 @@ mod tests {
                 seeds: vec![vid(0)],
                 budget: 3,
                 algorithm,
+                intervention: Intervention::BlockVertices,
             };
             let result = engine
                 .query(&q)
@@ -1258,6 +1280,7 @@ mod tests {
                 seeds: vec![vid(0)],
                 budget: 2,
                 algorithm,
+                intervention: Intervention::BlockVertices,
             };
             let err = engine.query(&q).unwrap_err();
             assert!(
@@ -1370,6 +1393,7 @@ mod tests {
             seeds: vec![vid(0)],
             budget: 3,
             algorithm: QueryAlgorithm::RisGreedy,
+            intervention: Intervention::BlockVertices,
         };
         assert!(matches!(engine.query(&q), Err(EngineError::NoSketchPool)));
 
@@ -1412,6 +1436,7 @@ mod tests {
                 seeds: vec![vid(0)],
                 budget: 3,
                 algorithm: QueryAlgorithm::RisGreedy,
+                intervention: Intervention::BlockVertices,
             })
             .unwrap();
         assert!(!forward.blockers.is_empty());
@@ -1423,6 +1448,7 @@ mod tests {
                 seeds: vec![vid(1)],
                 budget: 2,
                 algorithm: QueryAlgorithm::RisGreedy,
+                intervention: Intervention::BlockVertices,
             },
         ]);
         assert!(batch.iter().all(|r| r.is_ok()));

@@ -58,7 +58,8 @@ impl fmt::Display for EngineError {
             ),
             EngineError::BackendUnsupported { operation, backend } => write!(
                 f,
-                "backend unsupported: {operation} is not defined for the {backend} backend"
+                "backend unsupported: {operation} is not defined for the {backend} backend \
+                 (see docs/protocol.md for the per-backend operation matrix)"
             ),
             EngineError::Protocol(reason) => write!(f, "{reason}"),
             EngineError::Busy { retry_after_ms } => {
@@ -127,6 +128,10 @@ mod tests {
         assert!(
             unsupported.to_string().starts_with("backend unsupported"),
             "the wire reply must start with 'ERR backend unsupported': {unsupported}"
+        );
+        assert!(
+            unsupported.to_string().contains("docs/protocol.md"),
+            "the refusal must point operators at the protocol reference: {unsupported}"
         );
         let p = EngineError::Protocol("bad token".into());
         assert_eq!(p.to_string(), "bad token");

@@ -18,9 +18,12 @@
 //!   parallel read-side queries, single-flight coalescing of identical
 //!   in-flight questions, and admission control (see [`shared`]).
 //! * [`protocol`] — a newline-delimited text protocol (`LOAD`, `POOL`,
-//!   `QUERY`, `SAVE`, `RESTORE`, `STATS`, `METRICS`, `PING`, `QUIT`) with
-//!   an `OK …` / `ERR …` reply per request line, shared by the server, the
-//!   client and the tests.
+//!   `QUERY`, `SAVE`, `RESTORE`, `COMPRESS`, `STATS`, `METRICS`, `PING`,
+//!   `QUIT` — the full table is [`protocol::VERBS`]) with an `OK …` /
+//!   `ERR …` reply per request line, shared by the server, the client and
+//!   the tests. The normative reference, including every reply shape and
+//!   the intervention support matrix, is `docs/protocol.md` at the repo
+//!   root — a test keeps it in lockstep with the parser.
 //!
 //! The engine is **restartable**: `SAVE` persists the graph and the
 //! resident pool in the versioned binary snapshot format of
@@ -48,11 +51,20 @@
 //!     seeds: vec![VertexId::new(0)],
 //!     budget: 3,
 //!     algorithm: QueryAlgorithm::AdvancedGreedy,
+//!     intervention: imin_core::Intervention::BlockVertices,
 //! };
 //! let first = engine.query(&query).unwrap();
 //! let second = engine.query(&query).unwrap();
 //! assert_eq!(first.blockers, second.blockers);
 //! assert!(!first.from_cache && second.from_cache);
+//!
+//! // The same budget can buy edge deletions or prebunking instead —
+//! // `QUERY … intervene=edge|prebunk:<alpha>` over the wire.
+//! let edges = engine
+//!     .query(&Query { intervention: imin_core::Intervention::BlockEdges, ..query })
+//!     .unwrap();
+//! assert!(edges.blockers.is_empty());
+//! assert!(!edges.blocked_edges.is_empty());
 //! ```
 
 #![forbid(unsafe_code)]

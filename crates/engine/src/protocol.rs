@@ -15,6 +15,8 @@
 //! POOL 20000 42 backend=sketch               make θ_r=20000 reverse sketches resident
 //! QUERY ic seeds=1,2,3 budget=10 alg=advanced  answer one containment question
 //! QUERY ic seeds=1,2 budget=5 trace=1        same, with a per-phase trace in the reply
+//! QUERY ic seeds=1 budget=5 intervene=edge   spend the budget on edge removals
+//! QUERY ic seeds=1 budget=5 intervene=prebunk:0.25  prebunk vertices to accept with p*0.25
 //! SAVE /var/lib/imin/wc50k.iminsnap          snapshot the graph + resident pool to disk
 //! RESTORE /var/lib/imin/wc50k.iminsnap       warm-start from a snapshot file (bulk copy)
 //! RESTORE /var/lib/imin/wc50k.iminsnap mode=map  warm-start zero-copy via mmap
@@ -61,6 +63,17 @@
 //! a resident pool (`baseline`, `exact`) parse fine and answer with an
 //! `ERR` explaining the unsupported backend.
 //!
+//! `intervene=` selects the intervention family the budget buys:
+//! `vertex` (the default — block vertices, the paper's question), `edge`
+//! (remove edges), or `prebunk:<alpha>` (prebunked vertices accept
+//! incoming activations with probability scaled by `alpha ∈ [0, 1]`).
+//! Edge replies carry `edges=u-v,…` instead of `blockers=`. Not every
+//! algorithm×backend combination supports every family — `ris-greedy`
+//! (and the sketch backend generally) answers vertex requests only — and
+//! unsupported combinations answer a typed
+//! `ERR intervention unsupported: …` naming the algorithm, backend and
+//! family. `docs/protocol.md` tables the full support matrix.
+//!
 //! ## Serving under load
 //!
 //! Queries from different connections execute concurrently against the
@@ -101,8 +114,15 @@
 //! engine recovers (no lock stays poisoned) and the connection stays open.
 
 use crate::engine::{PoolBackend, Query, RestoreMode};
-use imin_core::AlgorithmKind;
+use imin_core::{AlgorithmKind, Intervention};
 use imin_graph::VertexId;
+
+/// Every verb the parser accepts, in documentation order. The normative
+/// protocol reference (`docs/protocol.md`) must carry one section heading
+/// per entry — a test enumerates this table against the doc.
+pub const VERBS: &[&str] = &[
+    "LOAD", "POOL", "QUERY", "SAVE", "RESTORE", "COMPRESS", "STATS", "METRICS", "PING", "QUIT",
+];
 
 /// Probability model applied to a freshly loaded topology.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -338,6 +358,7 @@ fn parse_query(tokens: &[&str]) -> Result<(Query, bool), String> {
     let mut seeds: Option<Vec<VertexId>> = None;
     let mut budget: Option<usize> = None;
     let mut algorithm = AlgorithmKind::AdvancedGreedy;
+    let mut intervention = Intervention::BlockVertices;
     let mut trace = false;
     for token in &tokens[1..] {
         let (key, value) = parse_kv(token)?;
@@ -345,6 +366,11 @@ fn parse_query(tokens: &[&str]) -> Result<(Query, bool), String> {
             "seeds" => seeds = Some(parse_seeds(value)?),
             "budget" => budget = Some(parse_num("budget", value)?),
             "alg" => algorithm = parse_algorithm(value)?,
+            "intervene" => {
+                intervention = value
+                    .parse::<Intervention>()
+                    .map_err(|err: imin_core::IminError| err.to_string())?
+            }
             "trace" => {
                 trace = match value.to_ascii_lowercase().as_str() {
                     "1" | "true" => true,
@@ -363,6 +389,7 @@ fn parse_query(tokens: &[&str]) -> Result<(Query, bool), String> {
         seeds: seeds.ok_or("QUERY requires seeds=<v1,v2,...>")?,
         budget: budget.ok_or("QUERY requires budget=<b>")?,
         algorithm,
+        intervention,
     };
     Ok((query, trace))
 }
@@ -566,6 +593,28 @@ mod tests {
         assert!(trace);
         let req = parse_request("QUERY ic seeds=4 budget=2 trace=false").unwrap();
         assert!(matches!(req, Request::Query { trace: false, .. }));
+        // The intervention family defaults to vertex blocking and accepts
+        // the three documented spellings.
+        let Request::Query { query: q, .. } = parse_request("QUERY ic seeds=4 budget=2").unwrap()
+        else {
+            panic!("expected a query")
+        };
+        assert_eq!(q.intervention, imin_core::Intervention::BlockVertices);
+        let Request::Query { query: q, .. } =
+            parse_request("QUERY ic seeds=4 budget=2 intervene=edge").unwrap()
+        else {
+            panic!("expected a query")
+        };
+        assert_eq!(q.intervention, imin_core::Intervention::BlockEdges);
+        let Request::Query { query: q, .. } =
+            parse_request("QUERY ic seeds=4 budget=2 INTERVENE=prebunk:0.25").unwrap()
+        else {
+            panic!("expected a query")
+        };
+        assert_eq!(
+            q.intervention,
+            imin_core::Intervention::Prebunk { alpha: 0.25 }
+        );
         assert_eq!(
             parse_request("SAVE /tmp/pool.iminsnap").unwrap(),
             Request::Save {
@@ -628,6 +677,18 @@ mod tests {
             (
                 "QUERY ic seeds=1 budget=1 trace=maybe",
                 "invalid trace value",
+            ),
+            (
+                "QUERY ic seeds=1 budget=1 intervene=quantum",
+                "invalid intervention",
+            ),
+            (
+                "QUERY ic seeds=1 budget=1 intervene=prebunk:1.5",
+                "invalid intervention",
+            ),
+            (
+                "QUERY ic seeds=1 budget=1 intervene=prebunk:",
+                "invalid intervention",
             ),
             ("METRICS now", "no arguments"),
             ("SAVE", "requires a snapshot path"),

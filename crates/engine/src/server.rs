@@ -369,8 +369,23 @@ fn run_query(query: &Query, trace: bool, engine: &SharedEngine) -> String {
                 .map(|b| b.raw().to_string())
                 .collect::<Vec<_>>()
                 .join(",");
+            // Edge-mode selections carry their edges in a dedicated field;
+            // vertex and prebunk replies stay byte-identical to before the
+            // intervention families existed (the field is simply absent).
+            let edges = if result.blocked_edges.is_empty() {
+                String::new()
+            } else {
+                let list = result
+                    .blocked_edges
+                    .iter()
+                    .map(|(u, v)| format!("{}-{}", u.raw(), v.raw()))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!(" edges={list}")
+            };
             let mut reply = format!(
-                "OK blockers={blockers} spread={} cached={} rounds={} samples={} elapsed_us={}",
+                "OK blockers={blockers}{edges} spread={} cached={} rounds={} samples={} \
+                 elapsed_us={}",
                 result
                     .estimated_spread
                     .map(|s| format!("{s:.6}"))
@@ -635,6 +650,81 @@ mod tests {
             reply.contains("theta=200") && reply.contains("sketch_theta=400"),
             "both backends resident: {reply}"
         );
+    }
+
+    #[test]
+    fn intervention_families_work_end_to_end_over_the_protocol() {
+        let engine = engine();
+        let (reply, _) = answer_line("LOAD pa n=150 m0=3 seed=7 model=wc", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+        let (reply, _) = answer_line("POOL 200 5", &engine);
+        assert!(reply.starts_with("OK"), "{reply}");
+
+        // Vertex mode stays byte-identical whether implied or spelled out.
+        let (implicit, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ag", &engine);
+        assert!(implicit.starts_with("OK blockers="), "{implicit}");
+        assert!(!implicit.contains(" edges="), "{implicit}");
+        let (explicit, _) =
+            answer_line("QUERY ic seeds=0 budget=2 alg=ag intervene=vertex", &engine);
+        let strip = |s: &str| {
+            s.split_whitespace()
+                .filter(|tok| !tok.starts_with("cached=") && !tok.starts_with("elapsed_us="))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        assert_eq!(strip(&implicit), strip(&explicit));
+
+        // Edge blocking: no blockers, an edges= list of u-v pairs instead.
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=ag intervene=edge", &engine);
+        assert!(reply.starts_with("OK blockers= edges="), "{reply}");
+        let edges = reply
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix("edges="))
+            .unwrap()
+            .to_string();
+        let pairs: Vec<&str> = edges.split(',').collect();
+        assert!(!pairs.is_empty() && pairs.len() <= 2, "{reply}");
+        for pair in &pairs {
+            let (u, v) = pair.split_once('-').expect("edges are u-v pairs");
+            u.parse::<usize>().unwrap();
+            v.parse::<usize>().unwrap();
+        }
+
+        // Prebunking: targets come back in blockers=, no edges= field.
+        let (reply, _) = answer_line(
+            "QUERY ic seeds=0 budget=2 alg=ag intervene=prebunk:0.25",
+            &engine,
+        );
+        assert!(reply.starts_with("OK blockers="), "{reply}");
+        assert!(!reply.contains(" edges="), "{reply}");
+
+        // prebunk:1.0 is a no-op rescale, so its residual spread can never
+        // beat actually blocking the same budget of vertices.
+        let (noop, _) = answer_line(
+            "QUERY ic seeds=0 budget=2 alg=ag intervene=prebunk:1.0",
+            &engine,
+        );
+        assert!(noop.starts_with("OK blockers="), "{noop}");
+        let spread_of = |s: &str| {
+            s.split_whitespace()
+                .find_map(|tok| tok.strip_prefix("spread="))
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
+        };
+        assert!(
+            spread_of(&noop) >= spread_of(&implicit) - 1e-9,
+            "{noop} vs {implicit}"
+        );
+
+        // Unsupported combos answer a typed error naming the family.
+        let (reply, _) = answer_line("QUERY ic seeds=0 budget=2 alg=deg intervene=edge", &engine);
+        assert!(reply.starts_with("ERR intervention unsupported"), "{reply}");
+        let (reply, _) = answer_line(
+            "QUERY ic seeds=0 budget=2 alg=ris-greedy intervene=prebunk:0.5",
+            &engine,
+        );
+        assert!(reply.starts_with("ERR"), "{reply}");
     }
 
     #[test]

@@ -1069,6 +1069,7 @@ mod tests {
             seeds: vec![VertexId::new(seed)],
             budget,
             algorithm: QueryAlgorithm::AdvancedGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         }
     }
 
@@ -1298,6 +1299,7 @@ mod tests {
             seeds: vec![VertexId::new(1)],
             budget: 4,
             algorithm: QueryAlgorithm::RisGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         };
         let clients = 6usize;
         let barrier = Arc::new(Barrier::new(clients));
@@ -1341,6 +1343,7 @@ mod tests {
                 seeds: vec![VertexId::new(0)],
                 budget: 2,
                 algorithm: QueryAlgorithm::RisGreedy,
+                intervention: imin_core::Intervention::BlockVertices,
             })
             .unwrap_err();
         assert!(matches!(err, EngineError::NoSketchPool), "got {err:?}");

@@ -243,6 +243,7 @@ fn a_simultaneous_burst_of_one_question_coalesces_onto_one_computation() {
                     seeds: vec![imin_graph::VertexId::new(20 + round)],
                     budget: 4,
                     algorithm: imin_engine::QueryAlgorithm::AdvancedGreedy,
+                    intervention: imin_core::Intervention::BlockVertices,
                 };
                 std::thread::spawn(move || {
                     barrier.wait();

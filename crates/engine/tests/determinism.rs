@@ -29,21 +29,25 @@ fn queries() -> Vec<Query> {
             seeds: vec![VertexId::new(0)],
             budget: 5,
             algorithm: QueryAlgorithm::AdvancedGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         },
         Query {
             seeds: vec![VertexId::new(3), VertexId::new(11)],
             budget: 4,
             algorithm: QueryAlgorithm::AdvancedGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         },
         Query {
             seeds: vec![VertexId::new(0)],
             budget: 3,
             algorithm: QueryAlgorithm::GreedyReplace,
+            intervention: imin_core::Intervention::BlockVertices,
         },
         Query {
             seeds: vec![VertexId::new(7), VertexId::new(2), VertexId::new(7)],
             budget: 4,
             algorithm: QueryAlgorithm::GreedyReplace,
+            intervention: imin_core::Intervention::BlockVertices,
         },
     ]
 }

@@ -31,6 +31,8 @@ fn templates(dir: &std::path::Path) -> Vec<String> {
         "POOL 200 5".into(),
         "QUERY ic seeds=0,5 budget=3 alg=advanced".into(),
         "QUERY ic seeds=1 budget=2 alg=replace".into(),
+        "QUERY ic seeds=0 budget=2 alg=advanced intervene=edge".into(),
+        "QUERY ic seeds=0 budget=2 alg=replace intervene=prebunk:0.25".into(),
         format!("SAVE {snap}"),
         format!("RESTORE {snap}"),
     ]
@@ -184,6 +186,56 @@ fn ten_thousand_hostile_lines_never_panic_or_drop_the_connection() {
     assert_eq!(reply, "OK pong");
     let (reply, _) = answer_line("STATS", &engine);
     assert!(reply.starts_with("OK"), "{reply}");
+}
+
+#[test]
+fn malformed_intervene_values_answer_typed_errors_and_never_panic() {
+    let engine = SharedEngine::new().with_threads(1);
+
+    // Hand-picked malformed specs: unknown families, out-of-range and
+    // non-numeric alphas, missing or doubled separators, empty values.
+    for bad in [
+        "quantum",
+        "vertexx",
+        "edge:0.5",
+        "prebunk",
+        "prebunk:",
+        "prebunk:-0.1",
+        "prebunk:1.5",
+        "prebunk:nan",
+        "prebunk:inf",
+        "prebunk:0.5:0.5",
+        "prebunk:0,5",
+        "PREBUNK;1",
+        ":",
+        "",
+    ] {
+        let line = format!("QUERY ic seeds=0 budget=1 intervene={bad}");
+        let (reply, quit) = answer_line(&line, &engine);
+        assert_well_formed(&line, &reply, quit);
+        assert!(
+            reply.starts_with("ERR") && reply.contains("invalid intervention"),
+            "malformed intervene {bad:?} → {reply}"
+        );
+    }
+
+    // 2 000 seeded-random intervene values: printable garbage and mangled
+    // prebunk alphas. Anything that happens to parse must still answer one
+    // well-formed line (the engine has no graph, so ERR either way).
+    let mut rng = SmallRng::seed_from_u64(0x17E0_73B0_0CAF);
+    for _ in 0..2_000 {
+        let value: String = (0..rng.gen_range(0usize..24))
+            .map(|_| char::from(rng.gen_range(0x21u8..0x7F)))
+            .collect();
+        let line = format!("QUERY ic seeds=0 budget=1 intervene={value}");
+        let (reply, quit) = answer_line(&line, &engine);
+        assert_well_formed(&line, &reply, quit);
+        assert!(reply.starts_with("ERR"), "{line:?} → {reply}");
+    }
+
+    // The engine survives the abuse.
+    let (reply, _) = answer_line("PING", &engine);
+    assert_eq!(reply, "OK pong");
 }
 
 #[test]

@@ -31,6 +31,7 @@ fn query(seed: usize, budget: usize) -> Query {
         seeds: vec![VertexId::new(seed)],
         budget,
         algorithm: QueryAlgorithm::AdvancedGreedy,
+        intervention: imin_core::Intervention::BlockVertices,
     }
 }
 
@@ -68,6 +69,7 @@ fn blocker_selections_are_byte_identical_with_observability_on_and_off() {
                 seeds: vec![VertexId::new(seed)],
                 budget,
                 algorithm,
+                intervention: imin_core::Intervention::BlockVertices,
             };
             let expect = serial.query(&q).unwrap();
             let traced = on.query(&q).unwrap();
@@ -192,6 +194,7 @@ fn sketch_queries_record_their_phases_without_a_registry_restart() {
             seeds: vec![VertexId::new(1)],
             budget: 3,
             algorithm: QueryAlgorithm::RisGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         })
         .unwrap();
     let phases = result.phases.expect("observability is on by default");

@@ -11,13 +11,21 @@
 //! a `Cell`-based thread-local that costs nothing when inactive.
 //!
 //! ```
-//! use imin_obs::Histogram;
+//! use imin_obs::{Histogram, PhaseBreakdown, QUERY_PHASES};
 //!
+//! // Latency histograms: one atomic add per record, quantiles on demand.
 //! let hist = Histogram::new();
 //! hist.record_us(120);
 //! hist.record_us(95_000);
 //! assert_eq!(hist.count(), 2);
 //! assert!(hist.quantile_us(0.5) >= 120);
+//!
+//! // Phase breakdowns: what `QUERY … trace=1` renders into `phases=…`.
+//! let mut phases = PhaseBreakdown::default();
+//! phases.add_us(imin_obs::Phase::Bfs, 1_500);
+//! phases.add_us(imin_obs::Phase::DomTree, 900);
+//! let rendered = phases.render(&QUERY_PHASES);
+//! assert!(rendered.contains("bfs:1500"));
 //! ```
 
 #![forbid(unsafe_code)]

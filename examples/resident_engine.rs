@@ -63,6 +63,7 @@ fn main() {
                 .collect(),
             budget,
             algorithm,
+            intervention: imin_core::Intervention::BlockVertices,
         };
         let result = engine.query(&query).expect("query");
         println!(
@@ -84,6 +85,7 @@ fn main() {
             seeds: vec![imin_graph::VertexId::new(100 + i)],
             budget: 5,
             algorithm: AlgorithmKind::AdvancedGreedy,
+            intervention: imin_core::Intervention::BlockVertices,
         })
         .collect();
     let start = Instant::now();
